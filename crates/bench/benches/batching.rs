@@ -1,0 +1,64 @@
+//! Criterion microbenches of the mini-batch collation paths — the operation
+//! the paper identifies as the dominant cost of GNN training ("batching
+//! multiple graphs into a single large graph is pretty time-consuming").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gnn_datasets::TudSpec;
+use gnn_graph::disjoint_union;
+use std::time::Duration;
+
+fn bench_collation(c: &mut Criterion) {
+    let ds = TudSpec::enzymes().generate(0);
+    let pyg = rustyg::DataLoader::new(&ds);
+    let dgl = rgl::DataLoader::new(&ds);
+    let mut g = c.benchmark_group("collate_enzymes");
+    for bs in [32usize, 128] {
+        let idx: Vec<u32> = (0..bs as u32).collect();
+        g.bench_with_input(BenchmarkId::new("pyg", bs), &idx, |b, idx| {
+            b.iter(|| std::hint::black_box(pyg.load(idx)));
+        });
+        g.bench_with_input(BenchmarkId::new("dgl", bs), &idx, |b, idx| {
+            b.iter(|| std::hint::black_box(dgl.load(idx)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_disjoint_union(c: &mut Criterion) {
+    let ds = TudSpec::dd().scaled(0.2).generate(1);
+    let graphs: Vec<_> = ds.samples.iter().take(128).map(|s| &s.graph).collect();
+    let mut g = c.benchmark_group("topology");
+    g.bench_function("disjoint_union_128_dd_graphs", |b| {
+        b.iter(|| std::hint::black_box(disjoint_union(&graphs)));
+    });
+    let big = disjoint_union(&graphs).graph;
+    g.bench_function("csc_conversion_batched_dd", |b| {
+        b.iter(|| std::hint::black_box(big.csc()));
+    });
+    g.finish();
+}
+
+fn bench_knn(c: &mut Criterion) {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(2);
+    let points: Vec<f32> = (0..140).map(|_| rng.gen::<f32>()).collect();
+    let mut g = c.benchmark_group("superpixel");
+    g.bench_function("knn_graph_70pts_k8", |b| {
+        b.iter(|| std::hint::black_box(gnn_graph::knn_graph(&points, 2, 8)));
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_collation, bench_disjoint_union, bench_knn
+}
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Criterion microbenches comparing the two frameworks' message-passing
+//! lowerings on identical inputs: PyG-style gather→scatter vs DGL-style
+//! fused GSpMM, and one conv-layer forward of each model family.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnn_datasets::TudSpec;
+use gnn_graph::Graph;
+use gnn_tensor::NdArray;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn random_graph(nodes: usize, edges: usize, rng: &mut StdRng) -> Graph {
+    let src: Vec<u32> = (0..edges).map(|_| rng.gen_range(0..nodes as u32)).collect();
+    let dst: Vec<u32> = (0..edges).map(|_| rng.gen_range(0..nodes as u32)).collect();
+    Graph::new(nodes, src, dst)
+}
+
+fn make_batches(
+    nodes: usize,
+    edges: usize,
+    cols: usize,
+    rng: &mut StdRng,
+) -> (rustyg::Batch, rgl::HeteroBatch) {
+    let g = random_graph(nodes, edges, rng);
+    let feats = NdArray::from_vec(
+        nodes,
+        cols,
+        (0..nodes * cols)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect(),
+    );
+    let ids = vec![0u32; nodes];
+    (
+        rustyg::Batch::from_parts(&g, feats.clone(), ids.clone(), 1, vec![0]),
+        rgl::HeteroBatch::from_parts(&g, feats, ids, 1, vec![0]),
+    )
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let (pyg, dgl) = make_batches(4096, 16384, 64, &mut rng);
+    let mut g = c.benchmark_group("aggregation_4096n_16384e_64f");
+    g.bench_function("pyg_gather_scatter", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                pyg.x
+                    .gather_rows(&pyg.src)
+                    .scatter_add_rows(&pyg.dst, pyg.num_nodes),
+            )
+        });
+    });
+    g.bench_function("dgl_gspmm_fused", |b| {
+        b.iter(|| std::hint::black_box(rgl::kernels::gspmm_copy_sum(&dgl, &dgl.x)));
+    });
+    g.finish();
+}
+
+fn bench_conv_layers(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let (pyg, dgl) = make_batches(2048, 8192, 64, &mut rng);
+    let mut g = c.benchmark_group("conv_forward_2048n_8192e");
+
+    let gcn_p = rustyg::GcnConv::new(64, 64, &mut rng);
+    g.bench_function("gcn_pyg", |b| {
+        b.iter(|| std::hint::black_box(gcn_p.forward(&pyg, &pyg.x, true)))
+    });
+    let gcn_d = rgl::GraphConv::new(64, 64, &mut rng);
+    g.bench_function("gcn_dgl", |b| {
+        b.iter(|| std::hint::black_box(gcn_d.forward(&dgl, &dgl.x, true)))
+    });
+
+    let gat_p = rustyg::GatConv::new(64, 8, 8, &mut rng);
+    g.bench_function("gat_pyg", |b| {
+        b.iter(|| std::hint::black_box(gat_p.forward(&pyg, &pyg.x, true)))
+    });
+    let gat_d = rgl::GatConv::new(64, 8, 8, &mut rng);
+    g.bench_function("gat_dgl", |b| {
+        b.iter(|| std::hint::black_box(gat_d.forward(&dgl, &dgl.x, true)))
+    });
+
+    let gated_p = rustyg::GatedGcnConv::new(64, 64, &mut rng);
+    g.bench_function("gatedgcn_pyg", |b| {
+        b.iter(|| std::hint::black_box(gated_p.forward(&pyg, &pyg.x, true)))
+    });
+    let gated_d = rgl::GatedGcnConv::new(64, 64, &mut rng);
+    g.bench_function("gatedgcn_dgl", |b| {
+        b.iter(|| {
+            dgl.begin_forward();
+            std::hint::black_box(gated_d.forward(&dgl, &dgl.x, true))
+        })
+    });
+    g.finish();
+}
+
+fn bench_pooling(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let ds = TudSpec::enzymes().scaled(0.3).generate(0);
+    let idx: Vec<u32> = (0..64u32).collect();
+    let pyg = rustyg::DataLoader::new(&ds).load(&idx);
+    let dgl = rgl::DataLoader::new(&ds).load(&idx);
+    let _ = &mut rng;
+    let mut g = c.benchmark_group("readout_64graphs");
+    g.bench_function("pyg_scatter_pool", |b| {
+        b.iter(|| std::hint::black_box(rustyg::global_mean_pool(&pyg, &pyg.x)));
+    });
+    g.bench_function("dgl_segment_pool", |b| {
+        b.iter(|| std::hint::black_box(rgl::segment_mean_pool(&dgl, &dgl.x)));
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_aggregation, bench_conv_layers, bench_pooling
+}
+criterion_main!(benches);

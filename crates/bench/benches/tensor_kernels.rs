@@ -1,0 +1,87 @@
+//! Criterion microbenches of the tensor substrate: real CPU time of the
+//! kernels every model lowers to.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gnn_tensor::{cross_entropy, NdArray, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::rc::Rc;
+use std::time::Duration;
+
+fn rand_array(rows: usize, cols: usize, rng: &mut StdRng) -> NdArray {
+    NdArray::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    )
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut g = c.benchmark_group("matmul");
+    for n in [64usize, 128, 256] {
+        let a = rand_array(n, n, &mut rng);
+        let b = rand_array(n, n, &mut rng);
+        g.throughput(criterion::Throughput::Elements((2 * n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul(&b)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_scatter_gather(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let nodes = 4096;
+    let edges = 16384;
+    let cols = 64;
+    let x = Tensor::new(rand_array(nodes, cols, &mut rng));
+    let src: gnn_tensor::Ids =
+        Rc::new((0..edges).map(|_| rng.gen_range(0..nodes as u32)).collect());
+    let dst: gnn_tensor::Ids =
+        Rc::new((0..edges).map(|_| rng.gen_range(0..nodes as u32)).collect());
+    let mut g = c.benchmark_group("index_ops");
+    g.bench_function("gather_rows_16k_x64", |b| {
+        b.iter(|| std::hint::black_box(x.gather_rows(&src)));
+    });
+    let msgs = x.gather_rows(&src);
+    g.bench_function("scatter_add_16k_x64", |b| {
+        b.iter(|| std::hint::black_box(msgs.scatter_add_rows(&dst, nodes)));
+    });
+    g.bench_function("segment_softmax_16k_x8", |b| {
+        let scores = Tensor::new(rand_array(edges, 8, &mut rng));
+        b.iter(|| std::hint::black_box(scores.segment_softmax(&dst, nodes)));
+    });
+    g.finish();
+}
+
+fn bench_norm_and_loss(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = Tensor::param(rand_array(4096, 128, &mut rng));
+    let gamma = Tensor::param(NdArray::full(1, 128, 1.0));
+    let beta = Tensor::param(NdArray::zeros(1, 128));
+    let mut g = c.benchmark_group("norm_loss");
+    g.bench_function("batch_norm_4096x128", |b| {
+        b.iter(|| std::hint::black_box(x.batch_norm_train(&gamma, &beta, 1e-5).out));
+    });
+    let logits = Tensor::param(rand_array(4096, 10, &mut rng));
+    let labels: Vec<u32> = (0..4096).map(|i| (i % 10) as u32).collect();
+    g.bench_function("cross_entropy_4096x10", |b| {
+        b.iter(|| std::hint::black_box(cross_entropy(&logits, &labels)));
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_matmul, bench_scatter_gather, bench_norm_and_loss
+}
+criterion_main!(benches);

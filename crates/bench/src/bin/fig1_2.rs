@@ -1,0 +1,25 @@
+//! Reproduces Figs. 1 and 2: execution-time breakdown per epoch (data
+//! loading / forward / backward / update / other) for six models under both
+//! frameworks at batch sizes 64/128/256. `--dataset enzymes` gives Fig. 1,
+//! `--dataset dd` gives Fig. 2.
+
+use gnn_core::runner::GraphDs;
+use gnn_core::{report, runner};
+
+fn main() {
+    let opts = gnn_bench::cli_options();
+    let (ds, fig) = match opts.dataset.as_deref() {
+        None | Some("enzymes") => (GraphDs::Enzymes, "Fig. 1 (ENZYMES)"),
+        Some("dd") => (GraphDs::Dd, "Fig. 2 (DD)"),
+        Some(other) => {
+            eprintln!("error: unknown dataset {other}; use enzymes or dd");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "{fig} — epoch-time breakdown (scale = {})\n",
+        opts.config.scale
+    );
+    let rows = runner::profile_sweep(&opts.config, ds);
+    print!("{}", report::breakdown_report(&rows));
+}

@@ -1,0 +1,14 @@
+//! Reproduces Fig. 3: layer-wise execution time of training one ENZYMES
+//! batch (conv1..conv4 + readout) for six models under both frameworks.
+
+use gnn_core::{report, runner};
+
+fn main() {
+    let opts = gnn_bench::cli_options();
+    println!(
+        "Fig. 3 — layer-wise execution time, one ENZYMES batch (scale = {})\n",
+        opts.config.scale
+    );
+    let rows = runner::layer_times(&opts.config);
+    print!("{}", report::layer_report(&rows));
+}

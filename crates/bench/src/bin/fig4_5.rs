@@ -1,0 +1,24 @@
+//! Reproduces Figs. 4 and 5: peak device memory and GPU compute utilization
+//! of six models under both frameworks on ENZYMES and DD, batch 64/128/256.
+//! `--metric memory` or `--metric utilization` filters the columns.
+
+use gnn_core::report::ResourceMetric;
+use gnn_core::runner::GraphDs;
+use gnn_core::{report, runner};
+
+fn main() {
+    let opts = gnn_bench::cli_options();
+    let metric = opts.metric.as_deref().unwrap_or("both");
+    let which = match metric {
+        "memory" => ResourceMetric::Memory,
+        "utilization" => ResourceMetric::Utilization,
+        _ => ResourceMetric::Both,
+    };
+    println!(
+        "Figs. 4/5 — {metric} (scale = {}, batch sizes = {:?})\n",
+        opts.config.scale, opts.config.batch_sizes
+    );
+    let mut rows = runner::profile_sweep(&opts.config, GraphDs::Enzymes);
+    rows.extend(runner::profile_sweep(&opts.config, GraphDs::Dd));
+    print!("{}", report::resources_report_filtered(&rows, which));
+}

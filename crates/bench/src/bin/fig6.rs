@@ -1,0 +1,14 @@
+//! Reproduces Fig. 6: per-epoch time of data-parallel GCN and GAT training
+//! on MNIST superpixels across 1/2/4/8 simulated GPUs, batch 128/256/512.
+
+use gnn_core::{report, runner};
+
+fn main() {
+    let opts = gnn_bench::cli_options();
+    println!(
+        "Fig. 6 — multi-GPU scaling on MNIST (scale = {})\n",
+        opts.config.scale
+    );
+    let rows = runner::multi_gpu(&opts.config);
+    print!("{}", report::fig6_report(&rows));
+}

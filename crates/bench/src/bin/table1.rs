@@ -1,0 +1,39 @@
+//! Reproduces Table I: dataset statistics.
+
+use gnn_core::runner;
+
+fn main() {
+    let opts = gnn_bench::cli_options();
+    println!(
+        "Table I — dataset statistics (scale = {})\n",
+        opts.config.scale
+    );
+    let rows = runner::table1(&opts.config);
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.num_graphs.to_string(),
+                format!("{:.2}", r.avg_nodes),
+                format!("{:.2}", r.avg_edges),
+                r.feature_dim.to_string(),
+                r.num_classes.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        gnn_core::render_table(
+            &[
+                "Dataset",
+                "#Graph",
+                "#Nodes(Avg.)",
+                "#Edges(Avg.)",
+                "#Feature",
+                "#Classes"
+            ],
+            &body
+        )
+    );
+}

@@ -1,0 +1,15 @@
+//! Reproduces Table IV: node classification on Cora and PubMed — per-epoch
+//! and total training time plus test accuracy for six models under both
+//! frameworks.
+
+use gnn_core::{report, runner};
+
+fn main() {
+    let opts = gnn_bench::cli_options();
+    println!(
+        "Table IV — node classification (scale = {}, epochs = {}, seeds = {})\n",
+        opts.config.scale, opts.config.node_epochs, opts.config.seeds
+    );
+    let rows = runner::table4(&opts.config);
+    print!("{}", report::table4_report(&rows));
+}

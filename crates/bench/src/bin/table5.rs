@@ -1,0 +1,14 @@
+//! Reproduces Table V: graph classification on ENZYMES and DD — per-epoch
+//! and total training time plus cross-validated test accuracy.
+
+use gnn_core::{report, runner};
+
+fn main() {
+    let opts = gnn_bench::cli_options();
+    println!(
+        "Table V — graph classification (scale = {}, epoch cap = {}, folds = {})\n",
+        opts.config.scale, opts.config.graph_epochs, opts.config.folds
+    );
+    let rows = runner::table5(&opts.config);
+    print!("{}", report::table5_report(&rows));
+}

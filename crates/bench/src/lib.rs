@@ -1,0 +1,160 @@
+//! # gnn-bench
+//!
+//! Reproduction binaries — one per table/figure of the paper — plus the
+//! shared command-line plumbing. Each binary prints the same rows/series
+//! the paper reports, at a configurable scale:
+//!
+//! | Binary    | Reproduces |
+//! |-----------|------------|
+//! | `table1`  | Table I — dataset statistics |
+//! | `table4`  | Table IV — node classification time/accuracy |
+//! | `table5`  | Table V — graph classification time/accuracy |
+//! | `fig1_2`  | Figs. 1–2 — epoch-time breakdown (`--dataset enzymes|dd`) |
+//! | `fig3`    | Fig. 3 — layer-wise execution time on ENZYMES |
+//! | `fig4_5`  | Figs. 4–5 — peak memory + GPU utilization |
+//! | `fig6`    | Fig. 6 — multi-GPU scaling of GCN/GAT on MNIST |
+//!
+//! Common flags: `--quick` (default), `--full` (paper scale), `--smoke`,
+//! `--scale <f>`, `--seed <n>`, `--epochs <n>`, `--folds <n>`.
+//!
+//! The Criterion benches (`cargo bench -p gnn-bench`) measure the *library
+//! itself* (real CPU time of the tensor kernels, message-passing lowerings,
+//! and the two frameworks' collation paths) rather than the simulated
+//! device.
+
+use gnn_core::RunConfig;
+
+/// Parsed command-line options shared by the reproduction binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliOptions {
+    /// Scaled run configuration.
+    pub config: RunConfig,
+    /// Value of `--dataset`, if given.
+    pub dataset: Option<String>,
+    /// Value of `--metric`, if given.
+    pub metric: Option<String>,
+}
+
+/// Parses `args` (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message on unknown flags or unparsable values.
+pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
+    let mut config = RunConfig::quick();
+    let mut dataset = None;
+    let mut metric = None;
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let mut value_of = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--quick" => config = RunConfig::quick().with_seed(config.seed),
+            "--full" | "--paper" => config = RunConfig::paper().with_seed(config.seed),
+            "--smoke" => config = RunConfig::smoke().with_seed(config.seed),
+            "--scale" => {
+                let v: f64 = value_of("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?;
+                if !(v > 0.0 && v <= 1.0) {
+                    return Err(format!("--scale {v} out of (0, 1]"));
+                }
+                config.scale = v;
+            }
+            "--seed" => {
+                config.seed = value_of("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--epochs" => {
+                let v: usize = value_of("--epochs")?
+                    .parse()
+                    .map_err(|e| format!("--epochs: {e}"))?;
+                config.node_epochs = v;
+                config.graph_epochs = v;
+            }
+            "--folds" => {
+                config.folds = value_of("--folds")?
+                    .parse()
+                    .map_err(|e| format!("--folds: {e}"))?;
+            }
+            "--seeds" => {
+                config.seeds = value_of("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?;
+            }
+            "--dataset" => dataset = Some(value_of("--dataset")?.to_lowercase()),
+            "--metric" => metric = Some(value_of("--metric")?.to_lowercase()),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(CliOptions {
+        config,
+        dataset,
+        metric,
+    })
+}
+
+/// Parses the process arguments, exiting with usage on error.
+pub fn cli_options() -> CliOptions {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: [--quick|--full|--smoke] [--scale f] [--seed n] [--epochs n] \
+                 [--folds n] [--seeds n] [--dataset enzymes|dd] [--metric memory|utilization]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_to_quick() {
+        let o = parse_args(&[]).unwrap();
+        assert_eq!(o.config, RunConfig::quick());
+        assert!(o.dataset.is_none());
+    }
+
+    #[test]
+    fn full_and_overrides() {
+        let o = parse_args(&s(&["--full", "--scale", "0.5", "--seed", "7"])).unwrap();
+        assert_eq!(o.config.scale, 0.5);
+        assert_eq!(o.config.seed, 7);
+        assert_eq!(o.config.folds, 10);
+    }
+
+    #[test]
+    fn dataset_and_metric_lowercased() {
+        let o = parse_args(&s(&["--dataset", "DD", "--metric", "Memory"])).unwrap();
+        assert_eq!(o.dataset.as_deref(), Some("dd"));
+        assert_eq!(o.metric.as_deref(), Some("memory"));
+    }
+
+    #[test]
+    fn epochs_sets_both_task_caps() {
+        let o = parse_args(&s(&["--epochs", "9"])).unwrap();
+        assert_eq!(o.config.node_epochs, 9);
+        assert_eq!(o.config.graph_epochs, 9);
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert!(parse_args(&s(&["--bogus"])).is_err());
+        assert!(parse_args(&s(&["--scale", "2.0"])).is_err());
+        assert!(parse_args(&s(&["--scale"])).is_err());
+    }
+}

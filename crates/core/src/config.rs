@@ -1,0 +1,118 @@
+//! Run-scale configuration.
+
+/// Controls the scale of an experiment run.
+///
+/// All presets keep the full experiment *structure* — every model, both
+/// frameworks, every dataset the experiment uses — and only trade dataset
+/// size, epoch counts, seeds, and folds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunConfig {
+    /// Dataset subsampling factor in `(0, 1]`.
+    pub scale: f64,
+    /// Seeds per (dataset, model, framework) cell of Table IV.
+    pub seeds: usize,
+    /// Max epochs for node-classification runs (paper: 200).
+    pub node_epochs: usize,
+    /// Epoch cap for graph-classification runs (paper: until lr floor).
+    pub graph_epochs: usize,
+    /// Cross-validation folds actually trained (paper: 10).
+    pub folds: usize,
+    /// Mini-batch sizes for the breakdown/resource sweeps (paper: 64/128/256).
+    pub batch_sizes: [usize; 3],
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// Paper-scale protocol: full datasets, 200 node epochs, lr-floor
+    /// stopping with a generous cap, 4 seeds, 10 folds.
+    pub fn paper() -> Self {
+        RunConfig {
+            scale: 1.0,
+            seeds: 4,
+            node_epochs: 200,
+            graph_epochs: 1000,
+            folds: 10,
+            batch_sizes: [64, 128, 256],
+            seed: 0,
+        }
+    }
+
+    /// Laptop-scale default: ~15% datasets, short training, 2 seeds/folds.
+    /// Timing *shapes* (who wins, by what factor) are preserved; absolute
+    /// accuracies are lower because training is truncated.
+    pub fn quick() -> Self {
+        RunConfig {
+            scale: 0.15,
+            seeds: 2,
+            node_epochs: 40,
+            graph_epochs: 6,
+            folds: 2,
+            batch_sizes: [64, 128, 256],
+            seed: 0,
+        }
+    }
+
+    /// Minimal smoke-test scale for CI and unit tests.
+    pub fn smoke() -> Self {
+        RunConfig {
+            scale: 0.05,
+            seeds: 1,
+            node_epochs: 3,
+            graph_epochs: 2,
+            folds: 1,
+            batch_sizes: [8, 16, 32],
+            seed: 0,
+        }
+    }
+
+    /// Replaces the dataset scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < scale <= 1`.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "scale {scale} out of (0, 1]");
+        self.scale = scale;
+        self
+    }
+
+    /// Replaces the base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig::quick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_scale() {
+        assert!(RunConfig::smoke().scale < RunConfig::quick().scale);
+        assert!(RunConfig::quick().scale < RunConfig::paper().scale);
+        assert_eq!(RunConfig::paper().node_epochs, 200);
+        assert_eq!(RunConfig::paper().folds, 10);
+        assert_eq!(RunConfig::paper().batch_sizes, [64, 128, 256]);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = RunConfig::quick().with_scale(0.5).with_seed(9);
+        assert_eq!(c.scale, 0.5);
+        assert_eq!(c.seed, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0, 1]")]
+    fn bad_scale_panics() {
+        RunConfig::quick().with_scale(2.0);
+    }
+}

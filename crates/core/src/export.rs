@@ -1,0 +1,205 @@
+//! CSV export of experiment results, for downstream plotting.
+//!
+//! Each exporter mirrors a runner's row type. Fields are stable,
+//! machine-readable column names; times are seconds, memory is bytes,
+//! utilization is a fraction.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::runner::{LayerTimeRow, MultiGpuRow, ProfileRow, Table4Row, Table5Row};
+
+fn esc(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Renders Table IV rows as CSV.
+pub fn table4_csv(rows: &[Table4Row]) -> String {
+    let mut out = String::from("dataset,model,framework,epoch_s,total_s,acc_mean,acc_std\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            esc(&r.dataset),
+            r.model.label(),
+            r.framework.label(),
+            r.epoch_time,
+            r.total_time,
+            r.acc.mean,
+            r.acc.std
+        );
+    }
+    out
+}
+
+/// Renders Table V rows as CSV.
+pub fn table5_csv(rows: &[Table5Row]) -> String {
+    let mut out = String::from("dataset,model,framework,epoch_s,total_s,acc_mean,acc_std\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            esc(&r.dataset),
+            r.model.label(),
+            r.framework.label(),
+            r.epoch_time,
+            r.total_time,
+            r.acc.mean,
+            r.acc.std
+        );
+    }
+    out
+}
+
+/// Renders profile-sweep rows (Figs. 1/2/4/5) as CSV.
+pub fn profile_csv(rows: &[ProfileRow]) -> String {
+    let mut out = String::from(
+        "dataset,model,framework,batch_size,data_load_s,forward_s,backward_s,update_s,\
+         other_s,epoch_s,peak_memory_bytes,utilization\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            esc(&r.dataset),
+            r.model.label(),
+            r.framework.label(),
+            r.batch_size,
+            r.phase_times[0],
+            r.phase_times[1],
+            r.phase_times[2],
+            r.phase_times[3],
+            r.phase_times[4],
+            r.epoch_time(),
+            r.peak_memory,
+            r.utilization
+        );
+    }
+    out
+}
+
+/// Renders layer-time rows (Fig. 3) as long-format CSV.
+pub fn layer_times_csv(rows: &[LayerTimeRow]) -> String {
+    let mut out = String::from("model,framework,scope,seconds\n");
+    for r in rows {
+        for (scope, t) in &r.scopes {
+            let _ = writeln!(
+                out,
+                "{},{},{},{}",
+                r.model.label(),
+                r.framework.label(),
+                esc(scope),
+                t
+            );
+        }
+    }
+    out
+}
+
+/// Renders multi-GPU rows (Fig. 6) as CSV.
+pub fn multi_gpu_csv(rows: &[MultiGpuRow]) -> String {
+    let mut out = String::from("model,framework,batch_size,n_gpus,epoch_s\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
+            r.model.label(),
+            r.framework.label(),
+            r.batch_size,
+            r.n_gpus,
+            r.epoch_time
+        );
+    }
+    out
+}
+
+/// Writes `csv` to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv(path: &Path, csv: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, csv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn_models::{FrameworkKind, ModelKind};
+    use gnn_train::Summary;
+
+    fn t4_row() -> Table4Row {
+        Table4Row {
+            dataset: "Cora".into(),
+            model: ModelKind::Gcn,
+            framework: FrameworkKind::RustyG,
+            epoch_time: 0.005,
+            total_time: 1.0,
+            acc: Summary { mean: 80.8, std: 1.3 },
+        }
+    }
+
+    #[test]
+    fn table4_csv_shape() {
+        let csv = table4_csv(&[t4_row()]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].split(',').count(), 7);
+        assert!(lines[1].starts_with("Cora,GCN,PyG,0.005,1,"));
+    }
+
+    #[test]
+    fn escaping_quotes_and_commas() {
+        assert_eq!(esc("plain"), "plain");
+        assert_eq!(esc("a,b"), "\"a,b\"");
+        assert_eq!(esc("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn profile_csv_has_all_phases() {
+        let row = ProfileRow {
+            dataset: "ENZYMES".into(),
+            model: ModelKind::Gat,
+            framework: FrameworkKind::Rgl,
+            batch_size: 128,
+            phase_times: [0.01, 0.002, 0.003, 0.001, 0.004],
+            peak_memory: 1_000_000,
+            utilization: 0.25,
+        };
+        let csv = profile_csv(&[row]);
+        let header = csv.lines().next().unwrap();
+        for col in ["data_load_s", "forward_s", "backward_s", "update_s", "other_s"] {
+            assert!(header.contains(col), "missing column {col}");
+        }
+        assert!(csv.contains("ENZYMES,GAT,DGL,128,0.01,"));
+    }
+
+    #[test]
+    fn layer_csv_is_long_format() {
+        let row = LayerTimeRow {
+            model: ModelKind::Gin,
+            framework: FrameworkKind::RustyG,
+            scopes: vec![("conv1".into(), 0.001), ("readout".into(), 0.0002)],
+        };
+        let csv = layer_times_csv(&[row]);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.contains("GIN,PyG,conv1,0.001"));
+    }
+
+    #[test]
+    fn write_csv_roundtrip() {
+        let dir = std::env::temp_dir().join("gnn_export_test");
+        let path = dir.join("nested/out.csv");
+        write_csv(&path, "a,b\n1,2\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a,b\n1,2\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,284 @@
+//! Plain-text report rendering, one renderer per table/figure.
+
+use gnn_device::session::PHASES;
+
+use crate::runner::{LayerTimeRow, MultiGpuRow, ProfileRow, Table4Row, Table5Row};
+
+/// Renders a padded ASCII table.
+///
+/// # Panics
+///
+/// Panics if any row's width differs from the header's.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for r in rows {
+        assert_eq!(r.len(), headers.len(), "row width mismatch");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}", w = w))
+            .collect();
+        format!("| {} |", padded.join(" | "))
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&format!("|-{}-|", sep.join("-|-")));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+fn fmt_secs(t: f64) -> String {
+    if t >= 3600.0 {
+        format!("{:.2}hr", t / 3600.0)
+    } else if t >= 1.0 {
+        format!("{t:.2}s")
+    } else {
+        format!("{:.4}s", t)
+    }
+}
+
+/// Renders Table IV (node classification).
+pub fn table4_report(rows: &[Table4Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                r.model.label().to_string(),
+                r.framework.label().to_string(),
+                format!("{}/{}", fmt_secs(r.epoch_time), fmt_secs(r.total_time)),
+                format!("{}", r.acc),
+            ]
+        })
+        .collect();
+    render_table(
+        &["Dataset", "Model", "Framework", "Epoch/Total", "Acc±s.d."],
+        &body,
+    )
+}
+
+/// Renders Table V (graph classification).
+pub fn table5_report(rows: &[Table5Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                r.model.label().to_string(),
+                r.framework.label().to_string(),
+                format!("{}/{}", fmt_secs(r.epoch_time), fmt_secs(r.total_time)),
+                format!("{}", r.acc),
+            ]
+        })
+        .collect();
+    render_table(
+        &["Dataset", "Model", "Framework", "Epoch/Total", "Acc±s.d."],
+        &body,
+    )
+}
+
+/// Renders the Figs. 1/2 epoch-time breakdown for one dataset.
+pub fn breakdown_report(rows: &[ProfileRow]) -> String {
+    let mut headers = vec!["Model", "Framework", "Batch"];
+    headers.extend(PHASES.iter().map(|p| p.label()));
+    headers.push("total");
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut cells = vec![
+                r.model.label().to_string(),
+                r.framework.label().to_string(),
+                r.batch_size.to_string(),
+            ];
+            cells.extend(r.phase_times.iter().map(|t| format!("{:.1}ms", t * 1e3)));
+            cells.push(format!("{:.1}ms", r.epoch_time() * 1e3));
+            cells
+        })
+        .collect();
+    render_table(&headers, &body)
+}
+
+/// Which resource columns [`resources_report_filtered`] includes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResourceMetric {
+    /// Peak memory only (Fig. 4).
+    Memory,
+    /// Utilization only (Fig. 5).
+    Utilization,
+    /// Both columns.
+    Both,
+}
+
+/// Renders the Figs. 4/5 sweep with a column filter.
+pub fn resources_report_filtered(rows: &[ProfileRow], metric: ResourceMetric) -> String {
+    let mut headers = vec!["Dataset", "Model", "Framework", "Batch"];
+    if metric != ResourceMetric::Utilization {
+        headers.push("PeakMem");
+    }
+    if metric != ResourceMetric::Memory {
+        headers.push("GPUUtil");
+    }
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut cells = vec![
+                r.dataset.clone(),
+                r.model.label().to_string(),
+                r.framework.label().to_string(),
+                r.batch_size.to_string(),
+            ];
+            if metric != ResourceMetric::Utilization {
+                cells.push(format!("{:.1}MB", r.peak_memory as f64 / 1e6));
+            }
+            if metric != ResourceMetric::Memory {
+                cells.push(format!("{:.1}%", r.utilization * 100.0));
+            }
+            cells
+        })
+        .collect();
+    render_table(&headers, &body)
+}
+
+/// Renders the Fig. 4 (memory) and Fig. 5 (utilization) sweep.
+pub fn resources_report(rows: &[ProfileRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                r.model.label().to_string(),
+                r.framework.label().to_string(),
+                r.batch_size.to_string(),
+                format!("{:.1}MB", r.peak_memory as f64 / 1e6),
+                format!("{:.1}%", r.utilization * 100.0),
+            ]
+        })
+        .collect();
+    render_table(
+        &[
+            "Dataset",
+            "Model",
+            "Framework",
+            "Batch",
+            "PeakMem",
+            "GPUUtil",
+        ],
+        &body,
+    )
+}
+
+/// Renders Fig. 3 (layer-wise execution time of one training batch).
+pub fn layer_report(rows: &[LayerTimeRow]) -> String {
+    // Collect the union of scope names in first-seen order.
+    let mut scope_names: Vec<String> = Vec::new();
+    for r in rows {
+        for (name, _) in &r.scopes {
+            if !scope_names.contains(name) {
+                scope_names.push(name.clone());
+            }
+        }
+    }
+    let mut headers: Vec<&str> = vec!["Model", "Framework"];
+    headers.extend(scope_names.iter().map(String::as_str));
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut cells = vec![r.model.label().to_string(), r.framework.label().to_string()];
+            for name in &scope_names {
+                let t = r
+                    .scopes
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, t)| *t)
+                    .unwrap_or(0.0);
+                cells.push(format!("{:.2}ms", t * 1e3));
+            }
+            cells
+        })
+        .collect();
+    render_table(&headers, &body)
+}
+
+/// Renders Fig. 6 (multi-GPU epoch times).
+pub fn fig6_report(rows: &[MultiGpuRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.label().to_string(),
+                r.framework.label().to_string(),
+                r.batch_size.to_string(),
+                r.n_gpus.to_string(),
+                format!("{:.1}ms", r.epoch_time * 1e3),
+            ]
+        })
+        .collect();
+    render_table(&["Model", "Framework", "Batch", "GPUs", "Epoch"], &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_pads_columns() {
+        let s = render_table(
+            &["a", "bb"],
+            &[
+                vec!["xxx".into(), "y".into()],
+                vec!["z".into(), "wwww".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let widths: Vec<usize> = lines.iter().map(|l| l.len()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{s}");
+    }
+
+    #[test]
+    fn resource_metric_filters_columns() {
+        let row = ProfileRow {
+            dataset: "ENZYMES".into(),
+            model: gnn_models::ModelKind::Gcn,
+            framework: gnn_models::FrameworkKind::RustyG,
+            batch_size: 64,
+            phase_times: [0.0; 5],
+            peak_memory: 1_000_000,
+            utilization: 0.3,
+        };
+        let mem = resources_report_filtered(&[row.clone()], ResourceMetric::Memory);
+        assert!(mem.contains("PeakMem") && !mem.contains("GPUUtil"));
+        let util = resources_report_filtered(&[row.clone()], ResourceMetric::Utilization);
+        assert!(!util.contains("PeakMem") && util.contains("GPUUtil"));
+        let both = resources_report_filtered(&[row], ResourceMetric::Both);
+        assert!(both.contains("PeakMem") && both.contains("GPUUtil"));
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(fmt_secs(0.0049), "0.0049s");
+        assert_eq!(fmt_secs(5.82), "5.82s");
+        assert_eq!(fmt_secs(828.0), "828.00s");
+        assert_eq!(fmt_secs(2.0 * 3600.0), "2.00hr");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn uneven_rows_rejected() {
+        render_table(&["a"], &[vec!["x".into(), "y".into()]]);
+    }
+}

@@ -1,0 +1,45 @@
+//! # gnn-datasets
+//!
+//! Synthetic stand-ins for the five datasets of the GNN framework
+//! performance study, statistically matched to the paper's Table I:
+//!
+//! | Dataset | #Graph | #Nodes (avg) | #Edges (avg) | #Feature | #Classes |
+//! |---------|--------|--------------|--------------|----------|----------|
+//! | Cora    | 1      | 2708         | 5429         | 1433     | 7        |
+//! | PubMed  | 1      | 19717        | 44338        | 500      | 3        |
+//! | ENZYMES | 600    | 32.63        | 62.14        | 18       | 6        |
+//! | MNIST   | 70000  | 70.57        | 564.53       | 1        | 10       |
+//! | DD      | 1178   | 284.32       | 715.66       | 89       | 2        |
+//!
+//! The real datasets are not reproducible byte-for-byte in this environment
+//! (and do not need to be — the paper's performance results depend on
+//! dataset *scale and shape*), so each generator matches node/edge/feature/
+//! class counts and plants a class-correlated signal in the features so the
+//! six models genuinely learn. Every generator is deterministic given a
+//! seed, and every spec has a `scaled(f)` knob for laptop-scale runs.
+//!
+//! # Example
+//!
+//! ```
+//! use gnn_datasets::citation::CitationSpec;
+//!
+//! let cora = CitationSpec::cora().scaled(0.1).generate(42);
+//! assert_eq!(cora.num_classes, 7);
+//! assert_eq!(cora.features.cols(), 1433);
+//! ```
+
+mod randn;
+
+pub mod citation;
+pub mod sbm;
+pub mod splits;
+pub mod superpixel;
+pub mod tud;
+pub mod types;
+
+pub use citation::CitationSpec;
+pub use sbm::SbmSpec;
+pub use splits::{stratified_kfold, Fold};
+pub use superpixel::SuperpixelSpec;
+pub use tud::TudSpec;
+pub use types::{DatasetStats, GraphDataset, GraphSample, NodeDataset};

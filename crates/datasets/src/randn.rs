@@ -1,0 +1,62 @@
+//! Standard-normal sampling (Box–Muller).
+//!
+//! The allowed dependency list has `rand` but not `rand_distr`, so the few
+//! places that need Gaussian noise use this minimal polar Box–Muller
+//! transform.
+
+use rand::Rng;
+
+/// Draws one sample from N(0, 1).
+pub(crate) fn randn<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    loop {
+        let u: f32 = rng.gen_range(-1.0f32..1.0);
+        let v: f32 = rng.gen_range(-1.0f32..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Draws from a log-normal with the given log-space mean and deviation.
+pub(crate) fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f32, sigma: f32) -> f32 {
+    (mu + sigma * randn(rng)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| randn(&mut rng)).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / n as f32;
+        let var: f32 = samples
+            .iter()
+            .map(|&s| (s - mean) * (s - mean))
+            .sum::<f32>()
+            / n as f32;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_is_positive_with_expected_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mu = 28.0f32.ln();
+        let sigma = 0.5;
+        let samples: Vec<f32> = (0..n).map(|_| lognormal(&mut rng, mu, sigma)).collect();
+        assert!(samples.iter().all(|&s| s > 0.0));
+        let mean: f32 = samples.iter().sum::<f32>() / n as f32;
+        let expected = 28.0 * (0.5f32 * sigma * sigma).exp();
+        assert!(
+            (mean - expected).abs() / expected < 0.1,
+            "mean {mean} vs {expected}"
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Stratified splits.
+//!
+//! The paper uses fixed train/val/test node counts for Cora/PubMed (the
+//! Planetoid convention) and stratified 10-fold cross-validation with an
+//! 8:1:1 ratio for ENZYMES/DD.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One cross-validation fold: index lists into the sample array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Training sample indices.
+    pub train: Vec<u32>,
+    /// Validation sample indices.
+    pub val: Vec<u32>,
+    /// Test sample indices.
+    pub test: Vec<u32>,
+}
+
+/// Stratified k-fold split with an `(k-2):1:1` train/val/test ratio per fold
+/// (8:1:1 for `k = 10`, the paper's setting).
+///
+/// Samples of each class are shuffled (deterministically from `seed`) and
+/// dealt into `k` buckets; fold `i` uses bucket `i` as test, bucket
+/// `(i + 1) % k` as validation, and the rest as training. Class proportions
+/// are preserved to within one sample per bucket.
+///
+/// # Panics
+///
+/// Panics if `k < 3` or any class has fewer than `k` samples.
+pub fn stratified_kfold(labels: &[u32], k: usize, seed: u64) -> Vec<Fold> {
+    assert!(k >= 3, "need k >= 3 for train/val/test folds");
+    let num_classes = labels.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Deal each class into k buckets.
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); k];
+    for c in 0..num_classes as u32 {
+        let mut members: Vec<u32> = labels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == c)
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert!(
+            members.len() >= k,
+            "class {c} has {} samples, fewer than k = {k}",
+            members.len()
+        );
+        members.shuffle(&mut rng);
+        for (j, idx) in members.into_iter().enumerate() {
+            buckets[j % k].push(idx);
+        }
+    }
+
+    (0..k)
+        .map(|i| {
+            let val_bucket = (i + 1) % k;
+            let mut train = Vec::new();
+            for (j, b) in buckets.iter().enumerate() {
+                if j != i && j != val_bucket {
+                    train.extend_from_slice(b);
+                }
+            }
+            Fold {
+                train,
+                val: buckets[val_bucket].clone(),
+                test: buckets[i].clone(),
+            }
+        })
+        .collect()
+}
+
+/// Planetoid-style fixed-count split: the first `train_per_class` nodes of
+/// each class (in shuffled order) train; the next `num_val` and `num_test`
+/// nodes overall validate and test.
+///
+/// # Panics
+///
+/// Panics if the dataset is too small for the requested counts.
+pub fn planetoid_split(
+    labels: &[u32],
+    train_per_class: usize,
+    num_val: usize,
+    num_test: usize,
+    seed: u64,
+) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    let num_classes = labels.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<u32> = (0..labels.len() as u32).collect();
+    order.shuffle(&mut rng);
+
+    let mut taken = vec![false; labels.len()];
+    let mut train = Vec::with_capacity(train_per_class * num_classes);
+    let mut per_class = vec![0usize; num_classes];
+    for &i in &order {
+        let c = labels[i as usize] as usize;
+        if per_class[c] < train_per_class {
+            per_class[c] += 1;
+            taken[i as usize] = true;
+            train.push(i);
+        }
+    }
+    assert!(
+        per_class.iter().all(|&n| n == train_per_class),
+        "not enough samples per class for {train_per_class} training nodes"
+    );
+    let mut rest = order.into_iter().filter(|&i| !taken[i as usize]);
+    let val: Vec<u32> = rest.by_ref().take(num_val).collect();
+    let test: Vec<u32> = rest.take(num_test).collect();
+    assert_eq!(val.len(), num_val, "not enough nodes for validation split");
+    assert_eq!(test.len(), num_test, "not enough nodes for test split");
+    (train, val, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn labels() -> Vec<u32> {
+        // 3 classes x 20 samples
+        (0..60).map(|i| (i % 3) as u32).collect()
+    }
+
+    #[test]
+    fn folds_partition_and_are_disjoint() {
+        let l = labels();
+        let folds = stratified_kfold(&l, 10, 1);
+        assert_eq!(folds.len(), 10);
+        for f in &folds {
+            let all: Vec<u32> = f
+                .train
+                .iter()
+                .chain(&f.val)
+                .chain(&f.test)
+                .copied()
+                .collect();
+            let set: HashSet<u32> = all.iter().copied().collect();
+            assert_eq!(
+                set.len(),
+                l.len(),
+                "train/val/test must partition the dataset"
+            );
+            assert_eq!(f.train.len(), 48);
+            assert_eq!(f.val.len(), 6);
+            assert_eq!(f.test.len(), 6);
+        }
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        let l = labels();
+        for f in stratified_kfold(&l, 10, 2) {
+            for c in 0..3u32 {
+                let count = f.test.iter().filter(|&&i| l[i as usize] == c).count();
+                assert_eq!(count, 2, "each class contributes equally to each test fold");
+            }
+        }
+    }
+
+    #[test]
+    fn test_folds_cover_everything_exactly_once() {
+        let l = labels();
+        let folds = stratified_kfold(&l, 10, 3);
+        let mut seen: Vec<u32> = folds.iter().flat_map(|f| f.test.iter().copied()).collect();
+        seen.sort_unstable();
+        let expect: Vec<u32> = (0..60).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn kfold_deterministic_per_seed() {
+        let l = labels();
+        assert_eq!(stratified_kfold(&l, 5, 9), stratified_kfold(&l, 5, 9));
+        assert_ne!(stratified_kfold(&l, 5, 9), stratified_kfold(&l, 5, 10));
+    }
+
+    #[test]
+    fn planetoid_split_counts() {
+        let l: Vec<u32> = (0..2000).map(|i| (i % 7) as u32).collect();
+        let (train, val, test) = planetoid_split(&l, 20, 500, 1000, 0);
+        assert_eq!(train.len(), 140);
+        assert_eq!(val.len(), 500);
+        assert_eq!(test.len(), 1000);
+        let set: HashSet<u32> = train.iter().chain(&val).chain(&test).copied().collect();
+        assert_eq!(set.len(), 1640, "splits must be disjoint");
+        for c in 0..7u32 {
+            assert_eq!(train.iter().filter(|&&i| l[i as usize] == c).count(), 20);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer than k")]
+    fn tiny_class_rejected() {
+        let l = vec![0, 0, 0, 1];
+        stratified_kfold(&l, 3, 0);
+    }
+}

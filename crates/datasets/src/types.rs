@@ -1,0 +1,196 @@
+//! Dataset containers and Table-I-style statistics.
+
+use gnn_graph::Graph;
+use gnn_tensor::NdArray;
+
+/// A single-graph node-classification dataset (Cora / PubMed style).
+#[derive(Debug)]
+pub struct NodeDataset {
+    /// Dataset name, e.g. `"Cora"`.
+    pub name: String,
+    /// The (symmetric) citation graph.
+    pub graph: Graph,
+    /// Node features `[N, F]`.
+    pub features: NdArray,
+    /// Node class labels `[N]`.
+    pub labels: Vec<u32>,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Indices of training nodes.
+    pub train_idx: Vec<u32>,
+    /// Indices of validation nodes.
+    pub val_idx: Vec<u32>,
+    /// Indices of test nodes.
+    pub test_idx: Vec<u32>,
+}
+
+impl NodeDataset {
+    /// Labels of the given node indices.
+    pub fn labels_at(&self, idx: &[u32]) -> Vec<u32> {
+        idx.iter().map(|&i| self.labels[i as usize]).collect()
+    }
+
+    /// Table-I statistics of this dataset. Edge counts are undirected pairs
+    /// (the convention of the paper's citation/TU rows).
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats {
+            name: self.name.clone(),
+            num_graphs: 1,
+            avg_nodes: self.graph.num_nodes() as f64,
+            avg_edges: self.graph.num_edges() as f64 / 2.0,
+            feature_dim: self.features.cols(),
+            num_classes: self.num_classes,
+        }
+    }
+}
+
+/// One labelled graph of a graph-classification dataset.
+#[derive(Debug, Clone)]
+pub struct GraphSample {
+    /// Topology (message-passing directed; symmetric where the source data
+    /// is undirected).
+    pub graph: Graph,
+    /// Node features `[num_nodes, F]`.
+    pub features: NdArray,
+    /// Graph-level class label.
+    pub label: u32,
+}
+
+/// A multi-graph graph-classification dataset (ENZYMES / DD / MNIST style).
+#[derive(Debug)]
+pub struct GraphDataset {
+    /// Dataset name, e.g. `"ENZYMES"`.
+    pub name: String,
+    /// The labelled graphs.
+    pub samples: Vec<GraphSample>,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Node feature dimension.
+    pub feature_dim: usize,
+    /// Whether edge counts should be reported as directed edges (true for
+    /// MNIST's k-NN graphs, matching Table I) or undirected pairs (TU data).
+    pub directed_edge_stats: bool,
+}
+
+impl GraphDataset {
+    /// All graph labels, in sample order.
+    pub fn labels(&self) -> Vec<u32> {
+        self.samples.iter().map(|s| s.label).collect()
+    }
+
+    /// Table-I statistics of this dataset.
+    pub fn stats(&self) -> DatasetStats {
+        let n = self.samples.len().max(1) as f64;
+        let nodes: f64 = self
+            .samples
+            .iter()
+            .map(|s| s.graph.num_nodes() as f64)
+            .sum();
+        let mut edges: f64 = self
+            .samples
+            .iter()
+            .map(|s| s.graph.num_edges() as f64)
+            .sum();
+        if !self.directed_edge_stats {
+            edges /= 2.0;
+        }
+        DatasetStats {
+            name: self.name.clone(),
+            num_graphs: self.samples.len(),
+            avg_nodes: nodes / n,
+            avg_edges: edges / n,
+            feature_dim: self.feature_dim,
+            num_classes: self.num_classes,
+        }
+    }
+}
+
+/// The row shape of the paper's Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Number of graphs.
+    pub num_graphs: usize,
+    /// Average node count per graph.
+    pub avg_nodes: f64,
+    /// Average edge count per graph (see dataset docs for direction
+    /// convention).
+    pub avg_edges: f64,
+    /// Node feature dimension.
+    pub feature_dim: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<10} graphs={:<6} nodes(avg)={:<9.2} edges(avg)={:<9.2} feat={:<5} classes={}",
+            self.name,
+            self.num_graphs,
+            self.avg_nodes,
+            self.avg_edges,
+            self.feature_dim,
+            self.num_classes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(label: u32, nodes: usize) -> GraphSample {
+        let edges: Vec<(u32, u32)> = (0..nodes as u32 - 1)
+            .flat_map(|i| [(i, i + 1), (i + 1, i)])
+            .collect();
+        GraphSample {
+            graph: Graph::from_edges(nodes, &edges),
+            features: NdArray::zeros(nodes, 4),
+            label,
+        }
+    }
+
+    #[test]
+    fn graph_dataset_stats_average() {
+        let ds = GraphDataset {
+            name: "toy".into(),
+            samples: vec![sample(0, 3), sample(1, 5)],
+            num_classes: 2,
+            feature_dim: 4,
+            directed_edge_stats: false,
+        };
+        let s = ds.stats();
+        assert_eq!(s.num_graphs, 2);
+        assert_eq!(s.avg_nodes, 4.0);
+        assert_eq!(s.avg_edges, 3.0); // (2 + 4) undirected pairs / 2 graphs
+        assert_eq!(ds.labels(), vec![0, 1]);
+    }
+
+    #[test]
+    fn directed_stats_do_not_halve() {
+        let ds = GraphDataset {
+            name: "toy".into(),
+            samples: vec![sample(0, 3)],
+            num_classes: 1,
+            feature_dim: 4,
+            directed_edge_stats: true,
+        };
+        assert_eq!(ds.stats().avg_edges, 4.0);
+    }
+
+    #[test]
+    fn display_contains_name() {
+        let s = DatasetStats {
+            name: "Cora".into(),
+            num_graphs: 1,
+            avg_nodes: 2708.0,
+            avg_edges: 5429.0,
+            feature_dim: 1433,
+            num_classes: 7,
+        };
+        assert!(format!("{s}").contains("Cora"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests of dataset generation and splitting.
+
+use gnn_datasets::{stratified_kfold, CitationSpec, TudSpec};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Stratified k-fold always partitions the sample set, for any label
+    /// distribution with enough members per class.
+    #[test]
+    fn kfold_partitions_any_labelling(
+        per_class in proptest::collection::vec(5usize..20, 2..5),
+        k in 3usize..6,
+        seed in 0u64..1000,
+    ) {
+        let labels: Vec<u32> = per_class
+            .iter()
+            .enumerate()
+            .flat_map(|(c, &n)| std::iter::repeat_n(c as u32, n * k))
+            .collect();
+        let folds = stratified_kfold(&labels, k, seed);
+        prop_assert_eq!(folds.len(), k);
+        for f in &folds {
+            let mut seen = HashSet::new();
+            for &i in f.train.iter().chain(&f.val).chain(&f.test) {
+                prop_assert!(seen.insert(i), "index {} duplicated", i);
+            }
+            prop_assert_eq!(seen.len(), labels.len());
+        }
+        // Test folds tile the dataset exactly once.
+        let mut all_test: Vec<u32> =
+            folds.iter().flat_map(|f| f.test.iter().copied()).collect();
+        all_test.sort_unstable();
+        let expect: Vec<u32> = (0..labels.len() as u32).collect();
+        prop_assert_eq!(all_test, expect);
+    }
+
+    /// Citation generation is deterministic in the seed and scale-invariant
+    /// in feature/class dimensions; the split sizes always match the spec.
+    #[test]
+    fn citation_generator_wellformed(scale in 0.05f64..0.3, seed in 0u64..50) {
+        let spec = CitationSpec::cora().scaled(scale);
+        let ds = spec.generate(seed);
+        prop_assert_eq!(ds.features.cols(), 1433);
+        prop_assert_eq!(ds.num_classes, 7);
+        prop_assert_eq!(ds.labels.len(), ds.graph.num_nodes());
+        prop_assert_eq!(ds.features.rows(), ds.graph.num_nodes());
+        prop_assert_eq!(ds.train_idx.len(), 140);
+        // Splits are disjoint.
+        let mut seen = HashSet::new();
+        for &i in ds.train_idx.iter().chain(&ds.val_idx).chain(&ds.test_idx) {
+            prop_assert!(seen.insert(i));
+        }
+        // Labels are in range; every class appears in training.
+        prop_assert!(ds.labels.iter().all(|&l| l < 7));
+        for c in 0..7u32 {
+            prop_assert_eq!(
+                ds.train_idx.iter().filter(|&&i| ds.labels[i as usize] == c).count(),
+                20
+            );
+        }
+        // Graph edges never dangle.
+        let n = ds.graph.num_nodes();
+        let edges_valid =
+            ds.graph.edges().all(|(s, d)| (s as usize) < n && (d as usize) < n);
+        prop_assert!(edges_valid, "dangling edge endpoint");
+    }
+
+    /// TU generation respects its node-range clamp and labels every graph
+    /// within range.
+    #[test]
+    fn tud_generator_wellformed(scale in 0.05f64..0.25, seed in 0u64..50) {
+        let ds = TudSpec::enzymes().scaled(scale).generate(seed);
+        for s in &ds.samples {
+            prop_assert!((2..=126).contains(&s.graph.num_nodes()));
+            prop_assert!(s.label < 6);
+            prop_assert_eq!(s.features.rows(), s.graph.num_nodes());
+            prop_assert_eq!(s.features.cols(), 18);
+        }
+        // Determinism.
+        let again = TudSpec::enzymes().scaled(scale).generate(seed);
+        prop_assert_eq!(ds.samples.len(), again.samples.len());
+        prop_assert_eq!(&ds.samples[0].graph, &again.samples[0].graph);
+    }
+}

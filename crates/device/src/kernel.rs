@@ -1,0 +1,185 @@
+//! Device kernel launch descriptors.
+//!
+//! Every tensor operation executed under a [`crate::Session`] reports one or
+//! more `Kernel`s. The descriptor carries the information the roofline cost
+//! model needs: the kernel class (which selects an efficiency factor), the
+//! floating-point work, and the bytes moved through DRAM.
+
+/// The class of a device kernel.
+///
+/// The class determines which roofline efficiency factors the
+/// [`crate::CostModel`] applies: dense GEMMs run close to peak FLOP/s while
+/// gather/scatter/segment kernels — the backbone of message passing — are
+/// memory-latency bound and achieve only a fraction of peak DRAM bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Dense matrix multiply (cuBLAS-like).
+    Gemm,
+    /// Elementwise map over contiguous data (add, relu, sigmoid, ...).
+    Elementwise,
+    /// Full or axis reduction over contiguous data.
+    Reduction,
+    /// Row gather through an index array (`index_select`).
+    Gather,
+    /// Row scatter-add through an index array (atomics).
+    Scatter,
+    /// Segment reduction (sum/mean/max over variable-length segments).
+    Segment,
+    /// Segment-wise softmax (attention normalization).
+    Softmax,
+    /// Normalization kernels (batch-norm statistics / apply, L2 norm).
+    Norm,
+    /// Fused generalized SpMM (DGL's GSpMM: message + aggregate in one kernel).
+    SpMM,
+    /// Generalized SDDMM (DGL's GSDDMM: per-edge binary op on endpoints).
+    SDDMM,
+    /// Host-device or device-device copy.
+    Transfer,
+}
+
+impl KernelKind {
+    /// Short human-readable label used in profiler dumps.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelKind::Gemm => "gemm",
+            KernelKind::Elementwise => "elementwise",
+            KernelKind::Reduction => "reduction",
+            KernelKind::Gather => "gather",
+            KernelKind::Scatter => "scatter",
+            KernelKind::Segment => "segment",
+            KernelKind::Softmax => "softmax",
+            KernelKind::Norm => "norm",
+            KernelKind::SpMM => "spmm",
+            KernelKind::SDDMM => "sddmm",
+            KernelKind::Transfer => "transfer",
+        }
+    }
+}
+
+/// A single device kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Kernel {
+    /// Static name of the launching operation (e.g. `"matmul"`, `"gspmm_sum"`).
+    pub name: &'static str,
+    /// Kernel class; selects roofline efficiency factors.
+    pub kind: KernelKind,
+    /// Floating point operations performed.
+    pub flops: u64,
+    /// Bytes read + written through DRAM.
+    pub bytes: u64,
+}
+
+impl Kernel {
+    /// Creates a kernel descriptor with explicit work counts.
+    pub fn new(name: &'static str, kind: KernelKind, flops: u64, bytes: u64) -> Self {
+        Kernel {
+            name,
+            kind,
+            flops,
+            bytes,
+        }
+    }
+
+    /// A dense GEMM of shape `[m, k] x [k, n]` in f32.
+    pub fn gemm(name: &'static str, m: usize, k: usize, n: usize) -> Self {
+        let flops = 2 * m as u64 * k as u64 * n as u64;
+        let bytes = 4 * (m * k + k * n + m * n) as u64;
+        Kernel::new(name, KernelKind::Gemm, flops, bytes)
+    }
+
+    /// An elementwise kernel over `elems` f32 values with `ops_per_elem`
+    /// arithmetic operations and `streams` tensor operands (inputs + outputs).
+    pub fn elementwise(name: &'static str, elems: usize, ops_per_elem: u64, streams: u64) -> Self {
+        Kernel::new(
+            name,
+            KernelKind::Elementwise,
+            elems as u64 * ops_per_elem,
+            4 * elems as u64 * streams,
+        )
+    }
+
+    /// A row gather: `rows` rows of `cols` f32 values selected by index.
+    pub fn gather(name: &'static str, rows: usize, cols: usize) -> Self {
+        let elems = rows as u64 * cols as u64;
+        Kernel::new(name, KernelKind::Gather, 0, 8 * elems + 4 * rows as u64)
+    }
+
+    /// A row scatter-add: `rows` rows of `cols` f32 values accumulated by index.
+    pub fn scatter(name: &'static str, rows: usize, cols: usize) -> Self {
+        let elems = rows as u64 * cols as u64;
+        // read src + read-modify-write dst (atomics) + index array
+        Kernel::new(
+            name,
+            KernelKind::Scatter,
+            elems,
+            12 * elems + 4 * rows as u64,
+        )
+    }
+
+    /// A segment reduction over `rows` input rows of `cols` values into
+    /// `segments` output rows.
+    pub fn segment(name: &'static str, rows: usize, cols: usize, segments: usize) -> Self {
+        let in_elems = rows as u64 * cols as u64;
+        let out_elems = segments as u64 * cols as u64;
+        Kernel::new(
+            name,
+            KernelKind::Segment,
+            in_elems,
+            4 * (in_elems + out_elems) + 4 * rows as u64,
+        )
+    }
+
+    /// A host<->device or peer transfer of `bytes` bytes.
+    pub fn transfer(name: &'static str, bytes: u64) -> Self {
+        Kernel::new(name, KernelKind::Transfer, 0, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_work_counts() {
+        let k = Kernel::gemm("mm", 4, 8, 2);
+        assert_eq!(k.flops, 2 * 4 * 8 * 2);
+        assert_eq!(k.bytes, 4 * (4 * 8 + 8 * 2 + 4 * 2));
+        assert_eq!(k.kind, KernelKind::Gemm);
+    }
+
+    #[test]
+    fn elementwise_streams_scale_bytes() {
+        let unary = Kernel::elementwise("relu", 100, 1, 2);
+        let binary = Kernel::elementwise("add", 100, 1, 3);
+        assert!(binary.bytes > unary.bytes);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        use KernelKind::*;
+        let kinds = [
+            Gemm,
+            Elementwise,
+            Reduction,
+            Gather,
+            Scatter,
+            Segment,
+            Softmax,
+            Norm,
+            SpMM,
+            SDDMM,
+            Transfer,
+        ];
+        let mut labels: Vec<_> = kinds.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), kinds.len());
+    }
+
+    #[test]
+    fn scatter_costs_more_bytes_than_gather() {
+        let g = Kernel::gather("g", 100, 16);
+        let s = Kernel::scatter("s", 100, 16);
+        assert!(s.bytes > g.bytes, "scatter RMW traffic must exceed gather");
+    }
+}

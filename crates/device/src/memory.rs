@@ -1,0 +1,129 @@
+//! Device memory tracking.
+//!
+//! Models a PyTorch-style caching allocator well enough to reproduce the
+//! paper's Fig. 4 (peak memory vs batch size): parameters and optimizer state
+//! are *persistent* allocations that live for the whole run, while
+//! activations, gradients, and workspace buffers are *step* allocations that
+//! are released when the training step ends. The peak watermark over the run
+//! is what `nvidia-smi` reports in the paper.
+
+/// Tracks current and peak device memory in bytes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemoryTracker {
+    persistent: u64,
+    step: u64,
+    peak: u64,
+}
+
+impl MemoryTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        MemoryTracker::default()
+    }
+
+    /// Registers a persistent allocation (parameters, optimizer state,
+    /// dataset resident on device).
+    pub fn alloc_persistent(&mut self, bytes: u64) {
+        self.persistent += bytes;
+        self.bump();
+    }
+
+    /// Releases a persistent allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more persistent memory is freed than was allocated.
+    pub fn free_persistent(&mut self, bytes: u64) {
+        assert!(
+            self.persistent >= bytes,
+            "persistent underflow: {} < {bytes}",
+            self.persistent
+        );
+        self.persistent -= bytes;
+    }
+
+    /// Registers a step-scoped allocation (activation, gradient, workspace).
+    pub fn alloc(&mut self, bytes: u64) {
+        self.step += bytes;
+        self.bump();
+    }
+
+    /// Releases a step-scoped allocation early (rare; most are released by
+    /// [`MemoryTracker::end_step`]).
+    pub fn free(&mut self, bytes: u64) {
+        self.step = self.step.saturating_sub(bytes);
+    }
+
+    /// Ends a training step: all step-scoped memory returns to the caching
+    /// allocator's free pool.
+    pub fn end_step(&mut self) {
+        self.step = 0;
+    }
+
+    /// Current total allocation in bytes.
+    pub fn current(&self) -> u64 {
+        self.persistent + self.step
+    }
+
+    /// Current persistent allocation in bytes.
+    pub fn persistent(&self) -> u64 {
+        self.persistent
+    }
+
+    /// Peak watermark in bytes over the tracker's lifetime.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    fn bump(&mut self) {
+        let cur = self.current();
+        if cur > self.peak {
+            self.peak = cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_watermark() {
+        let mut m = MemoryTracker::new();
+        m.alloc_persistent(100);
+        m.alloc(50);
+        assert_eq!(m.peak(), 150);
+        m.end_step();
+        assert_eq!(m.current(), 100);
+        assert_eq!(m.peak(), 150);
+        m.alloc(20);
+        assert_eq!(m.peak(), 150, "peak must not move for smaller steps");
+        m.alloc(200);
+        assert_eq!(m.peak(), 320);
+    }
+
+    #[test]
+    fn end_step_releases_only_step_memory() {
+        let mut m = MemoryTracker::new();
+        m.alloc_persistent(10);
+        m.alloc(90);
+        m.end_step();
+        assert_eq!(m.current(), 10);
+        assert_eq!(m.persistent(), 10);
+    }
+
+    #[test]
+    fn free_is_saturating_for_step_memory() {
+        let mut m = MemoryTracker::new();
+        m.alloc(10);
+        m.free(100);
+        assert_eq!(m.current(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "persistent underflow")]
+    fn persistent_underflow_panics() {
+        let mut m = MemoryTracker::new();
+        m.free_persistent(1);
+    }
+}

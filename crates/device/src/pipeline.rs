@@ -1,0 +1,80 @@
+//! Prefetch-pipeline modelling.
+//!
+//! The paper observes (Section IV-D) that GNN throughput "is limited by
+//! other resources, such as CPU or data communication, and further
+//! improvement can be achieved by overlapping CPU runtime or data
+//! communication with GPU execution". This module models exactly that
+//! optimization: a double-buffered loader that collates batch `i + 1` on the
+//! host while the device computes batch `i` — the `num_workers`/prefetch
+//! pattern of real data pipelines.
+
+/// Epoch time of a two-stage load→compute pipeline over `n_batches`
+/// identical batches, in seconds.
+///
+/// Serial execution costs `n · (load + compute)`. With a single prefetch
+/// buffer the steady-state step costs `max(load, compute)`; the first load
+/// and the last compute are exposed:
+///
+/// `T = load + (n - 1) · max(load, compute) + compute`
+///
+/// # Panics
+///
+/// Panics if `n_batches == 0` or either cost is negative.
+pub fn pipelined_epoch_time(load: f64, compute: f64, n_batches: usize) -> f64 {
+    assert!(n_batches > 0, "need at least one batch");
+    assert!(load >= 0.0 && compute >= 0.0, "costs must be non-negative");
+    load + (n_batches - 1) as f64 * load.max(compute) + compute
+}
+
+/// Serial (non-overlapped) epoch time for the same workload.
+pub fn serial_epoch_time(load: f64, compute: f64, n_batches: usize) -> f64 {
+    assert!(n_batches > 0, "need at least one batch");
+    n_batches as f64 * (load + compute)
+}
+
+/// Speedup of pipelining over serial execution for the given per-batch
+/// costs (asymptotically `(load + compute) / max(load, compute)`, at most
+/// 2×).
+pub fn pipeline_speedup(load: f64, compute: f64, n_batches: usize) -> f64 {
+    serial_epoch_time(load, compute, n_batches) / pipelined_epoch_time(load, compute, n_batches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_stages_approach_2x() {
+        let s = pipeline_speedup(1.0, 1.0, 1000);
+        assert!(s > 1.95, "balanced pipeline should approach 2x: {s}");
+    }
+
+    #[test]
+    fn single_batch_gains_nothing() {
+        assert_eq!(pipelined_epoch_time(3.0, 2.0, 1), 5.0);
+        assert_eq!(pipeline_speedup(3.0, 2.0, 1), 1.0);
+    }
+
+    #[test]
+    fn bottleneck_stage_bounds_the_pipeline() {
+        // Load-dominated: epoch ≈ n * load; compute hides entirely.
+        let t = pipelined_epoch_time(10.0, 1.0, 100);
+        assert!((t - (10.0 + 99.0 * 10.0 + 1.0)).abs() < 1e-9);
+        // Speedup is limited to (load + compute) / load = 1.1.
+        let s = pipeline_speedup(10.0, 1.0, 100);
+        assert!((s - 1.1).abs() < 0.01, "{s}");
+    }
+
+    #[test]
+    fn pipeline_never_slower_than_serial() {
+        for &(l, c, n) in &[(0.0, 1.0, 5), (1.0, 0.0, 5), (0.3, 0.7, 13), (2.0, 2.0, 2)] {
+            assert!(pipelined_epoch_time(l, c, n) <= serial_epoch_time(l, c, n) + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one batch")]
+    fn zero_batches_rejected() {
+        pipelined_epoch_time(1.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,487 @@
+//! Profiling sessions: the glue between the tensor engine and the device model.
+//!
+//! A [`Session`] owns a [`Timeline`], a [`MemoryTracker`], and a
+//! [`CostModel`], attributes elapsed simulated time to training *phases*
+//! (the categories of the paper's Figs. 1–2) and to named *scopes* (the
+//! per-layer bars of Fig. 3). Tensor ops report kernels through the
+//! thread-local free functions ([`record`], [`host`], [`alloc`], ...), which
+//! are no-ops when no session is installed so instrumented code runs
+//! unconditionally.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::cost::CostModel;
+use crate::kernel::{Kernel, KernelKind};
+use crate::memory::MemoryTracker;
+use crate::timeline::Timeline;
+
+/// Training-loop phase, matching the execution-time breakdown of the paper's
+/// Figs. 1–2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Mini-batch fetch + collation into a disjoint-union graph.
+    DataLoad,
+    /// Forward propagation.
+    Forward,
+    /// Backward propagation.
+    Backward,
+    /// Optimizer parameter update.
+    Update,
+    /// Everything else (metrics, bookkeeping, evaluation).
+    Other,
+}
+
+/// All phases in display order.
+pub const PHASES: [Phase; 5] = [
+    Phase::DataLoad,
+    Phase::Forward,
+    Phase::Backward,
+    Phase::Update,
+    Phase::Other,
+];
+
+impl Phase {
+    fn index(self) -> usize {
+        match self {
+            Phase::DataLoad => 0,
+            Phase::Forward => 1,
+            Phase::Backward => 2,
+            Phase::Update => 3,
+            Phase::Other => 4,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::DataLoad => "data_load",
+            Phase::Forward => "forward",
+            Phase::Backward => "backward",
+            Phase::Update => "update",
+            Phase::Other => "other",
+        }
+    }
+}
+
+/// A live profiling session.
+#[derive(Debug)]
+pub struct Session {
+    cost: CostModel,
+    timeline: Timeline,
+    memory: MemoryTracker,
+    phase: Phase,
+    phase_start: f64,
+    phase_times: [f64; 5],
+    scope_stack: Vec<(String, f64)>,
+    scope_times: Vec<(String, f64)>,
+    kind_counts: Vec<(KernelKind, u64)>,
+}
+
+impl Session {
+    /// Creates a session with the given cost model, starting in
+    /// [`Phase::Other`].
+    pub fn new(cost: CostModel) -> Self {
+        Session {
+            cost,
+            timeline: Timeline::new(),
+            memory: MemoryTracker::new(),
+            phase: Phase::Other,
+            phase_start: 0.0,
+            phase_times: [0.0; 5],
+            scope_stack: Vec::new(),
+            scope_times: Vec::new(),
+            kind_counts: Vec::new(),
+        }
+    }
+
+    /// Records a kernel launch: host pays launch overhead, device queues the
+    /// kernel's roofline duration.
+    pub fn record(&mut self, kernel: Kernel) {
+        let dur = self.cost.kernel_time(&kernel);
+        self.timeline.launch(self.cost.launch_time(), dur);
+        match self.kind_counts.iter_mut().find(|(k, _)| *k == kernel.kind) {
+            Some((_, n)) => *n += 1,
+            None => self.kind_counts.push((kernel.kind, 1)),
+        }
+    }
+
+    /// Advances the host clock by `seconds` of pure host work.
+    pub fn host(&mut self, seconds: f64) {
+        self.timeline.host(seconds);
+    }
+
+    /// Switches the current phase, synchronizing and attributing the elapsed
+    /// span to the previous phase.
+    pub fn set_phase(&mut self, phase: Phase) {
+        self.timeline.sync();
+        let now = self.timeline.now();
+        self.phase_times[self.phase.index()] += now - self.phase_start;
+        self.phase = phase;
+        self.phase_start = now;
+    }
+
+    /// Current simulated host time.
+    pub fn now(&mut self) -> f64 {
+        self.timeline.sync();
+        self.timeline.now()
+    }
+
+    /// Enters a named scope (e.g. `"conv1"`). Scopes nest; a span is
+    /// attributed to every scope on the stack when it closes.
+    pub fn scope_enter(&mut self, name: &str) {
+        self.timeline.sync();
+        self.scope_stack
+            .push((name.to_owned(), self.timeline.now()));
+    }
+
+    /// Exits the innermost scope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scope is open.
+    pub fn scope_exit(&mut self) {
+        self.timeline.sync();
+        let (name, start) = self
+            .scope_stack
+            .pop()
+            .expect("scope_exit without scope_enter");
+        let dur = self.timeline.now() - start;
+        match self.scope_times.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, t)) => *t += dur,
+            None => self.scope_times.push((name, dur)),
+        }
+    }
+
+    /// Registers a step-scoped device allocation.
+    pub fn alloc(&mut self, bytes: u64) {
+        self.memory.alloc(bytes);
+    }
+
+    /// Releases a step-scoped device allocation early.
+    pub fn free(&mut self, bytes: u64) {
+        self.memory.free(bytes);
+    }
+
+    /// Registers a persistent device allocation (parameters, optimizer state).
+    pub fn alloc_persistent(&mut self, bytes: u64) {
+        self.memory.alloc_persistent(bytes);
+    }
+
+    /// Ends a training step: releases all step-scoped memory.
+    pub fn end_step(&mut self) {
+        self.memory.end_step();
+    }
+
+    /// Read-only view of the memory tracker.
+    pub fn memory(&self) -> &MemoryTracker {
+        &self.memory
+    }
+
+    /// The session's cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Finalizes the session into a report.
+    pub fn into_report(mut self) -> DeviceReport {
+        self.set_phase(Phase::Other); // flush the open phase span
+        DeviceReport {
+            total_time: self.timeline.now(),
+            busy_time: self.timeline.busy(),
+            kernel_count: self.timeline.kernel_count(),
+            phase_times: self.phase_times,
+            peak_memory: self.memory.peak(),
+            persistent_memory: self.memory.persistent(),
+            scopes: self.scope_times,
+            kind_counts: self.kind_counts,
+        }
+    }
+}
+
+/// Summary of a finished [`Session`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceReport {
+    /// Total simulated wall time in seconds.
+    pub total_time: f64,
+    /// Accumulated device busy time in seconds.
+    pub busy_time: f64,
+    /// Number of kernels launched.
+    pub kernel_count: u64,
+    /// Time per phase, indexed like [`PHASES`].
+    pub phase_times: [f64; 5],
+    /// Peak device memory in bytes.
+    pub peak_memory: u64,
+    /// Persistent (parameter/optimizer) memory in bytes.
+    pub persistent_memory: u64,
+    /// Accumulated time per named scope, in first-seen order.
+    pub scopes: Vec<(String, f64)>,
+    /// Kernel launch counts per kind, in first-seen order.
+    pub kind_counts: Vec<(KernelKind, u64)>,
+}
+
+impl DeviceReport {
+    /// GPU compute utilization per the paper's Eq. (5): busy / elapsed.
+    pub fn utilization(&self) -> f64 {
+        if self.total_time <= 0.0 {
+            0.0
+        } else {
+            (self.busy_time / self.total_time).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Time attributed to `phase` in seconds.
+    pub fn phase_time(&self, phase: Phase) -> f64 {
+        self.phase_times[phase.index()]
+    }
+
+    /// Time attributed to the named scope, if it was ever entered.
+    pub fn scope_time(&self, name: &str) -> Option<f64> {
+        self.scopes.iter().find(|(n, _)| n == name).map(|(_, t)| *t)
+    }
+}
+
+impl std::fmt::Display for DeviceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "total {:.3} ms | busy {:.3} ms | util {:.1}% | {} kernels | peak mem {:.1} MB",
+            self.total_time * 1e3,
+            self.busy_time * 1e3,
+            self.utilization() * 100.0,
+            self.kernel_count,
+            self.peak_memory as f64 / 1e6
+        )?;
+        for (phase, t) in PHASES.iter().zip(&self.phase_times) {
+            writeln!(f, "  {:<10} {:.3} ms", phase.label(), t * 1e3)?;
+        }
+        for (name, t) in &self.scopes {
+            writeln!(f, "  scope {:<12} {:.3} ms", name, t * 1e3)?;
+        }
+        Ok(())
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Rc<RefCell<Session>>>> = const { RefCell::new(None) };
+}
+
+/// Handle to an installed session; pass back to [`finish`] to retrieve the
+/// report.
+#[derive(Debug, Clone)]
+pub struct SessionHandle(Rc<RefCell<Session>>);
+
+/// Installs `session` as the thread-local profiling session, replacing any
+/// previous one.
+pub fn install(session: Session) -> SessionHandle {
+    let rc = Rc::new(RefCell::new(session));
+    CURRENT.with(|c| *c.borrow_mut() = Some(rc.clone()));
+    SessionHandle(rc)
+}
+
+/// Uninstalls the session and returns its report.
+///
+/// # Panics
+///
+/// Panics if other clones of the handle's session are still alive.
+pub fn finish(handle: SessionHandle) -> DeviceReport {
+    CURRENT.with(|c| {
+        let mut cur = c.borrow_mut();
+        if let Some(rc) = cur.as_ref() {
+            if Rc::ptr_eq(rc, &handle.0) {
+                *cur = None;
+            }
+        }
+    });
+    let session = Rc::try_unwrap(handle.0)
+        .expect("session handle still shared at finish")
+        .into_inner();
+    session.into_report()
+}
+
+/// Runs `f` with the current session, if any.
+pub fn with<F: FnOnce(&mut Session)>(f: F) {
+    CURRENT.with(|c| {
+        if let Some(rc) = c.borrow().as_ref() {
+            f(&mut rc.borrow_mut());
+        }
+    });
+}
+
+/// Records a kernel on the current session (no-op without one).
+pub fn record(kernel: Kernel) {
+    with(|s| s.record(kernel));
+}
+
+/// Advances the current session's host clock (no-op without one).
+pub fn host(seconds: f64) {
+    with(|s| s.host(seconds));
+}
+
+/// Switches the current session's phase (no-op without one).
+pub fn set_phase(phase: Phase) {
+    with(|s| s.set_phase(phase));
+}
+
+/// Registers a step-scoped allocation (no-op without a session).
+pub fn alloc(bytes: u64) {
+    with(|s| s.alloc(bytes));
+}
+
+/// Releases a step-scoped allocation (no-op without a session).
+pub fn free(bytes: u64) {
+    with(|s| s.free(bytes));
+}
+
+/// Runs `f` inside a named scope on the current session.
+pub fn scope<T, F: FnOnce() -> T>(name: &str, f: F) -> T {
+    with(|s| s.scope_enter(name));
+    let out = f();
+    with(|s| s.scope_exit());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_model() -> CostModel {
+        CostModel::builder()
+            .launch_overhead(1e-6)
+            .kernel_overhead(1e-6)
+            .build()
+    }
+
+    #[test]
+    fn phases_accumulate_disjointly() {
+        let mut s = Session::new(fast_model());
+        s.set_phase(Phase::DataLoad);
+        s.host(1.0);
+        s.set_phase(Phase::Forward);
+        s.record(Kernel::gemm("mm", 64, 64, 64));
+        let report = s.into_report();
+        assert!(report.phase_time(Phase::DataLoad) >= 1.0);
+        assert!(report.phase_time(Phase::Forward) > 0.0);
+        let sum: f64 = report.phase_times.iter().sum();
+        assert!(
+            (sum - report.total_time).abs() < 1e-9,
+            "phases must partition total time"
+        );
+    }
+
+    #[test]
+    fn scopes_capture_layer_times() {
+        let mut s = Session::new(fast_model());
+        s.scope_enter("conv1");
+        s.record(Kernel::gemm("mm", 128, 128, 128));
+        s.scope_exit();
+        s.scope_enter("conv2");
+        s.record(Kernel::gemm("mm", 64, 64, 64));
+        s.scope_exit();
+        let report = s.into_report();
+        let c1 = report.scope_time("conv1").unwrap();
+        let c2 = report.scope_time("conv2").unwrap();
+        assert!(c1 > c2, "bigger layer must take longer: {c1} vs {c2}");
+        assert!(report.scope_time("conv3").is_none());
+    }
+
+    #[test]
+    fn nested_scopes_attribute_to_all_levels() {
+        let mut s = Session::new(fast_model());
+        s.scope_enter("layer");
+        s.scope_enter("inner");
+        s.record(Kernel::elementwise("relu", 10_000, 1, 2));
+        s.scope_exit();
+        s.scope_exit();
+        let report = s.into_report();
+        let outer = report.scope_time("layer").unwrap();
+        let inner = report.scope_time("inner").unwrap();
+        assert!(outer >= inner);
+    }
+
+    #[test]
+    fn thread_local_install_and_finish() {
+        let h = install(Session::new(fast_model()));
+        record(Kernel::gemm("mm", 8, 8, 8));
+        host(0.5);
+        alloc(1000);
+        let report = finish(h);
+        assert_eq!(report.kernel_count, 1);
+        assert!(report.total_time >= 0.5);
+        assert_eq!(report.peak_memory, 1000);
+    }
+
+    #[test]
+    fn free_functions_are_noops_without_session() {
+        // Must not panic or accumulate anywhere.
+        record(Kernel::gemm("mm", 8, 8, 8));
+        host(1.0);
+        alloc(10);
+        free(10);
+        set_phase(Phase::Forward);
+        let v = scope("s", || 42);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let mut s = Session::new(fast_model());
+        s.host(10.0); // long idle host span
+        s.record(Kernel::gemm("mm", 8, 8, 8));
+        let report = s.into_report();
+        let u = report.utilization();
+        assert!((0.0..=1.0).contains(&u));
+        assert!(u < 0.01);
+    }
+
+    #[test]
+    fn end_step_resets_activation_memory() {
+        let h = install(Session::new(fast_model()));
+        with(|s| s.alloc_persistent(100));
+        alloc(900);
+        with(|s| s.end_step());
+        alloc(50);
+        let report = finish(h);
+        assert_eq!(report.peak_memory, 1000);
+        assert_eq!(report.persistent_memory, 100);
+    }
+
+    #[test]
+    fn report_display_is_informative() {
+        let mut s = Session::new(fast_model());
+        s.scope_enter("conv1");
+        s.record(Kernel::gemm("mm", 64, 64, 64));
+        s.scope_exit();
+        let text = format!("{}", s.into_report());
+        assert!(text.contains("util"));
+        assert!(text.contains("conv1"));
+        assert!(text.contains("forward") || text.contains("other"));
+    }
+
+    #[test]
+    fn kind_counts_tally_launches() {
+        let mut s = Session::new(fast_model());
+        s.record(Kernel::gemm("a", 8, 8, 8));
+        s.record(Kernel::gemm("b", 8, 8, 8));
+        s.record(Kernel::gather("g", 10, 4));
+        let report = s.into_report();
+        assert_eq!(
+            report
+                .kind_counts
+                .iter()
+                .find(|(k, _)| *k == KernelKind::Gemm)
+                .unwrap()
+                .1,
+            2
+        );
+        assert_eq!(
+            report
+                .kind_counts
+                .iter()
+                .find(|(k, _)| *k == KernelKind::Gather)
+                .unwrap()
+                .1,
+            1
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Single-stream execution timeline.
+//!
+//! Models the interaction of a host thread issuing kernels to one CUDA-like
+//! stream. The host clock (`now`) advances with launch overheads and pure
+//! host work (e.g. mini-batch collation); the device executes kernels in
+//! issue order, each starting no earlier than both its issue time and the
+//! completion of the previous kernel. `sync` joins the host to the device,
+//! which is what happens at phase boundaries (loss readback, optimizer step
+//! boundaries) in the real frameworks.
+
+/// A host + single device stream clock pair.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    /// Host wall-clock, in seconds since timeline start.
+    now: f64,
+    /// Time at which the device stream becomes free.
+    device_free: f64,
+    /// Accumulated device busy time.
+    busy: f64,
+    /// Number of kernels launched.
+    kernels: u64,
+}
+
+impl Timeline {
+    /// Creates a timeline at t = 0 with an idle device.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Current host time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Time at which the device finishes all queued work.
+    pub fn device_free(&self) -> f64 {
+        self.device_free
+    }
+
+    /// Total accumulated device busy time.
+    pub fn busy(&self) -> f64 {
+        self.busy
+    }
+
+    /// Number of kernels launched so far.
+    pub fn kernel_count(&self) -> u64 {
+        self.kernels
+    }
+
+    /// Advances the host clock by `seconds` of pure host work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is negative or not finite.
+    pub fn host(&mut self, seconds: f64) {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "invalid host time {seconds}"
+        );
+        self.now += seconds;
+    }
+
+    /// Issues a kernel: costs the host `launch` seconds, then schedules
+    /// `duration` seconds of device work behind any queued kernels.
+    pub fn launch(&mut self, launch: f64, duration: f64) {
+        assert!(
+            duration.is_finite() && duration >= 0.0,
+            "invalid kernel time {duration}"
+        );
+        self.host(launch);
+        let start = self.device_free.max(self.now);
+        self.device_free = start + duration;
+        self.busy += duration;
+        self.kernels += 1;
+    }
+
+    /// Joins host to device (cudaStreamSynchronize).
+    pub fn sync(&mut self) {
+        self.now = self.now.max(self.device_free);
+    }
+
+    /// Utilization over `[start, end]`: fraction of wall time the device was
+    /// busy. Returns 0 for an empty window.
+    pub fn utilization_over(&self, start: f64, end: f64, busy_at_start: f64) -> f64 {
+        let wall = end - start;
+        if wall <= 0.0 {
+            return 0.0;
+        }
+        ((self.busy - busy_at_start) / wall).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_work_advances_clock() {
+        let mut t = Timeline::new();
+        t.host(1.5);
+        assert_eq!(t.now(), 1.5);
+        assert_eq!(t.busy(), 0.0);
+    }
+
+    #[test]
+    fn kernels_queue_back_to_back() {
+        let mut t = Timeline::new();
+        // Two instant launches: kernels serialize on the device.
+        t.launch(0.0, 1.0);
+        t.launch(0.0, 1.0);
+        assert_eq!(t.device_free(), 2.0);
+        assert_eq!(t.now(), 0.0);
+        t.sync();
+        assert_eq!(t.now(), 2.0);
+        assert_eq!(t.busy(), 2.0);
+        assert_eq!(t.kernel_count(), 2);
+    }
+
+    #[test]
+    fn launch_bound_regime_leaves_device_idle() {
+        let mut t = Timeline::new();
+        // Launch cost far exceeds kernel time: host is the bottleneck.
+        for _ in 0..10 {
+            t.launch(10e-6, 1e-6);
+        }
+        t.sync();
+        let util = t.utilization_over(0.0, t.now(), 0.0);
+        assert!(util < 0.25, "expected low utilization, got {util}");
+    }
+
+    #[test]
+    fn device_bound_regime_high_utilization() {
+        let mut t = Timeline::new();
+        for _ in 0..10 {
+            t.launch(1e-6, 100e-6);
+        }
+        t.sync();
+        let util = t.utilization_over(0.0, t.now(), 0.0);
+        assert!(util > 0.95, "expected high utilization, got {util}");
+    }
+
+    #[test]
+    fn kernel_waits_for_late_host_issue() {
+        let mut t = Timeline::new();
+        t.launch(0.0, 1.0); // device busy until 1.0
+        t.host(5.0); // host does other work until 5.0
+        t.launch(0.0, 1.0); // issued at 5.0, device idle since 1.0
+        assert_eq!(t.device_free(), 6.0);
+        assert_eq!(t.busy(), 2.0);
+    }
+
+    #[test]
+    fn utilization_empty_window_is_zero() {
+        let t = Timeline::new();
+        assert_eq!(t.utilization_over(1.0, 1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid host time")]
+    fn negative_host_time_panics() {
+        Timeline::new().host(-1.0);
+    }
+}

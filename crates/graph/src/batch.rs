@@ -1,0 +1,105 @@
+//! Disjoint-union mini-batching.
+//!
+//! Both frameworks in the study batch a set of small graphs by relabelling
+//! them into one big disconnected graph ("the data processing operation
+//! models a batch of graphs as one big and disconnected graph", Section
+//! IV-C). This module provides the *topology* part of that operation; each
+//! framework's loader wraps it with its own bookkeeping and host-cost
+//! accounting.
+
+use crate::graph::Graph;
+
+/// A batch of graphs merged into one disconnected graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisjointUnion {
+    /// The merged graph.
+    pub graph: Graph,
+    /// For every node of the merged graph, the index of its originating
+    /// graph within the batch.
+    pub graph_ids: Vec<u32>,
+    /// Node-offset of each input graph in the merged node numbering
+    /// (length `graphs.len() + 1`).
+    pub node_offsets: Vec<u32>,
+}
+
+impl DisjointUnion {
+    /// Number of graphs in the batch.
+    pub fn num_graphs(&self) -> usize {
+        self.node_offsets.len() - 1
+    }
+}
+
+/// Merges `graphs` into one disconnected graph with relabelled node ids.
+///
+/// # Panics
+///
+/// Panics if `graphs` is empty.
+pub fn disjoint_union(graphs: &[&Graph]) -> DisjointUnion {
+    assert!(!graphs.is_empty(), "cannot batch zero graphs");
+    let total_nodes: usize = graphs.iter().map(|g| g.num_nodes()).sum();
+    let total_edges: usize = graphs.iter().map(|g| g.num_edges()).sum();
+    let mut src = Vec::with_capacity(total_edges);
+    let mut dst = Vec::with_capacity(total_edges);
+    let mut graph_ids = Vec::with_capacity(total_nodes);
+    let mut node_offsets = Vec::with_capacity(graphs.len() + 1);
+    node_offsets.push(0u32);
+    let mut offset = 0u32;
+    for (gi, g) in graphs.iter().enumerate() {
+        for (s, d) in g.edges() {
+            src.push(s + offset);
+            dst.push(d + offset);
+        }
+        graph_ids.extend(std::iter::repeat_n(gi as u32, g.num_nodes()));
+        offset += g.num_nodes() as u32;
+        node_offsets.push(offset);
+    }
+    DisjointUnion {
+        graph: Graph::new(total_nodes, src, dst),
+        graph_ids,
+        node_offsets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_relabels_nodes() {
+        let a = Graph::from_edges(2, &[(0, 1)]);
+        let b = Graph::from_edges(3, &[(0, 2), (1, 2)]);
+        let u = disjoint_union(&[&a, &b]);
+        assert_eq!(u.graph.num_nodes(), 5);
+        assert_eq!(u.graph.num_edges(), 3);
+        let pairs: Vec<(u32, u32)> = u.graph.edges().collect();
+        assert_eq!(pairs, vec![(0, 1), (2, 4), (3, 4)]);
+        assert_eq!(u.graph_ids, vec![0, 0, 1, 1, 1]);
+        assert_eq!(u.node_offsets, vec![0, 2, 5]);
+        assert_eq!(u.num_graphs(), 2);
+    }
+
+    #[test]
+    fn union_keeps_components_disconnected() {
+        let a = Graph::from_edges(2, &[(0, 1), (1, 0)]);
+        let b = Graph::from_edges(2, &[(0, 1), (1, 0)]);
+        let u = disjoint_union(&[&a, &b]);
+        // No edge crosses the component boundary at node 2.
+        for (s, d) in u.graph.edges() {
+            assert_eq!(s < 2, d < 2, "edge ({s}, {d}) crosses graphs");
+        }
+    }
+
+    #[test]
+    fn single_graph_union_is_identity_topology() {
+        let a = Graph::from_edges(3, &[(0, 1), (2, 1)]);
+        let u = disjoint_union(&[&a]);
+        assert_eq!(u.graph, a);
+        assert_eq!(u.graph_ids, vec![0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot batch zero graphs")]
+    fn empty_batch_panics() {
+        disjoint_union(&[]);
+    }
+}

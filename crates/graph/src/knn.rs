@@ -1,0 +1,95 @@
+//! k-nearest-neighbour graph construction.
+//!
+//! The paper's MNIST dataset converts images to graphs over SLIC superpixels;
+//! following the benchmarking-gnns reference (Dwivedi et al.), each
+//! superpixel connects to its k nearest neighbours in (x, y, intensity)
+//! space. Brute force is exact and fast at superpixel counts (~70 nodes).
+
+use crate::graph::Graph;
+
+/// Builds a k-NN graph over points in `dim`-dimensional space.
+///
+/// `points` is row-major: point `i` is `points[i*dim..(i+1)*dim]`. Each node
+/// `i` receives a directed in-edge from each of its `k` nearest neighbours
+/// (excluding itself); ties are broken by index. If fewer than `k` other
+/// points exist, all of them are used.
+///
+/// # Panics
+///
+/// Panics if `dim == 0` or `points.len()` is not a multiple of `dim`.
+pub fn knn_graph(points: &[f32], dim: usize, k: usize) -> Graph {
+    assert!(dim > 0, "dim must be positive");
+    assert_eq!(points.len() % dim, 0, "points length not a multiple of dim");
+    let n = points.len() / dim;
+    let mut src = Vec::with_capacity(n * k);
+    let mut dst = Vec::with_capacity(n * k);
+    let mut dists: Vec<(f32, u32)> = Vec::with_capacity(n.saturating_sub(1));
+    for i in 0..n {
+        dists.clear();
+        let pi = &points[i * dim..(i + 1) * dim];
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            let pj = &points[j * dim..(j + 1) * dim];
+            let d2: f32 = pi.iter().zip(pj).map(|(&a, &b)| (a - b) * (a - b)).sum();
+            dists.push((d2, j as u32));
+        }
+        let kk = k.min(dists.len());
+        if kk > 0 && kk < dists.len() {
+            dists.select_nth_unstable_by(kk - 1, |a, b| a.partial_cmp(b).expect("NaN distance"));
+        }
+        let mut chosen: Vec<(f32, u32)> = dists[..kk].to_vec();
+        chosen.sort_by(|a, b| a.partial_cmp(b).expect("NaN distance"));
+        for &(_, j) in &chosen {
+            src.push(j);
+            dst.push(i as u32);
+        }
+    }
+    Graph::new(n, src, dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_corners_k1_connects_nearest() {
+        // Unit square, slightly stretched so each corner's nearest is unique.
+        let pts = [0.0, 0.0, 1.0, 0.1, 0.0, 1.1, 1.0, 1.3];
+        let g = knn_graph(&pts, 2, 1);
+        assert_eq!(g.num_edges(), 4);
+        // Node 0's nearest is node 1 (dist^2 = 1.01 < 1.21).
+        let in0: Vec<u32> = g.edges().filter(|&(_, d)| d == 0).map(|(s, _)| s).collect();
+        assert_eq!(in0, vec![1]);
+    }
+
+    #[test]
+    fn in_degree_is_k_when_enough_points() {
+        let pts: Vec<f32> = (0..20)
+            .flat_map(|i| [i as f32, (i * i % 7) as f32])
+            .collect();
+        let g = knn_graph(&pts, 2, 8);
+        assert!(g.in_degrees().iter().all(|&d| d == 8));
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let pts: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let g = knn_graph(&pts, 1, 3);
+        assert!(g.edges().all(|(s, d)| s != d));
+    }
+
+    #[test]
+    fn k_larger_than_n_uses_all_others() {
+        let pts = [0.0, 1.0, 2.0];
+        let g = knn_graph(&pts, 1, 10);
+        assert_eq!(g.num_edges(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple of dim")]
+    fn bad_length_panics() {
+        knn_graph(&[1.0, 2.0, 3.0], 2, 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! # gnn-graph
+//!
+//! Graph topology structures for the GNN framework performance study:
+//! a validated COO edge-list [`Graph`], CSC conversion ([`Csc`], the storage
+//! DGL-style frameworks aggregate over), disjoint-union mini-batching
+//! ([`batch::DisjointUnion`], the collation step whose cost dominates the
+//! paper's epoch-time breakdowns), and k-nearest-neighbour construction
+//! ([`knn::knn_graph`], used to build MNIST superpixel graphs).
+//!
+//! This crate is pure topology — node features live in `gnn-tensor` arrays
+//! owned by the dataset and framework crates.
+//!
+//! # Example
+//!
+//! ```
+//! use gnn_graph::Graph;
+//!
+//! // A directed triangle, then symmetrized for message passing.
+//! let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+//! let u = g.to_symmetric();
+//! assert_eq!(u.num_edges(), 6);
+//! assert_eq!(u.in_degrees(), vec![2, 2, 2]);
+//! ```
+
+pub mod batch;
+pub mod graph;
+pub mod knn;
+
+pub use batch::{disjoint_union, DisjointUnion};
+pub use graph::{Csc, Graph};
+pub use knn::knn_graph;

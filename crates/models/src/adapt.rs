@@ -1,0 +1,233 @@
+//! Adapters binding the two frameworks to the common model traits.
+
+use gnn_datasets::GraphDataset;
+use gnn_tensor::Tensor;
+
+use crate::stack::Conv;
+
+/// What a model stack needs from a framework batch.
+pub trait ModelBatch {
+    /// Input node features.
+    fn x(&self) -> &Tensor;
+    /// Target labels (per-node or per-graph).
+    fn labels(&self) -> &[u32];
+    /// Number of graphs in the batch.
+    fn num_graphs(&self) -> usize;
+    /// Number of nodes.
+    fn num_nodes(&self) -> usize;
+    /// Number of edges.
+    fn num_edges(&self) -> usize;
+    /// Bytes of node features (transfer modelling).
+    fn feature_bytes(&self) -> u64;
+    /// Hook called at the start of every forward pass (clears per-forward
+    /// state such as `rgl`'s GatedGCN edge features).
+    fn begin_forward(&self) {}
+}
+
+impl ModelBatch for rustyg::Batch {
+    fn x(&self) -> &Tensor {
+        &self.x
+    }
+    fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+    fn num_graphs(&self) -> usize {
+        self.num_graphs
+    }
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+    fn num_edges(&self) -> usize {
+        rustyg::Batch::num_edges(self)
+    }
+    fn feature_bytes(&self) -> u64 {
+        self.feature_bytes
+    }
+}
+
+impl ModelBatch for rgl::HeteroBatch {
+    fn x(&self) -> &Tensor {
+        &self.x
+    }
+    fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+    fn num_graphs(&self) -> usize {
+        self.num_graphs
+    }
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+    fn num_edges(&self) -> usize {
+        rgl::HeteroBatch::num_edges(self)
+    }
+    fn feature_bytes(&self) -> u64 {
+        self.feature_bytes
+    }
+    fn begin_forward(&self) {
+        rgl::HeteroBatch::begin_forward(self);
+    }
+}
+
+/// A framework mini-batch loader over a graph-classification dataset.
+pub trait Loader {
+    /// The framework's batch type.
+    type Batch: ModelBatch;
+    /// Collates the samples at `idx` into a batch.
+    fn load(&self, idx: &[u32]) -> Self::Batch;
+}
+
+/// PyG-style loader adapter.
+#[derive(Debug)]
+pub struct RustygLoader<'a>(rustyg::DataLoader<'a>);
+
+impl<'a> RustygLoader<'a> {
+    /// Creates the loader.
+    pub fn new(ds: &'a GraphDataset) -> Self {
+        RustygLoader(rustyg::DataLoader::new(ds))
+    }
+}
+
+impl Loader for RustygLoader<'_> {
+    type Batch = rustyg::Batch;
+    fn load(&self, idx: &[u32]) -> rustyg::Batch {
+        self.0.load(idx)
+    }
+}
+
+/// DGL-style loader adapter.
+#[derive(Debug)]
+pub struct RglLoader<'a>(rgl::DataLoader<'a>);
+
+impl<'a> RglLoader<'a> {
+    /// Creates the loader.
+    pub fn new(ds: &'a GraphDataset) -> Self {
+        RglLoader(rgl::DataLoader::new(ds))
+    }
+}
+
+impl Loader for RglLoader<'_> {
+    type Batch = rgl::HeteroBatch;
+    fn load(&self, idx: &[u32]) -> rgl::HeteroBatch {
+        self.0.load(idx)
+    }
+}
+
+macro_rules! impl_conv {
+    ($batch:ty => $($layer:ty),+ $(,)?) => {
+        $(impl Conv<$batch> for $layer {
+            fn forward(&self, batch: &$batch, x: &Tensor, training: bool) -> Tensor {
+                <$layer>::forward(self, batch, x, training)
+            }
+            fn params(&self) -> Vec<Tensor> {
+                <$layer>::params(self)
+            }
+        })+
+    };
+}
+
+impl_conv!(rustyg::Batch =>
+    rustyg::GcnConv, rustyg::SageConv, rustyg::GatConv, rustyg::MoNetConv,
+    rustyg::GatedGcnConv,
+);
+impl_conv!(rgl::HeteroBatch =>
+    rgl::GraphConv, rgl::SageConv, rgl::GatConv, rgl::MoNetConv,
+    rgl::GatedGcnConv,
+);
+
+// GIN layers normalize internally (Eq. 3's BN sits inside the conv).
+impl Conv<rustyg::Batch> for rustyg::GinConv {
+    fn forward(&self, batch: &rustyg::Batch, x: &Tensor, training: bool) -> Tensor {
+        rustyg::GinConv::forward(self, batch, x, training)
+    }
+    fn params(&self) -> Vec<Tensor> {
+        rustyg::GinConv::params(self)
+    }
+    fn has_internal_norm(&self) -> bool {
+        true
+    }
+}
+
+impl Conv<rgl::HeteroBatch> for rgl::GinConv {
+    fn forward(&self, batch: &rgl::HeteroBatch, x: &Tensor, training: bool) -> Tensor {
+        rgl::GinConv::forward(self, batch, x, training)
+    }
+    fn params(&self) -> Vec<Tensor> {
+        rgl::GinConv::params(self)
+    }
+    fn has_internal_norm(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn_datasets::TudSpec;
+
+    #[test]
+    fn loaders_agree_on_semantics() {
+        let ds = TudSpec::enzymes().scaled(0.05).generate(0);
+        let a = RustygLoader::new(&ds).load(&[2, 5]);
+        let b = RglLoader::new(&ds).load(&[2, 5]);
+        assert_eq!(a.x().data().data(), b.x().data().data());
+        assert_eq!(a.labels(), b.labels());
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(a.num_graphs(), 2);
+    }
+
+    #[test]
+    fn gin_reports_internal_norm() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let gin = rustyg::GinConv::new(4, 8, &mut rng);
+        let gcn = rustyg::GcnConv::new(4, 8, &mut rng);
+        assert!(Conv::<rustyg::Batch>::has_internal_norm(&gin));
+        assert!(!Conv::<rustyg::Batch>::has_internal_norm(&gcn));
+    }
+}
+
+impl<B: ModelBatch> ModelBatch for std::rc::Rc<B> {
+    fn x(&self) -> &Tensor {
+        (**self).x()
+    }
+    fn labels(&self) -> &[u32] {
+        (**self).labels()
+    }
+    fn num_graphs(&self) -> usize {
+        (**self).num_graphs()
+    }
+    fn num_nodes(&self) -> usize {
+        (**self).num_nodes()
+    }
+    fn num_edges(&self) -> usize {
+        (**self).num_edges()
+    }
+    fn feature_bytes(&self) -> u64 {
+        (**self).feature_bytes()
+    }
+    fn begin_forward(&self) {
+        (**self).begin_forward();
+    }
+}
+
+/// Pre-collating loader adapter (the paper's "more efficient graph batching
+/// strategies" suggestion): each distinct chunk is collated once and
+/// replayed from device memory afterwards.
+#[derive(Debug)]
+pub struct CachedRustygLoader<'a>(rustyg::CachedLoader<'a>);
+
+impl<'a> CachedRustygLoader<'a> {
+    /// Creates the loader.
+    pub fn new(ds: &'a GraphDataset) -> Self {
+        CachedRustygLoader(rustyg::CachedLoader::new(ds))
+    }
+}
+
+impl Loader for CachedRustygLoader<'_> {
+    type Batch = rustyg::Batch;
+    fn load(&self, idx: &[u32]) -> Self::Batch {
+        self.0.load(idx)
+    }
+}

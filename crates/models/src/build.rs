@@ -1,0 +1,214 @@
+//! Model builders: (model kind, framework) → ready-to-train [`GnnStack`].
+//!
+//! Node-classification models follow the paper's Section IV-A setup
+//! (2 layers, `input → hidden → output`, Table II widths); graph-
+//! classification models follow Section IV-B (4 conv layers with batch norm,
+//! ReLU and residual connections, mean readout into an MLP classifier,
+//! Table III widths).
+
+use gnn_tensor::nn::{BatchNorm1d, Mlp};
+use rand::Rng;
+
+use crate::config::{graph_hparams, node_hparams, ModelKind};
+use crate::stack::{Conv, GnnStack, Head};
+
+macro_rules! framework_builders {
+    ($node_fn:ident, $graph_fn:ident, $fw:ident, $batch:ty, $gcn:ident, $pool:expr) => {
+        /// Builds the 2-layer node-classification variant of `kind` for this
+        /// framework (Table II hyper-parameters).
+        pub fn $node_fn<R: Rng + ?Sized>(
+            kind: ModelKind,
+            in_dim: usize,
+            num_classes: usize,
+            rng: &mut R,
+        ) -> GnnStack<$batch> {
+            let hp = node_hparams(kind);
+            let h = hp.hidden;
+            let convs: Vec<Box<dyn Conv<$batch>>> = match kind {
+                ModelKind::Gcn => vec![
+                    Box::new($fw::$gcn::new(in_dim, h, rng)),
+                    Box::new($fw::$gcn::new(h, num_classes, rng)),
+                ],
+                ModelKind::Gat => vec![
+                    Box::new($fw::GatConv::new(in_dim, h, hp.heads, rng)),
+                    Box::new($fw::GatConv::new(h * hp.heads, num_classes, 1, rng)),
+                ],
+                ModelKind::Sage => vec![
+                    Box::new($fw::SageConv::new(in_dim, h, rng)),
+                    Box::new($fw::SageConv::new(h, num_classes, rng)),
+                ],
+                ModelKind::Gin => vec![
+                    Box::new($fw::GinConv::new(in_dim, h, rng)),
+                    Box::new($fw::GinConv::new(h, num_classes, rng)),
+                ],
+                ModelKind::MoNet => vec![
+                    Box::new($fw::MoNetConv::new(
+                        in_dim,
+                        h,
+                        hp.kernels,
+                        hp.pseudo_dim,
+                        rng,
+                    )),
+                    Box::new($fw::MoNetConv::new(
+                        h,
+                        num_classes,
+                        hp.kernels,
+                        hp.pseudo_dim,
+                        rng,
+                    )),
+                ],
+                ModelKind::GatedGcn => vec![
+                    Box::new($fw::GatedGcnConv::new(in_dim, h, rng)),
+                    Box::new($fw::GatedGcnConv::new(h, num_classes, rng)),
+                ],
+            };
+            let n = convs.len();
+            let mut relu = vec![true; n];
+            relu[n - 1] = false;
+            GnnStack::new(
+                kind.label(),
+                convs,
+                vec![None, None],
+                relu,
+                false,
+                Head::NodeLogits,
+            )
+        }
+
+        /// Builds the 4-layer graph-classification variant of `kind` for
+        /// this framework (Table III hyper-parameters).
+        pub fn $graph_fn<R: Rng + ?Sized>(
+            kind: ModelKind,
+            in_dim: usize,
+            num_classes: usize,
+            rng: &mut R,
+        ) -> GnnStack<$batch> {
+            let hp = graph_hparams(kind);
+            let width = hp.out;
+            let mut convs: Vec<Box<dyn Conv<$batch>>> = Vec::with_capacity(hp.layers);
+            for l in 0..hp.layers {
+                let din = if l == 0 { in_dim } else { width };
+                let conv: Box<dyn Conv<$batch>> = match kind {
+                    ModelKind::Gcn => Box::new($fw::$gcn::new(din, width, rng)),
+                    ModelKind::Gat => Box::new($fw::GatConv::new(din, hp.hidden, hp.heads, rng)),
+                    ModelKind::Sage => Box::new($fw::SageConv::new(din, width, rng)),
+                    ModelKind::Gin => Box::new($fw::GinConv::new(din, width, rng)),
+                    ModelKind::MoNet => Box::new($fw::MoNetConv::new(
+                        din,
+                        width,
+                        hp.kernels,
+                        hp.pseudo_dim,
+                        rng,
+                    )),
+                    ModelKind::GatedGcn => Box::new($fw::GatedGcnConv::new(din, width, rng)),
+                };
+                convs.push(conv);
+            }
+            let internal_norm = matches!(kind, ModelKind::Gin);
+            let bns = (0..hp.layers)
+                .map(|_| {
+                    if internal_norm {
+                        None
+                    } else {
+                        Some(BatchNorm1d::new(width))
+                    }
+                })
+                .collect();
+            let relu = vec![true; hp.layers];
+            let mlp = Mlp::new(&[width, width / 2, num_classes], rng);
+            GnnStack::new(
+                kind.label(),
+                convs,
+                bns,
+                relu,
+                true,
+                Head::GraphClassifier { pool: $pool, mlp },
+            )
+        }
+    };
+}
+
+framework_builders!(
+    node_model_rustyg,
+    graph_model_rustyg,
+    rustyg,
+    rustyg::Batch,
+    GcnConv,
+    rustyg::global_mean_pool
+);
+framework_builders!(
+    node_model_rgl,
+    graph_model_rgl,
+    rgl,
+    rgl::HeteroBatch,
+    GraphConv,
+    rgl::segment_mean_pool
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapt::{Loader, RglLoader, RustygLoader};
+    use crate::config::ALL_MODELS;
+    use gnn_datasets::TudSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_twelve_graph_variants_forward() {
+        let ds = TudSpec::enzymes().scaled(0.05).generate(0);
+        let pyg = RustygLoader::new(&ds);
+        let dgl = RglLoader::new(&ds);
+        let pb = pyg.load(&[0, 1, 2]);
+        let db = dgl.load(&[0, 1, 2]);
+        for kind in ALL_MODELS {
+            let mut rng = StdRng::seed_from_u64(7);
+            let m1 = graph_model_rustyg(kind, 18, 6, &mut rng);
+            assert_eq!(m1.forward(&pb, true).shape(), (3, 6), "{kind:?} rustyg");
+            let mut rng = StdRng::seed_from_u64(7);
+            let m2 = graph_model_rgl(kind, 18, 6, &mut rng);
+            assert_eq!(m2.forward(&db, true).shape(), (3, 6), "{kind:?} rgl");
+        }
+    }
+
+    #[test]
+    fn all_twelve_node_variants_forward() {
+        let ds = gnn_datasets::CitationSpec::cora().scaled(0.08).generate(1);
+        let pb = rustyg::loader::full_graph_batch(&ds);
+        let db = rgl::loader::full_graph_batch(&ds);
+        let n = ds.graph.num_nodes();
+        for kind in ALL_MODELS {
+            let mut rng = StdRng::seed_from_u64(3);
+            let m1 = node_model_rustyg(kind, 1433, 7, &mut rng);
+            assert_eq!(m1.forward(&pb, false).shape(), (n, 7), "{kind:?} rustyg");
+            let mut rng = StdRng::seed_from_u64(3);
+            let m2 = node_model_rgl(kind, 1433, 7, &mut rng);
+            assert_eq!(m2.forward(&db, false).shape(), (n, 7), "{kind:?} rgl");
+        }
+    }
+
+    #[test]
+    fn gat_graph_model_width_is_heads_times_hidden() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = graph_model_rustyg(ModelKind::Gat, 18, 6, &mut rng);
+        // 4 GAT layers with 8 heads of 32 + BN + MLP; forward above already
+        // checks shapes — here check the parameter inventory is substantial.
+        assert!(m.params().len() >= 4 * 3 + 4 * 2 + 4);
+    }
+
+    #[test]
+    fn gin_stacks_have_no_outer_bn() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let gin = graph_model_rustyg(ModelKind::Gin, 18, 6, &mut rng);
+        let gcn = graph_model_rustyg(ModelKind::Gcn, 18, 6, &mut rng);
+        // GIN carries its BN inside each conv (2 extra params per conv) and
+        // none outside; GCN has 2 outer BN params per layer. Distinguish by
+        // counting: both must simply be > 0; structural check is that GIN's
+        // epsilon params exist.
+        assert!(
+            gin.params().iter().any(|p| p.shape() == (1, 1)),
+            "GIN eps present"
+        );
+        assert!(!gcn.params().iter().any(|p| p.shape() == (1, 1)));
+    }
+}

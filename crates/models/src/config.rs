@@ -1,0 +1,270 @@
+//! Model and hyper-parameter configuration (the paper's Tables II and III).
+
+/// The six GNN architectures of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Graph Convolutional Network (Kipf & Welling) — isotropic.
+    Gcn,
+    /// Graph Attention Network (Veličković et al.) — anisotropic.
+    Gat,
+    /// GraphSAGE (Hamilton et al.), mean-pool aggregator — isotropic.
+    Sage,
+    /// Graph Isomorphism Network (Xu et al.) — isotropic.
+    Gin,
+    /// Gaussian Mixture Model network (Monti et al.) — anisotropic.
+    MoNet,
+    /// Residual gated graph convnet (Bresson & Laurent) — anisotropic.
+    GatedGcn,
+}
+
+/// All six models in the paper's presentation order.
+pub const ALL_MODELS: [ModelKind; 6] = [
+    ModelKind::Gcn,
+    ModelKind::Gat,
+    ModelKind::Sage,
+    ModelKind::Gin,
+    ModelKind::MoNet,
+    ModelKind::GatedGcn,
+];
+
+impl ModelKind {
+    /// Display name as used in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelKind::Gcn => "GCN",
+            ModelKind::Gat => "GAT",
+            ModelKind::Sage => "SAGE",
+            ModelKind::Gin => "GIN",
+            ModelKind::MoNet => "MoNet",
+            ModelKind::GatedGcn => "GatedGCN",
+        }
+    }
+
+    /// Whether the model weighs neighbours non-uniformly (the paper's
+    /// isotropic/anisotropic split).
+    pub fn is_anisotropic(self) -> bool {
+        matches!(
+            self,
+            ModelKind::Gat | ModelKind::MoNet | ModelKind::GatedGcn
+        )
+    }
+}
+
+/// The two frameworks under study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameworkKind {
+    /// The PyG-like framework (`rustyg`).
+    RustyG,
+    /// The DGL-like framework (`rgl`).
+    Rgl,
+}
+
+/// Both frameworks in the paper's column order.
+pub const ALL_FRAMEWORKS: [FrameworkKind; 2] = [FrameworkKind::RustyG, FrameworkKind::Rgl];
+
+impl FrameworkKind {
+    /// Display name as used in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            FrameworkKind::RustyG => "PyG",
+            FrameworkKind::Rgl => "DGL",
+        }
+    }
+}
+
+/// Node-classification hyper-parameters (Table II): 2 layers, full batch,
+/// max 200 epochs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeHParams {
+    /// Hidden width (per head for GAT).
+    pub hidden: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Attention heads (GAT only; 1 otherwise).
+    pub heads: usize,
+    /// Gaussian kernels (MoNet only).
+    pub kernels: usize,
+    /// Pseudo-coordinate dims (MoNet only).
+    pub pseudo_dim: usize,
+}
+
+/// Table II settings for `model`.
+pub fn node_hparams(model: ModelKind) -> NodeHParams {
+    let base = NodeHParams {
+        hidden: 64,
+        lr: 1e-3,
+        heads: 1,
+        kernels: 2,
+        pseudo_dim: 2,
+    };
+    match model {
+        ModelKind::Gcn => NodeHParams {
+            hidden: 80,
+            lr: 0.01,
+            ..base
+        },
+        ModelKind::Gat => NodeHParams {
+            hidden: 32,
+            lr: 0.01,
+            heads: 8,
+            ..base
+        },
+        ModelKind::Gin => NodeHParams {
+            hidden: 64,
+            lr: 0.005,
+            ..base
+        },
+        ModelKind::Sage => NodeHParams {
+            hidden: 32,
+            lr: 0.001,
+            ..base
+        },
+        ModelKind::MoNet => NodeHParams {
+            hidden: 64,
+            lr: 0.003,
+            ..base
+        },
+        ModelKind::GatedGcn => NodeHParams {
+            hidden: 64,
+            lr: 0.001,
+            ..base
+        },
+    }
+}
+
+/// Graph-classification hyper-parameters (Table III): 4 layers, batch 128,
+/// lr halved on 25-epoch plateaus down to 1e-6.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphHParams {
+    /// Number of conv layers.
+    pub layers: usize,
+    /// Hidden width (per head for GAT).
+    pub hidden: usize,
+    /// Output width of the conv stack (readout input).
+    pub out: usize,
+    /// Initial Adam learning rate.
+    pub init_lr: f32,
+    /// Plateau patience in epochs.
+    pub patience: usize,
+    /// Learning-rate decay factor on plateau.
+    pub decay_factor: f32,
+    /// Training stops when the lr decays below this.
+    pub min_lr: f32,
+    /// Attention heads (GAT only).
+    pub heads: usize,
+    /// Gaussian kernels (MoNet only).
+    pub kernels: usize,
+    /// Pseudo-coordinate dims (MoNet only).
+    pub pseudo_dim: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+}
+
+/// Table III settings for `model`.
+pub fn graph_hparams(model: ModelKind) -> GraphHParams {
+    let base = GraphHParams {
+        layers: 4,
+        hidden: 96,
+        out: 96,
+        init_lr: 1e-3,
+        patience: 25,
+        decay_factor: 0.5,
+        min_lr: 1e-6,
+        heads: 1,
+        kernels: 2,
+        pseudo_dim: 2,
+        batch_size: 128,
+    };
+    match model {
+        ModelKind::Gcn => GraphHParams {
+            hidden: 128,
+            out: 128,
+            init_lr: 1e-3,
+            ..base
+        },
+        ModelKind::Gat => GraphHParams {
+            hidden: 32,
+            out: 256,
+            heads: 8,
+            init_lr: 1e-3,
+            ..base
+        },
+        ModelKind::Gin => GraphHParams {
+            hidden: 80,
+            out: 80,
+            init_lr: 1e-3,
+            ..base
+        },
+        ModelKind::Sage => GraphHParams {
+            hidden: 96,
+            out: 96,
+            init_lr: 7e-4,
+            ..base
+        },
+        ModelKind::MoNet => GraphHParams {
+            hidden: 80,
+            out: 80,
+            init_lr: 1e-3,
+            ..base
+        },
+        ModelKind::GatedGcn => GraphHParams {
+            hidden: 96,
+            out: 96,
+            init_lr: 7e-4,
+            ..base
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anisotropy_split_matches_paper() {
+        assert!(!ModelKind::Gcn.is_anisotropic());
+        assert!(!ModelKind::Gin.is_anisotropic());
+        assert!(!ModelKind::Sage.is_anisotropic());
+        assert!(ModelKind::Gat.is_anisotropic());
+        assert!(ModelKind::MoNet.is_anisotropic());
+        assert!(ModelKind::GatedGcn.is_anisotropic());
+    }
+
+    #[test]
+    fn table2_values() {
+        assert_eq!(node_hparams(ModelKind::Gcn).hidden, 80);
+        assert_eq!(node_hparams(ModelKind::Gcn).lr, 0.01);
+        assert_eq!(node_hparams(ModelKind::Gat).heads, 8);
+        assert_eq!(node_hparams(ModelKind::Gin).lr, 0.005);
+        assert_eq!(node_hparams(ModelKind::MoNet).kernels, 2);
+        assert_eq!(node_hparams(ModelKind::MoNet).pseudo_dim, 2);
+    }
+
+    #[test]
+    fn table3_values() {
+        let gat = graph_hparams(ModelKind::Gat);
+        assert_eq!(gat.layers, 4);
+        assert_eq!(gat.hidden, 32);
+        assert_eq!(gat.out, 256);
+        assert_eq!(gat.heads, 8);
+        assert_eq!(
+            gat.hidden * gat.heads,
+            gat.out,
+            "GAT width = hidden x heads"
+        );
+        let sage = graph_hparams(ModelKind::Sage);
+        assert_eq!(sage.init_lr, 7e-4);
+        assert_eq!(sage.patience, 25);
+        assert_eq!(sage.min_lr, 1e-6);
+        assert_eq!(sage.batch_size, 128);
+    }
+
+    #[test]
+    fn labels_match_tables() {
+        assert_eq!(ModelKind::GatedGcn.label(), "GatedGCN");
+        assert_eq!(FrameworkKind::RustyG.label(), "PyG");
+        assert_eq!(FrameworkKind::Rgl.label(), "DGL");
+        assert_eq!(ALL_MODELS.len(), 6);
+        assert_eq!(ALL_FRAMEWORKS.len(), 2);
+    }
+}

@@ -1,0 +1,40 @@
+//! # gnn-models
+//!
+//! The six GNN models of the study — GCN, GIN, GraphSAGE (isotropic) and
+//! GAT, MoNet, GatedGCN (anisotropic) — instantiated under both frameworks
+//! with the exact hyper-parameters of the paper's Tables II and III.
+//!
+//! Models are assembled as a [`GnnStack`]: a sequence of framework conv
+//! layers with optional batch-norm / ReLU / residual wiring and either a
+//! node-logit head (2-layer node classification, Table II) or a mean-pool +
+//! MLP graph-classifier head (4-layer graph classification, Table III).
+//! The stack is generic over the framework's batch type; thin adapter impls
+//! in [`adapt`] bind the `rustyg` and `rgl` layers to the common
+//! [`Conv`]/[`ModelBatch`]/[`Loader`] traits.
+//!
+//! # Example
+//!
+//! ```
+//! use gnn_datasets::TudSpec;
+//! use gnn_models::{build, Loader, ModelKind};
+//! use rand::SeedableRng;
+//!
+//! let ds = TudSpec::enzymes().scaled(0.05).generate(0);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let model = build::graph_model_rustyg(ModelKind::Gcn, 18, 6, &mut rng);
+//! let loader = gnn_models::adapt::RustygLoader::new(&ds);
+//! let batch = loader.load(&[0, 1, 2, 3]);
+//! let logits = model.forward(&batch, false);
+//! assert_eq!(logits.shape(), (4, 6));
+//! ```
+
+pub mod adapt;
+pub mod build;
+pub mod config;
+pub mod stack;
+
+pub use adapt::{Loader, ModelBatch};
+pub use config::{
+    graph_hparams, node_hparams, FrameworkKind, GraphHParams, ModelKind, NodeHParams,
+};
+pub use stack::{Conv, GnnStack};

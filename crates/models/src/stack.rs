@@ -1,0 +1,223 @@
+//! The generic GNN stack: conv layers + norm/activation/residual wiring +
+//! task head.
+
+use gnn_tensor::nn::{BatchNorm1d, Mlp};
+use gnn_tensor::Tensor;
+
+use crate::adapt::ModelBatch;
+
+/// A framework conv layer usable inside a [`GnnStack`].
+///
+/// Implemented (via thin adapters in [`crate::adapt`]) by the six layer
+/// types of each framework.
+pub trait Conv<B> {
+    /// Applies the layer to node features `x` over `batch`.
+    fn forward(&self, batch: &B, x: &Tensor, training: bool) -> Tensor;
+    /// Trainable parameters.
+    fn params(&self) -> Vec<Tensor>;
+    /// Whether the layer already applies its own normalization/activation
+    /// internally (GIN's MLP+BN), so the stack skips its BN and keeps only
+    /// the outer activation.
+    fn has_internal_norm(&self) -> bool {
+        false
+    }
+}
+
+/// The task head of a stack.
+pub enum Head<B> {
+    /// Node classification: the last conv emits class logits directly
+    /// (the paper's 2-layer `input → hidden → output` architecture).
+    NodeLogits,
+    /// Graph classification: mean readout then an MLP classifier
+    /// (the paper's Section IV-B "graph classifier layer").
+    GraphClassifier {
+        /// Framework readout (scatter-based for PyG, segment for DGL).
+        pool: fn(&B, &Tensor) -> Tensor,
+        /// Classifier MLP applied to pooled graph representations.
+        mlp: Mlp,
+    },
+}
+
+impl<B> std::fmt::Debug for Head<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Head::NodeLogits => write!(f, "NodeLogits"),
+            Head::GraphClassifier { .. } => write!(f, "GraphClassifier"),
+        }
+    }
+}
+
+/// A complete model: conv stack + head, generic over the framework batch.
+pub struct GnnStack<B> {
+    name: &'static str,
+    convs: Vec<Box<dyn Conv<B>>>,
+    bns: Vec<Option<BatchNorm1d>>,
+    relu_after: Vec<bool>,
+    residual: bool,
+    head: Head<B>,
+}
+
+impl<B> std::fmt::Debug for GnnStack<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "GnnStack({}, {} layers, residual={}, head={:?})",
+            self.name,
+            self.convs.len(),
+            self.residual,
+            self.head
+        )
+    }
+}
+
+impl<B: ModelBatch> GnnStack<B> {
+    /// Assembles a stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-layer vectors disagree in length or are empty.
+    pub fn new(
+        name: &'static str,
+        convs: Vec<Box<dyn Conv<B>>>,
+        bns: Vec<Option<BatchNorm1d>>,
+        relu_after: Vec<bool>,
+        residual: bool,
+        head: Head<B>,
+    ) -> Self {
+        assert!(!convs.is_empty(), "stack needs at least one conv layer");
+        assert_eq!(convs.len(), bns.len(), "bns length mismatch");
+        assert_eq!(convs.len(), relu_after.len(), "relu_after length mismatch");
+        GnnStack {
+            name,
+            convs,
+            bns,
+            relu_after,
+            residual,
+            head,
+        }
+    }
+
+    /// Model name (paper label).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of conv layers.
+    pub fn num_layers(&self) -> usize {
+        self.convs.len()
+    }
+
+    /// Full forward pass to logits (per-node or per-graph depending on the
+    /// head). Each conv layer runs inside a device profiling scope
+    /// (`conv1`, `conv2`, ...) so layer-wise times (the paper's Fig. 3) fall
+    /// out of the session report.
+    pub fn forward(&self, batch: &B, training: bool) -> Tensor {
+        batch.begin_forward();
+        let mut h = batch.x().clone();
+        for (i, conv) in self.convs.iter().enumerate() {
+            let scope = LAYER_SCOPES[i.min(LAYER_SCOPES.len() - 1)];
+            let out = gnn_device::scope(scope, || {
+                let mut out = conv.forward(batch, &h, training);
+                if let Some(bn) = &self.bns[i] {
+                    out = bn.forward(&out, training);
+                }
+                if self.relu_after[i] {
+                    out = out.relu();
+                }
+                if self.residual && out.shape() == h.shape() {
+                    out = out.add(&h);
+                }
+                out
+            });
+            h = out;
+        }
+        match &self.head {
+            Head::NodeLogits => h,
+            Head::GraphClassifier { pool, mlp } => gnn_device::scope("readout", || {
+                let pooled = pool(batch, &h);
+                mlp.forward(&pooled)
+            }),
+        }
+    }
+
+    /// All trainable parameters.
+    pub fn params(&self) -> Vec<Tensor> {
+        let mut p: Vec<Tensor> = self.convs.iter().flat_map(|c| c.params()).collect();
+        for bn in self.bns.iter().flatten() {
+            p.extend(bn.params());
+        }
+        if let Head::GraphClassifier { mlp, .. } = &self.head {
+            p.extend(mlp.params());
+        }
+        p
+    }
+
+    /// Total parameter bytes (f32), used for persistent-memory registration
+    /// and multi-GPU transfer modelling.
+    pub fn param_bytes(&self) -> u64 {
+        self.params().iter().map(|p| p.data().byte_size()).sum()
+    }
+}
+
+/// Scope labels for layer-wise profiling (Fig. 3).
+const LAYER_SCOPES: [&str; 8] = [
+    "conv1", "conv2", "conv3", "conv4", "conv5", "conv6", "conv7", "conv8",
+];
+
+#[cfg(test)]
+mod tests {
+    use crate::adapt::Loader;
+    use crate::build;
+    use crate::config::ModelKind;
+    use gnn_datasets::TudSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn graph_stack_emits_per_graph_logits() {
+        let ds = TudSpec::enzymes().scaled(0.05).generate(0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = build::graph_model_rustyg(ModelKind::Gcn, 18, 6, &mut rng);
+        let loader = crate::adapt::RustygLoader::new(&ds);
+        let batch = loader.load(&[0, 1, 2]);
+        let logits = model.forward(&batch, true);
+        assert_eq!(logits.shape(), (3, 6));
+        assert_eq!(model.num_layers(), 4);
+    }
+
+    #[test]
+    fn node_stack_emits_per_node_logits() {
+        let ds = gnn_datasets::CitationSpec::cora().scaled(0.08).generate(0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = build::node_model_rgl(ModelKind::Gat, 1433, 7, &mut rng);
+        let batch = rgl::loader::full_graph_batch(&ds);
+        let logits = model.forward(&batch, false);
+        assert_eq!(logits.shape(), (ds.graph.num_nodes(), 7));
+        assert_eq!(model.num_layers(), 2);
+    }
+
+    #[test]
+    fn forward_records_layer_scopes() {
+        let ds = TudSpec::enzymes().scaled(0.05).generate(1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = build::graph_model_rustyg(ModelKind::Gin, 18, 6, &mut rng);
+        let loader = crate::adapt::RustygLoader::new(&ds);
+        let batch = loader.load(&[0, 1]);
+        let h = gnn_device::session::install(gnn_device::Session::new(
+            gnn_device::CostModel::rtx2080ti(),
+        ));
+        model.forward(&batch, true);
+        let report = gnn_device::session::finish(h);
+        for scope in ["conv1", "conv2", "conv3", "conv4", "readout"] {
+            assert!(report.scope_time(scope).is_some(), "missing scope {scope}");
+        }
+    }
+
+    #[test]
+    fn params_nonempty_and_param_bytes_positive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = build::graph_model_rgl(ModelKind::GatedGcn, 18, 6, &mut rng);
+        assert!(model.params().len() > 20);
+        assert!(model.param_bytes() > 1000);
+    }
+}

@@ -1,0 +1,126 @@
+//! SAGEConv, DGL style.
+
+use gnn_tensor::nn::Linear;
+use gnn_tensor::Tensor;
+use rand::Rng;
+
+use crate::batch::HeteroBatch;
+use crate::costs;
+use crate::kernels::gspmm_copy_sum;
+
+/// GraphSAGE with the mean-pool aggregator, lowered onto GSpMM: the
+/// neighbour pool runs through a fused copy-sum followed by a separate mean
+/// division (DGL's `copy_u`/`sum` + degree division), then the concatenated
+/// update and L2 projection.
+#[derive(Debug)]
+pub struct SageConv {
+    pool: Linear,
+    lin: Linear,
+}
+
+impl SageConv {
+    /// Creates the layer.
+    pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        SageConv {
+            pool: Linear::new(in_dim, in_dim, rng),
+            lin: Linear::new(2 * in_dim, out_dim, rng),
+        }
+    }
+
+    /// Applies the layer.
+    pub fn forward(&self, batch: &HeteroBatch, x: &Tensor, _training: bool) -> Tensor {
+        gnn_device::host(costs::LAYER_OVERHEAD);
+        let pooled = self.pool.forward(x).relu();
+        let agg = gspmm_copy_sum(batch, &pooled).mul_col(&batch.inv_deg);
+        let h = self.lin.forward(&x.concat_cols(&agg));
+        h.l2_normalize_rows(1e-12)
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.lin.out_dim()
+    }
+
+    /// Trainable parameters.
+    pub fn params(&self) -> Vec<Tensor> {
+        let mut p = self.pool.params();
+        p.extend(self.lin.params());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn_graph::Graph;
+    use gnn_tensor::NdArray;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_batch() -> HeteroBatch {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (2, 0)]);
+        HeteroBatch::from_parts(
+            &g,
+            NdArray::from_vec(3, 2, vec![1., 0., 0., 1., 1., 1.]),
+            vec![0; 3],
+            1,
+            vec![0],
+        )
+    }
+
+    #[test]
+    fn rows_unit_norm_and_shapes() {
+        let b = toy_batch();
+        let mut rng = StdRng::seed_from_u64(0);
+        let conv = SageConv::new(2, 4, &mut rng);
+        let out = conv.forward(&b, &b.x, true);
+        assert_eq!(out.shape(), (3, 4));
+        for r in 0..3 {
+            let n: f32 = out.data().row(r).iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matches_rustyg_sage_numerics_with_shared_weights() {
+        // Same weights, same math, different lowering: outputs must agree.
+        let b = toy_batch();
+        let mut rng = StdRng::seed_from_u64(1);
+        let dgl = SageConv::new(2, 4, &mut rng);
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (2, 0)]);
+        let pb = rustyg::Batch::from_parts(
+            &g,
+            NdArray::from_vec(3, 2, vec![1., 0., 0., 1., 1., 1.]),
+            vec![0; 3],
+            1,
+            vec![0],
+        );
+        // Reimplement the PyG path with dgl's weights.
+        let pooled = dgl.pool.forward(&pb.x).relu();
+        let agg = pooled
+            .gather_rows(&pb.src)
+            .scatter_add_rows(&pb.dst, pb.num_nodes)
+            .mul_col(&pb.inv_deg);
+        let expect = dgl
+            .lin
+            .forward(&pb.x.concat_cols(&agg))
+            .l2_normalize_rows(1e-12);
+        let got = dgl.forward(&b, &b.x, true);
+        for r in 0..3 {
+            for c in 0..4 {
+                assert!((got.data().at(r, c) - expect.data().at(r, c)).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_flow() {
+        let b = toy_batch();
+        let mut rng = StdRng::seed_from_u64(2);
+        let conv = SageConv::new(2, 3, &mut rng);
+        conv.forward(&b, &b.x, true).sum_all().backward();
+        for p in conv.params() {
+            assert!(p.grad().is_some());
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Host-side cost constants of the DGL-like stack.
+//!
+//! Same categories as `rustyg::costs`, with the multipliers the paper
+//! attributes to DGL's architecture:
+//!
+//! - collation goes through the **heterograph path** (type arrays, id
+//!   remapping, per-type bookkeeping) → higher per-graph/node/edge costs;
+//! - collation is **backend-agnostic** (DGL supports PyTorch, TF, MXNet) so
+//!   it "can not use the highly efficient data operations provided by
+//!   PyTorch" → lower effective host copy bandwidth;
+//! - every fused graph kernel call crosses DGL's dispatch layer
+//!   (heterograph format checks, kernel selection) → per-op dispatch cost on
+//!   top of the CUDA launch.
+
+/// Fixed overhead per mini-batch (`dgl.batch` machinery).
+pub const BATCH_OVERHEAD: f64 = 250e-6;
+
+/// Per-graph collate cost (heterograph wrapping, per-type metadata).
+pub const PER_GRAPH: f64 = 230e-6;
+
+/// Per-node collate cost (type arrays, id remapping; non-torch loops).
+pub const PER_NODE: f64 = 70e-9;
+
+/// Per-edge collate cost (type arrays + CSC format conversion).
+pub const PER_EDGE: f64 = 110e-9;
+
+/// Host copy bandwidth for feature stacking (bytes/s; backend-agnostic
+/// data path).
+pub const HOST_COPY_BW: f64 = 2.5e9;
+
+/// Python dispatch overhead at the start of each conv-layer forward.
+pub const LAYER_OVERHEAD: f64 = 550e-6;
+
+/// Dispatch cost of one fused graph kernel (GSpMM/GSDDMM/edge-softmax):
+/// heterograph format resolution + kernel selection.
+pub const OP_DISPATCH: f64 = 85e-6;
+
+/// Dispatch overhead of a segment-reduction pooling call.
+pub const POOL_OVERHEAD: f64 = 160e-6;
+
+/// Host cost per row of writing a tensor into a heterograph's node/edge
+/// frame (`g.ndata[...]`/`g.edata[...]`): reference bookkeeping, shape
+/// checks, and the frame's column dictionary.
+pub const FRAME_WRITE_PER_ROW: f64 = 12e-9;
+
+/// Host cost per edge of an `apply_edges` user-defined-function path —
+/// the route DGL's GatedGCN takes for its edge-feature update when the
+/// builtin fused kernels cannot express it. This is the "edge feature
+/// update operation" the paper identifies as GatedGCN-under-DGL's dominant
+/// cost (Section IV-A observation 3).
+pub const EDGE_UDF_PER_EDGE: f64 = 150e-9;
+
+/// Collation cost of a batch with the given shape, in seconds.
+pub fn collate_time(
+    num_graphs: usize,
+    num_nodes: usize,
+    num_edges: usize,
+    feature_bytes: u64,
+) -> f64 {
+    BATCH_OVERHEAD
+        + PER_GRAPH * num_graphs as f64
+        + PER_NODE * num_nodes as f64
+        + PER_EDGE * num_edges as f64
+        + feature_bytes as f64 / HOST_COPY_BW
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dgl_collation_costs_more_than_pyg() {
+        // The structural claim behind Figs. 1–2: same batch, higher cost.
+        let (g, n, e, fb) = (128, 4224, 15_906, 304_128);
+        assert!(collate_time(g, n, e, fb) > 2.0 * rustyg_collate(g, n, e, fb));
+    }
+
+    // Local copy of the PyG formula to avoid a circular dev-dependency.
+    fn rustyg_collate(g: usize, n: usize, e: usize, fb: u64) -> f64 {
+        120e-6 + 85e-6 * g as f64 + 25e-9 * n as f64 + 35e-9 * e as f64 + fb as f64 / 8.0e9
+    }
+}

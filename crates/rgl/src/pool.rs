@@ -1,0 +1,85 @@
+//! Graph readout, DGL style.
+//!
+//! DGL's pooling "is based on their segment reduction operator" (Section
+//! IV-C): one dispatched segment-mean kernel over graph ids, as opposed to
+//! PyG's scatter + divide.
+
+use gnn_tensor::Tensor;
+
+use crate::batch::HeteroBatch;
+use crate::costs;
+
+/// Mean-pools node features into per-graph features `[num_graphs, F]` via
+/// the segment-reduction operator.
+pub fn segment_mean_pool(batch: &HeteroBatch, x: &Tensor) -> Tensor {
+    gnn_device::host(costs::POOL_OVERHEAD);
+    x.segment_mean(&batch.graph_ids, batch.num_graphs)
+}
+
+/// Sum-pools node features via the segment-reduction operator.
+pub fn segment_sum_pool(batch: &HeteroBatch, x: &Tensor) -> Tensor {
+    gnn_device::host(costs::POOL_OVERHEAD);
+    x.segment_sum(&batch.graph_ids, batch.num_graphs)
+}
+
+/// Max-pools node features via the segment-reduction operator.
+pub fn segment_max_pool(batch: &HeteroBatch, x: &Tensor) -> Tensor {
+    gnn_device::host(costs::POOL_OVERHEAD);
+    x.segment_max(&batch.graph_ids, batch.num_graphs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn_graph::Graph;
+    use gnn_tensor::NdArray;
+
+    #[test]
+    fn pools_per_graph_means() {
+        let g = Graph::from_edges(4, &[]);
+        let b = HeteroBatch::from_parts(
+            &g,
+            NdArray::from_vec(4, 1, vec![1., 3., 10., 30.]),
+            vec![0, 0, 1, 1],
+            2,
+            vec![0, 1],
+        );
+        let pooled = segment_mean_pool(&b, &b.x);
+        assert_eq!(pooled.data().data(), &[2., 20.]);
+    }
+
+    #[test]
+    fn sum_and_max_segment_pools() {
+        let g = Graph::from_edges(4, &[]);
+        let b = HeteroBatch::from_parts(
+            &g,
+            NdArray::from_vec(4, 1, vec![1., 3., 10., 30.]),
+            vec![0, 0, 1, 1],
+            2,
+            vec![0, 1],
+        );
+        assert_eq!(segment_sum_pool(&b, &b.x).data().data(), &[4., 40.]);
+        assert_eq!(segment_max_pool(&b, &b.x).data().data(), &[3., 30.]);
+    }
+
+    #[test]
+    fn uses_segment_kernel_not_scatter() {
+        let g = Graph::from_edges(2, &[]);
+        let b = HeteroBatch::from_parts(&g, NdArray::zeros(2, 4), vec![0, 0], 1, vec![0]);
+        let h = gnn_device::session::install(gnn_device::Session::new(
+            gnn_device::CostModel::rtx2080ti(),
+        ));
+        segment_mean_pool(&b, &b.x);
+        let report = gnn_device::session::finish(h);
+        let count = |k: gnn_device::KernelKind| {
+            report
+                .kind_counts
+                .iter()
+                .find(|(kk, _)| *kk == k)
+                .map(|(_, n)| *n)
+                .unwrap_or(0)
+        };
+        assert_eq!(count(gnn_device::KernelKind::Segment), 1);
+        assert_eq!(count(gnn_device::KernelKind::Scatter), 0);
+    }
+}

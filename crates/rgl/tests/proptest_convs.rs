@@ -1,0 +1,96 @@
+//! Property-based tests of the DGL-like conv layers and fused kernels on
+//! random graphs.
+
+use gnn_graph::Graph;
+use gnn_tensor::{NdArray, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rgl::{GatConv, GatedGcnConv, GinConv, GraphConv, HeteroBatch, MoNetConv, SageConv};
+
+fn random_batch(n: usize, edges: Vec<(u32, u32)>, feats: Vec<f32>, dim: usize) -> HeteroBatch {
+    let g = Graph::from_edges(n, &edges);
+    HeteroBatch::from_parts(&g, NdArray::from_vec(n, dim, feats), vec![0; n], 1, vec![0])
+}
+
+fn batch_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32)>, Vec<f32>)> {
+    (3usize..10).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..25);
+        let feats = proptest::collection::vec(-2.0f32..2.0, n * 4);
+        (Just(n), edges, feats)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_conv_is_finite_shaped_and_differentiable(
+        (n, edges, feats) in batch_strategy(),
+        seed in 0u64..100,
+    ) {
+        let b = random_batch(n, edges, feats, 4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gcn = GraphConv::new(4, 5, &mut rng);
+        let sage = SageConv::new(4, 5, &mut rng);
+        let gin = GinConv::new(4, 5, &mut rng);
+        let gat = GatConv::new(4, 2, 2, &mut rng);
+        let monet = MoNetConv::new(4, 5, 2, 2, &mut rng);
+        let gated = GatedGcnConv::new(4, 5, &mut rng);
+
+        let cases: Vec<(&str, Box<dyn Fn(&HeteroBatch, &Tensor) -> Tensor>, Vec<Tensor>, usize)> = vec![
+            ("gcn", Box::new(|b, x| gcn.forward(b, x, true)), gcn.params(), 5),
+            ("sage", Box::new(|b, x| sage.forward(b, x, true)), sage.params(), 5),
+            ("gin", Box::new(|b, x| gin.forward(b, x, true)), gin.params(), 5),
+            ("gat", Box::new(|b, x| gat.forward(b, x, true)), gat.params(), 4),
+            ("monet", Box::new(|b, x| monet.forward(b, x, true)), monet.params(), 5),
+            ("gated", Box::new(|b, x| gated.forward(b, x, true)), gated.params(), 5),
+        ];
+        for (name, fwd, params, expect_cols) in &cases {
+            b.begin_forward();
+            let out = fwd(&b, &b.x);
+            prop_assert_eq!(out.shape().0, n, "{} rows", name);
+            prop_assert_eq!(out.shape().1, *expect_cols, "{} cols", name);
+            prop_assert!(!out.data().has_non_finite(), "{} produced NaN/inf", name);
+            b.begin_forward();
+            let again = fwd(&b, &b.x);
+            let (o, a) = (out.data().clone(), again.data().clone());
+            prop_assert_eq!(o.data(), a.data(), "{} must be deterministic", name);
+            out.sum_all().backward();
+            prop_assert!(params[0].grad().is_some(), "{} first param missing grad", name);
+            for p in params {
+                p.zero_grad();
+            }
+        }
+    }
+
+    /// The fused gspmm_copy_sum must agree with the unfused gather/scatter
+    /// on arbitrary topologies and features.
+    #[test]
+    fn fused_and_unfused_aggregation_agree(
+        (n, edges, feats) in batch_strategy(),
+    ) {
+        let b = random_batch(n, edges, feats, 4);
+        let x = Tensor::new(b.x.data().clone());
+        let fused = rgl::kernels::gspmm_copy_sum(&b, &x);
+        let unfused = x.gather_rows(&b.src).scatter_add_rows(&b.dst, b.num_nodes);
+        let (f, u) = (fused.data(), unfused.data());
+        for (a, c) in f.data().iter().zip(u.data()) {
+            prop_assert!((a - c).abs() < 1e-4, "{a} vs {c}");
+        }
+    }
+
+    /// gspmm_mul_sum with all-ones weights equals gspmm_copy_sum.
+    #[test]
+    fn unit_weights_reduce_to_copy_sum((n, edges, feats) in batch_strategy()) {
+        let b = random_batch(n, edges, feats, 4);
+        let x = Tensor::new(b.x.data().clone());
+        let ones = Tensor::new(NdArray::full(b.num_edges(), 1, 1.0));
+        let weighted = rgl::kernels::gspmm_mul_sum(&b, &x, &ones);
+        let copied = rgl::kernels::gspmm_copy_sum(&b, &x);
+        let (w, c) = (weighted.data(), copied.data());
+        for (a, d) in w.data().iter().zip(c.data()) {
+            prop_assert!((a - d).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! The PyG-style batch: flat COO arrays plus per-node bookkeeping.
+
+use std::rc::Rc;
+
+use gnn_graph::Graph;
+use gnn_tensor::{Ids, NdArray, Tensor};
+
+/// A collated mini-batch (or a full graph for node-level tasks), ready for
+/// message passing.
+///
+/// Cloning is cheap: tensor values and index arrays are shared.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Node features `[N, F]` (constant leaf).
+    pub x: Tensor,
+    /// Edge sources.
+    pub src: Ids,
+    /// Edge destinations.
+    pub dst: Ids,
+    /// Total node count.
+    pub num_nodes: usize,
+    /// Number of graphs collated into this batch (1 for node tasks).
+    pub num_graphs: usize,
+    /// Per-node graph membership.
+    pub graph_ids: Ids,
+    /// In-degree + 1 (self-loop renormalization), as `[N, 1]`.
+    pub deg: Tensor,
+    /// `1 / (in-degree + 1)`, as `[N, 1]`.
+    pub inv_deg: Tensor,
+    /// `1 / sqrt(in-degree + 1)`, as `[N, 1]` (GCN both-side norm, MoNet
+    /// pseudo-coordinates).
+    pub inv_sqrt_deg: Tensor,
+    /// Target labels: per-graph for graph tasks, per-node for node tasks.
+    pub labels: Vec<u32>,
+    /// Bytes of node features (used for transfer modelling).
+    pub feature_bytes: u64,
+}
+
+impl Batch {
+    /// Assembles a batch from an already-collated graph. Degree tensors are
+    /// derived here; features are registered as a device allocation.
+    pub fn from_parts(
+        graph: &Graph,
+        features: NdArray,
+        graph_ids: Vec<u32>,
+        num_graphs: usize,
+        labels: Vec<u32>,
+    ) -> Self {
+        assert_eq!(
+            features.rows(),
+            graph.num_nodes(),
+            "feature/node count mismatch"
+        );
+        let feature_bytes = features.byte_size();
+        let deg_raw: Vec<f32> = graph.in_degrees().iter().map(|&d| (d + 1) as f32).collect();
+        let n = deg_raw.len();
+        let inv: Vec<f32> = deg_raw.iter().map(|&d| 1.0 / d).collect();
+        let inv_sqrt: Vec<f32> = deg_raw.iter().map(|&d| 1.0 / d.sqrt()).collect();
+        gnn_device::alloc(feature_bytes + 12 * n as u64 + 8 * graph.num_edges() as u64);
+        Batch {
+            x: Tensor::new(features),
+            src: Rc::new(graph.src().to_vec()),
+            dst: Rc::new(graph.dst().to_vec()),
+            num_nodes: graph.num_nodes(),
+            num_graphs,
+            graph_ids: Rc::new(graph_ids),
+            deg: Tensor::new(NdArray::from_vec(n, 1, deg_raw)),
+            inv_deg: Tensor::new(NdArray::from_vec(n, 1, inv)),
+            inv_sqrt_deg: Tensor::new(NdArray::from_vec(n, 1, inv_sqrt)),
+            labels,
+            feature_bytes,
+        }
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.src.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_tensors_are_renormalized() {
+        // 0 -> 1, 0 -> 2: in-degrees 0,1,1 -> renormalized 1,2,2
+        let g = Graph::from_edges(3, &[(0, 1), (0, 2)]);
+        let b = Batch::from_parts(&g, NdArray::zeros(3, 4), vec![0, 0, 0], 1, vec![0]);
+        assert_eq!(b.deg.data().data(), &[1., 2., 2.]);
+        assert_eq!(b.inv_deg.data().data(), &[1., 0.5, 0.5]);
+        let isd = b.inv_sqrt_deg.data();
+        assert!((isd.data()[1] - 1.0 / 2.0f32.sqrt()).abs() < 1e-6);
+        assert_eq!(b.num_edges(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature/node count mismatch")]
+    fn wrong_feature_rows_rejected() {
+        let g = Graph::from_edges(2, &[]);
+        Batch::from_parts(&g, NdArray::zeros(3, 1), vec![0, 0], 1, vec![]);
+    }
+}

@@ -1,0 +1,114 @@
+//! GIN convolution (Xu et al.).
+
+use gnn_tensor::nn::{BatchNorm1d, Linear};
+use gnn_tensor::{NdArray, Tensor};
+use rand::Rng;
+
+use crate::batch::Batch;
+use crate::costs;
+
+/// Graph Isomorphism Network layer, the paper's Eq. (3):
+///
+/// `h_i' = W σ(BN(V((1 + ε) h_i + Σ_{j in N(i)} h_j)))`
+///
+/// with sum aggregation (`neighbor_aggr_GIN: sum`) and learnable ε
+/// (`learn_eps_GIN: True`).
+#[derive(Debug)]
+pub struct GinConv {
+    eps: Tensor,
+    v: Linear,
+    bn: BatchNorm1d,
+    w: Linear,
+}
+
+impl GinConv {
+    /// Creates the layer.
+    pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        GinConv {
+            eps: Tensor::param(NdArray::scalar(0.0)),
+            v: Linear::new(in_dim, out_dim, rng),
+            bn: BatchNorm1d::new(out_dim),
+            w: Linear::new(out_dim, out_dim, rng),
+        }
+    }
+
+    /// Applies the layer (final σ is applied by the model stack).
+    pub fn forward(&self, batch: &Batch, x: &Tensor, training: bool) -> Tensor {
+        gnn_device::host(costs::LAYER_OVERHEAD);
+        let agg = x
+            .gather_rows(&batch.src)
+            .scatter_add_rows(&batch.dst, batch.num_nodes);
+        // (1 + eps) * h_i + sum of neighbours.
+        let one_plus_eps = self.eps.add_scalar(1.0);
+        let mixed = x.scale_by(&one_plus_eps).add(&agg);
+        let h = self.bn.forward(&self.v.forward(&mixed), training).relu();
+        self.w.forward(&h)
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.out_dim()
+    }
+
+    /// Trainable parameters (ε, both linears, BN affine).
+    pub fn params(&self) -> Vec<Tensor> {
+        let mut p = vec![self.eps.clone()];
+        p.extend(self.v.params());
+        p.extend(self.bn.params());
+        p.extend(self.w.params());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn_graph::Graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_batch() -> Batch {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (2, 1)]);
+        Batch::from_parts(
+            &g,
+            NdArray::from_vec(3, 2, vec![1., 0., 0., 1., 1., 1.]),
+            vec![0, 0, 0],
+            1,
+            vec![0],
+        )
+    }
+
+    #[test]
+    fn forward_shape_and_param_count() {
+        let b = toy_batch();
+        let mut rng = StdRng::seed_from_u64(0);
+        let conv = GinConv::new(2, 5, &mut rng);
+        let out = conv.forward(&b, &b.x, true);
+        assert_eq!(out.shape(), (3, 5));
+        // eps + V(w,b) + BN(gamma,beta) + W(w,b) = 7
+        assert_eq!(conv.params().len(), 7);
+    }
+
+    #[test]
+    fn eps_receives_gradient() {
+        let b = toy_batch();
+        let mut rng = StdRng::seed_from_u64(1);
+        let conv = GinConv::new(2, 4, &mut rng);
+        conv.forward(&b, &b.x, true).sum_all().backward();
+        assert!(conv.eps.grad().is_some(), "learnable eps must receive grad");
+    }
+
+    #[test]
+    fn sum_aggregation_counts_multiplicity() {
+        // Node 1 receives from 0 and 2; with identity-ish check via eps = 0,
+        // the pre-V mix for node 1 is x1 + x0 + x2.
+        let b = toy_batch();
+        let mut rng = StdRng::seed_from_u64(2);
+        let conv = GinConv::new(2, 2, &mut rng);
+        // Inspect the aggregation path by recomputing it manually.
+        let agg = b.x.gather_rows(&b.src).scatter_add_rows(&b.dst, 3);
+        assert_eq!(agg.data().row(1), &[2.0, 1.0]);
+        let out = conv.forward(&b, &b.x, true);
+        assert_eq!(out.shape(), (3, 2));
+    }
+}

@@ -1,0 +1,83 @@
+//! Graph readout, PyG style.
+//!
+//! `global_mean_pool` lowers onto the torch scatter API — a scatter_add over
+//! graph ids plus a count division — matching the paper's note that "in PyG,
+//! the pooling operations are based on the scatter API of PyTorch".
+
+use gnn_tensor::ops::segment_counts;
+use gnn_tensor::{NdArray, Tensor};
+
+use crate::batch::Batch;
+use crate::costs;
+
+/// Mean-pools node features into per-graph features `[num_graphs, F]`.
+pub fn global_mean_pool(batch: &Batch, x: &Tensor) -> Tensor {
+    gnn_device::host(costs::POOL_OVERHEAD);
+    let sums = x.scatter_add_rows(&batch.graph_ids, batch.num_graphs);
+    let counts = segment_counts(&batch.graph_ids, batch.num_graphs);
+    let inv: Vec<f32> = counts
+        .iter()
+        .map(|&c| if c > 0.0 { 1.0 / c } else { 0.0 })
+        .collect();
+    let n = inv.len();
+    sums.mul_col(&Tensor::new(NdArray::from_vec(n, 1, inv)))
+}
+
+/// Sum-pools node features into per-graph features `[num_graphs, F]`.
+pub fn global_sum_pool(batch: &Batch, x: &Tensor) -> Tensor {
+    gnn_device::host(costs::POOL_OVERHEAD);
+    x.scatter_add_rows(&batch.graph_ids, batch.num_graphs)
+}
+
+/// Max-pools node features into per-graph features `[num_graphs, F]`.
+///
+/// Lowered onto the segment-max kernel (PyG's `global_max_pool` lowers onto
+/// `scatter_max`, which our device model prices identically).
+pub fn global_max_pool(batch: &Batch, x: &Tensor) -> Tensor {
+    gnn_device::host(costs::POOL_OVERHEAD);
+    x.segment_max(&batch.graph_ids, batch.num_graphs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn_graph::Graph;
+
+    #[test]
+    fn pools_per_graph_means() {
+        let g = Graph::from_edges(4, &[]);
+        let b = Batch::from_parts(
+            &g,
+            NdArray::from_vec(4, 1, vec![1., 3., 10., 30.]),
+            vec![0, 0, 1, 1],
+            2,
+            vec![0, 1],
+        );
+        let pooled = global_mean_pool(&b, &b.x);
+        assert_eq!(pooled.data().data(), &[2., 20.]);
+    }
+
+    #[test]
+    fn sum_and_max_pools() {
+        let g = Graph::from_edges(4, &[]);
+        let b = Batch::from_parts(
+            &g,
+            NdArray::from_vec(4, 1, vec![1., 3., 10., 30.]),
+            vec![0, 0, 1, 1],
+            2,
+            vec![0, 1],
+        );
+        assert_eq!(global_sum_pool(&b, &b.x).data().data(), &[4., 40.]);
+        assert_eq!(global_max_pool(&b, &b.x).data().data(), &[3., 30.]);
+    }
+
+    #[test]
+    fn gradients_distribute_back_to_nodes() {
+        let g = Graph::from_edges(2, &[]);
+        let x = Tensor::param(NdArray::from_vec(2, 1, vec![1., 3.]));
+        let b = Batch::from_parts(&g, NdArray::zeros(2, 1), vec![0, 0], 1, vec![0]);
+        let pooled = global_mean_pool(&b, &x);
+        pooled.backward();
+        assert_eq!(x.grad().unwrap().data(), &[0.5, 0.5]);
+    }
+}

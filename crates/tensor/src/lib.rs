@@ -1,0 +1,42 @@
+//! # gnn-tensor
+//!
+//! Dense f32 tensor library with reverse-mode autograd, purpose-built for the
+//! GNN framework performance study. It plays the role PyTorch plays under
+//! PyG/DGL in the original paper: the numerical substrate both frameworks
+//! lower to.
+//!
+//! Two properties matter for the study:
+//!
+//! 1. **Real numerics** — models genuinely train; accuracies in the
+//!    reproduced tables come from actual gradient descent, not a mock.
+//! 2. **Device instrumentation** — every op reports the kernels a GPU
+//!    implementation would launch (forward *and* backward) to the
+//!    thread-local [`gnn_device::Session`], so the simulated timeline,
+//!    memory, and utilization reflect the actual op stream of each
+//!    framework.
+//!
+//! # Example: one step of logistic regression
+//!
+//! ```
+//! use gnn_tensor::{cross_entropy, NdArray, Tensor};
+//!
+//! let x = Tensor::new(NdArray::from_vec(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.]));
+//! let w = Tensor::param(NdArray::zeros(2, 2));
+//! let labels = [0u32, 0, 1, 1];
+//!
+//! let loss = cross_entropy(&x.matmul(&w), &labels);
+//! loss.backward();
+//! let grad = w.grad().expect("parameter gradient");
+//! w.data_mut().axpy(-0.5, &grad); // SGD step
+//! w.zero_grad();
+//! ```
+
+pub mod autograd;
+pub mod ndarray;
+pub mod nn;
+pub mod ops;
+
+pub use autograd::{accumulate, grad_enabled, no_grad, Backward, Tensor};
+pub use ndarray::NdArray;
+pub use ops::loss::{accuracy, cross_entropy};
+pub use ops::Ids;

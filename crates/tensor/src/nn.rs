@@ -1,0 +1,288 @@
+//! Neural-network building blocks: initialization, linear layers, batch
+//! norm with running statistics, dropout, and MLPs.
+//!
+//! Layers follow a lightweight convention instead of a framework `Module`
+//! trait: each exposes `forward(...)` and `params(&self) -> Vec<Tensor>`,
+//! which the training harness flattens into the optimizer.
+
+use std::cell::RefCell;
+
+use rand::Rng;
+
+use crate::autograd::Tensor;
+use crate::ndarray::NdArray;
+
+/// Weight initialization.
+pub mod init {
+    use super::*;
+
+    /// Glorot/Xavier uniform initialization for a `[fan_in, fan_out]` weight.
+    pub fn glorot_uniform<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut R) -> NdArray {
+        let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        let data = (0..fan_in * fan_out)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
+        NdArray::from_vec(fan_in, fan_out, data)
+    }
+
+    /// Uniform initialization in `[-limit, limit]`.
+    pub fn uniform<R: Rng + ?Sized>(rows: usize, cols: usize, limit: f32, rng: &mut R) -> NdArray {
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
+        NdArray::from_vec(rows, cols, data)
+    }
+}
+
+/// A dense affine layer `y = x W + b`.
+#[derive(Debug)]
+pub struct Linear {
+    weight: Tensor,
+    bias: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a Glorot-initialized `[in_dim, out_dim]` layer with bias.
+    pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        Linear {
+            weight: Tensor::param(init::glorot_uniform(in_dim, out_dim, rng)),
+            bias: Some(Tensor::param(NdArray::zeros(1, out_dim))),
+        }
+    }
+
+    /// Creates a Glorot-initialized layer without bias.
+    pub fn new_no_bias<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        Linear {
+            weight: Tensor::param(init::glorot_uniform(in_dim, out_dim, rng)),
+            bias: None,
+        }
+    }
+
+    /// Applies the layer.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let y = x.matmul(&self.weight);
+        match &self.bias {
+            Some(b) => y.add_bias(b),
+            None => y,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.weight.shape().0
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.weight.shape().1
+    }
+
+    /// Trainable parameters.
+    pub fn params(&self) -> Vec<Tensor> {
+        let mut p = vec![self.weight.clone()];
+        if let Some(b) = &self.bias {
+            p.push(b.clone());
+        }
+        p
+    }
+}
+
+/// Batch normalization over rows with running statistics.
+#[derive(Debug)]
+pub struct BatchNorm1d {
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: RefCell<NdArray>,
+    running_var: RefCell<NdArray>,
+    momentum: f32,
+    eps: f32,
+}
+
+impl BatchNorm1d {
+    /// Creates a batch-norm layer over `dim` features with PyTorch defaults
+    /// (`momentum = 0.1`, `eps = 1e-5`).
+    pub fn new(dim: usize) -> Self {
+        BatchNorm1d {
+            gamma: Tensor::param(NdArray::full(1, dim, 1.0)),
+            beta: Tensor::param(NdArray::zeros(1, dim)),
+            running_mean: RefCell::new(NdArray::zeros(1, dim)),
+            running_var: RefCell::new(NdArray::full(1, dim, 1.0)),
+            momentum: 0.1,
+            eps: 1e-5,
+        }
+    }
+
+    /// Applies the layer; training mode updates running statistics.
+    pub fn forward(&self, x: &Tensor, training: bool) -> Tensor {
+        if training {
+            let out = x.batch_norm_train(&self.gamma, &self.beta, self.eps);
+            let mut rm = self.running_mean.borrow_mut();
+            let mut rv = self.running_var.borrow_mut();
+            for (r, &b) in rm.data_mut().iter_mut().zip(out.batch_mean.data()) {
+                *r = (1.0 - self.momentum) * *r + self.momentum * b;
+            }
+            for (r, &b) in rv.data_mut().iter_mut().zip(out.batch_var.data()) {
+                *r = (1.0 - self.momentum) * *r + self.momentum * b;
+            }
+            out.out
+        } else {
+            x.batch_norm_eval(
+                &self.gamma,
+                &self.beta,
+                &self.running_mean.borrow(),
+                &self.running_var.borrow(),
+                self.eps,
+            )
+        }
+    }
+
+    /// Trainable parameters.
+    pub fn params(&self) -> Vec<Tensor> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+}
+
+/// Dropout layer.
+#[derive(Debug, Clone, Copy)]
+pub struct Dropout {
+    p: f32,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f32) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability {p} out of [0, 1)"
+        );
+        Dropout { p }
+    }
+
+    /// Applies dropout in training mode; identity otherwise.
+    pub fn forward<R: Rng + ?Sized>(&self, x: &Tensor, training: bool, rng: &mut R) -> Tensor {
+        if training && self.p > 0.0 {
+            x.dropout(self.p, rng)
+        } else {
+            x.clone()
+        }
+    }
+}
+
+/// A multi-layer perceptron with ReLU between hidden layers.
+///
+/// Used as GIN's update function and as the graph classifier head.
+#[derive(Debug)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Builds an MLP through the given layer `dims` (e.g. `[in, hidden, out]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two dims are given.
+    pub fn new<R: Rng + ?Sized>(dims: &[usize], rng: &mut R) -> Self {
+        assert!(dims.len() >= 2, "MLP needs at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], rng))
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Applies the MLP (ReLU after every layer except the last).
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut h = x.clone();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(&h);
+            if i != last {
+                h = h.relu();
+            }
+        }
+        h
+    }
+
+    /// Trainable parameters.
+    pub fn params(&self) -> Vec<Tensor> {
+        self.layers.iter().flat_map(Linear::params).collect()
+    }
+}
+
+/// Total bytes needed on device for `params` plus gradient plus two Adam
+/// moment buffers (the persistent footprint the paper's `nvidia-smi`
+/// readings include).
+pub fn optimizer_state_bytes(params: &[Tensor]) -> u64 {
+    params.iter().map(|p| 4 * p.data().byte_size()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes_and_params() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new(8, 3, &mut rng);
+        let x = Tensor::new(NdArray::zeros(5, 8));
+        assert_eq!(l.forward(&x).shape(), (5, 3));
+        assert_eq!(l.params().len(), 2);
+        assert_eq!(l.in_dim(), 8);
+        assert_eq!(l.out_dim(), 3);
+        let nb = Linear::new_no_bias(8, 3, &mut rng);
+        assert_eq!(nb.params().len(), 1);
+    }
+
+    #[test]
+    fn glorot_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = init::glorot_uniform(100, 50, &mut rng);
+        let limit = (6.0f32 / 150.0).sqrt();
+        assert!(w.data().iter().all(|&v| v.abs() <= limit));
+        // Not degenerate.
+        assert!(w.data().iter().any(|&v| v.abs() > limit * 0.5));
+    }
+
+    #[test]
+    fn batchnorm_running_stats_move_toward_batch() {
+        let bn = BatchNorm1d::new(1);
+        let x = Tensor::new(NdArray::from_vec(4, 1, vec![10., 10., 10., 10.]));
+        bn.forward(&x, true);
+        let rm = bn.running_mean.borrow().item();
+        assert!((rm - 1.0).abs() < 1e-6, "0.9*0 + 0.1*10 = 1.0, got {rm}");
+        // Eval mode must not move stats.
+        bn.forward(&x, false);
+        assert_eq!(bn.running_mean.borrow().item(), rm);
+    }
+
+    #[test]
+    fn mlp_forward_and_param_count() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mlp = Mlp::new(&[4, 8, 2], &mut rng);
+        let x = Tensor::new(NdArray::zeros(3, 4));
+        assert_eq!(mlp.forward(&x).shape(), (3, 2));
+        assert_eq!(mlp.params().len(), 4);
+    }
+
+    #[test]
+    fn dropout_layer_identity_in_eval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Dropout::new(0.9);
+        let x = Tensor::new(NdArray::full(1, 10, 1.0));
+        let y = d.forward(&x, false, &mut rng);
+        assert_eq!(y.data().data(), &[1.0; 10]);
+    }
+
+    #[test]
+    fn optimizer_state_counts_four_copies() {
+        let p = Tensor::param(NdArray::zeros(10, 10));
+        assert_eq!(optimizer_state_bytes(&[p]), 4 * 400);
+    }
+}

@@ -1,0 +1,102 @@
+//! Inverted dropout.
+
+use gnn_device::{record, Kernel};
+use rand::Rng;
+
+use crate::autograd::{accumulate, Backward, Tensor};
+use crate::ndarray::NdArray;
+
+struct DropoutBack {
+    mask: NdArray, // already scaled by 1/(1-p)
+}
+
+impl Backward for DropoutBack {
+    fn backward(&self, grad: &NdArray, parents: &[Tensor]) {
+        record(Kernel::elementwise("dropout_back", grad.len(), 1, 3));
+        accumulate(&parents[0], grad.zip(&self.mask, |g, m| g * m));
+    }
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+}
+
+impl Tensor {
+    /// Inverted dropout with drop probability `p`, drawing the mask from
+    /// `rng`. With `p == 0` this is a no-op (no kernel recorded, like
+    /// PyTorch's fast path).
+    ///
+    /// Inference-mode callers should simply not call this (dropout layers
+    /// skip it when not training).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn dropout<R: Rng + ?Sized>(&self, p: f32, rng: &mut R) -> Tensor {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability {p} out of [0, 1)"
+        );
+        if p == 0.0 {
+            return self.clone();
+        }
+        let x = self.data();
+        let keep = 1.0 / (1.0 - p);
+        let mask_vals: Vec<f32> = (0..x.len())
+            .map(|_| if rng.gen::<f32>() < p { 0.0 } else { keep })
+            .collect();
+        let mask = NdArray::from_vec(x.rows(), x.cols(), mask_vals);
+        record(Kernel::elementwise("dropout", x.len(), 2, 3));
+        let out = x.zip(&mask, |v, m| v * m);
+        drop(x);
+        Tensor::from_op(out, vec![self.clone()], Box::new(DropoutBack { mask }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_p_is_identity_and_shares_value() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Tensor::param(NdArray::from_vec(1, 3, vec![1., 2., 3.]));
+        let y = x.dropout(0.0, &mut rng);
+        assert_eq!(y.data().data(), &[1., 2., 3.]);
+        assert_eq!(y.id(), x.id());
+    }
+
+    #[test]
+    fn surviving_elements_are_scaled() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Tensor::param(NdArray::full(1, 1000, 1.0));
+        let y = x.dropout(0.5, &mut rng);
+        let d = y.data();
+        let kept = d.data().iter().filter(|&&v| v != 0.0).count();
+        // Every kept element must be exactly 1/(1-p) = 2.0.
+        assert!(d.data().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        // Expectation preserved within sampling noise.
+        assert!((400..600).contains(&kept), "kept = {kept}");
+    }
+
+    #[test]
+    fn backward_masks_gradient_identically() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::param(NdArray::full(1, 64, 1.0));
+        let y = x.dropout(0.25, &mut rng);
+        let fwd: Vec<f32> = y.data().data().to_vec();
+        y.backward();
+        let g = x.grad().unwrap();
+        for (f, gv) in fwd.iter().zip(g.data()) {
+            assert_eq!(f, gv, "grad mask must equal forward mask for unit input");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 1)")]
+    fn p_one_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        Tensor::new(NdArray::zeros(1, 1)).dropout(1.0, &mut rng);
+    }
+}

@@ -1,0 +1,38 @@
+//! Differentiable, device-instrumented tensor operations.
+//!
+//! Each operation:
+//! 1. computes its result on the CPU (real numerics — accuracies in the study
+//!    come from genuinely training the models), and
+//! 2. reports the kernels a GPU implementation would launch to the
+//!    thread-local [`gnn_device::Session`] — in both the forward and the
+//!    backward direction.
+//!
+//! The division into modules mirrors kernel families:
+//! [`arith`] elementwise/broadcast arithmetic, [`matmul`] dense GEMM,
+//! [`activation`] pointwise nonlinearities, [`reduce`] full reductions,
+//! [`index`] gather/scatter through index arrays, [`segment`]
+//! variable-length segment reductions and segment softmax, [`heads`]
+//! multi-head helpers for attention models, [`norm`] batch/L2 normalization,
+//! [`dropout`], and [`loss`] classification losses.
+
+pub mod activation;
+pub mod arith;
+pub mod dropout;
+pub mod heads;
+pub mod index;
+pub mod loss;
+pub mod matmul;
+pub mod norm;
+pub mod reduce;
+pub mod segment;
+pub mod shape;
+
+/// Shared row-index array used by gather/scatter/segment operations.
+///
+/// Index arrays are built once per mini-batch by the framework loaders and
+/// shared (`Rc`) between the forward tape and the backward closures.
+pub type Ids = std::rc::Rc<Vec<u32>>;
+
+pub use loss::cross_entropy;
+pub use norm::BatchNormOutput;
+pub use segment::segment_counts;

@@ -1,0 +1,132 @@
+//! Column concatenation and column selection.
+
+use gnn_device::{record, Kernel};
+
+use crate::autograd::{accumulate, Backward, Tensor};
+use crate::ndarray::NdArray;
+
+struct ConcatColsBack {
+    cols_a: usize,
+    cols_b: usize,
+}
+
+impl Backward for ConcatColsBack {
+    fn backward(&self, grad: &NdArray, parents: &[Tensor]) {
+        record(Kernel::elementwise("concat_back", grad.len(), 0, 2));
+        let n = grad.rows();
+        let mut da = NdArray::zeros(n, self.cols_a);
+        let mut db = NdArray::zeros(n, self.cols_b);
+        for r in 0..n {
+            let g = grad.row(r);
+            da.row_mut(r).copy_from_slice(&g[..self.cols_a]);
+            db.row_mut(r).copy_from_slice(&g[self.cols_a..]);
+        }
+        accumulate(&parents[0], da);
+        accumulate(&parents[1], db);
+    }
+    fn name(&self) -> &'static str {
+        "concat_cols"
+    }
+}
+
+struct SelectColBack {
+    col: usize,
+    cols: usize,
+}
+
+impl Backward for SelectColBack {
+    fn backward(&self, grad: &NdArray, parents: &[Tensor]) {
+        record(Kernel::elementwise("select_col_back", grad.len(), 0, 2));
+        let mut dx = NdArray::zeros(grad.rows(), self.cols);
+        for r in 0..grad.rows() {
+            *dx.at_mut(r, self.col) = grad.at(r, 0);
+        }
+        accumulate(&parents[0], dx);
+    }
+    fn name(&self) -> &'static str {
+        "select_col"
+    }
+}
+
+impl Tensor {
+    /// Concatenates `self [N, F1]` and `other [N, F2]` along columns into
+    /// `[N, F1 + F2]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts disagree.
+    pub fn concat_cols(&self, other: &Tensor) -> Tensor {
+        let a = self.data();
+        let b = other.data();
+        assert_eq!(a.rows(), b.rows(), "concat_cols row mismatch");
+        let (ca, cb) = (a.cols(), b.cols());
+        record(Kernel::elementwise("concat_cols", a.len() + b.len(), 0, 3));
+        let mut out = NdArray::zeros(a.rows(), ca + cb);
+        for r in 0..a.rows() {
+            out.row_mut(r)[..ca].copy_from_slice(a.row(r));
+            out.row_mut(r)[ca..].copy_from_slice(b.row(r));
+        }
+        drop(a);
+        drop(b);
+        Tensor::from_op(
+            out,
+            vec![self.clone(), other.clone()],
+            Box::new(ConcatColsBack {
+                cols_a: ca,
+                cols_b: cb,
+            }),
+        )
+    }
+
+    /// Extracts column `col` as an `[N, 1]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn select_col(&self, col: usize) -> Tensor {
+        let x = self.data();
+        assert!(col < x.cols(), "select_col {col} out of {} cols", x.cols());
+        record(Kernel::elementwise("select_col", x.rows(), 0, 2));
+        let data: Vec<f32> = (0..x.rows()).map(|r| x.at(r, col)).collect();
+        let cols = x.cols();
+        drop(x);
+        let n = data.len();
+        Tensor::from_op(
+            NdArray::from_vec(n, 1, data),
+            vec![self.clone()],
+            Box::new(SelectColBack { col, cols }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_and_split_grads() {
+        let a = Tensor::param(NdArray::from_vec(2, 1, vec![1., 2.]));
+        let b = Tensor::param(NdArray::from_vec(2, 2, vec![3., 4., 5., 6.]));
+        let y = a.concat_cols(&b);
+        assert_eq!(y.data().data(), &[1., 3., 4., 2., 5., 6.]);
+        let w = Tensor::new(NdArray::from_vec(2, 3, vec![1., 10., 100., 2., 20., 200.]));
+        y.mul(&w).backward();
+        assert_eq!(a.grad().unwrap().data(), &[1., 2.]);
+        assert_eq!(b.grad().unwrap().data(), &[10., 100., 20., 200.]);
+    }
+
+    #[test]
+    fn select_col_grads_route_to_column() {
+        let x = Tensor::param(NdArray::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]));
+        let y = x.select_col(1);
+        assert_eq!(y.data().data(), &[2., 5.]);
+        y.backward();
+        assert_eq!(x.grad().unwrap().data(), &[0., 1., 0., 0., 1., 0.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn select_col_oob() {
+        Tensor::new(NdArray::zeros(1, 2)).select_col(2);
+    }
+}

@@ -1,0 +1,226 @@
+//! Property-based tests of the tensor engine: algebraic identities, adjoint
+//! relationships between forward/backward pairs, and randomized gradient
+//! checks against finite differences.
+
+use gnn_tensor::{NdArray, Tensor};
+use proptest::prelude::*;
+use std::rc::Rc;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-3.0f32..3.0, len)
+}
+
+fn ids_strategy(len: usize, max: u32) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0..max, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// ⟨gather(x), y⟩ == ⟨x, scatter_add(y)⟩ — gather and scatter-add are
+    /// adjoint linear maps, the identity their backward rules rely on.
+    #[test]
+    fn gather_scatter_are_adjoint(
+        xv in finite_vec(8 * 3),
+        yv in finite_vec(6 * 3),
+        idx in ids_strategy(6, 8),
+    ) {
+        let x = NdArray::from_vec(8, 3, xv);
+        let y = NdArray::from_vec(6, 3, yv);
+        let ids: gnn_tensor::Ids = Rc::new(idx);
+
+        let xt = Tensor::new(x.clone());
+        let gathered = xt.gather_rows(&ids);
+        let lhs: f32 = gathered
+            .data()
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(&a, &b)| a * b)
+            .sum();
+
+        let yt = Tensor::new(y);
+        let scattered = yt.scatter_add_rows(&ids, 8);
+        let rhs: f32 = scattered
+            .data()
+            .data()
+            .iter()
+            .zip(x.data())
+            .map(|(&a, &b)| a * b)
+            .sum();
+
+        prop_assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    /// segment_sum conserves mass: column sums of the output equal column
+    /// sums of the input.
+    #[test]
+    fn segment_sum_conserves_mass(
+        xv in finite_vec(10 * 2),
+        idx in ids_strategy(10, 4),
+    ) {
+        let x = Tensor::new(NdArray::from_vec(10, 2, xv));
+        let ids: gnn_tensor::Ids = Rc::new(idx);
+        let out = x.segment_sum(&ids, 4);
+        let in_sums = x.data().col_sums();
+        let out_sums = out.data().col_sums();
+        for (a, b) in in_sums.data().iter().zip(out_sums.data()) {
+            prop_assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    /// segment_softmax outputs are a probability distribution within every
+    /// non-empty segment.
+    #[test]
+    fn segment_softmax_is_distribution(
+        xv in finite_vec(12),
+        idx in ids_strategy(12, 5),
+    ) {
+        let x = Tensor::new(NdArray::from_vec(12, 1, xv));
+        let ids: gnn_tensor::Ids = Rc::new(idx.clone());
+        let y = x.segment_softmax(&ids, 5);
+        let d = y.data();
+        for &v in d.data() {
+            prop_assert!((0.0..=1.0 + 1e-5).contains(&v), "prob {v} out of range");
+        }
+        for seg in 0..5u32 {
+            let total: f32 = idx
+                .iter()
+                .enumerate()
+                .filter(|&(_, &s)| s == seg)
+                .map(|(r, _)| d.at(r, 0))
+                .sum();
+            let count = idx.iter().filter(|&&s| s == seg).count();
+            if count > 0 {
+                prop_assert!((total - 1.0).abs() < 1e-4, "segment {seg} sums to {total}");
+            }
+        }
+    }
+
+    /// matmul distributes over addition: A(B + C) = AB + AC.
+    #[test]
+    fn matmul_distributes(
+        av in finite_vec(4 * 3),
+        bv in finite_vec(3 * 2),
+        cv in finite_vec(3 * 2),
+    ) {
+        let a = NdArray::from_vec(4, 3, av);
+        let b = NdArray::from_vec(3, 2, bv);
+        let c = NdArray::from_vec(3, 2, cv);
+        let lhs = a.matmul(&b.zip(&c, |x, y| x + y));
+        let rhs = a.matmul(&b).zip(&a.matmul(&c), |x, y| x + y);
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// Randomized finite-difference gradient check of a composite
+    /// expression: loss = sum(relu(xW) ⊙ m).
+    #[test]
+    fn gradcheck_linear_relu_chain(
+        xv in finite_vec(3 * 4),
+        wv in finite_vec(4 * 2),
+        mv in finite_vec(3 * 2),
+    ) {
+        let f = |xvals: &[f32]| -> f32 {
+            let x = NdArray::from_vec(3, 4, xvals.to_vec());
+            let w = NdArray::from_vec(4, 2, wv.clone());
+            let h = x.matmul(&w).map(|v| v.max(0.0));
+            h.data().iter().zip(&mv).map(|(&a, &b)| a * b).sum()
+        };
+        let x = Tensor::param(NdArray::from_vec(3, 4, xv.clone()));
+        let w = Tensor::new(NdArray::from_vec(4, 2, wv.clone()));
+        let m = Tensor::new(NdArray::from_vec(3, 2, mv.clone()));
+        x.matmul(&w).relu().mul(&m).sum_all().backward();
+        let g = x.grad().unwrap();
+        let eps = 1e-2;
+        for i in 0..xv.len() {
+            // Skip points near the ReLU kink where the derivative jumps.
+            let pre = {
+                let x0 = NdArray::from_vec(3, 4, xv.clone());
+                let w0 = NdArray::from_vec(4, 2, wv.clone());
+                x0.matmul(&w0)
+            };
+            if pre.data().iter().any(|v| v.abs() < 0.05) {
+                continue;
+            }
+            let mut up = xv.clone();
+            up[i] += eps;
+            let mut dn = xv.clone();
+            dn[i] -= eps;
+            let numeric = (f(&up) - f(&dn)) / (2.0 * eps);
+            prop_assert!(
+                (numeric - g.data()[i]).abs() < 0.1 * (1.0 + numeric.abs()),
+                "i = {i}: numeric {numeric} vs analytic {}",
+                g.data()[i]
+            );
+        }
+    }
+
+    /// L2-normalized rows have norm <= 1 (== 1 away from the eps floor).
+    #[test]
+    fn l2_normalize_bounds_norms(xv in finite_vec(5 * 3)) {
+        let x = Tensor::new(NdArray::from_vec(5, 3, xv));
+        let y = x.l2_normalize_rows(1e-6);
+        for r in 0..5 {
+            let n: f32 = y.data().row(r).iter().map(|v| v * v).sum::<f32>().sqrt();
+            prop_assert!(n <= 1.0 + 1e-4, "row {r} norm {n}");
+        }
+    }
+
+    /// Batch-norm (training) output has per-column mean ~0 and variance ~1
+    /// with identity affine parameters.
+    #[test]
+    fn batch_norm_standardizes(xv in finite_vec(16 * 2)) {
+        let x = Tensor::new(NdArray::from_vec(16, 2, xv.clone()));
+        // Skip degenerate columns (all values equal → zero variance).
+        for c in 0..2 {
+            let col: Vec<f32> = (0..16).map(|r| xv[r * 2 + c]).collect();
+            let spread = col.iter().cloned().fold(f32::MIN, f32::max)
+                - col.iter().cloned().fold(f32::MAX, f32::min);
+            prop_assume!(spread > 0.1);
+        }
+        let gamma = Tensor::new(NdArray::full(1, 2, 1.0));
+        let beta = Tensor::new(NdArray::zeros(1, 2));
+        let out = x.batch_norm_train(&gamma, &beta, 1e-5).out;
+        let d = out.data();
+        for c in 0..2 {
+            let mean: f32 = (0..16).map(|r| d.at(r, c)).sum::<f32>() / 16.0;
+            let var: f32 =
+                (0..16).map(|r| (d.at(r, c) - mean).powi(2)).sum::<f32>() / 16.0;
+            prop_assert!(mean.abs() < 1e-3, "col {c} mean {mean}");
+            prop_assert!((var - 1.0).abs() < 1e-2, "col {c} var {var}");
+        }
+    }
+
+    /// Cross-entropy is minimized by the one-hot logits of the labels:
+    /// the loss of strongly-correct logits is below any random logits.
+    #[test]
+    fn cross_entropy_ordering(lv in finite_vec(4 * 3), labels in ids_strategy(4, 3)) {
+        let random = Tensor::new(NdArray::from_vec(4, 3, lv));
+        let mut perfect = NdArray::zeros(4, 3);
+        for (r, &l) in labels.iter().enumerate() {
+            *perfect.at_mut(r, l as usize) = 20.0;
+        }
+        let perfect = Tensor::new(perfect);
+        let l_rand = gnn_tensor::cross_entropy(&random, &labels).item();
+        let l_perf = gnn_tensor::cross_entropy(&perfect, &labels).item();
+        prop_assert!(l_perf <= l_rand + 1e-6, "{l_perf} vs {l_rand}");
+    }
+
+    /// Autograd linearity: grad of (a·f) is a·(grad of f).
+    #[test]
+    fn gradient_scales_linearly(xv in finite_vec(6), alpha in 0.5f32..4.0) {
+        let x1 = Tensor::param(NdArray::from_vec(2, 3, xv.clone()));
+        x1.sigmoid().sum_all().backward();
+        let g1 = x1.grad().unwrap();
+
+        let x2 = Tensor::param(NdArray::from_vec(2, 3, xv));
+        x2.sigmoid().sum_all().scale(alpha).backward();
+        let g2 = x2.grad().unwrap();
+
+        for (a, b) in g1.data().iter().zip(g2.data()) {
+            prop_assert!((a * alpha - b).abs() < 1e-4, "{a} * {alpha} vs {b}");
+        }
+    }
+}

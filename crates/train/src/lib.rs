@@ -1,0 +1,30 @@
+//! # gnn-train
+//!
+//! The training harness of the study: [`Adam`] with the paper's
+//! plateau-decay schedule ([`ReduceLrOnPlateau`]), the full-batch
+//! node-classification loop (Section IV-A: max 200 epochs on Cora/PubMed),
+//! the mini-batch graph-classification loop (Section IV-B: batch 128,
+//! stratified 10-fold CV, lr halved on 25-epoch validation plateaus until
+//! 1e-6), per-phase epoch profiling (data loading / forward / backward /
+//! update / other — the categories of Figs. 1–2), and the
+//! `DataParallel`-style multi-GPU epoch composition behind Fig. 6.
+//!
+//! All loops are generic over the framework through
+//! [`gnn_models::ModelBatch`] / [`gnn_models::Loader`], so the *same* code
+//! trains a model under either framework — mirroring the paper's controlled
+//! comparison ("we make sure that the key properties of the training
+//! algorithm are the same across implementations").
+
+pub mod graph_task;
+pub mod metrics;
+pub mod multi_gpu;
+pub mod node_task;
+pub mod optim;
+pub mod scheduler;
+
+pub use graph_task::{run_cross_validation, run_graph_fold, CvOutcome, FoldOutcome, GraphTaskConfig};
+pub use metrics::{mean_std, Summary};
+pub use multi_gpu::{data_parallel_epoch_time, MultiGpuConfig};
+pub use node_task::{run_node_task, NodeOutcome, NodeTaskConfig};
+pub use optim::Adam;
+pub use scheduler::ReduceLrOnPlateau;

@@ -1,0 +1,66 @@
+//! Result aggregation: the `mean ± s.d.` columns of Tables IV and V.
+
+/// Mean and (population) standard deviation of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1}±{:.1}", self.mean, self.std)
+    }
+}
+
+/// Computes mean ± population standard deviation.
+///
+/// # Panics
+///
+/// Panics on an empty sample.
+pub fn mean_std(values: &[f64]) -> Summary {
+    assert!(!values.is_empty(), "mean of empty sample");
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    Summary {
+        mean,
+        std: var.sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        let s = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_value_has_zero_std() {
+        let s = mean_std(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn display_formats_like_tables() {
+        let s = Summary {
+            mean: 80.84,
+            std: 1.26,
+        };
+        assert_eq!(format!("{s}"), "80.8±1.3");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_rejected() {
+        mean_std(&[]);
+    }
+}

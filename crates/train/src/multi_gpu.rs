@@ -1,0 +1,133 @@
+//! Multi-GPU training composition (the paper's Section IV-E / Fig. 6).
+//!
+//! `torch.nn.DataParallel` semantics: the host loads and collates the full
+//! mini-batch, scatters shards to N replicas, broadcasts parameters, runs
+//! forward/backward in parallel, gathers outputs and reduces gradients to
+//! device 0. Per-replica compute is *measured* — the real model runs on a
+//! shard under a throwaway profiling session — and composed with the PCIe
+//! transfer model of [`gnn_device::multi`].
+
+use gnn_device::multi::{DataParallel, StepCost};
+use gnn_device::{CostModel, Session};
+use gnn_models::{GnnStack, Loader, ModelBatch};
+use gnn_tensor::cross_entropy;
+
+/// Configuration of one Fig. 6 measurement point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiGpuConfig {
+    /// Number of simulated GPUs.
+    pub n_gpus: usize,
+    /// Global mini-batch size (split across replicas).
+    pub batch_size: usize,
+    /// Number of samples per epoch.
+    pub epoch_samples: usize,
+}
+
+/// Simulated epoch time of data-parallel training, in seconds.
+///
+/// # Panics
+///
+/// Panics if the config has zero GPUs, batch size, or samples.
+pub fn data_parallel_epoch_time<L: Loader>(
+    model: &GnnStack<L::Batch>,
+    loader: &L,
+    cfg: &MultiGpuConfig,
+) -> f64 {
+    assert!(
+        cfg.n_gpus >= 1 && cfg.batch_size >= 1 && cfg.epoch_samples >= 1,
+        "bad config"
+    );
+    let n_batches = cfg.epoch_samples.div_ceil(cfg.batch_size);
+
+    // Host-side collation cost of the full batch (serialized; DataParallel
+    // never parallelizes loading — the paper's scaling ceiling).
+    let full_idx: Vec<u32> = (0..cfg.batch_size as u32).collect();
+    let handle = gnn_device::session::install(Session::new(CostModel::rtx2080ti()));
+    let full_batch = loader.load(&full_idx);
+    let load_report = gnn_device::session::finish(handle);
+    let host_load = load_report.total_time;
+    let input_bytes = full_batch.feature_bytes() + 8 * full_batch.num_edges() as u64;
+
+    // Per-replica compute: run the real model on a shard and measure.
+    let shard = (cfg.batch_size / cfg.n_gpus).max(1);
+    let shard_idx: Vec<u32> = (0..shard as u32).collect();
+    let shard_batch = loader.load(&shard_idx);
+    let handle = gnn_device::session::install(Session::new(CostModel::rtx2080ti()));
+    let logits = model.forward(&shard_batch, true);
+    let loss = cross_entropy(&logits, shard_batch.labels());
+    loss.backward();
+    let compute_report = gnn_device::session::finish(handle);
+    for p in model.params() {
+        p.zero_grad();
+    }
+    let output_bytes = (logits.shape().0 * logits.shape().1 * 4) as u64;
+
+    let step = StepCost {
+        host_load,
+        input_bytes,
+        compute: compute_report.total_time,
+        output_bytes,
+        // Update time folded into the measured compute span.
+        update: 0.0,
+    };
+    DataParallel::new(cfg.n_gpus, model.param_bytes()).epoch_time(&step, n_batches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn_datasets::SuperpixelSpec;
+    use gnn_models::adapt::RustygLoader;
+    use gnn_models::{build, ModelKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scaling_curve_has_fig6_shape() {
+        let ds = SuperpixelSpec::mnist().scaled(0.003).generate(0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = build::graph_model_rustyg(ModelKind::Gcn, 1, 10, &mut rng);
+        let loader = RustygLoader::new(&ds);
+        let times: Vec<f64> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&n| {
+                data_parallel_epoch_time(
+                    &model,
+                    &loader,
+                    &MultiGpuConfig {
+                        n_gpus: n,
+                        batch_size: 128,
+                        epoch_samples: 512,
+                    },
+                )
+            })
+            .collect();
+        // 1 -> 2 and 2 -> 4 give (at most modest) improvement; 4 -> 8 is
+        // flat or worse, matching the paper's Fig. 6 narrative.
+        assert!(times[1] <= times[0] * 1.02, "{times:?}");
+        assert!(times[2] <= times[1] * 1.02, "{times:?}");
+        let gain = (times[2] - times[3]) / times[2];
+        assert!(gain < 0.15, "4->8 should not improve much: {times:?}");
+        // Data loading keeps everything in the same ballpark: no superlinear
+        // nonsense.
+        assert!(times[3] > times[0] * 0.3, "{times:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad config")]
+    fn zero_gpus_rejected() {
+        let ds = SuperpixelSpec::mnist().scaled(0.002).generate(1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = build::graph_model_rustyg(ModelKind::Gcn, 1, 10, &mut rng);
+        let loader = RustygLoader::new(&ds);
+        data_parallel_epoch_time(
+            &model,
+            &loader,
+            &MultiGpuConfig {
+                n_gpus: 0,
+                batch_size: 8,
+                epoch_samples: 8,
+            },
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Learning-rate scheduling: reduce-on-plateau with an lr-floor stopping
+//! rule, exactly the paper's Section IV-B protocol.
+
+/// Halves the learning rate when the validation loss stops improving.
+///
+/// "The learning rate is reduced by half, i.e. reduce factor 0.5, if the
+/// validation loss does not decrease after 25 epochs. The training stops
+/// when the learning rate decays to a value of 1e-6 or less."
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReduceLrOnPlateau {
+    factor: f32,
+    patience: usize,
+    min_lr: f32,
+    best: f32,
+    epochs_since_best: usize,
+}
+
+impl ReduceLrOnPlateau {
+    /// Creates a scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor < 1`.
+    pub fn new(factor: f32, patience: usize, min_lr: f32) -> Self {
+        assert!(
+            factor > 0.0 && factor < 1.0,
+            "decay factor {factor} out of (0, 1)"
+        );
+        ReduceLrOnPlateau {
+            factor,
+            patience,
+            min_lr,
+            best: f32::INFINITY,
+            epochs_since_best: 0,
+        }
+    }
+
+    /// The paper's setting: factor 0.5, patience 25, floor 1e-6.
+    pub fn paper_default() -> Self {
+        ReduceLrOnPlateau::new(0.5, 25, 1e-6)
+    }
+
+    /// Feeds one epoch's validation loss; returns the (possibly reduced)
+    /// learning rate to use next.
+    pub fn step(&mut self, val_loss: f32, current_lr: f32) -> f32 {
+        if val_loss < self.best {
+            self.best = val_loss;
+            self.epochs_since_best = 0;
+            current_lr
+        } else {
+            self.epochs_since_best += 1;
+            if self.epochs_since_best > self.patience {
+                self.epochs_since_best = 0;
+                current_lr * self.factor
+            } else {
+                current_lr
+            }
+        }
+    }
+
+    /// Whether training should stop (`lr` has decayed to the floor).
+    pub fn should_stop(&self, lr: f32) -> bool {
+        lr <= self.min_lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improving_loss_keeps_lr() {
+        let mut s = ReduceLrOnPlateau::new(0.5, 3, 1e-6);
+        let mut lr = 0.1;
+        for i in 0..10 {
+            lr = s.step(1.0 / (i + 1) as f32, lr);
+        }
+        assert_eq!(lr, 0.1);
+    }
+
+    #[test]
+    fn plateau_halves_after_patience() {
+        let mut s = ReduceLrOnPlateau::new(0.5, 3, 1e-6);
+        let mut lr = 0.1;
+        lr = s.step(1.0, lr); // best
+        for _ in 0..3 {
+            lr = s.step(1.0, lr); // within patience
+            assert_eq!(lr, 0.1);
+        }
+        lr = s.step(1.0, lr); // patience exceeded
+        assert_eq!(lr, 0.05);
+    }
+
+    #[test]
+    fn counter_resets_after_reduction() {
+        let mut s = ReduceLrOnPlateau::new(0.5, 1, 1e-6);
+        let mut lr = 0.1;
+        lr = s.step(1.0, lr);
+        lr = s.step(1.0, lr);
+        lr = s.step(1.0, lr); // reduce to 0.05
+        assert_eq!(lr, 0.05);
+        lr = s.step(1.0, lr); // 1 epoch since reset
+        assert_eq!(lr, 0.05);
+        lr = s.step(1.0, lr); // reduce again
+        assert_eq!(lr, 0.025);
+    }
+
+    #[test]
+    fn stops_at_floor() {
+        let s = ReduceLrOnPlateau::paper_default();
+        assert!(!s.should_stop(1e-3));
+        assert!(s.should_stop(1e-6));
+        assert!(s.should_stop(5e-7));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0, 1)")]
+    fn bad_factor_rejected() {
+        ReduceLrOnPlateau::new(1.5, 2, 1e-6);
+    }
+}

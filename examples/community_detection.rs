@@ -1,0 +1,39 @@
+//! Community detection on a stochastic block model — a structure-dominant
+//! task where the node features are (almost) uninformative, so success
+//! demonstrates that the frameworks' message passing really aggregates
+//! neighbourhood information.
+//!
+//! ```sh
+//! cargo run --release --example community_detection
+//! ```
+
+use gnn_datasets::SbmSpec;
+use gnn_models::{build, ModelKind};
+use gnn_train::{run_node_task, NodeTaskConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let ds = SbmSpec::cluster().scaled(0.6).generate(11);
+    println!("dataset: {}", ds.stats());
+    println!("(features carry only a weak 20% seeding — structure is the signal)\n");
+
+    let cfg = NodeTaskConfig { max_epochs: 80, lr: 0.01 };
+    println!("{:<10} {:>9} {:>10}", "model", "test acc", "epoch");
+    for kind in [ModelKind::Gcn, ModelKind::Sage, ModelKind::Gat] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model =
+            build::node_model_rustyg(kind, ds.features.cols(), ds.num_classes, &mut rng);
+        let batch = rustyg::loader::full_graph_batch(&ds);
+        let out = run_node_task(&model, &batch, &ds, &cfg);
+        println!(
+            "{:<10} {:>8.1}% {:>8.2}ms",
+            kind.label(),
+            out.test_acc,
+            out.epoch_time * 1e3
+        );
+    }
+    println!();
+    println!("Chance is {:.1}%; a feature-only classifier stays near it, while", 100.0 / ds.num_classes as f64);
+    println!("message passing recovers the communities from the topology.");
+}

@@ -1,0 +1,56 @@
+//! What changes on newer hardware? The same GCN training batch priced under
+//! the paper's RTX 2080Ti, an A100, and a near-zero-launch-cost device.
+//! Compute-side speedups barely move the epoch — GNN training is host- and
+//! loading-bound, so the study's conclusions transfer.
+//!
+//! ```sh
+//! cargo run --release --example custom_hardware
+//! ```
+
+use gnn_datasets::TudSpec;
+use gnn_device::{CostModel, Session};
+use gnn_models::adapt::RustygLoader;
+use gnn_models::{build, Loader, ModelBatch, ModelKind};
+use gnn_tensor::cross_entropy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_under(model_name: &str, cost: CostModel) -> (f64, f64) {
+    let ds = TudSpec::enzymes().scaled(0.3).generate(21);
+    let loader = RustygLoader::new(&ds);
+    let idx: Vec<u32> = (0..64).collect();
+    let handle = gnn_device::session::install(Session::new(cost));
+    let mut rng = StdRng::seed_from_u64(7);
+    let stack = build::graph_model_rustyg(ModelKind::Gcn, ds.feature_dim, ds.num_classes, &mut rng);
+    let batch = loader.load(&idx);
+    let logits = stack.forward(&batch, true);
+    cross_entropy(&logits, batch.labels()).backward();
+    let report = gnn_device::session::finish(handle);
+    println!(
+        "{model_name:<22} batch {:>7.2} ms   utilization {:>5.1}%",
+        report.total_time * 1e3,
+        report.utilization() * 100.0
+    );
+    (report.total_time, report.utilization())
+}
+
+fn main() {
+    println!("One GCN training batch (64 ENZYMES graphs) under three devices:\n");
+    let (t2080, _) = run_under("RTX 2080Ti (paper)", CostModel::rtx2080ti());
+    let (ta100, _) = run_under("A100", CostModel::a100());
+    let zero_launch = CostModel::builder()
+        .launch_overhead(0.5e-6)
+        .kernel_overhead(0.2e-6)
+        .build();
+    let (tzl, _) = run_under("2080Ti, 0.5us launch", zero_launch);
+
+    println!();
+    println!(
+        "A100's ~2.5x bandwidth buys only {:.0}%; cheap launches buy {:.0}%. Neither",
+        (1.0 - ta100 / t2080) * 100.0,
+        (1.0 - tzl / t2080) * 100.0
+    );
+    println!("moves the needle: the batch is host-bound (framework dispatch + autograd");
+    println!("engine), and the faster the device, the *lower* its utilization — the");
+    println!("paper's Section IV-D finding is hardware-robust.");
+}

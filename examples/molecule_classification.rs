@@ -1,0 +1,52 @@
+//! Graph classification on ENZYMES-like molecular graphs with the paper's
+//! Section IV-B protocol: stratified 10-fold cross-validation, Adam with
+//! plateau decay, mean readout + MLP classifier.
+//!
+//! ```sh
+//! cargo run --release --example molecule_classification
+//! ```
+
+use gnn_datasets::{stratified_kfold, TudSpec};
+use gnn_models::adapt::RustygLoader;
+use gnn_models::{build, graph_hparams, ModelKind};
+use gnn_train::{mean_std, run_graph_fold, GraphTaskConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let ds = TudSpec::enzymes().scaled(0.3).generate(7);
+    println!("dataset: {}", ds.stats());
+    let folds = stratified_kfold(&ds.labels(), 10, 7);
+    let loader = RustygLoader::new(&ds);
+
+    let model_kind = ModelKind::Gin; // strongest isotropic model in Table V
+    let hp = graph_hparams(model_kind);
+    let mut cfg = GraphTaskConfig::from_hparams(&hp, 15, 7);
+    cfg.batch_size = 32;
+
+    println!(
+        "model: {} | layers {} | hidden {} | init lr {} | plateau({}, x{})\n",
+        model_kind.label(),
+        hp.layers,
+        hp.hidden,
+        hp.init_lr,
+        hp.patience,
+        hp.decay_factor,
+    );
+
+    let mut accs = Vec::new();
+    for (i, fold) in folds.iter().take(3).enumerate() {
+        let mut rng = StdRng::seed_from_u64(100 + i as u64);
+        let model = build::graph_model_rustyg(model_kind, ds.feature_dim, ds.num_classes, &mut rng);
+        let out = run_graph_fold(&model, &loader, fold, &cfg);
+        println!(
+            "fold {i}: test acc {:>5.1}%  ({} epochs, {:.1} ms/epoch simulated)",
+            out.test_acc,
+            out.epochs,
+            out.epoch_time * 1e3
+        );
+        accs.push(out.test_acc);
+    }
+    let summary = mean_std(&accs);
+    println!("\ncross-validated accuracy: {summary} (chance = 16.7%)");
+}

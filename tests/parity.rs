@@ -1,0 +1,181 @@
+//! Cross-framework parity: the two frameworks must agree on *semantics*
+//! (numerics, labels, dataset views) while differing in *execution*
+//! (kernel streams, collation cost). This is the precondition for the
+//! paper's controlled comparison.
+
+use gnn_datasets::{CitationSpec, TudSpec};
+use gnn_models::adapt::{RglLoader, RustygLoader};
+use gnn_models::{build, Loader, ModelBatch, ModelKind};
+use gnn_tensor::accuracy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn loaders_produce_identical_features_and_labels() {
+    let ds = TudSpec::enzymes().scaled(0.1).generate(0);
+    let idx: Vec<u32> = (0..16).collect();
+    let a = RustygLoader::new(&ds).load(&idx);
+    let b = RglLoader::new(&ds).load(&idx);
+    assert_eq!(a.x().data().data(), b.x().data().data());
+    assert_eq!(a.labels(), b.labels());
+    assert_eq!(a.num_nodes(), b.num_nodes());
+    assert_eq!(a.num_edges(), b.num_edges());
+}
+
+#[test]
+fn isotropic_aggregation_matches_exactly_across_frameworks() {
+    // GIN's sum aggregation is mathematically identical in both frameworks
+    // (fused GSpMM vs gather+scatter): same weights must give the same
+    // forward output bit-for-bit up to float associativity.
+    let ds = TudSpec::enzymes().scaled(0.1).generate(1);
+    let idx: Vec<u32> = (0..8).collect();
+    let pb = RustygLoader::new(&ds).load(&idx);
+    let db = RglLoader::new(&ds).load(&idx);
+
+    let agg_pyg =
+        pb.x.gather_rows(&pb.src)
+            .scatter_add_rows(&pb.dst, pb.num_nodes);
+    let agg_dgl = rgl::kernels::gspmm_copy_sum(&db, &db.x);
+    let (pa, da) = (agg_pyg.data(), agg_dgl.data());
+    assert_eq!(pa.shape(), da.shape());
+    for (x, y) in pa.data().iter().zip(da.data()) {
+        assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+    }
+}
+
+#[test]
+fn same_training_protocol_reaches_similar_accuracy() {
+    // Train GCN full-batch under both frameworks on the same citation
+    // graph; accuracies must be in the same band (the paper's Table IV
+    // finding: "it is hard to tell the best between the two frameworks").
+    let ds = CitationSpec::cora().scaled(0.15).generate(3);
+    let cfg = gnn_train::NodeTaskConfig {
+        max_epochs: 40,
+        lr: 0.01,
+    };
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let m1 = build::node_model_rustyg(ModelKind::Gcn, 1433, 7, &mut rng);
+    let b1 = rustyg::loader::full_graph_batch(&ds);
+    let pyg = gnn_train::run_node_task(&m1, &b1, &ds, &cfg);
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let m2 = build::node_model_rgl(ModelKind::Gcn, 1433, 7, &mut rng);
+    let b2 = rgl::loader::full_graph_batch(&ds);
+    let dgl = gnn_train::run_node_task(&m2, &b2, &ds, &cfg);
+
+    assert!(
+        pyg.test_acc > 40.0 && dgl.test_acc > 40.0,
+        "{} / {}",
+        pyg.test_acc,
+        dgl.test_acc
+    );
+    assert!(
+        (pyg.test_acc - dgl.test_acc).abs() < 15.0,
+        "accuracies diverge: {} vs {}",
+        pyg.test_acc,
+        dgl.test_acc
+    );
+    // ... while DGL pays more wall-clock per epoch.
+    assert!(dgl.epoch_time > pyg.epoch_time);
+}
+
+#[test]
+fn inference_is_deterministic_per_framework() {
+    let ds = TudSpec::enzymes().scaled(0.1).generate(4);
+    let idx: Vec<u32> = (0..8).collect();
+    let batch = RustygLoader::new(&ds).load(&idx);
+    let mut rng = StdRng::seed_from_u64(6);
+    let model = build::graph_model_rustyg(ModelKind::Gat, 18, 6, &mut rng);
+    let l1 = model.forward(&batch, false);
+    let l2 = model.forward(&batch, false);
+    assert_eq!(l1.data().data(), l2.data().data());
+    let _ = accuracy(&l1, batch.labels());
+}
+
+#[test]
+fn all_models_accept_both_frameworks_and_grad_all_params() {
+    let ds = TudSpec::enzymes().scaled(0.1).generate(7);
+    let idx: Vec<u32> = (0..8).collect();
+    let pb = RustygLoader::new(&ds).load(&idx);
+    let db = RglLoader::new(&ds).load(&idx);
+    for kind in gnn_models::config::ALL_MODELS {
+        let mut rng = StdRng::seed_from_u64(8);
+        let m = build::graph_model_rustyg(kind, 18, 6, &mut rng);
+        let loss = gnn_tensor::cross_entropy(&m.forward(&pb, true), pb.labels());
+        loss.backward();
+        for (i, p) in m.params().iter().enumerate() {
+            assert!(p.grad().is_some(), "{kind:?}/rustyg param {i} missing grad");
+        }
+
+        let mut rng = StdRng::seed_from_u64(8);
+        let m = build::graph_model_rgl(kind, 18, 6, &mut rng);
+        let loss = gnn_tensor::cross_entropy(&m.forward(&db, true), db.labels());
+        loss.backward();
+        for (i, p) in m.params().iter().enumerate() {
+            assert!(p.grad().is_some(), "{kind:?}/rgl param {i} missing grad");
+        }
+    }
+}
+
+/// Models whose two implementations are mathematically identical (GIN, SAGE,
+/// GAT, MoNet) must produce numerically matching logits when built from the
+/// same seed (identical init draws) on the same batch — the strongest form
+/// of the paper's "we ensure that they define the same network".
+#[test]
+fn identical_math_models_agree_numerically_across_frameworks() {
+    let ds = TudSpec::enzymes().scaled(0.1).generate(9);
+    let idx: Vec<u32> = (0..12).collect();
+    let pb = RustygLoader::new(&ds).load(&idx);
+    let db = RglLoader::new(&ds).load(&idx);
+    for kind in [ModelKind::Gin, ModelKind::Sage, ModelKind::Gat, ModelKind::MoNet] {
+        let mut rng = StdRng::seed_from_u64(123);
+        let pyg = build::graph_model_rustyg(kind, 18, 6, &mut rng);
+        let mut rng = StdRng::seed_from_u64(123);
+        let dgl = build::graph_model_rgl(kind, 18, 6, &mut rng);
+        let lp = pyg.forward(&pb, false);
+        let ld = dgl.forward(&db, false);
+        assert_eq!(lp.shape(), ld.shape());
+        let (a, b) = (lp.data(), ld.data());
+        let max_diff = a
+            .data()
+            .iter()
+            .zip(b.data())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        assert!(
+            max_diff < 1e-3,
+            "{kind:?}: max logit divergence {max_diff} between frameworks"
+        );
+    }
+}
+
+/// GCN and GatedGCN differ by *design* between the frameworks (sym vs mean
+/// normalization; explicit edge state) — their outputs must NOT be expected
+/// to be identical, but training either still reaches similar accuracy
+/// (asserted elsewhere). Here: verify they differ, confirming the test above
+/// isn't vacuous.
+#[test]
+fn design_divergent_models_actually_diverge() {
+    let ds = TudSpec::enzymes().scaled(0.1).generate(10);
+    let idx: Vec<u32> = (0..12).collect();
+    let pb = RustygLoader::new(&ds).load(&idx);
+    let db = RglLoader::new(&ds).load(&idx);
+    let mut rng = StdRng::seed_from_u64(9);
+    let pyg = build::graph_model_rustyg(ModelKind::GatedGcn, 18, 6, &mut rng);
+    let mut rng = StdRng::seed_from_u64(9);
+    let dgl = build::graph_model_rgl(ModelKind::GatedGcn, 18, 6, &mut rng);
+    let lp = pyg.forward(&pb, false);
+    let ld = dgl.forward(&db, false);
+    let max_diff = lp
+        .data()
+        .data()
+        .iter()
+        .zip(ld.data().data())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f32, f32::max);
+    assert!(
+        max_diff > 1e-4,
+        "GatedGCN implementations should differ by design, diff = {max_diff}"
+    );
+}
