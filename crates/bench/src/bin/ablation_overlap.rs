@@ -11,7 +11,7 @@ use gnn_core::runner::GraphDs;
 use gnn_core::RunConfig;
 use gnn_device::pipeline::{pipeline_speedup, pipelined_epoch_time, serial_epoch_time};
 use gnn_models::adapt::{RglLoader, RustygLoader};
-use gnn_models::{build, FrameworkKind, Loader, ModelBatch, ModelKind};
+use gnn_models::{build, FrameworkKind, Loader, ModelBatch};
 use gnn_tensor::cross_entropy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -21,9 +21,8 @@ fn measure<L: Loader>(
     loader: &L,
     idx: &[u32],
 ) -> (f64, f64) {
-    let h = gnn_device::session::install(gnn_device::Session::new(
-        gnn_device::CostModel::rtx2080ti(),
-    ));
+    let h =
+        gnn_device::session::install(gnn_device::Session::new(gnn_device::CostModel::rtx2080ti()));
     let batch = loader.load(idx);
     let mut load = 0.0;
     gnn_device::with(|s| load = s.now());
@@ -57,12 +56,8 @@ fn main() {
             let mut rng = StdRng::seed_from_u64(cfg.seed);
             let (load, compute) = match fw {
                 FrameworkKind::RustyG => {
-                    let stack = build::graph_model_rustyg(
-                        model,
-                        ds.feature_dim,
-                        ds.num_classes,
-                        &mut rng,
-                    );
+                    let stack =
+                        build::graph_model_rustyg(model, ds.feature_dim, ds.num_classes, &mut rng);
                     measure(&stack, &RustygLoader::new(&ds), &batch)
                 }
                 FrameworkKind::Rgl => {

@@ -20,6 +20,13 @@ fn main() {
         "{fig} — epoch-time breakdown (scale = {})\n",
         opts.config.scale
     );
-    let rows = runner::profile_sweep(&opts.config, ds);
+    let rows = gnn_bench::traced(&opts.config, || runner::profile_sweep(&opts.config, ds));
     print!("{}", report::breakdown_report(&rows));
+    if let Some(dir) = opts.config.trace.dir() {
+        let path = dir.join("kernel_counts.csv");
+        match gnn_core::export::write_csv(&path, &gnn_core::export::kernel_counts_csv(&rows)) {
+            Ok(()) => println!("kernel counts: {}", path.display()),
+            Err(e) => eprintln!("error: writing {}: {e}", path.display()),
+        }
+    }
 }

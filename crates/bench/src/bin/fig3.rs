@@ -9,6 +9,6 @@ fn main() {
         "Fig. 3 — layer-wise execution time, one ENZYMES batch (scale = {})\n",
         opts.config.scale
     );
-    let rows = runner::layer_times(&opts.config);
+    let rows = gnn_bench::traced(&opts.config, || runner::layer_times(&opts.config));
     print!("{}", report::layer_report(&rows));
 }

@@ -18,7 +18,17 @@ fn main() {
         "Figs. 4/5 — {metric} (scale = {}, batch sizes = {:?})\n",
         opts.config.scale, opts.config.batch_sizes
     );
-    let mut rows = runner::profile_sweep(&opts.config, GraphDs::Enzymes);
-    rows.extend(runner::profile_sweep(&opts.config, GraphDs::Dd));
+    let rows = gnn_bench::traced(&opts.config, || {
+        let mut rows = runner::profile_sweep(&opts.config, GraphDs::Enzymes);
+        rows.extend(runner::profile_sweep(&opts.config, GraphDs::Dd));
+        rows
+    });
     print!("{}", report::resources_report_filtered(&rows, which));
+    if let Some(dir) = opts.config.trace.dir() {
+        let path = dir.join("kernel_counts.csv");
+        match gnn_core::export::write_csv(&path, &gnn_core::export::kernel_counts_csv(&rows)) {
+            Ok(()) => println!("kernel counts: {}", path.display()),
+            Err(e) => eprintln!("error: writing {}: {e}", path.display()),
+        }
+    }
 }

@@ -9,6 +9,6 @@ fn main() {
         "Fig. 6 — multi-GPU scaling on MNIST (scale = {})\n",
         opts.config.scale
     );
-    let rows = runner::multi_gpu(&opts.config);
+    let rows = gnn_bench::traced(&opts.config, || runner::multi_gpu(&opts.config));
     print!("{}", report::fig6_report(&rows));
 }

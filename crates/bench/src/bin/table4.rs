@@ -10,6 +10,6 @@ fn main() {
         "Table IV — node classification (scale = {}, epochs = {}, seeds = {})\n",
         opts.config.scale, opts.config.node_epochs, opts.config.seeds
     );
-    let rows = runner::table4(&opts.config);
+    let rows = gnn_bench::traced(&opts.config, || runner::table4(&opts.config));
     print!("{}", report::table4_report(&rows));
 }

@@ -9,6 +9,6 @@ fn main() {
         "Table V — graph classification (scale = {}, epoch cap = {}, folds = {})\n",
         opts.config.scale, opts.config.graph_epochs, opts.config.folds
     );
-    let rows = runner::table5(&opts.config);
+    let rows = gnn_bench::traced(&opts.config, || runner::table5(&opts.config));
     print!("{}", report::table5_report(&rows));
 }

@@ -15,7 +15,9 @@
 //! | `fig6`    | Fig. 6 — multi-GPU scaling of GCN/GAT on MNIST |
 //!
 //! Common flags: `--quick` (default), `--full` (paper scale), `--smoke`,
-//! `--scale <f>`, `--seed <n>`, `--epochs <n>`, `--folds <n>`.
+//! `--scale <f>`, `--seed <n>`, `--epochs <n>`, `--folds <n>`, and
+//! `--trace <dir>` to write `trace.json` (Chrome trace-event format) and
+//! `metrics.jsonl` (one record per training epoch) into `<dir>`.
 //!
 //! The Criterion benches (`cargo bench -p gnn-bench`) measure the *library
 //! itself* (real CPU time of the tensor kernels, message-passing lowerings,
@@ -86,6 +88,9 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                     .parse()
                     .map_err(|e| format!("--seeds: {e}"))?;
             }
+            "--trace" => {
+                config.trace = gnn_core::TraceConfig::to(value_of("--trace")?);
+            }
             "--dataset" => dataset = Some(value_of("--dataset")?.to_lowercase()),
             "--metric" => metric = Some(value_of("--metric")?.to_lowercase()),
             other => return Err(format!("unknown flag: {other}")),
@@ -98,6 +103,29 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     })
 }
 
+/// Runs `f` under a `gnn-obs` collector when the config enables tracing
+/// (`--trace <dir>`), then writes `trace.json` + `metrics.jsonl` into the
+/// directory and prints a run-wide summary. Without `--trace` this is
+/// exactly `f()`.
+pub fn traced<T>(cfg: &RunConfig, f: impl FnOnce() -> T) -> T {
+    let Some(dir) = cfg.trace.dir() else {
+        return f();
+    };
+    let handle = gnn_obs::install(gnn_obs::Collector::new());
+    let out = f();
+    let trace = gnn_obs::finish(handle);
+    match trace.save(dir) {
+        Ok((trace_path, metrics_path)) => {
+            println!();
+            println!("trace:   {}", trace_path.display());
+            println!("metrics: {}", metrics_path.display());
+        }
+        Err(e) => eprintln!("error: writing trace artifacts to {}: {e}", dir.display()),
+    }
+    print!("{}", gnn_core::report::run_summary(&trace));
+    out
+}
+
 /// Parses the process arguments, exiting with usage on error.
 pub fn cli_options() -> CliOptions {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -107,7 +135,8 @@ pub fn cli_options() -> CliOptions {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage: [--quick|--full|--smoke] [--scale f] [--seed n] [--epochs n] \
-                 [--folds n] [--seeds n] [--dataset enzymes|dd] [--metric memory|utilization]"
+                 [--folds n] [--seeds n] [--dataset enzymes|dd] [--metric memory|utilization] \
+                 [--trace dir]"
             );
             std::process::exit(2);
         }
@@ -149,6 +178,14 @@ mod tests {
         let o = parse_args(&s(&["--epochs", "9"])).unwrap();
         assert_eq!(o.config.node_epochs, 9);
         assert_eq!(o.config.graph_epochs, 9);
+    }
+
+    #[test]
+    fn trace_flag_sets_directory() {
+        let o = parse_args(&s(&["--trace", "out/run1"])).unwrap();
+        assert!(o.config.trace.enabled());
+        assert_eq!(o.config.trace.dir(), Some(std::path::Path::new("out/run1")));
+        assert!(parse_args(&s(&["--trace"])).is_err());
     }
 
     #[test]

@@ -1,11 +1,51 @@
 //! Run-scale configuration.
 
+use std::path::{Path, PathBuf};
+
+/// Trace-emission settings for a run (see the `gnn-obs` crate).
+///
+/// Disabled by default. When a directory is set, binaries that honor the
+/// config install a `gnn_obs::Collector` around the experiment and write
+/// `trace.json` (Chrome trace-event format, loadable in Perfetto or
+/// `chrome://tracing`) and `metrics.jsonl` (one record per training epoch)
+/// into it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Output directory for `trace.json` + `metrics.jsonl`; `None`
+    /// disables tracing entirely (the instrumented code paths are no-ops).
+    pub dir: Option<PathBuf>,
+}
+
+impl TraceConfig {
+    /// Tracing disabled (the default).
+    pub fn off() -> Self {
+        TraceConfig { dir: None }
+    }
+
+    /// Tracing enabled, artifacts written under `dir`.
+    pub fn to(dir: impl Into<PathBuf>) -> Self {
+        TraceConfig {
+            dir: Some(dir.into()),
+        }
+    }
+
+    /// Whether tracing is enabled.
+    pub fn enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// The output directory, if tracing is enabled.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+}
+
 /// Controls the scale of an experiment run.
 ///
 /// All presets keep the full experiment *structure* — every model, both
 /// frameworks, every dataset the experiment uses — and only trade dataset
 /// size, epoch counts, seeds, and folds.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunConfig {
     /// Dataset subsampling factor in `(0, 1]`.
     pub scale: f64,
@@ -21,6 +61,8 @@ pub struct RunConfig {
     pub batch_sizes: [usize; 3],
     /// Base RNG seed.
     pub seed: u64,
+    /// Trace emission (off in every preset; see [`TraceConfig`]).
+    pub trace: TraceConfig,
 }
 
 impl RunConfig {
@@ -35,6 +77,7 @@ impl RunConfig {
             folds: 10,
             batch_sizes: [64, 128, 256],
             seed: 0,
+            trace: TraceConfig::off(),
         }
     }
 
@@ -50,6 +93,7 @@ impl RunConfig {
             folds: 2,
             batch_sizes: [64, 128, 256],
             seed: 0,
+            trace: TraceConfig::off(),
         }
     }
 
@@ -63,6 +107,7 @@ impl RunConfig {
             folds: 1,
             batch_sizes: [8, 16, 32],
             seed: 0,
+            trace: TraceConfig::off(),
         }
     }
 
@@ -80,6 +125,12 @@ impl RunConfig {
     /// Replaces the base seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enables trace emission into `dir`.
+    pub fn with_trace(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.trace = TraceConfig::to(dir);
         self
     }
 }
@@ -114,5 +165,14 @@ mod tests {
     #[should_panic(expected = "out of (0, 1]")]
     fn bad_scale_panics() {
         RunConfig::quick().with_scale(2.0);
+    }
+
+    #[test]
+    fn trace_is_off_by_default_and_settable() {
+        assert!(!RunConfig::quick().trace.enabled());
+        assert!(!RunConfig::paper().trace.enabled());
+        let c = RunConfig::smoke().with_trace("out/traces");
+        assert!(c.trace.enabled());
+        assert_eq!(c.trace.dir(), Some(std::path::Path::new("out/traces")));
     }
 }

@@ -109,7 +109,10 @@ pub const EXPERIMENTS: [Experiment; 9] = [
 
 /// Looks up the registry entry for `id`.
 pub fn experiment(id: ExperimentId) -> &'static Experiment {
-    EXPERIMENTS.iter().find(|e| e.id == id).expect("registry covers all ids")
+    EXPERIMENTS
+        .iter()
+        .find(|e| e.id == id)
+        .expect("registry covers all ids")
 }
 
 #[cfg(test)]
@@ -148,10 +151,7 @@ mod tests {
                 .split_whitespace()
                 .next()
                 .unwrap();
-            let path = format!(
-                "{}/../bench/src/bin/{bin}.rs",
-                env!("CARGO_MANIFEST_DIR")
-            );
+            let path = format!("{}/../bench/src/bin/{bin}.rs", env!("CARGO_MANIFEST_DIR"));
             assert!(
                 std::path::Path::new(&path).exists(),
                 "binary source missing: {path}"

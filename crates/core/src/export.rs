@@ -83,6 +83,27 @@ pub fn profile_csv(rows: &[ProfileRow]) -> String {
     out
 }
 
+/// Renders per-kind kernel launch counts from profile-sweep rows as
+/// long-format CSV: one line per (configuration, kernel kind).
+pub fn kernel_counts_csv(rows: &[ProfileRow]) -> String {
+    let mut out = String::from("dataset,model,framework,batch_size,kind,count\n");
+    for r in rows {
+        for (kind, count) in &r.kind_counts {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{}",
+                esc(&r.dataset),
+                r.model.label(),
+                r.framework.label(),
+                r.batch_size,
+                kind.label(),
+                count
+            );
+        }
+    }
+    out
+}
+
 /// Renders layer-time rows (Fig. 3) as long-format CSV.
 pub fn layer_times_csv(rows: &[LayerTimeRow]) -> String {
     let mut out = String::from("model,framework,scope,seconds\n");
@@ -143,7 +164,10 @@ mod tests {
             framework: FrameworkKind::RustyG,
             epoch_time: 0.005,
             total_time: 1.0,
-            acc: Summary { mean: 80.8, std: 1.3 },
+            acc: Summary {
+                mean: 80.8,
+                std: 1.3,
+            },
         }
     }
 
@@ -173,13 +197,30 @@ mod tests {
             phase_times: [0.01, 0.002, 0.003, 0.001, 0.004],
             peak_memory: 1_000_000,
             utilization: 0.25,
+            kind_counts: vec![
+                (gnn_device::KernelKind::Gemm, 40),
+                (gnn_device::KernelKind::Gather, 12),
+            ],
         };
-        let csv = profile_csv(&[row]);
+        let csv = profile_csv(std::slice::from_ref(&row));
         let header = csv.lines().next().unwrap();
-        for col in ["data_load_s", "forward_s", "backward_s", "update_s", "other_s"] {
+        for col in [
+            "data_load_s",
+            "forward_s",
+            "backward_s",
+            "update_s",
+            "other_s",
+        ] {
             assert!(header.contains(col), "missing column {col}");
         }
         assert!(csv.contains("ENZYMES,GAT,DGL,128,0.01,"));
+
+        let counts = kernel_counts_csv(&[row]);
+        let lines: Vec<&str> = counts.lines().collect();
+        assert_eq!(lines[0], "dataset,model,framework,batch_size,kind,count");
+        assert_eq!(lines.len(), 3);
+        assert!(counts.contains("ENZYMES,GAT,DGL,128,gemm,40"));
+        assert!(counts.contains("ENZYMES,GAT,DGL,128,gather,12"));
     }
 
     #[test]

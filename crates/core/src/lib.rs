@@ -36,5 +36,5 @@ pub mod export;
 pub mod report;
 pub mod runner;
 
-pub use config::RunConfig;
+pub use config::{RunConfig, TraceConfig};
 pub use report::render_table;

@@ -230,6 +230,79 @@ pub fn fig6_report(rows: &[MultiGpuRow]) -> String {
     render_table(&["Model", "Framework", "Batch", "GPUs", "Epoch"], &body)
 }
 
+/// Renders a run-wide summary of a finished trace: one row per training
+/// run (from the JSONL epoch records) plus aggregate kernel/event totals.
+///
+/// This is what the reproduction binaries print after saving trace
+/// artifacts, so a `--trace` run ends with a human-readable digest of what
+/// the trace contains.
+pub fn run_summary(trace: &gnn_obs::Trace) -> String {
+    let mut out = String::new();
+    let mut runs: Vec<&str> = Vec::new();
+    for e in &trace.epochs {
+        if !runs.contains(&e.run.as_str()) {
+            runs.push(&e.run);
+        }
+    }
+    if runs.is_empty() {
+        out.push_str("no epoch records (no training loop ran under the collector)\n");
+    } else {
+        let body: Vec<Vec<String>> = runs
+            .iter()
+            .map(|run| {
+                let recs: Vec<_> = trace.epochs.iter().filter(|e| &e.run == run).collect();
+                let last = recs[recs.len() - 1];
+                let kernels: u64 = recs
+                    .iter()
+                    .flat_map(|r| r.kernel_counts.iter())
+                    .map(|(_, n)| n)
+                    .sum();
+                vec![
+                    (*run).to_string(),
+                    recs.len().to_string(),
+                    format!("{:.4}", last.loss),
+                    last.accuracy
+                        .map_or_else(|| "-".to_string(), |a| format!("{:.1}%", a * 100.0)),
+                    kernels.to_string(),
+                    format!("{:.1}MB", last.peak_memory as f64 / 1e6),
+                    format!("{:.1}%", last.utilization * 100.0),
+                    fmt_secs(last.sim_time),
+                    fmt_secs(last.wall_time),
+                ]
+            })
+            .collect();
+        out.push_str(&render_table(
+            &[
+                "Run", "Epochs", "Loss", "Acc", "Kernels", "PeakMem", "Util", "Sim", "Wall",
+            ],
+            &body,
+        ));
+    }
+    // Aggregate per-kind kernel launches across every epoch record.
+    let mut kinds: Vec<(String, u64)> = Vec::new();
+    for (kind, n) in trace.epochs.iter().flat_map(|e| e.kernel_counts.iter()) {
+        match kinds.iter_mut().find(|(k, _)| k == kind) {
+            Some((_, total)) => *total += n,
+            None => kinds.push((kind.clone(), *n)),
+        }
+    }
+    if !kinds.is_empty() {
+        let parts: Vec<String> = kinds.iter().map(|(k, n)| format!("{k}={n}")).collect();
+        out.push_str(&format!("kernel launches: {}\n", parts.join(", ")));
+    }
+    out.push_str(&format!(
+        "trace events: {} across {} tracks\n",
+        trace.events.len(),
+        {
+            let mut tracks: Vec<&str> = trace.events.iter().map(|e| e.track.as_str()).collect();
+            tracks.sort_unstable();
+            tracks.dedup();
+            tracks.len()
+        }
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,10 +332,12 @@ mod tests {
             phase_times: [0.0; 5],
             peak_memory: 1_000_000,
             utilization: 0.3,
+            kind_counts: vec![(gnn_device::KernelKind::Gemm, 4)],
         };
-        let mem = resources_report_filtered(&[row.clone()], ResourceMetric::Memory);
+        let mem = resources_report_filtered(std::slice::from_ref(&row), ResourceMetric::Memory);
         assert!(mem.contains("PeakMem") && !mem.contains("GPUUtil"));
-        let util = resources_report_filtered(&[row.clone()], ResourceMetric::Utilization);
+        let util =
+            resources_report_filtered(std::slice::from_ref(&row), ResourceMetric::Utilization);
         assert!(!util.contains("PeakMem") && util.contains("GPUUtil"));
         let both = resources_report_filtered(&[row], ResourceMetric::Both);
         assert!(both.contains("PeakMem") && both.contains("GPUUtil"));
@@ -280,5 +355,41 @@ mod tests {
     #[should_panic(expected = "row width mismatch")]
     fn uneven_rows_rejected() {
         render_table(&["a"], &[vec!["x".into(), "y".into()]]);
+    }
+
+    #[test]
+    fn run_summary_lists_runs_and_kernel_totals() {
+        let rec = |run: &str, epoch: u32| gnn_obs::EpochRecord {
+            run: run.into(),
+            epoch,
+            loss: 0.5 / (epoch + 1) as f64,
+            accuracy: Some(0.7),
+            lr: 1e-3,
+            phase_times: vec![("forward".into(), 0.1)],
+            kernel_counts: vec![("gemm".into(), 10), ("gather".into(), 2)],
+            peak_memory: 2_000_000,
+            utilization: 0.4,
+            sim_time: 0.2 * (epoch + 1) as f64,
+            wall_time: 0.01,
+        };
+        let trace = gnn_obs::Trace {
+            events: vec![],
+            epochs: vec![rec("a", 0), rec("a", 1), rec("b", 0)],
+        };
+        let s = run_summary(&trace);
+        assert!(s.contains("| a"), "{s}");
+        assert!(s.contains("| b"), "{s}");
+        assert!(s.contains("kernel launches: gemm=30, gather=6"), "{s}");
+        assert!(s.contains("trace events: 0"), "{s}");
+    }
+
+    #[test]
+    fn run_summary_empty_trace_degrades_gracefully() {
+        let trace = gnn_obs::Trace {
+            events: vec![],
+            epochs: vec![],
+        };
+        let s = run_summary(&trace);
+        assert!(s.contains("no epoch records"), "{s}");
     }
 }

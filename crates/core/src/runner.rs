@@ -4,11 +4,13 @@ use gnn_datasets::{
     stratified_kfold, CitationSpec, DatasetStats, GraphDataset, NodeDataset, SuperpixelSpec,
     TudSpec,
 };
+use gnn_device::KernelKind;
 use gnn_models::adapt::{RglLoader, RustygLoader};
 use gnn_models::{
     build, config::ALL_FRAMEWORKS, config::ALL_MODELS, graph_hparams, node_hparams, FrameworkKind,
     ModelKind,
 };
+use gnn_obs as obs;
 use gnn_train::{
     data_parallel_epoch_time, mean_std, run_graph_fold, run_node_task, FoldOutcome,
     GraphTaskConfig, MultiGpuConfig, NodeOutcome, NodeTaskConfig, Summary,
@@ -17,6 +19,25 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::config::RunConfig;
+
+/// Marks the start of one sweep cell on the runner track, so traces show
+/// where each (dataset, model, framework) combination begins. Instant
+/// events only — the runner itself never touches the simulated clocks.
+fn mark_cell(experiment: &str, dataset: &str, model: ModelKind, framework: FrameworkKind) {
+    if !obs::is_active() {
+        return;
+    }
+    obs::instant(
+        obs::tracks::RUNNER,
+        experiment,
+        gnn_device::sim_now(),
+        vec![
+            ("dataset".to_owned(), obs::Value::from(dataset)),
+            ("model".to_owned(), obs::Value::from(model.label())),
+            ("framework".to_owned(), obs::Value::from(framework.label())),
+        ],
+    );
+}
 
 /// The graph-classification datasets used by the profiling experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,6 +141,7 @@ pub fn table4(cfg: &RunConfig) -> Vec<Table4Row> {
         let ds = spec.scaled(cfg.scale).generate(cfg.seed);
         for model in ALL_MODELS {
             for framework in ALL_FRAMEWORKS {
+                mark_cell("table4", &ds.name, model, framework);
                 let task = NodeTaskConfig {
                     max_epochs: cfg.node_epochs,
                     lr: node_hparams(model).lr,
@@ -202,6 +224,7 @@ pub fn table5(cfg: &RunConfig) -> Vec<Table5Row> {
         let folds = stratified_kfold(&ds.labels(), 10, cfg.seed);
         for model in ALL_MODELS {
             for framework in ALL_FRAMEWORKS {
+                mark_cell("table5", &ds.name, model, framework);
                 let mut task = GraphTaskConfig::from_hparams(
                     &graph_hparams(model),
                     cfg.graph_epochs,
@@ -256,6 +279,9 @@ pub struct ProfileRow {
     pub peak_memory: u64,
     /// GPU compute utilization in `[0, 1]` (paper Eq. 5).
     pub utilization: f64,
+    /// Kernel launch counts per kind over the whole profiled run (not
+    /// per-epoch), in first-seen order.
+    pub kind_counts: Vec<(KernelKind, u64)>,
 }
 
 impl ProfileRow {
@@ -276,6 +302,7 @@ pub fn profile_sweep(cfg: &RunConfig, dataset: GraphDs) -> Vec<ProfileRow> {
     for model in ALL_MODELS {
         for framework in ALL_FRAMEWORKS {
             for &batch_size in &cfg.batch_sizes {
+                mark_cell("profile_sweep", &ds.name, model, framework);
                 let task = GraphTaskConfig {
                     batch_size: batch_size.min(fold.train.len().max(1)),
                     init_lr: graph_hparams(model).init_lr,
@@ -300,6 +327,7 @@ pub fn profile_sweep(cfg: &RunConfig, dataset: GraphDs) -> Vec<ProfileRow> {
                     phase_times,
                     peak_memory: out.report.peak_memory,
                     utilization: out.report.utilization(),
+                    kind_counts: out.report.kind_counts,
                 });
             }
         }
@@ -331,6 +359,7 @@ pub fn layer_times(cfg: &RunConfig) -> Vec<LayerTimeRow> {
     let mut rows = Vec::new();
     for model in ALL_MODELS {
         for framework in ALL_FRAMEWORKS {
+            mark_cell("layer_times", &ds.name, model, framework);
             let mut rng = StdRng::seed_from_u64(cfg.seed + 5);
             let report = match framework {
                 FrameworkKind::RustyG => {
@@ -398,6 +427,7 @@ pub fn multi_gpu(cfg: &RunConfig) -> Vec<MultiGpuRow> {
     let mut rows = Vec::new();
     for model in [ModelKind::Gcn, ModelKind::Gat] {
         for framework in ALL_FRAMEWORKS {
+            mark_cell("multi_gpu", &ds.name, model, framework);
             let mut rng = StdRng::seed_from_u64(cfg.seed + 6);
             for &batch_size in &[128usize, 256, 512] {
                 let batch_size = batch_size.min(epoch_samples);
@@ -467,6 +497,13 @@ mod tests {
             assert!(r.epoch_time() > 0.0);
             assert!(r.peak_memory > 0);
             assert!((0.0..=1.0).contains(&r.utilization));
+            assert!(
+                !r.kind_counts.is_empty(),
+                "{:?}/{:?} profiled no kernels",
+                r.model,
+                r.framework
+            );
+            assert!(r.kind_counts.iter().all(|(_, n)| *n > 0));
         }
         // PyG loads data faster than DGL for every (model, batch) pair.
         for m in ALL_MODELS {

@@ -64,13 +64,15 @@ impl SbmSpec {
     ///
     /// Panics unless `0 < factor <= 1`.
     pub fn scaled(mut self, factor: f64) -> Self {
-        assert!(factor > 0.0 && factor <= 1.0, "scale factor {factor} out of (0, 1]");
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "scale factor {factor} out of (0, 1]"
+        );
         let scale = |v: usize| ((v as f64 * factor).round() as usize).max(1);
         self.num_nodes = scale(self.num_nodes);
         self.num_val = scale(self.num_val);
         self.num_test = scale(self.num_test);
-        let floor =
-            self.num_blocks * (self.train_per_class + 8) + self.num_val + self.num_test;
+        let floor = self.num_blocks * (self.train_per_class + 8) + self.num_val + self.num_test;
         self.num_nodes = self.num_nodes.max(floor);
         self
     }
@@ -96,7 +98,11 @@ impl SbmSpec {
         let mut dst = Vec::new();
         for i in 0..n as u32 {
             for j in (i + 1)..n as u32 {
-                let p = if labels[i as usize] == labels[j as usize] { p_intra } else { p_inter };
+                let p = if labels[i as usize] == labels[j as usize] {
+                    p_intra
+                } else {
+                    p_inter
+                };
                 if rng.gen_bool(p) {
                     src.push(i);
                     dst.push(j);
@@ -110,12 +116,12 @@ impl SbmSpec {
         // Features: mostly uniform noise; a seeded minority get a one-hot
         // community hint in the leading columns.
         let mut features = NdArray::zeros(n, self.feature_dim);
-        for i in 0..n {
+        for (i, &label) in labels.iter().enumerate().take(n) {
             for c in 0..self.feature_dim {
                 *features.at_mut(i, c) = rng.gen_range(-0.5..0.5);
             }
             if rng.gen_bool(self.seed_fraction) {
-                let hint = labels[i] as usize % self.feature_dim;
+                let hint = label as usize % self.feature_dim;
                 *features.at_mut(i, hint) += 2.0;
             }
         }
@@ -191,7 +197,10 @@ mod tests {
             }
         }
         let acc = correct as f64 / ds.graph.num_nodes() as f64;
-        assert!(acc < 0.5, "feature-only accuracy {acc} too high for an SBM task");
+        assert!(
+            acc < 0.5,
+            "feature-only accuracy {acc} too high for an SBM task"
+        );
     }
 
     #[test]

@@ -202,10 +202,9 @@ fn ring_with_chords(n: usize, avg_degree: f32, rng: &mut StdRng) -> Graph {
     for i in 0..n as u32 {
         let j = (i + 1) % n as u32;
         let key = if i < j { (i, j) } else { (j, i) };
-        if (n > 2 || i < j)
-            && seen.insert(key) {
-                pairs.push(key);
-            }
+        if (n > 2 || i < j) && seen.insert(key) {
+            pairs.push(key);
+        }
     }
     // Random chords.
     let mut attempts = 0;

@@ -59,4 +59,4 @@ pub use timeline::Timeline;
 /// Convenience re-export of the free functions that tensor/framework code
 /// calls on the thread-local session. All of them are no-ops when no session
 /// is installed, so library code can be instrumented unconditionally.
-pub use session::{alloc, free, host, record, scope, set_phase, with};
+pub use session::{alloc, free, host, record, scope, set_phase, sim_now, traced, with};

@@ -11,6 +11,8 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use gnn_obs as obs;
+
 use crate::cost::CostModel;
 use crate::kernel::{Kernel, KernelKind};
 use crate::memory::MemoryTracker;
@@ -76,6 +78,8 @@ pub struct Session {
     scope_stack: Vec<(String, f64)>,
     scope_times: Vec<(String, f64)>,
     kind_counts: Vec<(KernelKind, u64)>,
+    /// Whether a phase span is currently open on the trace (tracing only).
+    trace_phase_open: bool,
 }
 
 impl Session {
@@ -92,6 +96,7 @@ impl Session {
             scope_stack: Vec::new(),
             scope_times: Vec::new(),
             kind_counts: Vec::new(),
+            trace_phase_open: false,
         }
     }
 
@@ -99,10 +104,23 @@ impl Session {
     /// kernel's roofline duration.
     pub fn record(&mut self, kernel: Kernel) {
         let dur = self.cost.kernel_time(&kernel);
-        self.timeline.launch(self.cost.launch_time(), dur);
+        let (start, end) = self.timeline.launch(self.cost.launch_time(), dur);
         match self.kind_counts.iter_mut().find(|(k, _)| *k == kernel.kind) {
             Some((_, n)) => *n += 1,
             None => self.kind_counts.push((kernel.kind, 1)),
+        }
+        if obs::is_active() {
+            obs::complete(
+                obs::tracks::KERNELS,
+                kernel.name,
+                start,
+                end - start,
+                vec![
+                    ("kind".to_owned(), obs::Value::from(kernel.kind.label())),
+                    ("flops".to_owned(), obs::Value::from(kernel.flops)),
+                    ("bytes".to_owned(), obs::Value::from(kernel.bytes)),
+                ],
+            );
         }
     }
 
@@ -119,6 +137,48 @@ impl Session {
         self.phase_times[self.phase.index()] += now - self.phase_start;
         self.phase = phase;
         self.phase_start = now;
+        if obs::is_active() {
+            if self.trace_phase_open {
+                obs::span_end(obs::tracks::PHASE, now);
+            }
+            obs::span_begin(obs::tracks::PHASE, phase.label(), now);
+            self.trace_phase_open = true;
+        }
+    }
+
+    /// The simulated time a sync would land at, without performing one.
+    ///
+    /// Unlike [`Session::now`] this never mutates the timeline, so the
+    /// tracing layer can timestamp events without perturbing phase
+    /// attribution — a traced run and an untraced run stay identical.
+    pub fn sim_now(&self) -> f64 {
+        self.timeline.horizon()
+    }
+
+    /// Phase times attributed so far (excludes the currently open phase
+    /// span), indexed like [`PHASES`].
+    pub fn phase_times_so_far(&self) -> [f64; 5] {
+        self.phase_times
+    }
+
+    /// Kernel launch counts per kind so far, in first-seen order.
+    pub fn kind_counts_so_far(&self) -> &[(KernelKind, u64)] {
+        &self.kind_counts
+    }
+
+    /// Kernels launched so far.
+    pub fn kernel_count_so_far(&self) -> u64 {
+        self.timeline.kernel_count()
+    }
+
+    /// Device utilization so far: busy time over the simulated horizon.
+    pub fn utilization_so_far(&self) -> f64 {
+        let elapsed = self.timeline.horizon();
+        if elapsed <= 0.0 {
+            0.0
+        } else {
+            (self.timeline.busy() / elapsed).clamp(0.0, 1.0)
+        }
     }
 
     /// Current simulated host time.
@@ -133,6 +193,9 @@ impl Session {
         self.timeline.sync();
         self.scope_stack
             .push((name.to_owned(), self.timeline.now()));
+        if obs::is_active() {
+            obs::span_begin(obs::tracks::SCOPES, name, self.timeline.now());
+        }
     }
 
     /// Exits the innermost scope.
@@ -151,26 +214,44 @@ impl Session {
             Some((_, t)) => *t += dur,
             None => self.scope_times.push((name, dur)),
         }
+        if obs::is_active() {
+            obs::span_end(obs::tracks::SCOPES, self.timeline.now());
+        }
     }
 
     /// Registers a step-scoped device allocation.
     pub fn alloc(&mut self, bytes: u64) {
         self.memory.alloc(bytes);
+        self.trace_memory();
     }
 
     /// Releases a step-scoped device allocation early.
     pub fn free(&mut self, bytes: u64) {
         self.memory.free(bytes);
+        self.trace_memory();
     }
 
     /// Registers a persistent device allocation (parameters, optimizer state).
     pub fn alloc_persistent(&mut self, bytes: u64) {
         self.memory.alloc_persistent(bytes);
+        self.trace_memory();
     }
 
     /// Ends a training step: releases all step-scoped memory.
     pub fn end_step(&mut self) {
         self.memory.end_step();
+        self.trace_memory();
+    }
+
+    fn trace_memory(&self) {
+        if obs::is_active() {
+            obs::counter(
+                obs::tracks::MEMORY,
+                "device_bytes",
+                self.memory.current() as f64,
+                self.sim_now(),
+            );
+        }
     }
 
     /// Read-only view of the memory tracker.
@@ -186,6 +267,9 @@ impl Session {
     /// Finalizes the session into a report.
     pub fn into_report(mut self) -> DeviceReport {
         self.set_phase(Phase::Other); // flush the open phase span
+        if self.trace_phase_open {
+            obs::span_end(obs::tracks::PHASE, self.timeline.now());
+        }
         DeviceReport {
             total_time: self.timeline.now(),
             busy_time: self.timeline.busy(),
@@ -275,6 +359,14 @@ pub struct SessionHandle(Rc<RefCell<Session>>);
 /// previous one.
 pub fn install(session: Session) -> SessionHandle {
     let rc = Rc::new(RefCell::new(session));
+    if obs::is_active() {
+        // Each session restarts simulated time at zero; a new trace
+        // generation keeps its events on their own Chrome-trace process.
+        obs::session_started();
+        let mut s = rc.borrow_mut();
+        obs::span_begin(obs::tracks::PHASE, s.phase.label(), s.sim_now());
+        s.trace_phase_open = true;
+    }
     CURRENT.with(|c| *c.borrow_mut() = Some(rc.clone()));
     SessionHandle(rc)
 }
@@ -297,6 +389,19 @@ pub fn finish(handle: SessionHandle) -> DeviceReport {
         .expect("session handle still shared at finish")
         .into_inner();
     session.into_report()
+}
+
+/// Runs `f` with the current session and returns its result, if any.
+pub fn query<T, F: FnOnce(&Session) -> T>(f: F) -> Option<T> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|rc| f(&rc.borrow())))
+}
+
+/// Current simulated time on this thread's session (0 without one).
+///
+/// Non-mutating: reads the timeline horizon without synchronizing, so
+/// instrumentation using it cannot perturb the simulation.
+pub fn sim_now() -> f64 {
+    query(Session::sim_now).unwrap_or(0.0)
 }
 
 /// Runs `f` with the current session, if any.
@@ -338,6 +443,24 @@ pub fn scope<T, F: FnOnce() -> T>(name: &str, f: F) -> T {
     with(|s| s.scope_enter(name));
     let out = f();
     with(|s| s.scope_exit());
+    out
+}
+
+/// Runs `f` inside a pure tracing span on `track`, timestamped with the
+/// non-mutating simulated clock.
+///
+/// Unlike [`scope`] this never synchronizes the timeline and never touches
+/// scope accounting: with tracing disabled it is exactly `f()`, and with
+/// tracing enabled the simulation still proceeds identically. Framework
+/// internals (message-passing lowerings, fused kernels) use it to appear
+/// as named slices in the Chrome trace.
+pub fn traced<T, F: FnOnce() -> T>(track: &'static str, name: &str, f: F) -> T {
+    if !obs::is_active() {
+        return f();
+    }
+    obs::span_begin(track, name, sim_now());
+    let out = f();
+    obs::span_end(track, sim_now());
     out
 }
 

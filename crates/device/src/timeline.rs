@@ -62,7 +62,9 @@ impl Timeline {
 
     /// Issues a kernel: costs the host `launch` seconds, then schedules
     /// `duration` seconds of device work behind any queued kernels.
-    pub fn launch(&mut self, launch: f64, duration: f64) {
+    /// Returns the `[start, end]` interval the kernel occupies on the
+    /// device stream (used by the tracing layer for kernel slices).
+    pub fn launch(&mut self, launch: f64, duration: f64) -> (f64, f64) {
         assert!(
             duration.is_finite() && duration >= 0.0,
             "invalid kernel time {duration}"
@@ -72,6 +74,15 @@ impl Timeline {
         self.device_free = start + duration;
         self.busy += duration;
         self.kernels += 1;
+        (start, self.device_free)
+    }
+
+    /// The time a [`Timeline::sync`] would land at, without performing one:
+    /// the later of the host clock and the device drain time. Non-mutating,
+    /// so observability code can timestamp events without perturbing the
+    /// simulation.
+    pub fn horizon(&self) -> f64 {
+        self.now.max(self.device_free)
     }
 
     /// Joins host to device (cudaStreamSynchronize).

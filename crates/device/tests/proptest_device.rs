@@ -46,7 +46,9 @@ proptest! {
         for (kind, dur) in ops {
             match kind {
                 0 => t.host(dur),
-                _ => t.launch(1e-6, dur),
+                _ => {
+                    t.launch(1e-6, dur);
+                }
             }
             prop_assert!(t.now() >= last_now, "host clock must be monotone");
             last_now = t.now();

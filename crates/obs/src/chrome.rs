@@ -1,0 +1,186 @@
+//! Chrome trace-event JSON export.
+//!
+//! Produces the JSON object format (`{"traceEvents": [...]}`) understood by
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev). Each session
+//! generation becomes a *process* (its simulated clock restarts at zero, so
+//! separate pids keep timelines from overlapping); each track becomes a
+//! named *thread* within it. Spans map to `B`/`E` pairs, kernels to `X`
+//! complete slices, counters to `C`, markers to `i`. Timestamps are
+//! simulated microseconds; every slice carries the host wall-clock stamp in
+//! its `args.wall_s` so both clocks survive the export.
+
+use crate::json::Value;
+use crate::recorder::{EventKind, TraceEvent};
+
+/// Renders `events` as a Chrome trace-event JSON document.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut doc: Vec<Value> = Vec::new();
+    // Stable track → tid mapping per generation, in first-seen order, with
+    // metadata events naming each process and thread.
+    let mut tracks: Vec<(u32, String)> = Vec::new();
+    for event in events {
+        let key = (event.generation, event.track.clone());
+        if !tracks.contains(&key) {
+            tracks.push(key);
+        }
+    }
+    for (generation, track) in &tracks {
+        let tid = tid_for(&tracks, *generation, track);
+        if tid == 0 {
+            doc.push(meta_event(
+                "process_name",
+                *generation,
+                tid,
+                &format!("session {generation}"),
+            ));
+        }
+        doc.push(meta_event("thread_name", *generation, tid, track));
+    }
+    for event in events {
+        let tid = tid_for(&tracks, event.generation, &event.track);
+        let mut members: Vec<(String, Value)> = vec![
+            ("pid".into(), Value::from(event.generation)),
+            ("tid".into(), Value::from(tid)),
+            ("ts".into(), Value::Num(event.sim * 1e6)),
+        ];
+        let wall = ("wall_s".to_owned(), Value::Num(event.wall));
+        match &event.kind {
+            EventKind::Begin { name } => {
+                members.push(("ph".into(), Value::from("B")));
+                members.push(("name".into(), Value::from(name.as_str())));
+                members.push(("args".into(), Value::Obj(vec![wall])));
+            }
+            EventKind::End => {
+                members.push(("ph".into(), Value::from("E")));
+            }
+            EventKind::Complete { name, dur, args } => {
+                members.push(("ph".into(), Value::from("X")));
+                members.push(("name".into(), Value::from(name.as_str())));
+                members.push(("dur".into(), Value::Num(dur * 1e6)));
+                let mut all = vec![wall];
+                all.extend(args.iter().cloned());
+                members.push(("args".into(), Value::Obj(all)));
+            }
+            EventKind::Instant { name, args } => {
+                members.push(("ph".into(), Value::from("i")));
+                members.push(("name".into(), Value::from(name.as_str())));
+                members.push(("s".into(), Value::from("t")));
+                let mut all = vec![wall];
+                all.extend(args.iter().cloned());
+                members.push(("args".into(), Value::Obj(all)));
+            }
+            EventKind::Counter { name, value } => {
+                members.push(("ph".into(), Value::from("C")));
+                members.push(("name".into(), Value::from(name.as_str())));
+                members.push((
+                    "args".into(),
+                    Value::Obj(vec![(name.clone(), Value::Num(*value))]),
+                ));
+            }
+        }
+        doc.push(Value::Obj(members));
+    }
+    Value::Obj(vec![
+        ("traceEvents".into(), Value::Arr(doc)),
+        ("displayTimeUnit".into(), Value::from("ms")),
+    ])
+    .to_json()
+}
+
+fn tid_for(tracks: &[(u32, String)], generation: u32, track: &str) -> u32 {
+    tracks
+        .iter()
+        .filter(|(g, _)| *g == generation)
+        .position(|(_, t)| t == track)
+        .expect("track registered above") as u32
+}
+
+fn meta_event(name: &str, pid: u32, tid: u32, value: &str) -> Value {
+    Value::Obj(vec![
+        ("ph".into(), Value::from("M")),
+        ("pid".into(), Value::from(pid)),
+        ("tid".into(), Value::from(tid)),
+        ("name".into(), Value::from(name)),
+        (
+            "args".into(),
+            Value::Obj(vec![("name".to_owned(), Value::from(value))]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::recorder::{finish, install, span_begin, span_end, Collector};
+
+    #[test]
+    fn exports_valid_json_with_balanced_spans() {
+        let h = install(Collector::new());
+        crate::recorder::session_started();
+        span_begin("phase", "forward", 0.0);
+        crate::recorder::complete(
+            "kernels",
+            "gemm",
+            0.01,
+            0.02,
+            vec![("kind".into(), Value::from("gemm"))],
+        );
+        span_end("phase", 0.05);
+        crate::recorder::counter("memory", "device_bytes", 4096.0, 0.05);
+        let trace = finish(h);
+        let text = trace.to_chrome_json();
+        let doc = json::parse(&text).expect("chrome trace must be valid JSON");
+        let events = doc.get("traceEvents").and_then(Value::as_arr).unwrap();
+        let phases: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(Value::as_str))
+            .collect();
+        assert_eq!(
+            phases.iter().filter(|p| **p == "B").count(),
+            phases.iter().filter(|p| **p == "E").count(),
+            "B/E events must balance"
+        );
+        assert!(phases.contains(&"X") && phases.contains(&"C") && phases.contains(&"M"));
+        // The gemm slice: sim µs timestamps and a wall-clock arg.
+        let x = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .unwrap();
+        assert_eq!(x.get("ts").and_then(Value::as_f64), Some(1e4));
+        assert_eq!(x.get("dur").and_then(Value::as_f64), Some(2e4));
+        assert!(x
+            .get("args")
+            .and_then(|a| a.get("wall_s"))
+            .and_then(Value::as_f64)
+            .is_some());
+        assert_eq!(
+            x.get("args")
+                .and_then(|a| a.get("kind"))
+                .and_then(Value::as_str),
+            Some("gemm")
+        );
+    }
+
+    #[test]
+    fn separate_generations_get_separate_pids() {
+        let h = install(Collector::new());
+        crate::recorder::session_started();
+        span_begin("phase", "a", 0.0);
+        span_end("phase", 1.0);
+        crate::recorder::session_started();
+        span_begin("phase", "b", 0.0);
+        span_end("phase", 1.0);
+        let trace = finish(h);
+        let doc = json::parse(&trace.to_chrome_json()).unwrap();
+        let pids: std::collections::BTreeSet<u64> = doc
+            .get("traceEvents")
+            .and_then(Value::as_arr)
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) != Some("M"))
+            .filter_map(|e| e.get("pid").and_then(Value::as_u64))
+            .collect();
+        assert_eq!(pids.len(), 2, "each session needs its own pid: {pids:?}");
+    }
+}

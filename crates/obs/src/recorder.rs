@@ -1,0 +1,381 @@
+//! Event collection: the thread-local subscriber and the free functions
+//! instrumented code calls.
+//!
+//! Mirrors the install/finish pattern of `gnn_device::session`: a
+//! [`Collector`] is [`install`]ed thread-locally, instrumented code reports
+//! through free functions that are no-ops when nothing is installed, and
+//! [`finish`] returns the accumulated [`Trace`]. Simulated timestamps are
+//! supplied by the caller (they live in the device model's timeline); the
+//! collector stamps host wall-clock time itself, relative to its creation.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+use crate::json::Value;
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Track (Chrome-trace thread) the event belongs to, e.g. `"phase"`,
+    /// `"kernels"`, `"scopes"`, `"train"`.
+    pub track: String,
+    /// What happened.
+    pub kind: EventKind,
+    /// Simulated time in seconds, on the active session's clock.
+    pub sim: f64,
+    /// Host wall-clock seconds since the collector was installed.
+    pub wall: f64,
+    /// Session generation this event belongs to (see [`session_started`]).
+    pub generation: u32,
+}
+
+/// Event payload variants, mapping 1:1 onto Chrome trace-event phases.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// Opens a span (`ph: "B"`). Closed by the next [`EventKind::End`] on
+    /// the same track.
+    Begin {
+        /// Span name.
+        name: String,
+    },
+    /// Closes the innermost open span on the track (`ph: "E"`).
+    End,
+    /// A span with a known duration (`ph: "X"`), used for kernels.
+    Complete {
+        /// Slice name.
+        name: String,
+        /// Duration in simulated seconds.
+        dur: f64,
+        /// Extra payload rendered into Chrome-trace `args`.
+        args: Vec<(String, Value)>,
+    },
+    /// A zero-duration marker (`ph: "i"`).
+    Instant {
+        /// Marker name.
+        name: String,
+        /// Extra payload rendered into Chrome-trace `args`.
+        args: Vec<(String, Value)>,
+    },
+    /// A sampled counter value (`ph: "C"`).
+    Counter {
+        /// Counter series name.
+        name: String,
+        /// Sampled value.
+        value: f64,
+    },
+}
+
+/// One row of the per-epoch metrics stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRecord {
+    /// Run identifier, e.g. `"gcn/rustyg/cora"`.
+    pub run: String,
+    /// Zero-based epoch index.
+    pub epoch: u32,
+    /// Training loss at the end of the epoch.
+    pub loss: f64,
+    /// Evaluation accuracy, when the task computes one.
+    pub accuracy: Option<f64>,
+    /// Learning rate in effect.
+    pub lr: f64,
+    /// Simulated seconds spent in each phase *during this epoch*
+    /// (label → seconds).
+    pub phase_times: Vec<(String, f64)>,
+    /// Kernel launches *during this epoch* per kernel kind (label → count).
+    pub kernel_counts: Vec<(String, u64)>,
+    /// Peak device memory over the run so far, in bytes.
+    pub peak_memory: u64,
+    /// Device utilization over the run so far (busy / elapsed, 0–1).
+    pub utilization: f64,
+    /// Simulated seconds since the session started.
+    pub sim_time: f64,
+    /// Host wall-clock seconds since the collector was installed.
+    pub wall_time: f64,
+}
+
+/// Everything a collector gathered, returned by [`finish`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// Trace events in emission order.
+    pub events: Vec<TraceEvent>,
+    /// Per-epoch metrics records in emission order.
+    pub epochs: Vec<EpochRecord>,
+}
+
+impl Trace {
+    /// Renders the Chrome trace-event JSON document.
+    pub fn to_chrome_json(&self) -> String {
+        crate::chrome::chrome_trace_json(&self.events)
+    }
+
+    /// Renders the JSONL metrics stream (one record per line).
+    pub fn to_metrics_jsonl(&self) -> String {
+        crate::metrics::metrics_jsonl(&self.epochs)
+    }
+
+    /// Writes `trace.json` and `metrics.jsonl` under `dir`, creating it if
+    /// needed. Returns the two file paths.
+    pub fn save(
+        &self,
+        dir: &std::path::Path,
+    ) -> std::io::Result<(std::path::PathBuf, std::path::PathBuf)> {
+        std::fs::create_dir_all(dir)?;
+        let trace_path = dir.join("trace.json");
+        let metrics_path = dir.join("metrics.jsonl");
+        std::fs::write(&trace_path, self.to_chrome_json())?;
+        std::fs::write(&metrics_path, self.to_metrics_jsonl())?;
+        Ok((trace_path, metrics_path))
+    }
+}
+
+/// The in-flight event sink.
+#[derive(Debug)]
+pub struct Collector {
+    trace: Trace,
+    origin: Instant,
+    generation: u32,
+}
+
+impl Collector {
+    /// Creates an empty collector; wall-clock zero is now.
+    pub fn new() -> Self {
+        Collector {
+            trace: Trace::default(),
+            origin: Instant::now(),
+            generation: 0,
+        }
+    }
+
+    fn push(&mut self, track: &str, kind: EventKind, sim: f64) {
+        let wall = self.origin.elapsed().as_secs_f64();
+        self.trace.events.push(TraceEvent {
+            track: track.to_owned(),
+            kind,
+            sim,
+            wall,
+            generation: self.generation,
+        });
+    }
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Collector::new()
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Rc<RefCell<Collector>>>> = const { RefCell::new(None) };
+}
+
+/// Handle to an installed collector; pass back to [`finish`] to retrieve
+/// the trace.
+#[derive(Debug, Clone)]
+pub struct CollectorHandle(Rc<RefCell<Collector>>);
+
+/// Installs `collector` as the thread-local trace sink, replacing any
+/// previous one.
+pub fn install(collector: Collector) -> CollectorHandle {
+    let rc = Rc::new(RefCell::new(collector));
+    CURRENT.with(|c| *c.borrow_mut() = Some(rc.clone()));
+    CollectorHandle(rc)
+}
+
+/// Uninstalls the collector and returns everything it gathered.
+///
+/// # Panics
+///
+/// Panics if other clones of the handle are still alive.
+pub fn finish(handle: CollectorHandle) -> Trace {
+    CURRENT.with(|c| {
+        let mut cur = c.borrow_mut();
+        if let Some(rc) = cur.as_ref() {
+            if Rc::ptr_eq(rc, &handle.0) {
+                *cur = None;
+            }
+        }
+    });
+    Rc::try_unwrap(handle.0)
+        .expect("collector handle still shared at finish")
+        .into_inner()
+        .trace
+}
+
+/// Whether a collector is installed on this thread.
+///
+/// Instrumentation uses this to skip building event payloads (names, arg
+/// vectors) on the disabled path, keeping tracing a true no-op when off.
+pub fn is_active() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+fn with<F: FnOnce(&mut Collector)>(f: F) {
+    CURRENT.with(|c| {
+        if let Some(rc) = c.borrow().as_ref() {
+            f(&mut rc.borrow_mut());
+        }
+    });
+}
+
+/// Marks the start of a new device session: subsequent events belong to the
+/// next generation. Each session's simulated clock restarts at zero, so the
+/// Chrome exporter lays generations out as separate processes.
+pub fn session_started() {
+    with(|c| c.generation += 1);
+}
+
+/// Opens a span on `track` at simulated time `sim` (no-op when inactive).
+pub fn span_begin(track: &str, name: &str, sim: f64) {
+    with(|c| {
+        c.push(
+            track,
+            EventKind::Begin {
+                name: name.to_owned(),
+            },
+            sim,
+        )
+    });
+}
+
+/// Closes the innermost span on `track` at simulated time `sim` (no-op when
+/// inactive).
+pub fn span_end(track: &str, sim: f64) {
+    with(|c| c.push(track, EventKind::End, sim));
+}
+
+/// Records a fixed-duration slice (e.g. one kernel) starting at simulated
+/// time `sim` (no-op when inactive).
+pub fn complete(track: &str, name: &str, sim: f64, dur: f64, args: Vec<(String, Value)>) {
+    with(|c| {
+        c.push(
+            track,
+            EventKind::Complete {
+                name: name.to_owned(),
+                dur,
+                args,
+            },
+            sim,
+        )
+    });
+}
+
+/// Records an instantaneous marker (no-op when inactive).
+pub fn instant(track: &str, name: &str, sim: f64, args: Vec<(String, Value)>) {
+    with(|c| {
+        c.push(
+            track,
+            EventKind::Instant {
+                name: name.to_owned(),
+                args,
+            },
+            sim,
+        )
+    });
+}
+
+/// Samples a counter series (no-op when inactive).
+pub fn counter(track: &str, name: &str, value: f64, sim: f64) {
+    with(|c| {
+        c.push(
+            track,
+            EventKind::Counter {
+                name: name.to_owned(),
+                value,
+            },
+            sim,
+        )
+    });
+}
+
+/// Appends a per-epoch metrics record, stamping its wall-clock field
+/// (no-op when inactive).
+pub fn epoch(mut record: EpochRecord) {
+    with(|c| {
+        record.wall_time = c.origin.elapsed().as_secs_f64();
+        c.trace.epochs.push(record);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_collect_finish() {
+        let h = install(Collector::new());
+        assert!(is_active());
+        session_started();
+        span_begin("phase", "forward", 0.0);
+        complete("kernels", "gemm", 0.1, 0.05, vec![]);
+        counter("memory", "device_bytes", 1024.0, 0.2);
+        span_end("phase", 0.3);
+        let trace = finish(h);
+        assert!(!is_active());
+        assert_eq!(trace.events.len(), 4);
+        assert!(trace.events.iter().all(|e| e.generation == 1));
+        assert!(
+            trace.events.windows(2).all(|w| w[0].wall <= w[1].wall),
+            "wall clock must be monotonic"
+        );
+    }
+
+    #[test]
+    fn free_functions_are_noops_without_collector() {
+        span_begin("phase", "forward", 0.0);
+        span_end("phase", 1.0);
+        complete("kernels", "gemm", 0.0, 1.0, vec![]);
+        instant("train", "epoch", 0.0, vec![]);
+        counter("memory", "bytes", 0.0, 0.0);
+        session_started();
+        epoch(EpochRecord {
+            run: "r".into(),
+            epoch: 0,
+            loss: 0.0,
+            accuracy: None,
+            lr: 0.0,
+            phase_times: vec![],
+            kernel_counts: vec![],
+            peak_memory: 0,
+            utilization: 0.0,
+            sim_time: 0.0,
+            wall_time: 0.0,
+        });
+        assert!(!is_active());
+    }
+
+    #[test]
+    fn epoch_records_get_wall_stamped() {
+        let h = install(Collector::new());
+        epoch(EpochRecord {
+            run: "gcn/rustyg/cora".into(),
+            epoch: 3,
+            loss: 0.5,
+            accuracy: Some(0.8),
+            lr: 0.01,
+            phase_times: vec![("forward".into(), 0.2)],
+            kernel_counts: vec![("gemm".into(), 12)],
+            peak_memory: 1 << 20,
+            utilization: 0.7,
+            sim_time: 1.5,
+            wall_time: -1.0, // overwritten at emission
+        });
+        let trace = finish(h);
+        assert_eq!(trace.epochs.len(), 1);
+        assert!(trace.epochs[0].wall_time >= 0.0);
+    }
+
+    #[test]
+    fn generations_partition_events() {
+        let h = install(Collector::new());
+        session_started();
+        span_begin("phase", "a", 0.0);
+        span_end("phase", 1.0);
+        session_started();
+        span_begin("phase", "b", 0.0);
+        span_end("phase", 1.0);
+        let trace = finish(h);
+        let gens: Vec<u32> = trace.events.iter().map(|e| e.generation).collect();
+        assert_eq!(gens, vec![1, 1, 2, 2]);
+    }
+}

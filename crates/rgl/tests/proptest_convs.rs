@@ -38,7 +38,8 @@ proptest! {
         let monet = MoNetConv::new(4, 5, 2, 2, &mut rng);
         let gated = GatedGcnConv::new(4, 5, &mut rng);
 
-        let cases: Vec<(&str, Box<dyn Fn(&HeteroBatch, &Tensor) -> Tensor>, Vec<Tensor>, usize)> = vec![
+        type Case<'a> = (&'a str, Box<dyn Fn(&HeteroBatch, &Tensor) -> Tensor + 'a>, Vec<Tensor>, usize);
+        let cases: Vec<Case> = vec![
             ("gcn", Box::new(|b, x| gcn.forward(b, x, true)), gcn.params(), 5),
             ("sage", Box::new(|b, x| sage.forward(b, x, true)), sage.params(), 5),
             ("gin", Box::new(|b, x| gin.forward(b, x, true)), gin.params(), 5),

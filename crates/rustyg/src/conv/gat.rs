@@ -59,13 +59,15 @@ impl GatConv {
         let ar = z.head_dot(&self.attn_r, self.heads); // [N, H]
                                                        // Per-edge scores e = leaky(al[dst] + ar[src]) — dst is the
                                                        // attending node i, src the attended j.
-        let scores = al
-            .gather_rows(&batch.dst)
-            .add(&ar.gather_rows(&batch.src))
-            .leaky_relu(0.2);
-        let alpha = scores.segment_softmax(&batch.dst, batch.num_nodes); // [E, H]
-        let msg = z.gather_rows(&batch.src).mul_per_head(&alpha, self.heads);
-        msg.scatter_add_rows(&batch.dst, batch.num_nodes)
+        gnn_device::traced("rustyg", "gat.gather_scatter", || {
+            let scores = al
+                .gather_rows(&batch.dst)
+                .add(&ar.gather_rows(&batch.src))
+                .leaky_relu(0.2);
+            let alpha = scores.segment_softmax(&batch.dst, batch.num_nodes); // [E, H]
+            let msg = z.gather_rows(&batch.src).mul_per_head(&alpha, self.heads);
+            msg.scatter_add_rows(&batch.dst, batch.num_nodes)
+        })
     }
 
     /// Output feature dimension (`out_per_head * heads`).

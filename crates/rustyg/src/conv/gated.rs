@@ -49,16 +49,19 @@ impl GatedGcnConv {
         let dh = self.d.forward(x);
         let eh = self.e.forward(x);
         // Gate logits per edge, from endpoints only.
-        let gates = dh
-            .gather_rows(&batch.dst)
-            .add(&eh.gather_rows(&batch.src))
-            .sigmoid(); // [E, F]
-        let denom = gates
-            .scatter_add_rows(&batch.dst, batch.num_nodes)
-            .add_scalar(1e-6); // [N, F]
-        let msg = bh.gather_rows(&batch.src).mul(&gates);
-        let num = msg.scatter_add_rows(&batch.dst, batch.num_nodes);
-        ah.add(&num.div(&denom))
+        let agg = gnn_device::traced("rustyg", "gated.gather_scatter", || {
+            let gates = dh
+                .gather_rows(&batch.dst)
+                .add(&eh.gather_rows(&batch.src))
+                .sigmoid(); // [E, F]
+            let denom = gates
+                .scatter_add_rows(&batch.dst, batch.num_nodes)
+                .add_scalar(1e-6); // [N, F]
+            let msg = bh.gather_rows(&batch.src).mul(&gates);
+            let num = msg.scatter_add_rows(&batch.dst, batch.num_nodes);
+            num.div(&denom)
+        });
+        ah.add(&agg)
     }
 
     /// Output feature dimension.

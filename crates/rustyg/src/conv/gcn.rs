@@ -32,8 +32,10 @@ impl GcnConv {
     pub fn forward(&self, batch: &Batch, x: &Tensor, _training: bool) -> Tensor {
         gnn_device::host(costs::LAYER_OVERHEAD);
         let h = self.lin.forward(x);
-        let msg = h.gather_rows(&batch.src);
-        let agg = msg.scatter_add_rows(&batch.dst, batch.num_nodes);
+        let agg = gnn_device::traced("rustyg", "gcn.gather_scatter", || {
+            let msg = h.gather_rows(&batch.src);
+            msg.scatter_add_rows(&batch.dst, batch.num_nodes)
+        });
         // Self-loop contribution + mean normalization.
         agg.add(&h).mul_col(&batch.inv_deg)
     }

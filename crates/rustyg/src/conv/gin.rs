@@ -35,9 +35,10 @@ impl GinConv {
     /// Applies the layer (final σ is applied by the model stack).
     pub fn forward(&self, batch: &Batch, x: &Tensor, training: bool) -> Tensor {
         gnn_device::host(costs::LAYER_OVERHEAD);
-        let agg = x
-            .gather_rows(&batch.src)
-            .scatter_add_rows(&batch.dst, batch.num_nodes);
+        let agg = gnn_device::traced("rustyg", "gin.gather_scatter", || {
+            x.gather_rows(&batch.src)
+                .scatter_add_rows(&batch.dst, batch.num_nodes)
+        });
         // (1 + eps) * h_i + sum of neighbours.
         let one_plus_eps = self.eps.add_scalar(1.0);
         let mixed = x.scale_by(&one_plus_eps).add(&agg);

@@ -75,8 +75,10 @@ impl MoNetConv {
                 .mul(&diff)
                 .mul_row(&self.inv_sigma[k].mul(&self.inv_sigma[k]));
             let w = scaled.sum_cols().scale(-0.5).exp(); // [E, 1]
-            let msg = self.fc[k].forward(x).gather_rows(&batch.src).mul_col(&w);
-            let agg = msg.scatter_add_rows(&batch.dst, batch.num_nodes);
+            let agg = gnn_device::traced("rustyg", "monet.gather_scatter", || {
+                let msg = self.fc[k].forward(x).gather_rows(&batch.src).mul_col(&w);
+                msg.scatter_add_rows(&batch.dst, batch.num_nodes)
+            });
             out = Some(match out {
                 Some(acc) => acc.add(&agg),
                 None => agg,

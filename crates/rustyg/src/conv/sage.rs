@@ -32,13 +32,15 @@ impl SageConv {
     pub fn forward(&self, batch: &Batch, x: &Tensor, _training: bool) -> Tensor {
         gnn_device::host(costs::LAYER_OVERHEAD);
         let pooled = self.pool.forward(x).relu();
-        let msg = pooled.gather_rows(&batch.src);
         // Mean over in-neighbours: scatter sum, then divide by the
         // renormalized degree (counts self once; the isolated-node case
         // stays finite).
-        let agg = msg
-            .scatter_add_rows(&batch.dst, batch.num_nodes)
-            .mul_col(&batch.inv_deg);
+        let agg = gnn_device::traced("rustyg", "sage.gather_scatter", || {
+            pooled
+                .gather_rows(&batch.src)
+                .scatter_add_rows(&batch.dst, batch.num_nodes)
+                .mul_col(&batch.inv_deg)
+        });
         let h = self.lin.forward(&x.concat_cols(&agg));
         h.l2_normalize_rows(1e-12)
     }

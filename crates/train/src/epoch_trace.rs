@@ -1,0 +1,103 @@
+//! Per-epoch metrics emission into the `gnn-obs` stream.
+//!
+//! Both training loops drive an [`EpochTracker`]: once per epoch it
+//! snapshots the live session (phase times, kernel counts by kind, peak
+//! memory, utilization) through the non-mutating accessors, diffs against
+//! the previous epoch's snapshot, and emits one [`gnn_obs::EpochRecord`]
+//! plus an `epoch` instant on the `train` track. Everything short-circuits
+//! when no collector is installed, so untraced runs pay only an
+//! `is_active()` check per epoch.
+
+use gnn_device::session::PHASES;
+use gnn_device::{KernelKind, Phase};
+use gnn_obs as obs;
+
+pub(crate) struct EpochTracker {
+    run: String,
+    epoch: u32,
+    prev_phases: [f64; 5],
+    prev_kinds: Vec<(KernelKind, u64)>,
+}
+
+impl EpochTracker {
+    pub(crate) fn new(run: String) -> Self {
+        EpochTracker {
+            run,
+            epoch: 0,
+            prev_phases: [0.0; 5],
+            prev_kinds: Vec::new(),
+        }
+    }
+
+    /// Emits the record for the epoch that just finished. Call at the end
+    /// of each epoch, when the loop's current phase is [`Phase::Other`].
+    pub(crate) fn emit(&mut self, loss: f64, accuracy: Option<f64>, lr: f64) {
+        if !obs::is_active() {
+            return;
+        }
+        // Flush the open phase span so the deltas cover the whole epoch.
+        // Attribution-neutral: the time would land in Other at the next
+        // transition anyway, and the loop has already synchronized.
+        gnn_device::set_phase(Phase::Other);
+        let Some((phases, kinds, peak, util, sim)) = gnn_device::session::query(|s| {
+            (
+                s.phase_times_so_far(),
+                s.kind_counts_so_far().to_vec(),
+                s.memory().peak(),
+                s.utilization_so_far(),
+                s.sim_now(),
+            )
+        }) else {
+            return;
+        };
+        let phase_times: Vec<(String, f64)> = PHASES
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.label().to_owned(), phases[i] - self.prev_phases[i]))
+            .filter(|(_, dt)| *dt > 0.0)
+            .collect();
+        let kernel_counts: Vec<(String, u64)> = kinds
+            .iter()
+            .map(|(kind, n)| {
+                let prev = self
+                    .prev_kinds
+                    .iter()
+                    .find(|(k, _)| k == kind)
+                    .map_or(0, |(_, n)| *n);
+                (kind.label().to_owned(), n - prev)
+            })
+            .filter(|(_, dn)| *dn > 0)
+            .collect();
+        obs::instant(
+            obs::tracks::TRAIN,
+            "epoch",
+            sim,
+            vec![
+                ("run".to_owned(), obs::Value::from(self.run.as_str())),
+                ("epoch".to_owned(), obs::Value::from(self.epoch)),
+                ("loss".to_owned(), obs::Value::Num(loss)),
+                (
+                    "accuracy".to_owned(),
+                    accuracy.map(obs::Value::Num).unwrap_or(obs::Value::Null),
+                ),
+                ("lr".to_owned(), obs::Value::Num(lr)),
+            ],
+        );
+        obs::epoch(obs::EpochRecord {
+            run: self.run.clone(),
+            epoch: self.epoch,
+            loss,
+            accuracy,
+            lr,
+            phase_times,
+            kernel_counts,
+            peak_memory: peak,
+            utilization: util,
+            sim_time: sim,
+            wall_time: 0.0, // stamped by the collector
+        });
+        self.prev_phases = phases;
+        self.prev_kinds = kinds;
+        self.epoch += 1;
+    }
+}

@@ -8,6 +8,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use crate::epoch_trace::EpochTracker;
 use crate::optim::Adam;
 use crate::scheduler::ReduceLrOnPlateau;
 
@@ -89,6 +90,7 @@ pub fn run_graph_fold<L: Loader>(
     let mut epoch_times = Vec::new();
     let mut last_mark = 0.0f64;
     let mut order = fold.train.clone();
+    let mut tracker = EpochTracker::new(format!("graph/{}/bs{}", model.name(), cfg.batch_size));
 
     for _epoch in 0..cfg.max_epochs {
         if cfg.shuffle {
@@ -114,7 +116,7 @@ pub fn run_graph_fold<L: Loader>(
         }
 
         // Validation pass (inference mode, attributed to "other").
-        let (val_loss, _) = evaluate(model, loader, &fold.val, cfg.batch_size);
+        let (val_loss, val_acc) = evaluate(model, loader, &fold.val, cfg.batch_size);
         let new_lr = sched.step(val_loss, opt.lr());
         if new_lr != opt.lr() {
             opt.set_lr(new_lr);
@@ -124,6 +126,7 @@ pub fn run_graph_fold<L: Loader>(
         gnn_device::with(|s| now = s.now());
         epoch_times.push(now - last_mark);
         last_mark = now;
+        tracker.emit(f64::from(val_loss), Some(val_acc), f64::from(opt.lr()));
 
         if sched.should_stop(opt.lr()) {
             break;

@@ -15,6 +15,7 @@
 //! comparison ("we make sure that the key properties of the training
 //! algorithm are the same across implementations").
 
+mod epoch_trace;
 pub mod graph_task;
 pub mod metrics;
 pub mod multi_gpu;
@@ -22,7 +23,9 @@ pub mod node_task;
 pub mod optim;
 pub mod scheduler;
 
-pub use graph_task::{run_cross_validation, run_graph_fold, CvOutcome, FoldOutcome, GraphTaskConfig};
+pub use graph_task::{
+    run_cross_validation, run_graph_fold, CvOutcome, FoldOutcome, GraphTaskConfig,
+};
 pub use metrics::{mean_std, Summary};
 pub use multi_gpu::{data_parallel_epoch_time, MultiGpuConfig};
 pub use node_task::{run_node_task, NodeOutcome, NodeTaskConfig};

@@ -10,8 +10,21 @@ pub struct Summary {
 }
 
 impl std::fmt::Display for Summary {
+    /// Precision follows the mean's magnitude, so percentage accuracies
+    /// keep the paper's one-decimal form (`80.8±1.3`) while sub-second
+    /// timings don't collapse to `0.0±0.0`.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:.1}±{:.1}", self.mean, self.std)
+        let m = self.mean.abs();
+        let prec = if m >= 10.0 {
+            1
+        } else if m >= 1.0 {
+            2
+        } else if m >= 0.1 {
+            3
+        } else {
+            4
+        };
+        write!(f, "{:.p$}±{:.p$}", self.mean, self.std, p = prec)
     }
 }
 
@@ -56,6 +69,26 @@ mod tests {
             std: 1.26,
         };
         assert_eq!(format!("{s}"), "80.8±1.3");
+    }
+
+    #[test]
+    fn display_keeps_precision_for_small_means() {
+        // Sub-second epoch times used to render as "0.0±0.0".
+        let fast = Summary {
+            mean: 0.0316,
+            std: 0.0042,
+        };
+        assert_eq!(format!("{fast}"), "0.0316±0.0042");
+        let tenths = Summary {
+            mean: 0.314,
+            std: 0.021,
+        };
+        assert_eq!(format!("{tenths}"), "0.314±0.021");
+        let units = Summary {
+            mean: 5.821,
+            std: 0.413,
+        };
+        assert_eq!(format!("{units}"), "5.82±0.41");
     }
 
     #[test]

@@ -6,6 +6,7 @@ use gnn_models::{GnnStack, ModelBatch};
 use gnn_tensor::{accuracy, cross_entropy};
 use std::rc::Rc;
 
+use crate::epoch_trace::EpochTracker;
 use crate::optim::Adam;
 
 /// Node-classification run configuration.
@@ -86,6 +87,7 @@ pub fn run_node_task<B: ModelBatch>(
     let mut test_at_best = 0.0f64;
     let mut epoch_times = Vec::with_capacity(cfg.max_epochs);
     let mut last_mark = 0.0f64;
+    let mut tracker = EpochTracker::new(format!("node/{}/{}", model.name(), ds.name));
 
     for _epoch in 0..cfg.max_epochs {
         gnn_device::set_phase(Phase::DataLoad);
@@ -118,6 +120,11 @@ pub fn run_node_task<B: ModelBatch>(
         gnn_device::with(|s| now = s.now());
         epoch_times.push(now - last_mark);
         last_mark = now;
+        tracker.emit(
+            f64::from(loss.item()),
+            Some(val_acc / 100.0),
+            f64::from(cfg.lr),
+        );
     }
 
     let report = gnn_device::session::finish(handle);

@@ -18,12 +18,14 @@ fn main() {
     println!("dataset: {}", ds.stats());
     println!("(features carry only a weak 20% seeding — structure is the signal)\n");
 
-    let cfg = NodeTaskConfig { max_epochs: 80, lr: 0.01 };
+    let cfg = NodeTaskConfig {
+        max_epochs: 80,
+        lr: 0.01,
+    };
     println!("{:<10} {:>9} {:>10}", "model", "test acc", "epoch");
     for kind in [ModelKind::Gcn, ModelKind::Sage, ModelKind::Gat] {
         let mut rng = StdRng::seed_from_u64(2);
-        let model =
-            build::node_model_rustyg(kind, ds.features.cols(), ds.num_classes, &mut rng);
+        let model = build::node_model_rustyg(kind, ds.features.cols(), ds.num_classes, &mut rng);
         let batch = rustyg::loader::full_graph_batch(&ds);
         let out = run_node_task(&model, &batch, &ds, &cfg);
         println!(
@@ -34,6 +36,9 @@ fn main() {
         );
     }
     println!();
-    println!("Chance is {:.1}%; a feature-only classifier stays near it, while", 100.0 / ds.num_classes as f64);
+    println!(
+        "Chance is {:.1}%; a feature-only classifier stays near it, while",
+        100.0 / ds.num_classes as f64
+    );
     println!("message passing recovers the communities from the topology.");
 }

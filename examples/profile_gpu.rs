@@ -3,6 +3,8 @@
 //!
 //! ```sh
 //! cargo run --release --example profile_gpu
+//! # with trace artifacts (Chrome trace + per-epoch JSONL metrics):
+//! cargo run --release --example profile_gpu -- out/profile_gpu
 //! ```
 
 use gnn_datasets::{stratified_kfold, TudSpec};
@@ -13,6 +15,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    // Optional first argument: a directory to write trace.json +
+    // metrics.jsonl into (see the gnn-obs crate).
+    let trace_dir = std::env::args().nth(1).map(std::path::PathBuf::from);
+    let collector = trace_dir
+        .is_some()
+        .then(|| gnn_obs::install(gnn_obs::Collector::new()));
+
     let ds = TudSpec::enzymes().scaled(0.3).generate(3);
     let folds = stratified_kfold(&ds.labels(), 10, 3);
     let fold = &folds[0];
@@ -58,6 +67,13 @@ fn main() {
                 out.report.utilization() * 100.0,
                 out.epoch_time * 1e3
             );
+        }
+    }
+    if let (Some(handle), Some(dir)) = (collector, trace_dir) {
+        let trace = gnn_obs::finish(handle);
+        match trace.save(&dir) {
+            Ok((t, m)) => println!("\nwrote {} and {}", t.display(), m.display()),
+            Err(e) => eprintln!("error: writing trace artifacts to {}: {e}", dir.display()),
         }
     }
     println!();

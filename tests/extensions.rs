@@ -36,8 +36,12 @@ fn cached_loader_collapses_data_loading() {
 
     let mut rng = StdRng::seed_from_u64(1);
     let model = build::graph_model_rustyg(ModelKind::Gcn, 18, 6, &mut rng);
-    let cached =
-        run_graph_fold(&model, &CachedRustygLoader::new(&ds), &folds[0], &cfg(4, false));
+    let cached = run_graph_fold(
+        &model,
+        &CachedRustygLoader::new(&ds),
+        &folds[0],
+        &cfg(4, false),
+    );
 
     let std_load = standard.report.phase_times[0];
     let cached_load = cached.report.phase_times[0];
@@ -69,10 +73,17 @@ fn cached_loader_does_not_change_learning() {
 
     let mut rng = StdRng::seed_from_u64(2);
     let model = build::graph_model_rustyg(ModelKind::Gcn, 18, 6, &mut rng);
-    let fixed =
-        run_graph_fold(&model, &CachedRustygLoader::new(&ds), &folds[0], &cfg(6, false));
+    let fixed = run_graph_fold(
+        &model,
+        &CachedRustygLoader::new(&ds),
+        &folds[0],
+        &cfg(6, false),
+    );
 
-    assert!(fixed.test_acc > 16.7, "fixed-composition training must beat chance");
+    assert!(
+        fixed.test_acc > 16.7,
+        "fixed-composition training must beat chance"
+    );
     assert!(
         (fixed.test_acc - shuffled.test_acc).abs() < 30.0,
         "accuracies should be in the same band: {} vs {}",
@@ -90,9 +101,8 @@ fn no_grad_eval_is_cheaper_than_training_forward() {
     let model = build::graph_model_rustyg(ModelKind::Gat, 18, 6, &mut rng);
 
     // Training-mode forward + backward: tape built, gradients flow.
-    let h = gnn_device::session::install(gnn_device::Session::new(
-        gnn_device::CostModel::rtx2080ti(),
-    ));
+    let h =
+        gnn_device::session::install(gnn_device::Session::new(gnn_device::CostModel::rtx2080ti()));
     let batch = loader.load(&idx);
     let logits = model.forward(&batch, true);
     gnn_tensor::cross_entropy(&logits, batch.labels()).backward();
@@ -102,9 +112,8 @@ fn no_grad_eval_is_cheaper_than_training_forward() {
     }
 
     // Inference under no_grad: no backward kernels at all.
-    let h = gnn_device::session::install(gnn_device::Session::new(
-        gnn_device::CostModel::rtx2080ti(),
-    ));
+    let h =
+        gnn_device::session::install(gnn_device::Session::new(gnn_device::CostModel::rtx2080ti()));
     let batch = loader.load(&idx);
     let logits = gnn_tensor::no_grad(|| model.forward(&batch, false));
     let infer_report = gnn_device::session::finish(h);
@@ -129,9 +138,8 @@ fn pipeline_model_consistent_with_measured_costs() {
     let mut rng = StdRng::seed_from_u64(4);
     let model = build::graph_model_rustyg(ModelKind::Gcn, 18, 6, &mut rng);
 
-    let h = gnn_device::session::install(gnn_device::Session::new(
-        gnn_device::CostModel::rtx2080ti(),
-    ));
+    let h =
+        gnn_device::session::install(gnn_device::Session::new(gnn_device::CostModel::rtx2080ti()));
     let batch = loader.load(&idx);
     let mut load = 0.0;
     gnn_device::with(|s| load = s.now());

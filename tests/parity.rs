@@ -128,7 +128,12 @@ fn identical_math_models_agree_numerically_across_frameworks() {
     let idx: Vec<u32> = (0..12).collect();
     let pb = RustygLoader::new(&ds).load(&idx);
     let db = RglLoader::new(&ds).load(&idx);
-    for kind in [ModelKind::Gin, ModelKind::Sage, ModelKind::Gat, ModelKind::MoNet] {
+    for kind in [
+        ModelKind::Gin,
+        ModelKind::Sage,
+        ModelKind::Gat,
+        ModelKind::MoNet,
+    ] {
         let mut rng = StdRng::seed_from_u64(123);
         let pyg = build::graph_model_rustyg(kind, 18, 6, &mut rng);
         let mut rng = StdRng::seed_from_u64(123);

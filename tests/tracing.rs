@@ -1,0 +1,237 @@
+//! Integration tests of the `gnn-obs` tracing layer against the full
+//! stack: a real `run_node_task` training run on a tiny citation graph,
+//! traced end to end.
+//!
+//! The two load-bearing guarantees checked here:
+//!
+//! 1. **True no-op** — running the identical workload with and without a
+//!    collector produces bit-identical `Session` accounting (tracing never
+//!    advances or synchronizes the simulated clocks).
+//! 2. **Artifact validity** — the Chrome trace JSON parses back and the
+//!    JSONL metrics stream round-trips, with one record per epoch.
+
+use gnn_datasets::CitationSpec;
+use gnn_models::{build, ModelKind};
+use gnn_obs as obs;
+use gnn_train::{run_node_task, NodeOutcome, NodeTaskConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const EPOCHS: usize = 3;
+
+/// One short GCN training run on a 5%-scale Cora under rustyg. Fully
+/// seeded, so two invocations in one process are bit-identical.
+fn tiny_node_run() -> NodeOutcome {
+    let ds = CitationSpec::cora().scaled(0.05).generate(7);
+    let mut rng = StdRng::seed_from_u64(1);
+    let stack =
+        build::node_model_rustyg(ModelKind::Gcn, ds.features.cols(), ds.num_classes, &mut rng);
+    let batch = rustyg::loader::full_graph_batch(&ds);
+    run_node_task(
+        &stack,
+        &batch,
+        &ds,
+        &NodeTaskConfig {
+            max_epochs: EPOCHS,
+            lr: 0.01,
+        },
+    )
+}
+
+fn traced_tiny_node_run() -> (NodeOutcome, obs::Trace) {
+    let handle = obs::install(obs::Collector::new());
+    let out = tiny_node_run();
+    (out, obs::finish(handle))
+}
+
+#[test]
+fn disabled_tracing_is_a_true_noop() {
+    let plain = tiny_node_run();
+    let (traced, trace) = traced_tiny_node_run();
+    // The trace must exist...
+    assert!(!trace.events.is_empty());
+    // ...and must not have perturbed the simulation in any way.
+    assert_eq!(plain.report.phase_times, traced.report.phase_times);
+    assert_eq!(plain.report.total_time, traced.report.total_time);
+    assert_eq!(plain.report.busy_time, traced.report.busy_time);
+    assert_eq!(plain.report.kernel_count, traced.report.kernel_count);
+    assert_eq!(plain.report.peak_memory, traced.report.peak_memory);
+    assert_eq!(plain.report.kind_counts, traced.report.kind_counts);
+    assert_eq!(plain.test_acc, traced.test_acc);
+}
+
+#[test]
+fn one_epoch_record_per_epoch_with_stable_schema() {
+    let (_, trace) = traced_tiny_node_run();
+    assert_eq!(trace.epochs.len(), EPOCHS);
+    let run = &trace.epochs[0].run;
+    assert!(run.starts_with("node/"), "unexpected run id {run}");
+    let mut prev_sim = 0.0;
+    for (i, rec) in trace.epochs.iter().enumerate() {
+        assert_eq!(&rec.run, run);
+        assert_eq!(rec.epoch as usize, i);
+        assert!(rec.loss.is_finite());
+        assert!(rec.accuracy.is_some_and(|a| (0.0..=1.0).contains(&a)));
+        assert!(rec.lr > 0.0);
+        assert!(!rec.phase_times.is_empty(), "epoch {i} lost phase times");
+        assert!(!rec.kernel_counts.is_empty(), "epoch {i} lost kernels");
+        assert!(rec.peak_memory > 0);
+        assert!((0.0..=1.0).contains(&rec.utilization));
+        assert!(rec.sim_time > prev_sim, "sim time must advance per epoch");
+        assert!(rec.wall_time >= 0.0);
+        prev_sim = rec.sim_time;
+    }
+}
+
+#[test]
+fn spans_nest_and_unwind_in_order() {
+    let handle = obs::install(obs::Collector::new());
+    let sh =
+        gnn_device::session::install(gnn_device::Session::new(gnn_device::CostModel::rtx2080ti()));
+    gnn_device::scope("outer", || {
+        gnn_device::scope("inner", || {
+            gnn_device::record(gnn_device::Kernel::new(
+                "k",
+                gnn_device::KernelKind::Gemm,
+                1000,
+                1000,
+            ));
+        });
+    });
+    gnn_device::session::finish(sh);
+    let trace = obs::finish(handle);
+
+    let scope_events: Vec<&obs::EventKind> = trace
+        .events
+        .iter()
+        .filter(|e| e.track == obs::tracks::SCOPES)
+        .map(|e| &e.kind)
+        .collect();
+    let names: Vec<Option<&str>> = scope_events
+        .iter()
+        .map(|k| match k {
+            obs::EventKind::Begin { name } => Some(name.as_str()),
+            obs::EventKind::End => None,
+            other => panic!("unexpected scope event {other:?}"),
+        })
+        .collect();
+    assert_eq!(names, vec![Some("outer"), Some("inner"), None, None]);
+
+    // Span stack discipline: depth never goes negative, ends balance.
+    let mut depth = 0i32;
+    for k in &scope_events {
+        match k {
+            obs::EventKind::Begin { .. } => depth += 1,
+            obs::EventKind::End => depth -= 1,
+            _ => {}
+        }
+        assert!(depth >= 0);
+    }
+    assert_eq!(depth, 0);
+
+    // The kernel landed as a complete slice on the kernels track.
+    assert!(trace.events.iter().any(|e| {
+        e.track == obs::tracks::KERNELS
+            && matches!(&e.kind, obs::EventKind::Complete { name, .. } if name == "k")
+    }));
+}
+
+#[test]
+fn reporting_without_collector_is_inert() {
+    assert!(!obs::is_active());
+    obs::span_begin("phase", "forward", 0.0);
+    obs::span_end("phase", 1.0);
+    obs::instant("train", "epoch", 0.5, vec![]);
+    obs::counter("memory", "device_bytes", 0.5, 128.0);
+    // Nothing was recording, so a fresh collector starts empty.
+    let handle = obs::install(obs::Collector::new());
+    let trace = obs::finish(handle);
+    assert!(trace.events.is_empty());
+    assert!(trace.epochs.is_empty());
+}
+
+#[test]
+fn chrome_export_is_valid_json_with_expected_tracks() {
+    let (_, trace) = traced_tiny_node_run();
+    let json = trace.to_chrome_json();
+    let doc = obs::json::parse(&json).expect("chrome trace must parse back");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let mut phases_seen = Vec::new();
+    let mut thread_names = Vec::new();
+    for e in events {
+        let ph = e
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .expect("every event has a ph");
+        assert!(
+            ["B", "E", "X", "i", "C", "M"].contains(&ph),
+            "unexpected phase {ph}"
+        );
+        if !phases_seen.contains(&ph.to_string()) {
+            phases_seen.push(ph.to_string());
+        }
+        assert!(e.get("pid").and_then(|v| v.as_u64()).is_some());
+        assert!(e.get("tid").and_then(|v| v.as_u64()).is_some());
+        if ph == "M" {
+            if let Some(name) = e
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(|v| v.as_str())
+            {
+                thread_names.push(name.to_string());
+            }
+        } else {
+            let ts = e.get("ts").and_then(|v| v.as_f64()).expect("ts");
+            assert!(ts >= 0.0, "negative timestamp {ts}");
+        }
+        if ph == "X" {
+            let dur = e.get("dur").and_then(|v| v.as_f64()).expect("dur");
+            assert!(dur >= 0.0);
+        }
+    }
+    // Spans, slices, instants, counters, and metadata all present.
+    for expect in ["B", "E", "X", "i", "C", "M"] {
+        assert!(phases_seen.iter().any(|p| p == expect), "missing {expect}");
+    }
+    // The instrumented tracks are named for the viewer.
+    for track in [
+        obs::tracks::PHASE,
+        obs::tracks::KERNELS,
+        obs::tracks::TRAIN,
+        obs::tracks::MEMORY,
+    ] {
+        assert!(
+            thread_names.iter().any(|n| n == track),
+            "no thread_name metadata for track {track}"
+        );
+    }
+}
+
+#[test]
+fn metrics_jsonl_round_trips() {
+    let (_, trace) = traced_tiny_node_run();
+    let jsonl = trace.to_metrics_jsonl();
+    assert_eq!(jsonl.lines().count(), EPOCHS);
+    let parsed = obs::parse_metrics_jsonl(&jsonl).expect("metrics must parse back");
+    assert_eq!(parsed, trace.epochs);
+}
+
+#[test]
+fn save_writes_both_artifacts() {
+    let (_, trace) = traced_tiny_node_run();
+    let dir = std::env::temp_dir().join("gnn_obs_integration_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (trace_path, metrics_path) = trace.save(&dir).expect("save must succeed");
+    let chrome = std::fs::read_to_string(&trace_path).unwrap();
+    assert!(obs::json::parse(&chrome).is_ok());
+    let jsonl = std::fs::read_to_string(&metrics_path).unwrap();
+    assert_eq!(
+        obs::parse_metrics_jsonl(&jsonl).unwrap().len(),
+        trace.epochs.len()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

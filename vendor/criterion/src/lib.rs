@@ -1,0 +1,291 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace's benches use — `Criterion`,
+//! benchmark groups, `Bencher::iter`, `BenchmarkId`, `Throughput`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros — with
+//! a simple wall-clock measurement loop instead of criterion's statistical
+//! machinery. Each benchmark runs a warm-up pass and a timed pass and
+//! prints `name: mean time / iter`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; defeats constant folding around benchmark bodies.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation (recorded, printed alongside timings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Benchmark named only by a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// Benchmark named `name/parameter`.
+    pub fn new<S: Into<String>, P: Display>(name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs one benchmark body repeatedly and records the mean time.
+#[derive(Debug)]
+pub struct Bencher {
+    measurement_time: Duration,
+    sample_size: usize,
+    /// Mean seconds per iteration of the last `iter` call.
+    last_mean: f64,
+}
+
+impl Bencher {
+    /// Times `f`, first warming up briefly, then iterating for roughly the
+    /// configured measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and per-iteration estimate.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < self.measurement_time / 10 || warmup_iters < 1 {
+            black_box(f());
+            warmup_iters += 1;
+        }
+        let est = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+        let target = self.measurement_time.as_secs_f64();
+        // At least `sample_size` timed iterations, at most the measurement
+        // window allows (bounded to keep fast bodies from spinning forever).
+        let iters = ((target / est.max(1e-9)) as u64)
+            .clamp(self.sample_size as u64, 1_000_000)
+            .max(1);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.last_mean = start.elapsed().as_secs_f64() / iters as f64;
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs `f` as the benchmark `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut b = Bencher {
+            measurement_time: self.criterion.measurement_time,
+            sample_size: self.criterion.sample_size,
+            last_mean: 0.0,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+    }
+
+    /// Runs `f` with `input` as the benchmark `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher {
+            measurement_time: self.criterion.measurement_time,
+            sample_size: self.criterion.sample_size,
+            last_mean: 0.0,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), &b);
+    }
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if b.last_mean > 0.0 => {
+                format!("  ({:.1} Melem/s)", n as f64 / b.last_mean / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if b.last_mean > 0.0 => {
+                format!("  ({:.1} MB/s)", n as f64 / b.last_mean / 1e6)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{id}: {}{rate}", self.name, fmt_time(b.last_mean));
+    }
+
+    /// Ends the group (printing happens eagerly; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the nominal sample count (accepted for API parity).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up window per benchmark. This subset warms up for a
+    /// fixed fraction of the measurement window, so the duration is
+    /// accepted for API compatibility and otherwise ignored.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Runs `f` as a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut b = Bencher {
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            last_mean: 0.0,
+        };
+        f(&mut b);
+        println!("{id}: {}", fmt_time(b.last_mean));
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default().measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_group_runs_bodies() {
+        let mut c = quick();
+        let mut runs = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(10));
+            g.bench_function("accumulate", |b| {
+                b.iter(|| {
+                    runs += 1;
+                    black_box(runs)
+                })
+            });
+            g.bench_with_input(BenchmarkId::from_parameter(3), &3u32, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            g.finish();
+        }
+        assert!(runs > 0, "benchmark body never ran");
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+        assert_eq!(BenchmarkId::new("mm", 128).to_string(), "mm/128");
+    }
+
+    criterion_group!(smoke_group, smoke_target);
+
+    fn smoke_target(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        // The group fn takes no args and drives its targets.
+        smoke_group();
+    }
+}
