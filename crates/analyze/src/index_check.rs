@@ -1,0 +1,241 @@
+//! Index-safety analysis over concrete dataset arrays.
+//!
+//! The runtime's gather/scatter/segment kernels index raw slices; in
+//! release builds their per-element checks are `debug_assert!`s. This pass
+//! proves — before anything runs — that every index array a configured run
+//! will feed those kernels is in-bounds: edge endpoints against node
+//! counts, split indices against the node extent, labels against the class
+//! count, and disjoint-union batching against the `u32` offset space.
+//!
+//! Bounds violations are rendered through the *same*
+//! [`gnn_tensor::ShapeError`] constructors the runtime ops use, so a lint
+//! finding's message is byte-identical to the panic the run would die with.
+
+use gnn_datasets::{GraphDataset, NodeDataset};
+use gnn_tensor::ops::index::{check_gather_idx, check_scatter_idx};
+
+use crate::report::{Finding, FindingKind};
+
+/// Checks one edge-index pair against a node extent, exactly as the
+/// gather/scatter kernels will consume it (`src` gathered from node rows,
+/// `dst` scattered into node rows).
+pub fn check_edge_index(
+    src: &[u32],
+    dst: &[u32],
+    num_nodes: usize,
+    path: &str,
+    out: &mut Vec<Finding>,
+) {
+    if src.len() != dst.len() {
+        out.push(Finding::new(
+            FindingKind::IndexOutOfBounds,
+            format!("{path}/edge_index"),
+            format!(
+                "edge index halves disagree (src = {}, dst = {})",
+                src.len(),
+                dst.len()
+            ),
+        ));
+    }
+    if let Err(e) = check_gather_idx(src, num_nodes) {
+        out.push(Finding::new(
+            FindingKind::IndexOutOfBounds,
+            format!("{path}/src"),
+            e.to_string(),
+        ));
+    }
+    if let Err(e) = check_scatter_idx(dst, dst.len(), num_nodes) {
+        out.push(Finding::new(
+            FindingKind::IndexOutOfBounds,
+            format!("{path}/dst"),
+            e.to_string(),
+        ));
+    }
+}
+
+fn check_labels(labels: &[u32], num_classes: usize, path: &str, out: &mut Vec<Finding>) {
+    if let Some(&bad) = labels.iter().find(|&&l| (l as usize) >= num_classes) {
+        out.push(Finding::new(
+            FindingKind::IndexOutOfBounds,
+            format!("{path}/labels"),
+            format!("label {bad} out of bounds (num_classes = {num_classes})"),
+        ));
+    }
+}
+
+/// Proves a node-classification dataset's index arrays in-bounds.
+pub fn check_node_dataset(ds: &NodeDataset, path: &str, out: &mut Vec<Finding>) {
+    let n = ds.graph.num_nodes();
+    check_edge_index(ds.graph.src(), ds.graph.dst(), n, path, out);
+    if ds.features.rows() != n {
+        out.push(Finding::new(
+            FindingKind::ShapeMismatch,
+            format!("{path}/features"),
+            format!(
+                "feature rows != node count (rows = {}, nodes = {n})",
+                ds.features.rows()
+            ),
+        ));
+    }
+    if ds.labels.len() != n {
+        out.push(Finding::new(
+            FindingKind::ShapeMismatch,
+            format!("{path}/labels"),
+            format!(
+                "label count != node count (labels = {}, nodes = {n})",
+                ds.labels.len()
+            ),
+        ));
+    }
+    check_labels(&ds.labels, ds.num_classes, path, out);
+    // Split indices are gathered out of the logits at loss time.
+    for (split, idx) in [
+        ("train_idx", &ds.train_idx),
+        ("val_idx", &ds.val_idx),
+        ("test_idx", &ds.test_idx),
+    ] {
+        if let Err(e) = check_gather_idx(idx, n) {
+            out.push(Finding::new(
+                FindingKind::IndexOutOfBounds,
+                format!("{path}/{split}"),
+                e.to_string(),
+            ));
+        }
+    }
+}
+
+/// Proves a graph-classification dataset's index arrays in-bounds,
+/// including the disjoint-union batching offsets a full-size mini-batch
+/// would apply.
+pub fn check_graph_dataset(
+    ds: &GraphDataset,
+    batch_size: usize,
+    path: &str,
+    out: &mut Vec<Finding>,
+) {
+    for (i, sample) in ds.samples.iter().enumerate() {
+        let n = sample.graph.num_nodes();
+        let sample_path = format!("{path}/sample{i}");
+        check_edge_index(sample.graph.src(), sample.graph.dst(), n, &sample_path, out);
+        if sample.features.rows() != n {
+            out.push(Finding::new(
+                FindingKind::ShapeMismatch,
+                format!("{sample_path}/features"),
+                format!(
+                    "feature rows != node count (rows = {}, nodes = {n})",
+                    sample.features.rows()
+                ),
+            ));
+        }
+    }
+    check_labels(&ds.labels(), ds.num_classes, path, out);
+    // Batching relabels nodes with cumulative u32 offsets; the largest
+    // possible batch must stay addressable.
+    let mut largest_batch_nodes: u64 = 0;
+    let mut sizes: Vec<u64> = ds
+        .samples
+        .iter()
+        .map(|s| s.graph.num_nodes() as u64)
+        .collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    for s in sizes.into_iter().take(batch_size.max(1)) {
+        largest_batch_nodes += s;
+    }
+    if largest_batch_nodes > u32::MAX as u64 {
+        out.push(Finding::new(
+            FindingKind::IndexOutOfBounds,
+            format!("{path}/batching"),
+            format!(
+                "a batch of {batch_size} graphs can reach {largest_batch_nodes} nodes, overflowing u32 edge indices"
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn_graph::Graph;
+    use gnn_tensor::NdArray;
+
+    fn node_ds() -> NodeDataset {
+        NodeDataset {
+            name: "toy".into(),
+            graph: Graph::new(3, vec![0, 1, 2], vec![1, 2, 0]),
+            features: NdArray::zeros(3, 4),
+            labels: vec![0, 1, 1],
+            num_classes: 2,
+            train_idx: vec![0, 1],
+            val_idx: vec![2],
+            test_idx: vec![2],
+        }
+    }
+
+    #[test]
+    fn clean_node_dataset_passes() {
+        let mut out = vec![];
+        check_node_dataset(&node_ds(), "t", &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn corrupted_edge_index_is_caught_with_runtime_message() {
+        // `Graph::new` would reject this itself, so corrupt the raw halves —
+        // the shape the batching/loader layers actually feed the kernels.
+        let mut out = vec![];
+        check_edge_index(&[0, 1, 9], &[1, 2, 0], 3, "t", &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].kind, FindingKind::IndexOutOfBounds);
+        assert_eq!(out[0].path, "t/src");
+        // Byte-identical to the gather_rows runtime panic.
+        assert!(
+            out[0]
+                .message
+                .contains("gather_rows index out of bounds (n = 3)"),
+            "{}",
+            out[0].message
+        );
+        // The scatter half is rendered with the scatter kernel's message.
+        let mut out = vec![];
+        check_edge_index(&[0, 1, 2], &[1, 9, 0], 3, "t", &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].path, "t/dst");
+        assert!(
+            out[0]
+                .message
+                .contains("scatter_add_rows index out of bounds (out_rows = 3)"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn label_and_split_violations_are_caught() {
+        let mut ds = node_ds();
+        ds.labels[0] = 7;
+        ds.test_idx = vec![3];
+        let mut out = vec![];
+        check_node_dataset(&ds, "t", &mut out);
+        assert!(out.iter().any(|f| f.path == "t/labels"), "{out:?}");
+        assert!(out.iter().any(|f| f.path == "t/test_idx"), "{out:?}");
+    }
+
+    #[test]
+    fn graph_dataset_batching_and_samples_checked() {
+        let sample = gnn_datasets::GraphSample {
+            graph: Graph::from_edges(3, &[(0, 1), (1, 0)]),
+            features: NdArray::zeros(3, 4),
+            label: 0,
+        };
+        let ds = GraphDataset {
+            name: "toy".into(),
+            samples: vec![sample.clone(), sample],
+            num_classes: 1,
+            feature_dim: 4,
+            directed_edge_stats: false,
+        };
+        let mut out = vec![];
+        check_graph_dataset(&ds, 128, "t", &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,762 @@
+//! Symbolic op-graph IR for shape/dtype inference.
+//!
+//! GNN tensors in this workspace are all two-dimensional with a *symbolic*
+//! row extent (number of nodes, edges, or graphs in whatever batch arrives
+//! at runtime) and a *concrete* column width fixed by the hyper-parameters.
+//! The IR mirrors that exactly: a [`SymShape`] is a symbolic row class plus
+//! a concrete width, and index arrays additionally carry the row class they
+//! *address* (their domain), which makes gather/scatter domain safety a
+//! static property.
+//!
+//! The [`GraphBuilder`] applies each op's shape rule as the lowering is
+//! walked. On a violation it records a [`Finding`] — rendered through the
+//! shared [`gnn_tensor::ShapeError`] so the message is identical to the
+//! panic the runtime would raise — and *recovers* with the op's declared
+//! output shape, so one defect yields one finding instead of a cascade.
+
+use std::fmt;
+
+use gnn_tensor::ShapeError;
+
+use crate::report::{Finding, FindingKind};
+
+/// Symbolic row extent of a tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rows {
+    /// One row per node of the batch.
+    Nodes,
+    /// One row per edge of the batch.
+    Edges,
+    /// One row per graph of the batch.
+    Graphs,
+    /// A concrete row count (parameters, scalars).
+    Const(usize),
+}
+
+impl fmt::Display for Rows {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rows::Nodes => write!(f, "N"),
+            Rows::Edges => write!(f, "E"),
+            Rows::Graphs => write!(f, "G"),
+            Rows::Const(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Symbolic tensor shape: symbolic rows × concrete columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SymShape {
+    /// Row extent.
+    pub rows: Rows,
+    /// Column width.
+    pub cols: usize,
+}
+
+impl SymShape {
+    /// Shorthand constructor.
+    pub fn new(rows: Rows, cols: usize) -> Self {
+        SymShape { rows, cols }
+    }
+}
+
+impl fmt::Display for SymShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.rows, self.cols)
+    }
+}
+
+/// Element type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DType {
+    /// Dense float data.
+    F32,
+    /// Index arrays (edge endpoints, segment ids, labels).
+    U32,
+}
+
+/// Node handle within an [`OpGraph`].
+pub type NodeId = usize;
+
+/// One op (or leaf) of the symbolic graph.
+#[derive(Debug, Clone)]
+pub struct OpNode {
+    /// Op name (`"matmul"`, `"gather_rows"`, `"param"`, ...).
+    pub op: &'static str,
+    /// Scope path of the op, e.g. `"Cora/GCN/PyG/conv2/matmul"`.
+    pub path: String,
+    /// Input nodes.
+    pub inputs: Vec<NodeId>,
+    /// Inferred output shape.
+    pub shape: SymShape,
+    /// Element type of the output.
+    pub dtype: DType,
+    /// For `param` leaves: the parameter's name.
+    pub param_name: Option<String>,
+    /// Whether a gradient is wanted for (or flows through) this node.
+    pub requires_grad: bool,
+    /// Whether the op propagates gradients to its inputs (false for leaves
+    /// and for explicit `detach`-style barriers).
+    pub differentiable: bool,
+}
+
+/// Index-array metadata: how many entries, and what they address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexDomain {
+    /// The row class the index values select (e.g. `Nodes` for edge
+    /// endpoints, `Graphs` for per-node graph ids).
+    pub domain: Rows,
+}
+
+/// A fully lowered symbolic graph plus the findings its construction raised.
+#[derive(Debug, Clone, Default)]
+pub struct OpGraph {
+    /// All nodes in insertion order (inputs precede users).
+    pub nodes: Vec<OpNode>,
+    /// The scalar training loss, if the lowering reached one.
+    pub loss: Option<NodeId>,
+    /// Shape findings raised while building.
+    pub findings: Vec<Finding>,
+}
+
+impl OpGraph {
+    /// All parameter leaves.
+    pub fn params(&self) -> impl Iterator<Item = (NodeId, &OpNode)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.op == "param")
+    }
+
+    /// Total parameter bytes (f32). Parameter rows are always concrete.
+    pub fn param_bytes(&self) -> u64 {
+        self.params()
+            .map(|(_, p)| match p.shape.rows {
+                Rows::Const(r) => 4 * (r * p.shape.cols) as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+/// Incrementally builds an [`OpGraph`], applying shape rules per op.
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    graph: OpGraph,
+    scopes: Vec<String>,
+    index_domains: Vec<Option<IndexDomain>>,
+}
+
+impl GraphBuilder {
+    /// A builder whose op paths start at `prefix` (e.g. `"Cora/GCN/PyG"`).
+    pub fn with_prefix(prefix: &str) -> Self {
+        let mut b = GraphBuilder::default();
+        if !prefix.is_empty() {
+            b.scopes.push(prefix.to_string());
+        }
+        b
+    }
+
+    /// Enters a named scope (appears in op paths until popped).
+    pub fn push_scope(&mut self, name: impl Into<String>) {
+        self.scopes.push(name.into());
+    }
+
+    /// Leaves the innermost scope.
+    pub fn pop_scope(&mut self) {
+        self.scopes.pop();
+    }
+
+    fn path_of(&self, op: &str) -> String {
+        if self.scopes.is_empty() {
+            op.to_string()
+        } else {
+            format!("{}/{op}", self.scopes.join("/"))
+        }
+    }
+
+    /// Shape of a node.
+    pub fn shape(&self, id: NodeId) -> SymShape {
+        self.graph.nodes[id].shape
+    }
+
+    /// Records a shape finding at the current scope for `op`.
+    pub fn finding(&mut self, op: &str, message: impl Into<String>) {
+        let path = self.path_of(op);
+        self.graph
+            .findings
+            .push(Finding::new(FindingKind::ShapeMismatch, path, message));
+    }
+
+    fn shape_err(&mut self, e: ShapeError) {
+        self.finding(e.op, e.to_string());
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        op: &'static str,
+        inputs: Vec<NodeId>,
+        shape: SymShape,
+        dtype: DType,
+        param_name: Option<String>,
+        requires_grad: bool,
+        differentiable: bool,
+    ) -> NodeId {
+        let id = self.graph.nodes.len();
+        self.graph.nodes.push(OpNode {
+            op,
+            path: self.path_of(op),
+            inputs,
+            shape,
+            dtype,
+            param_name,
+            requires_grad,
+            differentiable,
+        });
+        self.index_domains.push(None);
+        id
+    }
+
+    fn flows(&self, inputs: &[NodeId]) -> bool {
+        inputs.iter().any(|&i| self.graph.nodes[i].requires_grad)
+    }
+
+    /// A non-trainable f32 input leaf (features, degree tensors, ...).
+    pub fn input(&mut self, name: &'static str, rows: Rows, cols: usize) -> NodeId {
+        self.push(
+            name,
+            vec![],
+            SymShape::new(rows, cols),
+            DType::F32,
+            None,
+            false,
+            false,
+        )
+    }
+
+    /// A u32 index-array leaf with `rows` entries addressing `domain` rows.
+    pub fn index_input(&mut self, name: &'static str, rows: Rows, domain: Rows) -> NodeId {
+        let id = self.push(
+            name,
+            vec![],
+            SymShape::new(rows, 1),
+            DType::U32,
+            None,
+            false,
+            false,
+        );
+        self.index_domains[id] = Some(IndexDomain { domain });
+        id
+    }
+
+    /// A trainable parameter leaf `[rows, cols]` (rows concrete). Its path
+    /// ends in the parameter's name so findings identify it directly.
+    pub fn param(&mut self, name: impl Into<String>, rows: usize, cols: usize) -> NodeId {
+        let name = name.into();
+        let id = self.push(
+            "param",
+            vec![],
+            SymShape::new(Rows::Const(rows), cols),
+            DType::F32,
+            Some(name.clone()),
+            true,
+            false,
+        );
+        self.graph.nodes[id].path = self.path_of(&name);
+        id
+    }
+
+    /// A parameter with gradients disabled — the frozen-parameter defect
+    /// the tape audit must catch.
+    pub fn frozen_param(&mut self, name: impl Into<String>, rows: usize, cols: usize) -> NodeId {
+        let id = self.param(name, rows, cols);
+        self.graph.nodes[id].requires_grad = false;
+        id
+    }
+
+    /// `x [r, k] @ w [k', c] -> [r, c]`; flags `k != k'`.
+    pub fn matmul(&mut self, x: NodeId, w: NodeId) -> NodeId {
+        let (xs, ws) = (self.shape(x), self.shape(w));
+        let k = match ws.rows {
+            Rows::Const(k) => k,
+            other => {
+                self.finding(
+                    "matmul",
+                    format!("matmul: weight rows must be concrete, got {other}"),
+                );
+                xs.cols
+            }
+        };
+        if xs.cols != k {
+            self.shape_err(ShapeError::inner_dim("matmul", xs.cols, k));
+        }
+        let rg = self.flows(&[x, w]);
+        self.push(
+            "matmul",
+            vec![x, w],
+            SymShape::new(xs.rows, ws.cols),
+            DType::F32,
+            None,
+            rg,
+            true,
+        )
+    }
+
+    /// `x [r, c] + b [1, c]` broadcast over rows.
+    pub fn add_bias(&mut self, x: NodeId, b: NodeId) -> NodeId {
+        let (xs, bs) = (self.shape(x), self.shape(b));
+        if bs.rows != Rows::Const(1) {
+            self.finding(
+                "add_bias",
+                format!("add_bias: bias rows must be 1, got {}", bs.rows),
+            );
+        }
+        if xs.cols != bs.cols {
+            self.shape_err(ShapeError::width("add_bias", xs.cols, bs.cols));
+        }
+        let rg = self.flows(&[x, b]);
+        self.push("add_bias", vec![x, b], xs, DType::F32, None, rg, true)
+    }
+
+    fn binary(&mut self, op: &'static str, x: NodeId, y: NodeId) -> NodeId {
+        let (xs, ys) = (self.shape(x), self.shape(y));
+        if xs.rows != ys.rows {
+            self.finding(
+                op,
+                format!(
+                    "{op}: operand rows differ (lhs rows = {}, rhs rows = {})",
+                    xs.rows, ys.rows
+                ),
+            );
+        }
+        if xs.cols != ys.cols {
+            self.shape_err(ShapeError::width(op, xs.cols, ys.cols));
+        }
+        let rg = self.flows(&[x, y]);
+        self.push(op, vec![x, y], xs, DType::F32, None, rg, true)
+    }
+
+    /// Elementwise add of same-shape operands.
+    pub fn add(&mut self, x: NodeId, y: NodeId) -> NodeId {
+        self.binary("add", x, y)
+    }
+
+    /// Elementwise add used for residual connections (distinct op name so
+    /// findings identify the stack wiring rather than the conv internals).
+    pub fn residual_add(&mut self, x: NodeId, y: NodeId) -> NodeId {
+        self.binary("residual_add", x, y)
+    }
+
+    /// Elementwise multiply of same-shape operands.
+    pub fn mul(&mut self, x: NodeId, y: NodeId) -> NodeId {
+        self.binary("mul", x, y)
+    }
+
+    /// Elementwise divide of same-shape operands.
+    pub fn div(&mut self, x: NodeId, y: NodeId) -> NodeId {
+        self.binary("div", x, y)
+    }
+
+    /// `x [r, c] * col [r, 1]` broadcast across columns.
+    pub fn mul_col(&mut self, x: NodeId, col: NodeId) -> NodeId {
+        let (xs, cs) = (self.shape(x), self.shape(col));
+        if cs.cols != 1 {
+            self.finding(
+                "mul_col",
+                format!("mul_col: scale must be one column, got {}", cs.cols),
+            );
+        }
+        if xs.rows != cs.rows {
+            self.finding(
+                "mul_col",
+                format!(
+                    "mul_col: operand rows differ (lhs rows = {}, rhs rows = {})",
+                    xs.rows, cs.rows
+                ),
+            );
+        }
+        let rg = self.flows(&[x, col]);
+        self.push("mul_col", vec![x, col], xs, DType::F32, None, rg, true)
+    }
+
+    /// `x [r, c] * row [1, c]` broadcast across rows.
+    pub fn mul_row(&mut self, x: NodeId, row: NodeId) -> NodeId {
+        let (xs, rs) = (self.shape(x), self.shape(row));
+        if rs.rows != Rows::Const(1) {
+            self.finding(
+                "mul_row",
+                format!("mul_row: scale rows must be 1, got {}", rs.rows),
+            );
+        }
+        if xs.cols != rs.cols {
+            self.shape_err(ShapeError::width("mul_row", xs.cols, rs.cols));
+        }
+        let rg = self.flows(&[x, row]);
+        self.push("mul_row", vec![x, row], xs, DType::F32, None, rg, true)
+    }
+
+    /// `x * s` with a scalar `s [1, 1]` broadcast over all elements (GIN's
+    /// `(1 + ε)` mix).
+    pub fn scale_by(&mut self, x: NodeId, s: NodeId) -> NodeId {
+        let ss = self.shape(s);
+        if ss != SymShape::new(Rows::Const(1), 1) {
+            self.finding(
+                "scale_by",
+                format!("scale_by: scale must be a scalar, got {ss}"),
+            );
+        }
+        let xs = self.shape(x);
+        let rg = self.flows(&[x, s]);
+        self.push("scale_by", vec![x, s], xs, DType::F32, None, rg, true)
+    }
+
+    /// Column concatenation of same-row operands.
+    pub fn concat_cols(&mut self, x: NodeId, y: NodeId) -> NodeId {
+        let (xs, ys) = (self.shape(x), self.shape(y));
+        if xs.rows != ys.rows {
+            self.finding(
+                "concat_cols",
+                format!(
+                    "concat_cols: operand rows differ (lhs rows = {}, rhs rows = {})",
+                    xs.rows, ys.rows
+                ),
+            );
+        }
+        let rg = self.flows(&[x, y]);
+        self.push(
+            "concat_cols",
+            vec![x, y],
+            SymShape::new(xs.rows, xs.cols + ys.cols),
+            DType::F32,
+            None,
+            rg,
+            true,
+        )
+    }
+
+    /// A shape-preserving differentiable unary op (`relu`, `sigmoid`,
+    /// `tanh`, `leaky_relu`, `exp`, `scale`, `l2_normalize`, ...).
+    pub fn unary(&mut self, op: &'static str, x: NodeId) -> NodeId {
+        let s = self.shape(x);
+        let rg = self.flows(&[x]);
+        self.push(op, vec![x], s, DType::F32, None, rg, true)
+    }
+
+    /// Row-wise sum: `[r, c] -> [r, 1]`.
+    pub fn sum_cols(&mut self, x: NodeId) -> NodeId {
+        let s = self.shape(x);
+        let rg = self.flows(&[x]);
+        self.push(
+            "sum_cols",
+            vec![x],
+            SymShape::new(s.rows, 1),
+            DType::F32,
+            None,
+            rg,
+            true,
+        )
+    }
+
+    /// Gradient barrier: value passes, gradient does not.
+    pub fn detach(&mut self, x: NodeId) -> NodeId {
+        let s = self.shape(x);
+        self.push("detach", vec![x], s, DType::F32, None, false, false)
+    }
+
+    fn index_domain(&mut self, op: &'static str, idx: NodeId) -> IndexDomain {
+        match self.index_domains[idx] {
+            Some(d) => d,
+            None => {
+                self.finding(op, format!("{op}: index operand is not a u32 index array"));
+                IndexDomain {
+                    domain: Rows::Nodes,
+                }
+            }
+        }
+    }
+
+    /// `gather_rows(x [D, c], idx)` where `idx` addresses `D` rows,
+    /// producing `[idx.rows, c]`. Flags a domain mismatch — the symbolic
+    /// form of an out-of-bounds index.
+    pub fn gather(&mut self, x: NodeId, idx: NodeId) -> NodeId {
+        let xs = self.shape(x);
+        let is = self.shape(idx);
+        let dom = self.index_domain("gather_rows", idx);
+        if xs.rows != dom.domain {
+            self.finding(
+                "gather_rows",
+                format!(
+                    "gather_rows: index domain mismatch (data rows = {}, index addresses {})",
+                    xs.rows, dom.domain
+                ),
+            );
+        }
+        let rg = self.flows(&[x]);
+        self.push(
+            "gather_rows",
+            vec![x, idx],
+            SymShape::new(is.rows, xs.cols),
+            DType::F32,
+            None,
+            rg,
+            true,
+        )
+    }
+
+    /// `scatter_add_rows(x [r, c], idx, out_rows)` producing `[out_rows, c]`.
+    pub fn scatter_add(&mut self, x: NodeId, idx: NodeId, out_rows: Rows) -> NodeId {
+        let xs = self.shape(x);
+        let is = self.shape(idx);
+        let dom = self.index_domain("scatter_add_rows", idx);
+        if xs.rows != is.rows {
+            self.finding(
+                "scatter_add_rows",
+                format!(
+                    "scatter_add_rows: index length mismatch (ids rows = {}, data rows = {})",
+                    is.rows, xs.rows
+                ),
+            );
+        }
+        if dom.domain != out_rows {
+            self.finding(
+                "scatter_add_rows",
+                format!(
+                    "scatter_add_rows: index domain mismatch (output rows = {out_rows}, index addresses {})",
+                    dom.domain
+                ),
+            );
+        }
+        let rg = self.flows(&[x]);
+        self.push(
+            "scatter_add_rows",
+            vec![x, idx],
+            SymShape::new(out_rows, xs.cols),
+            DType::F32,
+            None,
+            rg,
+            true,
+        )
+    }
+
+    fn segment_common(&mut self, op: &'static str, x: NodeId, ids: NodeId, segments: Rows) {
+        let xs = self.shape(x);
+        let is = self.shape(ids);
+        let dom = self.index_domain(op, ids);
+        if xs.rows != is.rows {
+            self.finding(
+                op,
+                format!(
+                    "{op}: ids length mismatch (ids rows = {}, data rows = {})",
+                    is.rows, xs.rows
+                ),
+            );
+        }
+        if dom.domain != segments {
+            self.finding(
+                op,
+                format!(
+                    "{op}: segment domain mismatch (segments = {segments}, ids address {})",
+                    dom.domain
+                ),
+            );
+        }
+    }
+
+    /// Segment reduction (`segment_sum` / `segment_mean` / `segment_max`):
+    /// `[r, c]` reduced into `[segments, c]`.
+    pub fn segment_reduce(
+        &mut self,
+        op: &'static str,
+        x: NodeId,
+        ids: NodeId,
+        segments: Rows,
+    ) -> NodeId {
+        self.segment_common(op, x, ids, segments);
+        let xs = self.shape(x);
+        let rg = self.flows(&[x]);
+        self.push(
+            op,
+            vec![x, ids],
+            SymShape::new(segments, xs.cols),
+            DType::F32,
+            None,
+            rg,
+            true,
+        )
+    }
+
+    /// Segment softmax: shape-preserving normalization within segments.
+    pub fn segment_softmax(&mut self, x: NodeId, ids: NodeId, segments: Rows) -> NodeId {
+        self.segment_common("segment_softmax", x, ids, segments);
+        let xs = self.shape(x);
+        let rg = self.flows(&[x]);
+        self.push(
+            "segment_softmax",
+            vec![x, ids],
+            xs,
+            DType::F32,
+            None,
+            rg,
+            true,
+        )
+    }
+
+    /// Per-head dot product with an attention vector `a [1, H·D]`:
+    /// `[r, H·D] -> [r, H]`.
+    pub fn head_dot(&mut self, x: NodeId, a: NodeId, heads: usize) -> NodeId {
+        let (xs, av) = (self.shape(x), self.shape(a));
+        if av.rows != Rows::Const(1) || av.cols != xs.cols {
+            self.shape_err(ShapeError::width("head_dot", xs.cols, av.cols));
+        }
+        if heads == 0 || !xs.cols.is_multiple_of(heads.max(1)) {
+            self.shape_err(ShapeError::heads("head_dot", xs.cols, heads));
+        }
+        let rg = self.flows(&[x, a]);
+        self.push(
+            "head_dot",
+            vec![x, a],
+            SymShape::new(xs.rows, heads),
+            DType::F32,
+            None,
+            rg,
+            true,
+        )
+    }
+
+    /// Per-head broadcast multiply: `x [r, H·D] * w [r, H]`.
+    pub fn mul_per_head(&mut self, x: NodeId, w: NodeId, heads: usize) -> NodeId {
+        let (xs, ws) = (self.shape(x), self.shape(w));
+        if ws.rows != xs.rows {
+            self.finding(
+                "mul_per_head",
+                format!(
+                    "mul_per_head: operand rows differ (lhs rows = {}, rhs rows = {})",
+                    xs.rows, ws.rows
+                ),
+            );
+        }
+        if ws.cols != heads {
+            self.finding(
+                "mul_per_head",
+                format!(
+                    "mul_per_head: weights must have one column per head (heads = {heads}, got {})",
+                    ws.cols
+                ),
+            );
+        }
+        if heads == 0 || !xs.cols.is_multiple_of(heads.max(1)) {
+            self.shape_err(ShapeError::heads("mul_per_head", xs.cols, heads));
+        }
+        let rg = self.flows(&[x, w]);
+        self.push("mul_per_head", vec![x, w], xs, DType::F32, None, rg, true)
+    }
+
+    /// Cross-entropy against integer labels indexing `num_classes` classes;
+    /// produces the scalar loss.
+    pub fn cross_entropy(&mut self, logits: NodeId, labels: NodeId, num_classes: usize) -> NodeId {
+        let ls = self.shape(logits);
+        let ys = self.shape(labels);
+        if ls.cols != num_classes {
+            self.finding(
+                "cross_entropy",
+                format!(
+                    "cross_entropy: logits width != class count (cols = {}, num_classes = {num_classes})",
+                    ls.cols
+                ),
+            );
+        }
+        if ls.rows != ys.rows {
+            self.finding(
+                "cross_entropy",
+                format!("cross_entropy: one label per row required (logits rows = {}, labels rows = {})", ls.rows, ys.rows),
+            );
+        }
+        let dom = self.index_domain("cross_entropy", labels);
+        if dom.domain != Rows::Const(num_classes) {
+            self.finding(
+                "cross_entropy",
+                format!(
+                    "cross_entropy: labels address {} but logits have {num_classes} classes",
+                    dom.domain
+                ),
+            );
+        }
+        let rg = self.flows(&[logits]);
+        let loss = self.push(
+            "cross_entropy",
+            vec![logits, labels],
+            SymShape::new(Rows::Const(1), 1),
+            DType::F32,
+            None,
+            rg,
+            true,
+        );
+        self.graph.loss = Some(loss);
+        loss
+    }
+
+    /// Finishes building, returning the graph (and its findings).
+    pub fn finish(self) -> OpGraph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_shape_rule_and_recovery() {
+        let mut b = GraphBuilder::with_prefix("t");
+        let x = b.input("x", Rows::Nodes, 8);
+        let w = b.param("w", 8, 4);
+        let h = b.matmul(x, w);
+        assert_eq!(b.shape(h), SymShape::new(Rows::Nodes, 4));
+        // Mismatched weight: one finding, output recovers to declared shape.
+        let w2 = b.param("w2", 5, 3);
+        let h2 = b.matmul(h, w2);
+        assert_eq!(b.shape(h2), SymShape::new(Rows::Nodes, 3));
+        let g = b.finish();
+        assert_eq!(g.findings.len(), 1);
+        assert!(g.findings[0]
+            .message
+            .contains("inner dimensions disagree (lhs cols = 4, rhs rows = 5)"));
+        assert!(g.findings[0].path.contains("t/matmul"));
+    }
+
+    #[test]
+    fn gather_domain_mismatch_is_flagged() {
+        let mut b = GraphBuilder::default();
+        let h = b.input("x", Rows::Edges, 4);
+        let src = b.index_input("src", Rows::Edges, Rows::Nodes);
+        // Gathering node-indexed rows out of an edge-rows tensor.
+        b.gather(h, src);
+        let g = b.finish();
+        assert_eq!(g.findings.len(), 1);
+        assert!(g.findings[0].message.contains("index domain mismatch"));
+    }
+
+    #[test]
+    fn param_bytes_counts_f32_params() {
+        let mut b = GraphBuilder::default();
+        b.param("w", 8, 4);
+        b.param("b", 1, 4);
+        let g = b.finish();
+        assert_eq!(g.param_bytes(), 4 * (32 + 4));
+        assert_eq!(g.params().count(), 2);
+    }
+
+    #[test]
+    fn requires_grad_propagates_and_detach_blocks() {
+        let mut b = GraphBuilder::default();
+        let x = b.input("x", Rows::Nodes, 4);
+        let w = b.param("w", 4, 4);
+        let h = b.matmul(x, w);
+        assert!(b.graph.nodes[h].requires_grad);
+        let d = b.detach(h);
+        assert!(!b.graph.nodes[d].requires_grad);
+        let r = b.unary("relu", d);
+        assert!(!b.graph.nodes[r].requires_grad);
+    }
+}

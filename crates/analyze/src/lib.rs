@@ -1,0 +1,42 @@
+//! `gnn-lint`: ahead-of-run static analysis for the GNN framework study.
+//!
+//! A full paper sweep trains 60 (model, dataset, framework) cells for
+//! minutes to hours; a shape mismatch in layer 3, an out-of-bounds edge
+//! index, or a frozen parameter surfaces only deep into that run — or
+//! worse, never (a dead parameter just silently degrades accuracy). This
+//! crate verifies the whole configured run *before execution*:
+//!
+//! - **Shape/dtype inference** ([`ir`], [`lower`]): every model × framework
+//!   lowering is replayed symbolically (node counts stay symbolic, widths
+//!   concrete) and each op's shape rule is checked, with diagnostics
+//!   rendered through the same [`gnn_tensor::ShapeError`] the runtime
+//!   panics with.
+//! - **Index safety** ([`index_check`]): edge indices, split indices,
+//!   labels, and batching offsets of the generated datasets are proven
+//!   in-bounds for the kernels that will consume them.
+//! - **Autograd tape audit** ([`tape`]): detects dead (frozen or
+//!   disconnected) parameters and backwards that can never run.
+//! - **Timeline hazards** ([`schedule`]): data-parallel schedules are
+//!   checked for same-stream kernel overlap, PCIe serialization
+//!   violations, and cross-lane buffer races.
+//!
+//! Entry points: the `gnn-lint` binary, [`run::lint_run`] /
+//! [`run::lint_and_export`] (used by the bench binaries' `--lint` gate),
+//! and the per-pass APIs for tests. Machine-readable findings land in
+//! `lint.json` next to the `gnn-obs` trace artifacts (see the README's
+//! findings-format reference).
+
+pub mod index_check;
+pub mod ir;
+pub mod lower;
+pub mod report;
+pub mod run;
+pub mod schedule;
+pub mod tape;
+
+pub use ir::{DType, GraphBuilder, OpGraph, Rows, SymShape};
+pub use lower::{lower_stack, LayerPlan, StackPlan, Task};
+pub use report::{Finding, FindingKind, LintReport};
+pub use run::{lint_and_export, lint_run};
+pub use schedule::{data_parallel_schedule, Lane, Schedule, Slice};
+pub use tape::audit_tape;

@@ -1,0 +1,231 @@
+//! Typed lint findings and the run-level report.
+//!
+//! Every pass appends [`Finding`]s; the [`LintReport`] aggregates them with
+//! coverage counters and exports machine-readable JSON (`lint.json`) next to
+//! the trace artifacts of the observability layer.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use gnn_obs::Value;
+
+/// The category of a finding, one per analysis rule family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FindingKind {
+    /// Symbolic shape/dtype inference found operands that cannot compose.
+    ShapeMismatch,
+    /// A concrete index array addresses rows outside its target extent.
+    IndexOutOfBounds,
+    /// A trainable parameter receives no gradient from the loss.
+    DeadParameter,
+    /// A differentiable op's backward can never be invoked.
+    UnreachableBackward,
+    /// Two kernels overlap on the same stream.
+    TimelineOverlap,
+    /// Concurrent kernels access a buffer with at least one writer.
+    BufferRace,
+    /// Two transfers overlap on the same PCIe link.
+    TransferOverlap,
+    /// A configuration is degenerate before any schedule/graph exists.
+    InvalidConfig,
+}
+
+impl FindingKind {
+    /// Stable machine-readable label (used in `lint.json`).
+    pub fn label(self) -> &'static str {
+        match self {
+            FindingKind::ShapeMismatch => "shape-mismatch",
+            FindingKind::IndexOutOfBounds => "index-out-of-bounds",
+            FindingKind::DeadParameter => "dead-parameter",
+            FindingKind::UnreachableBackward => "unreachable-backward",
+            FindingKind::TimelineOverlap => "timeline-overlap",
+            FindingKind::BufferRace => "buffer-race",
+            FindingKind::TransferOverlap => "transfer-overlap",
+            FindingKind::InvalidConfig => "invalid-config",
+        }
+    }
+}
+
+/// One statically detected defect: what rule fired, where, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule family.
+    pub kind: FindingKind,
+    /// Op path within the sweep, e.g.
+    /// `table4/Cora/GCN/PyG/conv2/matmul` or `fig6/GCN/PyG/gpus4/step`.
+    pub path: String,
+    /// Human-readable diagnosis. For shape defects this is the exact
+    /// [`gnn_tensor::ShapeError`] rendering the runtime would panic with.
+    pub message: String,
+}
+
+impl Finding {
+    /// Creates a finding.
+    pub fn new(kind: FindingKind, path: impl Into<String>, message: impl Into<String>) -> Self {
+        Finding {
+            kind,
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.kind.label(), self.path, self.message)
+    }
+}
+
+/// Aggregated result of linting one configured run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LintReport {
+    /// All findings, in discovery order.
+    pub findings: Vec<Finding>,
+    /// (model, dataset, framework) cells whose lowering was walked.
+    pub cells_checked: usize,
+    /// Total symbolic ops inferred across all cells.
+    pub ops_checked: usize,
+    /// Generated datasets whose index arrays were proven in-bounds.
+    pub datasets_checked: usize,
+    /// Device schedules checked for hazards.
+    pub schedules_checked: usize,
+}
+
+impl LintReport {
+    /// Whether the run is safe to execute.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Findings of one kind.
+    pub fn of_kind(&self, kind: FindingKind) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| f.kind == kind).collect()
+    }
+
+    /// Merges another report into this one (summing coverage counters).
+    pub fn merge(&mut self, other: LintReport) {
+        self.findings.extend(other.findings);
+        self.cells_checked += other.cells_checked;
+        self.ops_checked += other.ops_checked;
+        self.datasets_checked += other.datasets_checked;
+        self.schedules_checked += other.schedules_checked;
+    }
+
+    /// The report as a JSON tree (the `lint.json` schema; see README).
+    pub fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            (
+                "coverage".into(),
+                Value::Obj(vec![
+                    ("cells".into(), Value::Num(self.cells_checked as f64)),
+                    ("ops".into(), Value::Num(self.ops_checked as f64)),
+                    ("datasets".into(), Value::Num(self.datasets_checked as f64)),
+                    (
+                        "schedules".into(),
+                        Value::Num(self.schedules_checked as f64),
+                    ),
+                ]),
+            ),
+            ("clean".into(), Value::Bool(self.is_clean())),
+            (
+                "findings".into(),
+                Value::Arr(
+                    self.findings
+                        .iter()
+                        .map(|f| {
+                            Value::Obj(vec![
+                                ("kind".into(), Value::Str(f.kind.label().into())),
+                                ("path".into(), Value::Str(f.path.clone())),
+                                ("message".into(), Value::Str(f.message.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Writes `lint.json` into `dir` (created if missing), returning its
+    /// path. Lives alongside `trace.json`/`metrics.jsonl` when the run is
+    /// traced.
+    pub fn save(&self, dir: &Path) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join("lint.json");
+        fs::write(&path, self.to_value().to_json())?;
+        Ok(path)
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "gnn-lint: {} cell(s), {} op(s), {} dataset(s), {} schedule(s) checked — {}",
+            self.cells_checked,
+            self.ops_checked,
+            self.datasets_checked,
+            self.schedules_checked,
+            if self.is_clean() {
+                "clean".to_string()
+            } else {
+                format!("{} finding(s)", self.findings.len())
+            }
+        )?;
+        for finding in &self.findings {
+            writeln!(f, "  {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut r = LintReport {
+            cells_checked: 2,
+            ops_checked: 17,
+            datasets_checked: 1,
+            schedules_checked: 3,
+            ..LintReport::default()
+        };
+        r.findings.push(Finding::new(
+            FindingKind::ShapeMismatch,
+            "Cora/GCN/PyG/conv2/matmul",
+            "matmul: inner dimensions disagree (lhs cols = 80, rhs rows = 64)",
+        ));
+        let json = r.to_value().to_json();
+        let v = gnn_obs::json::parse(&json).expect("valid json");
+        assert_eq!(v.get("clean"), Some(&Value::Bool(false)));
+        let findings = v.get("findings").and_then(|f| f.as_arr()).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(
+            findings[0].get("kind").and_then(|k| k.as_str()),
+            Some("shape-mismatch")
+        );
+        assert_eq!(
+            v.get("coverage")
+                .and_then(|c| c.get("ops"))
+                .and_then(|o| o.as_u64()),
+            Some(17)
+        );
+    }
+
+    #[test]
+    fn display_lists_findings() {
+        let mut r = LintReport::default();
+        assert!(r.is_clean());
+        assert!(r.to_string().contains("clean"));
+        r.findings
+            .push(Finding::new(FindingKind::BufferRace, "fig6/step", "boom"));
+        assert!(!r.is_clean());
+        let s = r.to_string();
+        assert!(s.contains("[buffer-race] fig6/step: boom"));
+        assert_eq!(r.of_kind(FindingKind::BufferRace).len(), 1);
+        assert!(r.of_kind(FindingKind::DeadParameter).is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! Whole-run linting: the configured paper sweep, end to end.
+//!
+//! [`lint_run`] expands a [`RunConfig`] into everything the bench binaries
+//! would execute — all 60 (model, dataset, framework) cells of Tables IV/V,
+//! the datasets at the configured scale, and the Fig. 6 multi-GPU
+//! schedules — and runs every analysis pass over each piece:
+//!
+//! 1. symbolic shape/dtype inference over each cell's lowering
+//!    ([`crate::lower`]),
+//! 2. the autograd tape audit ([`crate::tape`]),
+//! 3. index-safety proofs over the generated datasets
+//!    ([`crate::index_check`]),
+//! 4. timeline hazard detection over the data-parallel schedules
+//!    ([`crate::schedule`]).
+//!
+//! Finding paths are rooted at the sweep position:
+//! `table4/Cora/GCN/PyG/conv2/matmul`, `table5/MNIST/GatedGCN/DGL/...`,
+//! `fig6/GCN/DGL/gpus4/...`.
+
+use gnn_core::RunConfig;
+use gnn_datasets::{CitationSpec, SuperpixelSpec, TudSpec};
+use gnn_device::{DataParallel, StepCost};
+use gnn_models::config::{graph_hparams, FrameworkKind, ModelKind, ALL_FRAMEWORKS, ALL_MODELS};
+
+use crate::index_check::{check_graph_dataset, check_node_dataset};
+use crate::lower::{lower_stack, StackPlan};
+use crate::report::{Finding, FindingKind, LintReport};
+use crate::schedule::data_parallel_schedule;
+use crate::tape::audit_tape;
+
+fn lint_cell(plan: &StackPlan, path: &str, report: &mut LintReport) -> u64 {
+    let graph = lower_stack(plan, path);
+    report.findings.extend(graph.findings.iter().cloned());
+    audit_tape(&graph, &mut report.findings);
+    report.ops_checked += graph.nodes.len();
+    report.cells_checked += 1;
+    graph.param_bytes()
+}
+
+fn fw_dir(fw: FrameworkKind) -> &'static str {
+    fw.label()
+}
+
+/// Lints the full sweep a [`RunConfig`] describes. Deterministic: the same
+/// config always yields the same report.
+pub fn lint_run(cfg: &RunConfig) -> LintReport {
+    let mut report = LintReport::default();
+
+    // Table IV: node classification on the citation graphs.
+    for spec in [CitationSpec::cora(), CitationSpec::pubmed()] {
+        let ds = spec.scaled(cfg.scale).generate(cfg.seed);
+        let ds_path = format!("table4/{}", ds.name);
+        check_node_dataset(&ds, &ds_path, &mut report.findings);
+        report.datasets_checked += 1;
+        for model in ALL_MODELS {
+            for fw in ALL_FRAMEWORKS {
+                let plan = StackPlan::node(model, fw, ds.features.cols(), ds.num_classes);
+                let path = format!("{ds_path}/{}/{}", model.label(), fw_dir(fw));
+                lint_cell(&plan, &path, &mut report);
+            }
+        }
+    }
+
+    // Table V: graph classification on ENZYMES / MNIST / DD, scaled the way
+    // the runner scales them.
+    type GraphGen<'a> = Box<dyn Fn() -> gnn_datasets::GraphDataset + 'a>;
+    let graph_specs: [(&str, GraphGen); 3] = [
+        (
+            "ENZYMES",
+            Box::new(|| TudSpec::enzymes().scaled(cfg.scale).generate(cfg.seed)),
+        ),
+        (
+            "MNIST",
+            Box::new(|| {
+                SuperpixelSpec::mnist()
+                    .scaled((cfg.scale * 0.1).min(1.0))
+                    .generate(cfg.seed)
+            }),
+        ),
+        (
+            "DD",
+            Box::new(|| TudSpec::dd().scaled(cfg.scale).generate(cfg.seed)),
+        ),
+    ];
+    for (name, gen) in graph_specs {
+        let ds = gen();
+        let ds_path = format!("table5/{name}");
+        let batch = cfg.batch_sizes.iter().copied().max().unwrap_or(128);
+        check_graph_dataset(&ds, batch, &ds_path, &mut report.findings);
+        report.datasets_checked += 1;
+        for model in ALL_MODELS {
+            for fw in ALL_FRAMEWORKS {
+                let plan = StackPlan::graph(model, fw, ds.feature_dim, ds.num_classes);
+                let path = format!("{ds_path}/{}/{}", model.label(), fw_dir(fw));
+                lint_cell(&plan, &path, &mut report);
+            }
+        }
+    }
+
+    // Fig. 6: data-parallel schedules for the two multi-GPU models, with
+    // parameter volumes taken from the symbolic graphs just built.
+    for model in [ModelKind::Gcn, ModelKind::Gat] {
+        for fw in ALL_FRAMEWORKS {
+            // MNIST is the Fig. 6 dataset; its feature dim is 1 intensity +
+            // 2 coordinates, 10 classes.
+            let plan = StackPlan::graph(model, fw, 3, 10);
+            let param_bytes = lower_stack(&plan, "fig6").param_bytes();
+            let batch = graph_hparams(model).batch_size.max(1);
+            let step = StepCost {
+                host_load: 5e-3,
+                // ~71 superpixel nodes/graph, 3 f32 features + 8 bytes of
+                // topology per edge (k = 8 neighbours).
+                input_bytes: (batch * 71 * (3 * 4 + 8 * 8)) as u64,
+                compute: 2e-3,
+                output_bytes: (batch * 10 * 4) as u64,
+                update: 1e-4,
+            };
+            for n_gpus in [1usize, 2, 4, 8] {
+                let path = format!("fig6/{}/{}/gpus{n_gpus}", model.label(), fw_dir(fw));
+                let dp = DataParallel::new(n_gpus, param_bytes);
+                match data_parallel_schedule(&dp, &step) {
+                    Ok(sched) => sched.check(&path, &mut report.findings),
+                    Err(e) => report.findings.push(Finding::new(
+                        FindingKind::InvalidConfig,
+                        path,
+                        e.to_string(),
+                    )),
+                }
+                report.schedules_checked += 1;
+            }
+        }
+    }
+
+    report
+}
+
+/// Lints and — when the config traces — saves `lint.json` next to the trace
+/// artifacts. Returns the report either way.
+pub fn lint_and_export(cfg: &RunConfig) -> LintReport {
+    let report = lint_run(cfg);
+    if let Some(dir) = cfg.trace.dir() {
+        if let Err(e) = report.save(dir) {
+            eprintln!("gnn-lint: could not write lint.json: {e}");
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_is_clean_and_covers_all_60_cells() {
+        let report = lint_run(&RunConfig::smoke());
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.cells_checked, 60);
+        assert_eq!(report.datasets_checked, 5);
+        assert_eq!(report.schedules_checked, 16);
+        assert!(report.ops_checked > 1000, "{}", report.ops_checked);
+    }
+
+    #[test]
+    fn lint_and_export_writes_lint_json() {
+        let dir = std::env::temp_dir().join("gnn-lint-test-export");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = RunConfig::smoke().with_trace(&dir);
+        let report = lint_and_export(&cfg);
+        assert!(report.is_clean());
+        let json = std::fs::read_to_string(dir.join("lint.json")).unwrap();
+        let v = gnn_obs::json::parse(&json).unwrap();
+        assert_eq!(v.get("clean"), Some(&gnn_obs::Value::Bool(true)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,143 @@
+//! Autograd tape audit.
+//!
+//! Walks the symbolic graph the way `Tensor::backward` walks the runtime
+//! tape — from the loss, through differentiable ops, down to parameter
+//! leaves — and reports:
+//!
+//! - **Dead parameters**: trainable parameters the optimizer will step but
+//!   which receive no gradient, either because they are frozen
+//!   (`requires_grad == false`) or because no differentiable path connects
+//!   them to the loss. Training silently leaves them at initialization.
+//! - **Unreachable backwards**: differentiable ops that carry gradient
+//!   state but are not ancestors of the loss — their backward closure is
+//!   recorded on the tape yet can never run, pinning activations for the
+//!   whole step.
+
+use crate::ir::{NodeId, OpGraph};
+use crate::report::{Finding, FindingKind};
+
+/// Runs the audit, appending findings to `out`.
+pub fn audit_tape(graph: &OpGraph, out: &mut Vec<Finding>) {
+    let Some(loss) = graph.loss else {
+        out.push(Finding::new(
+            FindingKind::UnreachableBackward,
+            "loss",
+            "model graph never reaches a loss; backward can never run",
+        ));
+        return;
+    };
+
+    // Backward reachability: which nodes the gradient actually visits.
+    let mut reached = vec![false; graph.nodes.len()];
+    let mut stack: Vec<NodeId> = vec![loss];
+    reached[loss] = true;
+    while let Some(id) = stack.pop() {
+        let node = &graph.nodes[id];
+        if !node.differentiable {
+            continue;
+        }
+        for &input in &node.inputs {
+            if !reached[input] {
+                reached[input] = true;
+                stack.push(input);
+            }
+        }
+    }
+
+    for (id, node) in graph.nodes.iter().enumerate() {
+        if node.op == "param" {
+            let name = node.param_name.as_deref().unwrap_or("param");
+            if !node.requires_grad {
+                out.push(Finding::new(
+                    FindingKind::DeadParameter,
+                    node.path.clone(),
+                    format!("parameter '{name}' is frozen (requires_grad = false); the optimizer will never update it"),
+                ));
+            } else if !reached[id] {
+                out.push(Finding::new(
+                    FindingKind::DeadParameter,
+                    node.path.clone(),
+                    format!("parameter '{name}' has no gradient path to the loss; it stays at initialization"),
+                ));
+            }
+        } else if node.differentiable && node.requires_grad && !reached[id] {
+            out.push(Finding::new(
+                FindingKind::UnreachableBackward,
+                node.path.clone(),
+                format!(
+                    "op '{}' records a backward that can never run (its output does not reach the loss)",
+                    node.op
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{GraphBuilder, Rows};
+
+    fn tiny(frozen: bool, dangling: bool) -> OpGraph {
+        let mut b = GraphBuilder::with_prefix("t");
+        let x = b.input("x", Rows::Nodes, 4);
+        let w = if frozen {
+            b.frozen_param("w", 4, 3)
+        } else {
+            b.param("w", 4, 3)
+        };
+        let h = b.matmul(x, w);
+        if dangling {
+            // A differentiable branch that never feeds the loss.
+            let w2 = b.param("w2", 3, 3);
+            b.matmul(h, w2);
+        }
+        let labels = b.index_input("labels", Rows::Nodes, Rows::Const(3));
+        b.cross_entropy(h, labels, 3);
+        b.finish()
+    }
+
+    #[test]
+    fn clean_graph_has_no_findings() {
+        let mut out = vec![];
+        audit_tape(&tiny(false, false), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn frozen_param_is_dead() {
+        let mut out = vec![];
+        audit_tape(&tiny(true, false), &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].kind, FindingKind::DeadParameter);
+        assert!(out[0].message.contains("frozen"));
+        assert!(out[0].path.contains('w'));
+    }
+
+    #[test]
+    fn dangling_branch_is_dead_and_unreachable() {
+        let mut out = vec![];
+        audit_tape(&tiny(false, true), &mut out);
+        // w2 is dead, and the dangling matmul's backward never runs.
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out
+            .iter()
+            .any(|f| f.kind == FindingKind::DeadParameter && f.message.contains("w2")));
+        assert!(out
+            .iter()
+            .any(|f| f.kind == FindingKind::UnreachableBackward && f.message.contains("matmul")));
+    }
+
+    #[test]
+    fn missing_loss_is_reported() {
+        let mut b = GraphBuilder::default();
+        let x = b.input("x", Rows::Nodes, 2);
+        let w = b.param("w", 2, 2);
+        b.matmul(x, w);
+        let mut out = vec![];
+        audit_tape(&b.finish(), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, FindingKind::UnreachableBackward);
+        assert!(out[0].message.contains("never reaches a loss"));
+    }
+}

@@ -4,6 +4,8 @@ use gnn_core::runner;
 
 fn main() {
     let opts = gnn_bench::cli_options();
+    // table1 never enters a traced run, so apply the --lint gate directly.
+    gnn_bench::lint_gate(&opts.config);
     println!(
         "Table I — dataset statistics (scale = {})\n",
         opts.config.scale

@@ -15,9 +15,12 @@
 //! | `fig6`    | Fig. 6 — multi-GPU scaling of GCN/GAT on MNIST |
 //!
 //! Common flags: `--quick` (default), `--full` (paper scale), `--smoke`,
-//! `--scale <f>`, `--seed <n>`, `--epochs <n>`, `--folds <n>`, and
+//! `--scale <f>`, `--seed <n>`, `--epochs <n>`, `--folds <n>`,
 //! `--trace <dir>` to write `trace.json` (Chrome trace-event format) and
-//! `metrics.jsonl` (one record per training epoch) into `<dir>`.
+//! `metrics.jsonl` (one record per training epoch) into `<dir>`, and
+//! `--lint` to run the `gnn-lint` static analyzer over the configured sweep
+//! first and refuse to execute on any finding (with `--trace`, the findings
+//! also land in `<dir>/lint.json`).
 //!
 //! The Criterion benches (`cargo bench -p gnn-bench`) measure the *library
 //! itself* (real CPU time of the tensor kernels, message-passing lowerings,
@@ -46,6 +49,9 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     let mut config = RunConfig::quick();
     let mut dataset = None;
     let mut metric = None;
+    // Tracked outside `config` so `--lint` holds regardless of flag order
+    // (preset flags rebuild the config).
+    let mut lint = false;
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         let mut value_of = |name: &str| -> Result<String, String> {
@@ -91,11 +97,13 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             "--trace" => {
                 config.trace = gnn_core::TraceConfig::to(value_of("--trace")?);
             }
+            "--lint" => lint = true,
             "--dataset" => dataset = Some(value_of("--dataset")?.to_lowercase()),
             "--metric" => metric = Some(value_of("--metric")?.to_lowercase()),
             other => return Err(format!("unknown flag: {other}")),
         }
     }
+    config.lint_first = lint;
     Ok(CliOptions {
         config,
         dataset,
@@ -103,11 +111,28 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     })
 }
 
+/// When the config asks for it (`--lint`), statically verifies the whole
+/// configured sweep with `gnn-lint` before anything executes and refuses to
+/// run on any finding. With `--trace <dir>` the findings are also written to
+/// `<dir>/lint.json`. A no-op when `lint_first` is unset.
+pub fn lint_gate(cfg: &RunConfig) {
+    if !cfg.lint_first {
+        return;
+    }
+    let report = gnn_lint::lint_and_export(cfg);
+    print!("{report}");
+    if !report.is_clean() {
+        eprintln!("error: gnn-lint found problems; refusing to run");
+        std::process::exit(1);
+    }
+}
+
 /// Runs `f` under a `gnn-obs` collector when the config enables tracing
 /// (`--trace <dir>`), then writes `trace.json` + `metrics.jsonl` into the
 /// directory and prints a run-wide summary. Without `--trace` this is
-/// exactly `f()`.
+/// exactly `f()` (after the [`lint_gate`], if `--lint` was given).
 pub fn traced<T>(cfg: &RunConfig, f: impl FnOnce() -> T) -> T {
+    lint_gate(cfg);
     let Some(dir) = cfg.trace.dir() else {
         return f();
     };
@@ -136,7 +161,7 @@ pub fn cli_options() -> CliOptions {
             eprintln!(
                 "usage: [--quick|--full|--smoke] [--scale f] [--seed n] [--epochs n] \
                  [--folds n] [--seeds n] [--dataset enzymes|dd] [--metric memory|utilization] \
-                 [--trace dir]"
+                 [--trace dir] [--lint]"
             );
             std::process::exit(2);
         }
@@ -186,6 +211,19 @@ mod tests {
         assert!(o.config.trace.enabled());
         assert_eq!(o.config.trace.dir(), Some(std::path::Path::new("out/run1")));
         assert!(parse_args(&s(&["--trace"])).is_err());
+    }
+
+    #[test]
+    fn lint_flag_is_order_robust() {
+        let o = parse_args(&s(&["--lint"])).unwrap();
+        assert!(o.config.lint_first);
+        let o = parse_args(&s(&["--full", "--lint"])).unwrap();
+        assert!(o.config.lint_first);
+        assert_eq!(o.config.folds, 10);
+        // Preset flags rebuild the config, but --lint survives either way.
+        let o = parse_args(&s(&["--lint", "--smoke"])).unwrap();
+        assert!(o.config.lint_first);
+        assert!(!parse_args(&s(&["--full"])).unwrap().config.lint_first);
     }
 
     #[test]

@@ -63,6 +63,10 @@ pub struct RunConfig {
     pub seed: u64,
     /// Trace emission (off in every preset; see [`TraceConfig`]).
     pub trace: TraceConfig,
+    /// Run the `gnn-lint` static analyzer over the configured sweep before
+    /// executing anything, and abort on findings (off in every preset; the
+    /// bench binaries enable it via `--lint`).
+    pub lint_first: bool,
 }
 
 impl RunConfig {
@@ -78,6 +82,7 @@ impl RunConfig {
             batch_sizes: [64, 128, 256],
             seed: 0,
             trace: TraceConfig::off(),
+            lint_first: false,
         }
     }
 
@@ -94,6 +99,7 @@ impl RunConfig {
             batch_sizes: [64, 128, 256],
             seed: 0,
             trace: TraceConfig::off(),
+            lint_first: false,
         }
     }
 
@@ -108,6 +114,7 @@ impl RunConfig {
             batch_sizes: [8, 16, 32],
             seed: 0,
             trace: TraceConfig::off(),
+            lint_first: false,
         }
     }
 
@@ -131,6 +138,12 @@ impl RunConfig {
     /// Enables trace emission into `dir`.
     pub fn with_trace(mut self, dir: impl Into<PathBuf>) -> Self {
         self.trace = TraceConfig::to(dir);
+        self
+    }
+
+    /// Enables the ahead-of-run static analysis gate (`gnn-lint`).
+    pub fn with_lint(mut self) -> Self {
+        self.lint_first = true;
         self
     }
 }
@@ -165,6 +178,14 @@ mod tests {
     #[should_panic(expected = "out of (0, 1]")]
     fn bad_scale_panics() {
         RunConfig::quick().with_scale(2.0);
+    }
+
+    #[test]
+    fn lint_is_off_in_every_preset_and_settable() {
+        assert!(!RunConfig::paper().lint_first);
+        assert!(!RunConfig::quick().lint_first);
+        assert!(!RunConfig::smoke().lint_first);
+        assert!(RunConfig::smoke().with_lint().lint_first);
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub mod timeline;
 pub use cost::CostModel;
 pub use kernel::{Kernel, KernelKind};
 pub use memory::MemoryTracker;
-pub use multi::PcieModel;
+pub use multi::{DataParallel, MultiGpuError, PcieModel, StepCost};
 pub use session::{DeviceReport, Phase, Session};
 pub use timeline::Timeline;
 

@@ -8,6 +8,30 @@
 //! the root cause of the paper's observation that going from 4 to 8 GPUs
 //! brings no improvement (and sometimes a regression from transfer overhead).
 
+use std::fmt;
+
+/// Why a data-parallel configuration is rejected before any simulation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiGpuError {
+    /// `n_gpus == 0`: there is no device to schedule on.
+    ZeroGpus,
+    /// `n_steps == 0`: an epoch with no steps has no defined schedule.
+    ZeroSteps,
+}
+
+impl fmt::Display for MultiGpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultiGpuError::ZeroGpus => write!(f, "data-parallel config needs at least one GPU"),
+            MultiGpuError::ZeroSteps => {
+                write!(f, "data-parallel epoch needs at least one step")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MultiGpuError {}
+
 /// PCIe link model.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PcieModel {
@@ -80,6 +104,17 @@ impl DataParallel {
         }
     }
 
+    /// Checks the configuration is well-formed (at least one replica).
+    ///
+    /// The timeline-hazard pass in `gnn-lint` relies on this invariant when
+    /// expanding a config into a kernel/transfer schedule.
+    pub fn validate(&self) -> Result<(), MultiGpuError> {
+        if self.n_gpus == 0 {
+            return Err(MultiGpuError::ZeroGpus);
+        }
+        Ok(())
+    }
+
     /// Simulated wall time of one training step.
     pub fn step_time(&self, step: &StepCost) -> f64 {
         let n = self.n_gpus as f64;
@@ -101,8 +136,16 @@ impl DataParallel {
     }
 
     /// Simulated wall time of an epoch of identical steps.
-    pub fn epoch_time(&self, step: &StepCost, n_steps: usize) -> f64 {
-        self.step_time(step) * n_steps as f64
+    ///
+    /// Rejects degenerate configs (`n_gpus == 0` — possible via a struct
+    /// literal that bypasses [`DataParallel::new`] — or `n_steps == 0`)
+    /// with a typed error instead of silently computing a meaningless time.
+    pub fn epoch_time(&self, step: &StepCost, n_steps: usize) -> Result<f64, MultiGpuError> {
+        self.validate()?;
+        if n_steps == 0 {
+            return Err(MultiGpuError::ZeroSteps);
+        }
+        Ok(self.step_time(step) * n_steps as f64)
     }
 }
 
@@ -159,5 +202,33 @@ mod tests {
     #[should_panic(expected = "at least one GPU")]
     fn zero_gpus_rejected() {
         DataParallel::new(0, 1);
+    }
+
+    #[test]
+    fn epoch_time_scales_steps() {
+        let dp = DataParallel::new(2, 1_000_000);
+        let one = dp.epoch_time(&step(1e-3), 1).unwrap();
+        let ten = dp.epoch_time(&step(1e-3), 10).unwrap();
+        assert!((ten - 10.0 * one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_epoch_configs_return_typed_errors() {
+        // A struct literal can bypass `new`'s assert; epoch_time must still
+        // reject it with a typed error rather than computing garbage.
+        let bad = DataParallel {
+            n_gpus: 0,
+            pcie: PcieModel::pcie3_x16(),
+            param_bytes: 1,
+        };
+        assert_eq!(bad.epoch_time(&step(1e-3), 4), Err(MultiGpuError::ZeroGpus));
+        let ok = DataParallel::new(2, 1);
+        assert_eq!(ok.epoch_time(&step(1e-3), 0), Err(MultiGpuError::ZeroSteps));
+        assert!(MultiGpuError::ZeroGpus
+            .to_string()
+            .contains("at least one GPU"));
+        assert!(MultiGpuError::ZeroSteps
+            .to_string()
+            .contains("at least one step"));
     }
 }

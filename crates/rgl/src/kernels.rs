@@ -49,8 +49,19 @@ fn sddmm_kernel(name: &'static str, edges: usize, cols: usize) -> Kernel {
     )
 }
 
+/// Debug-build bounds check on an edge index pair; release builds rely on
+/// `gnn-lint` having proven the indices in-bounds before the run.
+fn debug_check_edges(src: &[u32], dst: &[u32], num_nodes: usize) {
+    debug_assert!(
+        src.iter().chain(dst).all(|&v| (v as usize) < num_nodes),
+        "edge index out of bounds (num_nodes = {num_nodes})"
+    );
+}
+
 fn copy_sum_raw(x: &NdArray, src: &[u32], dst: &[u32], out_rows: usize) -> NdArray {
     let cols = x.cols();
+    debug_check_edges(src, &[], x.rows());
+    debug_check_edges(&[], dst, out_rows);
     let mut out = NdArray::zeros(out_rows, cols);
     for e in 0..src.len() {
         let s = src[e] as usize;
@@ -210,6 +221,7 @@ pub fn gspmm_mul_sum(batch: &HeteroBatch, x: &Tensor, w: &Tensor) -> Tensor {
         "gspmm: cols not divisible by heads"
     );
     let d = xv.cols() / heads;
+    debug_check_edges(&batch.src, &batch.dst, batch.num_nodes);
     gnn_device::traced("rgl", "gspmm_mul_sum", || {
         host(costs::OP_DISPATCH);
         // Source features and edge weights are staged in the ndata/edata
@@ -307,6 +319,7 @@ pub fn gsddmm_u_add_v(batch: &HeteroBatch, u: &Tensor, v: &Tensor) -> Tensor {
     assert_eq!(uv.cols(), vv.cols(), "gsddmm: operand widths differ");
     assert_eq!(uv.rows(), batch.num_nodes, "gsddmm: u rows mismatch");
     assert_eq!(vv.rows(), batch.num_nodes, "gsddmm: v rows mismatch");
+    debug_check_edges(&batch.src, &batch.dst, batch.num_nodes);
     gnn_device::traced("rgl", "gsddmm_u_add_v", || {
         host(costs::OP_DISPATCH);
         record(sddmm_kernel("gsddmm_u_add_v", batch.num_edges(), uv.cols()));

@@ -52,6 +52,19 @@ impl Batch {
             "feature/node count mismatch"
         );
         let feature_bytes = features.byte_size();
+        debug_assert!(
+            graph
+                .src()
+                .iter()
+                .chain(graph.dst())
+                .all(|&v| (v as usize) < graph.num_nodes()),
+            "edge index out of bounds (num_nodes = {})",
+            graph.num_nodes()
+        );
+        debug_assert!(
+            graph_ids.iter().all(|&g| (g as usize) < num_graphs),
+            "graph id out of bounds (num_graphs = {num_graphs})"
+        );
         let deg_raw: Vec<f32> = graph.in_degrees().iter().map(|&d| (d + 1) as f32).collect();
         let n = deg_raw.len();
         let inv: Vec<f32> = deg_raw.iter().map(|&d| 1.0 / d).collect();

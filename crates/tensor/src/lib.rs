@@ -35,8 +35,10 @@ pub mod autograd;
 pub mod ndarray;
 pub mod nn;
 pub mod ops;
+pub mod shape_error;
 
 pub use autograd::{accumulate, grad_enabled, no_grad, Backward, Tensor};
 pub use ndarray::NdArray;
 pub use ops::loss::{accuracy, cross_entropy};
 pub use ops::Ids;
+pub use shape_error::{ShapeError, ShapeErrorKind};

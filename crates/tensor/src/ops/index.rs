@@ -10,11 +10,47 @@ use gnn_device::{record, Kernel};
 use crate::autograd::{accumulate, Backward, Tensor};
 use crate::ndarray::NdArray;
 use crate::ops::Ids;
+use crate::shape_error::ShapeError;
+
+/// Validates a gather index array against the number of source rows.
+/// Shared by [`Tensor::gather_rows`] (panics on `Err`) and the `gnn-lint`
+/// index-safety pass (reports the same message).
+pub fn check_gather_idx(idx: &[u32], n: usize) -> Result<(), ShapeError> {
+    if idx.iter().any(|&i| (i as usize) >= n) {
+        return Err(ShapeError::index_oob("gather_rows", "n", n));
+    }
+    Ok(())
+}
+
+/// Validates a scatter index array against source rows and output extent.
+/// Shared by [`Tensor::scatter_add_rows`] and the `gnn-lint` index pass.
+pub fn check_scatter_idx(idx: &[u32], src_rows: usize, out_rows: usize) -> Result<(), ShapeError> {
+    if idx.len() != src_rows {
+        return Err(ShapeError::index_length(
+            "scatter_add_rows",
+            idx.len(),
+            src_rows,
+        ));
+    }
+    if idx.iter().any(|&i| (i as usize) >= out_rows) {
+        return Err(ShapeError::index_oob(
+            "scatter_add_rows",
+            "out_rows",
+            out_rows,
+        ));
+    }
+    Ok(())
+}
 
 pub(crate) fn gather_raw(x: &NdArray, idx: &[u32]) -> NdArray {
     let cols = x.cols();
     let mut out = NdArray::zeros(idx.len(), cols);
     for (r, &i) in idx.iter().enumerate() {
+        debug_assert!(
+            (i as usize) < x.rows(),
+            "gather_raw index out of bounds (n = {})",
+            x.rows()
+        );
         out.row_mut(r).copy_from_slice(x.row(i as usize));
     }
     out
@@ -24,6 +60,10 @@ pub(crate) fn scatter_add_raw(src: &NdArray, idx: &[u32], out_rows: usize) -> Nd
     let cols = src.cols();
     let mut out = NdArray::zeros(out_rows, cols);
     for (r, &i) in idx.iter().enumerate() {
+        debug_assert!(
+            (i as usize) < out_rows,
+            "scatter_add_raw index out of bounds (out_rows = {out_rows})"
+        );
         let dst = &mut out.data_mut()[i as usize * cols..(i as usize + 1) * cols];
         for (d, &s) in dst.iter_mut().zip(src.row(r)) {
             *d += s;
@@ -74,10 +114,9 @@ impl Tensor {
     pub fn gather_rows(&self, idx: &Ids) -> Tensor {
         let x = self.data();
         let n = x.rows();
-        assert!(
-            idx.iter().all(|&i| (i as usize) < n),
-            "gather_rows index out of bounds (n = {n})"
-        );
+        if let Err(e) = check_gather_idx(idx, n) {
+            panic!("{e}");
+        }
         record(Kernel::gather("gather_rows", idx.len(), x.cols()));
         let out = gather_raw(&x, idx);
         drop(x);
@@ -99,15 +138,9 @@ impl Tensor {
     /// Panics if `idx.len() != self.rows()` or any index is out of bounds.
     pub fn scatter_add_rows(&self, idx: &Ids, out_rows: usize) -> Tensor {
         let x = self.data();
-        assert_eq!(
-            idx.len(),
-            x.rows(),
-            "scatter_add_rows index length mismatch"
-        );
-        assert!(
-            idx.iter().all(|&i| (i as usize) < out_rows),
-            "scatter_add_rows index out of bounds (out_rows = {out_rows})"
-        );
+        if let Err(e) = check_scatter_idx(idx, x.rows(), out_rows) {
+            panic!("{e}");
+        }
         record(Kernel::scatter("scatter_add_rows", x.rows(), x.cols()));
         let out = scatter_add_raw(&x, idx, out_rows);
         drop(x);

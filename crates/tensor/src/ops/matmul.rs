@@ -4,6 +4,16 @@ use gnn_device::{record, Kernel};
 
 use crate::autograd::{accumulate, Backward, Tensor};
 use crate::ndarray::NdArray;
+use crate::shape_error::ShapeError;
+
+/// Validates matmul inner dimensions; `Err` carries the exact message the
+/// runtime panics with (and that `gnn-lint` reports statically).
+pub fn check_matmul(lhs_cols: usize, rhs_rows: usize) -> Result<(), ShapeError> {
+    if lhs_cols != rhs_rows {
+        return Err(ShapeError::inner_dim("matmul", lhs_cols, rhs_rows));
+    }
+    Ok(())
+}
 
 struct MatmulBack {
     a: NdArray,
@@ -44,9 +54,13 @@ impl Tensor {
     ///
     /// # Panics
     ///
-    /// Panics if inner dimensions disagree.
+    /// Panics if inner dimensions disagree, with the [`ShapeError`] rendering
+    /// `gnn-lint` reports for the same defect.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         let (a, b) = (self.data().clone(), other.data().clone());
+        if let Err(e) = check_matmul(a.cols(), b.rows()) {
+            panic!("{e}");
+        }
         record(Kernel::gemm("matmul", a.rows(), a.cols(), b.cols()));
         let data = a.matmul(&b);
         Tensor::from_op(
@@ -110,6 +124,14 @@ mod tests {
                 analytic.data()[i]
             );
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul: inner dimensions disagree (lhs cols = 3, rhs rows = 2)")]
+    fn matmul_inner_dim_mismatch_panics_with_shape_error() {
+        let a = Tensor::new(NdArray::zeros(2, 3));
+        let b = Tensor::new(NdArray::zeros(2, 2));
+        a.matmul(&b);
     }
 
     #[test]

@@ -12,22 +12,43 @@ use crate::autograd::{accumulate, Backward, Tensor};
 use crate::ndarray::NdArray;
 use crate::ops::index::gather_raw;
 use crate::ops::Ids;
+use crate::shape_error::ShapeError;
 
 /// Number of rows per segment as f32 (0 for empty segments).
 pub fn segment_counts(ids: &[u32], num_segments: usize) -> Vec<f32> {
     let mut counts = vec![0.0f32; num_segments];
     for &i in ids {
+        debug_assert!(
+            (i as usize) < num_segments,
+            "segment_counts: segment id out of bounds (num_segments = {num_segments})"
+        );
         counts[i as usize] += 1.0;
     }
     counts
 }
 
-fn assert_ids(ids: &[u32], rows: usize, num_segments: usize, op: &str) {
-    assert_eq!(ids.len(), rows, "{op}: ids length mismatch");
-    assert!(
-        ids.iter().all(|&i| (i as usize) < num_segments),
-        "{op}: segment id out of bounds (num_segments = {num_segments})"
-    );
+/// Validates a segment-id array against the rows it indexes and the segment
+/// count it scatters into. Shared by the runtime ops (which panic on `Err`)
+/// and the `gnn-lint` index-safety pass (which reports the same message).
+pub fn check_ids(
+    ids: &[u32],
+    rows: usize,
+    num_segments: usize,
+    op: &'static str,
+) -> Result<(), ShapeError> {
+    if ids.len() != rows {
+        return Err(ShapeError::ids_length(op, ids.len(), rows));
+    }
+    if ids.iter().any(|&i| (i as usize) >= num_segments) {
+        return Err(ShapeError::segment_oob(op, num_segments));
+    }
+    Ok(())
+}
+
+fn assert_ids(ids: &[u32], rows: usize, num_segments: usize, op: &'static str) {
+    if let Err(e) = check_ids(ids, rows, num_segments, op) {
+        panic!("{e}");
+    }
 }
 
 struct SegmentSumBack {

@@ -1,0 +1,211 @@
+//! Typed shape/index errors shared by runtime checks and `gnn-lint`.
+//!
+//! Every shape precondition of the hot tensor ops (`matmul`, the segment
+//! reductions, gather/scatter) is described by a [`ShapeError`]. The runtime
+//! paths panic with its `Display` rendering; the static analyzer (`gnn-lint`)
+//! reports the *same* rendering as a finding, so a shape defect produces an
+//! identical message whether it is caught before the run or mid-epoch.
+
+use std::fmt;
+
+/// What went wrong, with the concrete dimensions involved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapeErrorKind {
+    /// Matmul inner dimensions disagree: `lhs [m, k]` times `rhs [k', n]`
+    /// with `k != k'`.
+    InnerDim {
+        /// Columns of the left operand.
+        lhs_cols: usize,
+        /// Rows of the right operand.
+        rhs_rows: usize,
+    },
+    /// A segment-id array does not have one id per input row.
+    IdsLength {
+        /// Length of the id array.
+        ids: usize,
+        /// Number of input rows.
+        rows: usize,
+    },
+    /// A segment id is `>= num_segments`.
+    SegmentOutOfBounds {
+        /// The number of output segments.
+        num_segments: usize,
+    },
+    /// A gather/scatter index is out of bounds for the indexed extent.
+    IndexOutOfBounds {
+        /// Name of the violated bound (`"n"`, `"out_rows"`, ...).
+        bound_name: &'static str,
+        /// The extent the index must stay below.
+        bound: usize,
+    },
+    /// An index array's length disagrees with the rows it addresses.
+    IndexLength {
+        /// Length of the index array.
+        ids: usize,
+        /// Number of rows being scattered.
+        rows: usize,
+    },
+    /// Two operands that must share a width do not.
+    WidthMismatch {
+        /// Columns of the left operand.
+        lhs_cols: usize,
+        /// Columns of the right operand.
+        rhs_cols: usize,
+    },
+    /// A feature width is not divisible by the head count.
+    ColsNotDivisible {
+        /// The feature width.
+        cols: usize,
+        /// The head count.
+        heads: usize,
+    },
+}
+
+/// A typed shape/index error: the op that detected it plus the kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Name of the operation whose precondition failed.
+    pub op: &'static str,
+    /// The violated precondition.
+    pub kind: ShapeErrorKind,
+}
+
+impl ShapeError {
+    /// Matmul inner-dimension mismatch.
+    pub fn inner_dim(op: &'static str, lhs_cols: usize, rhs_rows: usize) -> Self {
+        ShapeError {
+            op,
+            kind: ShapeErrorKind::InnerDim { lhs_cols, rhs_rows },
+        }
+    }
+
+    /// Segment-id array length mismatch.
+    pub fn ids_length(op: &'static str, ids: usize, rows: usize) -> Self {
+        ShapeError {
+            op,
+            kind: ShapeErrorKind::IdsLength { ids, rows },
+        }
+    }
+
+    /// Segment id out of bounds.
+    pub fn segment_oob(op: &'static str, num_segments: usize) -> Self {
+        ShapeError {
+            op,
+            kind: ShapeErrorKind::SegmentOutOfBounds { num_segments },
+        }
+    }
+
+    /// Gather/scatter index out of bounds for `bound_name = bound`.
+    pub fn index_oob(op: &'static str, bound_name: &'static str, bound: usize) -> Self {
+        ShapeError {
+            op,
+            kind: ShapeErrorKind::IndexOutOfBounds { bound_name, bound },
+        }
+    }
+
+    /// Index array length mismatch.
+    pub fn index_length(op: &'static str, ids: usize, rows: usize) -> Self {
+        ShapeError {
+            op,
+            kind: ShapeErrorKind::IndexLength { ids, rows },
+        }
+    }
+
+    /// Operand width mismatch.
+    pub fn width(op: &'static str, lhs_cols: usize, rhs_cols: usize) -> Self {
+        ShapeError {
+            op,
+            kind: ShapeErrorKind::WidthMismatch { lhs_cols, rhs_cols },
+        }
+    }
+
+    /// Width not divisible by the head count.
+    pub fn heads(op: &'static str, cols: usize, heads: usize) -> Self {
+        ShapeError {
+            op,
+            kind: ShapeErrorKind::ColsNotDivisible { cols, heads },
+        }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ShapeErrorKind::InnerDim { lhs_cols, rhs_rows } => write!(
+                f,
+                "{}: inner dimensions disagree (lhs cols = {lhs_cols}, rhs rows = {rhs_rows})",
+                self.op
+            ),
+            ShapeErrorKind::IdsLength { ids, rows } => {
+                write!(
+                    f,
+                    "{}: ids length mismatch (ids = {ids}, rows = {rows})",
+                    self.op
+                )
+            }
+            ShapeErrorKind::SegmentOutOfBounds { num_segments } => write!(
+                f,
+                "{}: segment id out of bounds (num_segments = {num_segments})",
+                self.op
+            ),
+            ShapeErrorKind::IndexOutOfBounds { bound_name, bound } => {
+                write!(
+                    f,
+                    "{} index out of bounds ({bound_name} = {bound})",
+                    self.op
+                )
+            }
+            ShapeErrorKind::IndexLength { ids, rows } => write!(
+                f,
+                "{} index length mismatch (ids = {ids}, rows = {rows})",
+                self.op
+            ),
+            ShapeErrorKind::WidthMismatch { lhs_cols, rhs_cols } => write!(
+                f,
+                "{}: operand widths differ (lhs cols = {lhs_cols}, rhs cols = {rhs_cols})",
+                self.op
+            ),
+            ShapeErrorKind::ColsNotDivisible { cols, heads } => write!(
+                f,
+                "{}: cols not divisible by heads (cols = {cols}, heads = {heads})",
+                self.op
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_keep_grep_compatible_substrings() {
+        // Downstream tests (and users' muscle memory) match on these
+        // substrings; renderings must keep them stable.
+        assert!(ShapeError::segment_oob("segment_sum", 2)
+            .to_string()
+            .contains("segment id out of bounds (num_segments = 2)"));
+        assert!(ShapeError::ids_length("segment_sum", 3, 4)
+            .to_string()
+            .contains("ids length mismatch"));
+        assert!(ShapeError::index_oob("gather_rows", "n", 5)
+            .to_string()
+            .contains("gather_rows index out of bounds (n = 5)"));
+        assert!(ShapeError::index_length("scatter_add_rows", 1, 2)
+            .to_string()
+            .contains("index length mismatch"));
+        assert!(ShapeError::inner_dim("matmul", 80, 64)
+            .to_string()
+            .contains("inner dimensions disagree"));
+    }
+
+    #[test]
+    fn error_trait_and_equality() {
+        let e = ShapeError::heads("gspmm_mul_sum", 7, 2);
+        let _: &dyn std::error::Error = &e;
+        assert_eq!(e, ShapeError::heads("gspmm_mul_sum", 7, 2));
+        assert!(e.to_string().contains("cols not divisible by heads"));
+    }
+}

@@ -70,7 +70,9 @@ pub fn data_parallel_epoch_time<L: Loader>(
         // Update time folded into the measured compute span.
         update: 0.0,
     };
-    DataParallel::new(cfg.n_gpus, model.param_bytes()).epoch_time(&step, n_batches)
+    DataParallel::new(cfg.n_gpus, model.param_bytes())
+        .epoch_time(&step, n_batches)
+        .expect("validated config")
 }
 
 #[cfg(test)]
