@@ -1,0 +1,140 @@
+//! Fault-plan auditing: proving a chaos campaign can actually fire.
+//!
+//! A [`gnn_faults::FaultPlan`] is data checked against workload counters at
+//! run time, so a misconfigured plan fails silently: a 1-based trigger of
+//! `0` never matches any counter, a NaN poisoning aimed past the last
+//! epoch never fires, a replica failure on a GPU the sweep never creates
+//! does nothing. This pass flags every spec that is degenerate for the
+//! configured run, under [`FindingKind::InvalidFaultPlan`], before anything
+//! executes.
+
+use gnn_core::RunConfig;
+use gnn_faults::{FaultKind, FaultPlan};
+
+use crate::report::{Finding, FindingKind};
+
+/// The largest data-parallel world any configured experiment builds
+/// (Fig. 6 sweeps 1/2/4/8 GPUs), so valid replica indices are `0..8`.
+const MAX_WORLD: usize = 8;
+
+/// Audits `plan` against the run `cfg` describes, appending one finding per
+/// degenerate spec. Paths are `faults/<index>` (declaration order).
+pub fn check_fault_plan(plan: &FaultPlan, cfg: &RunConfig, findings: &mut Vec<Finding>) {
+    let max_epochs = cfg.node_epochs.max(cfg.graph_epochs) as u64;
+    for (i, spec) in plan.specs.iter().enumerate() {
+        let path = format!("faults/{i}");
+        let mut flag = |message: String| {
+            findings.push(Finding::new(FindingKind::InvalidFaultPlan, &path, message));
+        };
+        match spec.kind {
+            FaultKind::Oom { at: 0 } => {
+                flag("oom at=0 never fires: allocation counters are 1-based".into());
+            }
+            FaultKind::KernelFault { at: 0 } => {
+                flag("kernel at=0 never fires: launch counters are 1-based".into());
+            }
+            FaultKind::MemLimit { bytes: 0 } => {
+                flag(
+                    "memlimit bytes=0 fails every allocation: no batch size can fit, \
+                     so the supervisor cannot degrade its way out"
+                        .into(),
+                );
+            }
+            FaultKind::PcieStraggler { at: 0, .. } => {
+                flag("pcie at=0 never fires: transfer counters are 1-based".into());
+            }
+            FaultKind::PcieStraggler { factor, .. } if factor <= 1.0 => {
+                flag(format!(
+                    "pcie factor={factor} is not a slowdown (must be > 1)"
+                ));
+            }
+            FaultKind::ReplicaFailure { at: 0, .. } => {
+                flag("replica at=0 never fires: data-parallel steps are 1-based".into());
+            }
+            FaultKind::ReplicaFailure { gpu, .. } if gpu >= MAX_WORLD => {
+                flag(format!(
+                    "replica gpu={gpu} does not exist: the largest configured \
+                     data-parallel world has {MAX_WORLD} GPUs (indices 0..{MAX_WORLD})"
+                ));
+            }
+            FaultKind::NanLoss { epoch } if epoch >= max_epochs => {
+                flag(format!(
+                    "nan epoch={epoch} is past the last configured epoch \
+                     ({max_epochs} max over node/graph tasks): it can never fire"
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(plan: &FaultPlan, cfg: &RunConfig) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        check_fault_plan(plan, cfg, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn canonical_and_seeded_plans_are_clean() {
+        let cfg = RunConfig::smoke();
+        assert!(lint(&FaultPlan::canonical(), &cfg).is_empty());
+        for seed in 0..20 {
+            assert!(
+                lint(&FaultPlan::seeded(seed), &cfg).is_empty(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_based_counters_reject_zero_triggers() {
+        let plan = FaultPlan::empty()
+            .with(FaultKind::Oom { at: 0 })
+            .with(FaultKind::KernelFault { at: 0 })
+            .with(FaultKind::PcieStraggler { at: 0, factor: 2.0 })
+            .with(FaultKind::ReplicaFailure { gpu: 0, at: 0 });
+        let findings = lint(&plan, &RunConfig::smoke());
+        assert_eq!(findings.len(), 4, "{findings:?}");
+        assert!(findings
+            .iter()
+            .all(|f| f.kind == FindingKind::InvalidFaultPlan && f.message.contains("1-based")));
+        // Paths identify the offending spec by declaration index.
+        assert_eq!(findings[2].path, "faults/2");
+    }
+
+    #[test]
+    fn nonexistent_gpu_and_late_epoch_are_flagged() {
+        let cfg = RunConfig::smoke(); // 3 node epochs, 2 graph epochs
+        let plan = FaultPlan::empty()
+            .with(FaultKind::ReplicaFailure { gpu: 8, at: 1 })
+            .with(FaultKind::NanLoss { epoch: 3 });
+        let findings = lint(&plan, &cfg);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].message.contains("gpu=8"));
+        assert!(findings[1].message.contains("never fire"));
+        // The same poisoning is fine under a config that trains that long.
+        let mut long = RunConfig::smoke();
+        long.node_epochs = 10;
+        assert!(lint(
+            &FaultPlan::empty().with(FaultKind::NanLoss { epoch: 3 }),
+            &long
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn degenerate_limits_and_factors_are_flagged() {
+        let plan = FaultPlan::empty()
+            .with(FaultKind::MemLimit { bytes: 0 })
+            .with(FaultKind::PcieStraggler { at: 3, factor: 1.0 })
+            .with(FaultKind::MemLimit { bytes: 1 << 30 });
+        let findings = lint(&plan, &RunConfig::smoke());
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].message.contains("every allocation"));
+        assert!(findings[1].message.contains("not a slowdown"));
+    }
+}

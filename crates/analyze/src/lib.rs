@@ -19,6 +19,11 @@
 //! - **Timeline hazards** ([`schedule`]): data-parallel schedules are
 //!   checked for same-stream kernel overlap, PCIe serialization
 //!   violations, and cross-lane buffer races.
+//! - **Fault-plan audit** ([`fault_plan`]): armed chaos campaigns are
+//!   checked for specs that can never fire under the configured run
+//!   (zero triggers on 1-based counters, poisonings past the last epoch,
+//!   replica failures on GPUs no experiment creates) or can never be
+//!   survived (a memory limit of zero).
 //!
 //! Entry points: the `gnn-lint` binary, [`run::lint_run`] /
 //! [`run::lint_and_export`] (used by the bench binaries' `--lint` gate),
@@ -26,6 +31,7 @@
 //! `lint.json` next to the `gnn-obs` trace artifacts (see the README's
 //! findings-format reference).
 
+pub mod fault_plan;
 pub mod index_check;
 pub mod ir;
 pub mod lower;
@@ -34,6 +40,7 @@ pub mod run;
 pub mod schedule;
 pub mod tape;
 
+pub use fault_plan::check_fault_plan;
 pub use ir::{DType, GraphBuilder, OpGraph, Rows, SymShape};
 pub use lower::{lower_stack, LayerPlan, StackPlan, Task};
 pub use report::{Finding, FindingKind, LintReport};

@@ -30,6 +30,9 @@ pub enum FindingKind {
     TransferOverlap,
     /// A configuration is degenerate before any schedule/graph exists.
     InvalidConfig,
+    /// A fault-injection spec can never fire (or can never be survived)
+    /// under the configured run.
+    InvalidFaultPlan,
 }
 
 impl FindingKind {
@@ -44,6 +47,7 @@ impl FindingKind {
             FindingKind::BufferRace => "buffer-race",
             FindingKind::TransferOverlap => "transfer-overlap",
             FindingKind::InvalidConfig => "invalid-config",
+            FindingKind::InvalidFaultPlan => "invalid-fault-plan",
         }
     }
 }

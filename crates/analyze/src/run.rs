@@ -11,7 +11,9 @@
 //! 3. index-safety proofs over the generated datasets
 //!    ([`crate::index_check`]),
 //! 4. timeline hazard detection over the data-parallel schedules
-//!    ([`crate::schedule`]).
+//!    ([`crate::schedule`]),
+//! 5. fault-plan auditing when the config arms one — specs that can never
+//!    fire or never be survived under this run ([`crate::fault_plan`]).
 //!
 //! Finding paths are rooted at the sweep position:
 //! `table4/Cora/GCN/PyG/conv2/matmul`, `table5/MNIST/GatedGCN/DGL/...`,
@@ -22,6 +24,7 @@ use gnn_datasets::{CitationSpec, SuperpixelSpec, TudSpec};
 use gnn_device::{DataParallel, StepCost};
 use gnn_models::config::{graph_hparams, FrameworkKind, ModelKind, ALL_FRAMEWORKS, ALL_MODELS};
 
+use crate::fault_plan::check_fault_plan;
 use crate::index_check::{check_graph_dataset, check_node_dataset};
 use crate::lower::{lower_stack, StackPlan};
 use crate::report::{Finding, FindingKind, LintReport};
@@ -45,6 +48,13 @@ fn fw_dir(fw: FrameworkKind) -> &'static str {
 /// config always yields the same report.
 pub fn lint_run(cfg: &RunConfig) -> LintReport {
     let mut report = LintReport::default();
+
+    // Armed fault plans are audited first: a chaos campaign whose specs
+    // cannot fire (or cannot be survived) should be rejected before the
+    // sweep spends anything.
+    if let Some(plan) = &cfg.faults {
+        check_fault_plan(plan, cfg, &mut report.findings);
+    }
 
     // Table IV: node classification on the citation graphs.
     for spec in [CitationSpec::cora(), CitationSpec::pubmed()] {
@@ -158,6 +168,21 @@ mod tests {
         assert_eq!(report.datasets_checked, 5);
         assert_eq!(report.schedules_checked, 16);
         assert!(report.ops_checked > 1000, "{}", report.ops_checked);
+    }
+
+    #[test]
+    fn armed_fault_plans_are_audited() {
+        use gnn_faults::{FaultKind, FaultPlan};
+        let clean = lint_run(&RunConfig::smoke().with_faults(FaultPlan::canonical()));
+        assert!(clean.is_clean(), "{clean}");
+        let bad = RunConfig::smoke()
+            .with_faults(FaultPlan::empty().with(FaultKind::ReplicaFailure { gpu: 99, at: 1 }));
+        let report = lint_run(&bad);
+        assert_eq!(report.of_kind(FindingKind::InvalidFaultPlan).len(), 1);
+        assert!(
+            report.to_string().contains("invalid-fault-plan"),
+            "{report}"
+        );
     }
 
     #[test]

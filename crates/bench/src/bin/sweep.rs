@@ -1,0 +1,44 @@
+//! Runs the full fault-isolated paper sweep: every Table IV/V cell (60 in
+//! all) under supervised training, finishing the remaining cells even when
+//! some fail.
+//!
+//! This is the chaos-suite entry point: `sweep --faults canonical` must end
+//! with every cell `ok` or `degraded`, and `--ckpt <dir>` + `--resume`
+//! lets a killed run continue bit-identically. With `--trace <dir>`, the
+//! per-cell outcomes are also exported to `<dir>/cell_outcomes.csv` next to
+//! the usual trace artifacts.
+//!
+//! Exits nonzero if any cell failed.
+
+use gnn_core::export::{cell_outcomes_csv, table4_csv, table5_csv, write_csv};
+use gnn_core::report::{sweep_report, table4_report, table5_report};
+
+fn main() {
+    let opts = gnn_bench::cli_options();
+    let cfg = &opts.config;
+    println!(
+        "Fault-isolated sweep (scale = {}, node epochs = {}, graph epochs = {}, faults = {})\n",
+        cfg.scale,
+        cfg.node_epochs,
+        cfg.graph_epochs,
+        if cfg.faults.is_some() { "armed" } else { "off" },
+    );
+    let out = gnn_bench::traced(cfg, || gnn_core::sweep(cfg));
+    print!("{}", table4_report(&out.table4));
+    println!();
+    print!("{}", table5_report(&out.table5));
+    println!();
+    print!("{}", sweep_report(&out));
+    if let Some(dir) = cfg.trace.dir() {
+        let path = dir.join("cell_outcomes.csv");
+        match write_csv(&path, &cell_outcomes_csv(&out.cells)) {
+            Ok(()) => println!("cells:   {}", path.display()),
+            Err(e) => eprintln!("error: writing {}: {e}", path.display()),
+        }
+        let _ = write_csv(&dir.join("table4.csv"), &table4_csv(&out.table4));
+        let _ = write_csv(&dir.join("table5.csv"), &table5_csv(&out.table5));
+    }
+    if !out.all_survived() {
+        std::process::exit(1);
+    }
+}

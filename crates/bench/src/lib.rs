@@ -22,12 +22,38 @@
 //! first and refuse to execute on any finding (with `--trace`, the findings
 //! also land in `<dir>/lint.json`).
 //!
+//! Robustness flags (see the `gnn-faults` crate and the `sweep` binary):
+//! `--faults <plan>` arms a deterministic fault-injection plan around the
+//! run, where `<plan>` is `canonical` (the fixed chaos-suite plan),
+//! `seeded:<n>` (a plan derived from seed `n`), or a path to a plan file;
+//! `--ckpt <dir>` writes per-cell training checkpoints into `<dir>`; and
+//! `--resume` restores cells from those checkpoints, so a killed run
+//! continues where it stopped with bit-identical metrics (`--resume`
+//! implies `--ckpt out/ckpt` unless a directory was given).
+//!
 //! The Criterion benches (`cargo bench -p gnn-bench`) measure the *library
 //! itself* (real CPU time of the tensor kernels, message-passing lowerings,
 //! and the two frameworks' collation paths) rather than the simulated
 //! device.
 
 use gnn_core::RunConfig;
+use gnn_faults::FaultPlan;
+
+/// Parses a `--faults` operand: `canonical`, `seeded:<n>`, or a plan file.
+fn parse_fault_plan(spec: &str) -> Result<FaultPlan, String> {
+    match spec {
+        "canonical" => Ok(FaultPlan::canonical()),
+        s => {
+            if let Some(seed) = s.strip_prefix("seeded:") {
+                seed.parse::<u64>()
+                    .map(FaultPlan::seeded)
+                    .map_err(|e| format!("--faults seeded:<n>: {e}"))
+            } else {
+                FaultPlan::load(std::path::Path::new(s))
+            }
+        }
+    }
+}
 
 /// Parsed command-line options shared by the reproduction binaries.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,9 +75,12 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     let mut config = RunConfig::quick();
     let mut dataset = None;
     let mut metric = None;
-    // Tracked outside `config` so `--lint` holds regardless of flag order
+    // Tracked outside `config` so these hold regardless of flag order
     // (preset flags rebuild the config).
     let mut lint = false;
+    let mut faults = None;
+    let mut ckpt_dir: Option<std::path::PathBuf> = None;
+    let mut resume = false;
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         let mut value_of = |name: &str| -> Result<String, String> {
@@ -98,12 +127,22 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 config.trace = gnn_core::TraceConfig::to(value_of("--trace")?);
             }
             "--lint" => lint = true,
+            "--faults" => faults = Some(parse_fault_plan(&value_of("--faults")?)?),
+            "--ckpt" => ckpt_dir = Some(value_of("--ckpt")?.into()),
+            "--resume" => resume = true,
             "--dataset" => dataset = Some(value_of("--dataset")?.to_lowercase()),
             "--metric" => metric = Some(value_of("--metric")?.to_lowercase()),
             other => return Err(format!("unknown flag: {other}")),
         }
     }
     config.lint_first = lint;
+    config.faults = faults;
+    if resume && ckpt_dir.is_none() {
+        // Resuming is meaningless without somewhere to find checkpoints.
+        ckpt_dir = Some("out/ckpt".into());
+    }
+    config.ckpt_dir = ckpt_dir;
+    config.resume = resume;
     Ok(CliOptions {
         config,
         dataset,
@@ -129,15 +168,37 @@ pub fn lint_gate(cfg: &RunConfig) {
 
 /// Runs `f` under a `gnn-obs` collector when the config enables tracing
 /// (`--trace <dir>`), then writes `trace.json` + `metrics.jsonl` into the
-/// directory and prints a run-wide summary. Without `--trace` this is
-/// exactly `f()` (after the [`lint_gate`], if `--lint` was given).
+/// directory and prints a run-wide summary. When the config carries a fault
+/// plan (`--faults <plan>`), the plan is armed around `f` and the faults
+/// that fired are printed afterwards. Without `--trace` and `--faults` this
+/// is exactly `f()` (after the [`lint_gate`], if `--lint` was given).
 pub fn traced<T>(cfg: &RunConfig, f: impl FnOnce() -> T) -> T {
     lint_gate(cfg);
+    // Arm the fault plan for the whole run; code that arms its own plan
+    // (e.g. `gnn_core::sweep`) detects the active injector and reuses it.
+    let fault_handle = match &cfg.faults {
+        Some(plan) if !gnn_faults::is_active() => Some(gnn_faults::install(plan.clone())),
+        _ => None,
+    };
+    let report_faults = |handle: Option<gnn_faults::InjectorHandle>| {
+        if let Some(h) = handle {
+            let log = gnn_faults::finish(h);
+            if !log.is_empty() {
+                println!("faults fired ({}):", log.len());
+                for line in log.summary().lines() {
+                    println!("  {line}");
+                }
+            }
+        }
+    };
     let Some(dir) = cfg.trace.dir() else {
-        return f();
+        let out = f();
+        report_faults(fault_handle);
+        return out;
     };
     let handle = gnn_obs::install(gnn_obs::Collector::new());
     let out = f();
+    report_faults(fault_handle);
     let trace = gnn_obs::finish(handle);
     match trace.save(dir) {
         Ok((trace_path, metrics_path)) => {
@@ -161,7 +222,8 @@ pub fn cli_options() -> CliOptions {
             eprintln!(
                 "usage: [--quick|--full|--smoke] [--scale f] [--seed n] [--epochs n] \
                  [--folds n] [--seeds n] [--dataset enzymes|dd] [--metric memory|utilization] \
-                 [--trace dir] [--lint]"
+                 [--trace dir] [--lint] [--faults canonical|seeded:n|path] [--ckpt dir] \
+                 [--resume]"
             );
             std::process::exit(2);
         }
@@ -224,6 +286,46 @@ mod tests {
         let o = parse_args(&s(&["--lint", "--smoke"])).unwrap();
         assert!(o.config.lint_first);
         assert!(!parse_args(&s(&["--full"])).unwrap().config.lint_first);
+    }
+
+    #[test]
+    fn faults_flag_parses_all_plan_forms() {
+        let o = parse_args(&s(&["--faults", "canonical"])).unwrap();
+        assert_eq!(o.config.faults, Some(FaultPlan::canonical()));
+        let o = parse_args(&s(&["--faults", "seeded:42"])).unwrap();
+        assert_eq!(o.config.faults, Some(FaultPlan::seeded(42)));
+        // Plan files round-trip through the plan's own text format.
+        let dir = std::env::temp_dir().join("gnn_bench_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plan.txt");
+        std::fs::write(&path, FaultPlan::seeded(7).to_text()).unwrap();
+        let o = parse_args(&s(&["--faults", path.to_str().unwrap()])).unwrap();
+        assert_eq!(o.config.faults, Some(FaultPlan::seeded(7)));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        assert!(parse_args(&s(&["--faults"])).is_err());
+        assert!(parse_args(&s(&["--faults", "seeded:x"])).is_err());
+        assert!(parse_args(&s(&["--faults", "/no/such/plan"])).is_err());
+        // Order-robust across preset rebuilds, like --lint.
+        let o = parse_args(&s(&["--faults", "canonical", "--smoke"])).unwrap();
+        assert_eq!(o.config.faults, Some(FaultPlan::canonical()));
+    }
+
+    #[test]
+    fn resume_implies_a_checkpoint_dir() {
+        let o = parse_args(&s(&["--resume"])).unwrap();
+        assert!(o.config.resume);
+        assert_eq!(
+            o.config.ckpt_dir.as_deref(),
+            Some(std::path::Path::new("out/ckpt"))
+        );
+        let o = parse_args(&s(&["--ckpt", "my/ckpts", "--resume"])).unwrap();
+        assert_eq!(
+            o.config.ckpt_dir.as_deref(),
+            Some(std::path::Path::new("my/ckpts"))
+        );
+        let o = parse_args(&s(&["--ckpt", "my/ckpts"])).unwrap();
+        assert!(!o.config.resume, "--ckpt alone must not imply --resume");
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use std::path::{Path, PathBuf};
 
+use gnn_faults::FaultPlan;
+
 /// Trace-emission settings for a run (see the `gnn-obs` crate).
 ///
 /// Disabled by default. When a directory is set, binaries that honor the
@@ -67,6 +69,15 @@ pub struct RunConfig {
     /// executing anything, and abort on findings (off in every preset; the
     /// bench binaries enable it via `--lint`).
     pub lint_first: bool,
+    /// Deterministic fault-injection plan armed around the run (`None` in
+    /// every preset; the bench binaries set it via `--faults <plan>`).
+    pub faults: Option<FaultPlan>,
+    /// Directory for per-cell training checkpoints (`None` disables
+    /// checkpointing; set via `--ckpt <dir>`, or implied by `--resume`).
+    pub ckpt_dir: Option<PathBuf>,
+    /// Resume cells from checkpoints found in `ckpt_dir` (the `--resume`
+    /// flag): a killed sweep continues where it stopped, bit-identically.
+    pub resume: bool,
 }
 
 impl RunConfig {
@@ -83,6 +94,9 @@ impl RunConfig {
             seed: 0,
             trace: TraceConfig::off(),
             lint_first: false,
+            faults: None,
+            ckpt_dir: None,
+            resume: false,
         }
     }
 
@@ -100,6 +114,9 @@ impl RunConfig {
             seed: 0,
             trace: TraceConfig::off(),
             lint_first: false,
+            faults: None,
+            ckpt_dir: None,
+            resume: false,
         }
     }
 
@@ -115,6 +132,9 @@ impl RunConfig {
             seed: 0,
             trace: TraceConfig::off(),
             lint_first: false,
+            faults: None,
+            ckpt_dir: None,
+            resume: false,
         }
     }
 
@@ -144,6 +164,24 @@ impl RunConfig {
     /// Enables the ahead-of-run static analysis gate (`gnn-lint`).
     pub fn with_lint(mut self) -> Self {
         self.lint_first = true;
+        self
+    }
+
+    /// Arms a fault-injection plan around the run.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Enables per-cell checkpointing into `dir`.
+    pub fn with_ckpt_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.ckpt_dir = Some(dir.into());
+        self
+    }
+
+    /// Enables resume-from-checkpoint (requires a checkpoint directory).
+    pub fn with_resume(mut self) -> Self {
+        self.resume = true;
         self
     }
 }
@@ -186,6 +224,22 @@ mod tests {
         assert!(!RunConfig::quick().lint_first);
         assert!(!RunConfig::smoke().lint_first);
         assert!(RunConfig::smoke().with_lint().lint_first);
+    }
+
+    #[test]
+    fn faults_and_resume_are_off_in_every_preset() {
+        for cfg in [RunConfig::paper(), RunConfig::quick(), RunConfig::smoke()] {
+            assert!(cfg.faults.is_none());
+            assert!(cfg.ckpt_dir.is_none());
+            assert!(!cfg.resume);
+        }
+        let c = RunConfig::smoke()
+            .with_faults(FaultPlan::canonical())
+            .with_ckpt_dir("out/ckpt")
+            .with_resume();
+        assert_eq!(c.faults, Some(FaultPlan::canonical()));
+        assert_eq!(c.ckpt_dir.as_deref(), Some(Path::new("out/ckpt")));
+        assert!(c.resume);
     }
 
     #[test]

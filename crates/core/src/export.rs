@@ -9,6 +9,7 @@ use std::io;
 use std::path::Path;
 
 use crate::runner::{LayerTimeRow, MultiGpuRow, ProfileRow, Table4Row, Table5Row};
+use crate::sweep::CellOutcome;
 
 fn esc(field: &str) -> String {
     if field.contains(',') || field.contains('"') || field.contains('\n') {
@@ -139,6 +140,28 @@ pub fn multi_gpu_csv(rows: &[MultiGpuRow]) -> String {
     out
 }
 
+/// Renders per-cell sweep outcomes as CSV: one line per (experiment,
+/// dataset, model, framework) cell, with its status, retry count, detail
+/// message and the faults that fired while it ran.
+pub fn cell_outcomes_csv(cells: &[CellOutcome]) -> String {
+    let mut out = String::from("experiment,dataset,model,framework,status,retries,detail,faults\n");
+    for c in cells {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{}",
+            esc(&c.experiment),
+            esc(&c.dataset),
+            c.model.label(),
+            c.framework.label(),
+            c.status.label(),
+            c.retries,
+            esc(&c.detail),
+            esc(&c.faults.join("; "))
+        );
+    }
+    out
+}
+
 /// Writes `csv` to `path`, creating parent directories.
 ///
 /// # Errors
@@ -233,6 +256,41 @@ mod tests {
         let csv = layer_times_csv(&[row]);
         assert_eq!(csv.lines().count(), 3);
         assert!(csv.contains("GIN,PyG,conv1,0.001"));
+    }
+
+    #[test]
+    fn cell_outcomes_csv_escapes_details() {
+        use crate::sweep::{CellOutcome, CellStatus};
+        let cells = vec![
+            CellOutcome {
+                experiment: "table4".into(),
+                dataset: "Cora".into(),
+                model: ModelKind::Gcn,
+                framework: FrameworkKind::RustyG,
+                status: CellStatus::Ok,
+                detail: String::new(),
+                faults: vec![],
+                retries: 0,
+            },
+            CellOutcome {
+                experiment: "table5".into(),
+                dataset: "ENZYMES".into(),
+                model: ModelKind::Gat,
+                framework: FrameworkKind::Rgl,
+                status: CellStatus::Degraded,
+                detail: "device OOM, halving batch size to 16".into(),
+                faults: vec!["oom:device OOM allocating 64 B".into()],
+                retries: 2,
+            },
+        ];
+        let csv = cell_outcomes_csv(&cells);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].split(',').count(), 8);
+        assert!(lines[1].starts_with("table4,Cora,GCN,PyG,ok,0,,"));
+        // The comma-bearing detail must be quoted to keep the column count.
+        assert!(lines[2].contains("\"device OOM, halving batch size to 16\""));
+        assert!(lines[2].contains("degraded"));
     }
 
     #[test]

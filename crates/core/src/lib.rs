@@ -35,6 +35,8 @@ pub mod experiments;
 pub mod export;
 pub mod report;
 pub mod runner;
+pub mod sweep;
 
 pub use config::{RunConfig, TraceConfig};
 pub use report::render_table;
+pub use sweep::{sweep, CellOutcome, CellStatus, SweepOutcome};

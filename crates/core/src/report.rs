@@ -3,6 +3,7 @@
 use gnn_device::session::PHASES;
 
 use crate::runner::{LayerTimeRow, MultiGpuRow, ProfileRow, Table4Row, Table5Row};
+use crate::sweep::SweepOutcome;
 
 /// Renders a padded ASCII table.
 ///
@@ -230,6 +231,63 @@ pub fn fig6_report(rows: &[MultiGpuRow]) -> String {
     render_table(&["Model", "Framework", "Batch", "GPUs", "Epoch"], &body)
 }
 
+/// Renders the fault-isolated sweep: one row per cell with its status,
+/// retries, and fired faults, followed by ok/degraded/failed totals and
+/// (when the sweep armed the fault plan itself) the full fault log.
+pub fn sweep_report(out: &SweepOutcome) -> String {
+    let body: Vec<Vec<String>> = out
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.experiment.clone(),
+                c.dataset.clone(),
+                c.model.label().to_string(),
+                c.framework.label().to_string(),
+                c.status.label().to_string(),
+                c.retries.to_string(),
+                if c.faults.is_empty() {
+                    "-".to_string()
+                } else {
+                    c.faults.join("; ")
+                },
+            ]
+        })
+        .collect();
+    let mut s = render_table(
+        &[
+            "Experiment",
+            "Dataset",
+            "Model",
+            "Framework",
+            "Status",
+            "Retries",
+            "Faults",
+        ],
+        &body,
+    );
+    let (ok, degraded, failed) = out.counts();
+    s.push_str(&format!(
+        "cells: {} ok, {degraded} degraded, {failed} failed (of {})\n",
+        ok,
+        out.cells.len()
+    ));
+    for c in out.cells.iter().filter(|c| !c.detail.is_empty()) {
+        s.push_str(&format!(
+            "  {}/{}/{}/{}: {}\n",
+            c.experiment,
+            c.dataset,
+            c.model.label(),
+            c.framework.label(),
+            c.detail
+        ));
+    }
+    if let Some(log) = &out.fault_log {
+        s.push_str(&format!("faults fired: {}\n", log.len()));
+    }
+    s
+}
+
 /// Renders a run-wide summary of a finished trace: one row per training
 /// run (from the JSONL epoch records) plus aggregate kernel/event totals.
 ///
@@ -355,6 +413,45 @@ mod tests {
     #[should_panic(expected = "row width mismatch")]
     fn uneven_rows_rejected() {
         render_table(&["a"], &[vec!["x".into(), "y".into()]]);
+    }
+
+    #[test]
+    fn sweep_report_counts_statuses_and_lists_details() {
+        use crate::sweep::{CellOutcome, CellStatus, SweepOutcome};
+        let cell = |status, detail: &str, faults: Vec<String>| CellOutcome {
+            experiment: "table4".into(),
+            dataset: "Cora".into(),
+            model: gnn_models::ModelKind::Gcn,
+            framework: gnn_models::FrameworkKind::RustyG,
+            status,
+            detail: detail.into(),
+            faults,
+            retries: 1,
+        };
+        let out = SweepOutcome {
+            cells: vec![
+                cell(CellStatus::Ok, "", vec![]),
+                cell(
+                    CellStatus::Degraded,
+                    "halving batch size to 8",
+                    vec!["oom:device OOM allocating 64 B".into()],
+                ),
+                cell(
+                    CellStatus::Failed,
+                    "retries exhausted after 4 attempts",
+                    vec![],
+                ),
+            ],
+            ..SweepOutcome::default()
+        };
+        let s = sweep_report(&out);
+        assert!(
+            s.contains("cells: 1 ok, 1 degraded, 1 failed (of 3)"),
+            "{s}"
+        );
+        assert!(s.contains("halving batch size to 8"), "{s}");
+        assert!(s.contains("retries exhausted"), "{s}");
+        assert!(s.contains("oom:device OOM"), "{s}");
     }
 
     #[test]

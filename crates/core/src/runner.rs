@@ -23,7 +23,12 @@ use crate::config::RunConfig;
 /// Marks the start of one sweep cell on the runner track, so traces show
 /// where each (dataset, model, framework) combination begins. Instant
 /// events only — the runner itself never touches the simulated clocks.
-fn mark_cell(experiment: &str, dataset: &str, model: ModelKind, framework: FrameworkKind) {
+pub(crate) fn mark_cell(
+    experiment: &str,
+    dataset: &str,
+    model: ModelKind,
+    framework: FrameworkKind,
+) {
     if !obs::is_active() {
         return;
     }

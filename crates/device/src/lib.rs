@@ -53,7 +53,7 @@ pub use cost::CostModel;
 pub use kernel::{Kernel, KernelKind};
 pub use memory::MemoryTracker;
 pub use multi::{DataParallel, MultiGpuError, PcieModel, StepCost};
-pub use session::{DeviceReport, Phase, Session};
+pub use session::{DeviceReport, Phase, Session, SessionError};
 pub use timeline::Timeline;
 
 /// Convenience re-export of the free functions that tensor/framework code

@@ -132,7 +132,27 @@ impl DataParallel {
             self.n_gpus as f64 * self.pcie.latency + step.output_bytes as f64 / self.pcie.bandwidth;
         // Reduce gradients from replicas 1..n to device 0.
         let reduce = (n - 1.0) * self.pcie.transfer_time(self.param_bytes);
-        step.host_load + scatter + replicate + compute + gather + reduce + step.update
+        // Each step issues four PCIe transfer segments; an armed fault
+        // injector may stretch any of them (straggler). With no injector
+        // every factor is exactly 1.0 and the model is unchanged.
+        let (f_scatter, f_replicate, f_gather, f_reduce) = if gnn_faults::is_active() {
+            let sim = crate::session::sim_now();
+            (
+                gnn_faults::transfer_factor(sim),
+                gnn_faults::transfer_factor(sim),
+                gnn_faults::transfer_factor(sim),
+                gnn_faults::transfer_factor(sim),
+            )
+        } else {
+            (1.0, 1.0, 1.0, 1.0)
+        };
+        step.host_load
+            + scatter * f_scatter
+            + replicate * f_replicate
+            + compute
+            + gather * f_gather
+            + reduce * f_reduce
+            + step.update
     }
 
     /// Simulated wall time of an epoch of identical steps.

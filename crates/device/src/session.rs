@@ -18,6 +18,29 @@ use crate::kernel::{Kernel, KernelKind};
 use crate::memory::MemoryTracker;
 use crate::timeline::Timeline;
 
+/// A session-protocol violation, surfaced instead of a panic so supervised
+/// training (`gnn_train::supervisor`) can fold it into its typed
+/// `TrainError` rather than aborting a whole sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionError {
+    /// [`Session::try_scope_exit`] was called with no scope open.
+    ScopeExitWithoutEnter,
+    /// [`try_finish`] was called while other clones of the handle's session
+    /// were still alive.
+    HandleStillShared,
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::ScopeExitWithoutEnter => write!(f, "scope_exit without scope_enter"),
+            SessionError::HandleStillShared => write!(f, "session handle still shared at finish"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
 /// Training-loop phase, matching the execution-time breakdown of the paper's
 /// Figs. 1–2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -103,6 +126,9 @@ impl Session {
     /// Records a kernel launch: host pays launch overhead, device queues the
     /// kernel's roofline duration.
     pub fn record(&mut self, kernel: Kernel) {
+        if gnn_faults::is_active() {
+            gnn_faults::on_kernel(kernel.name, self.sim_now());
+        }
         let dur = self.cost.kernel_time(&kernel);
         let (start, end) = self.timeline.launch(self.cost.launch_time(), dur);
         match self.kind_counts.iter_mut().find(|(k, _)| *k == kernel.kind) {
@@ -202,13 +228,26 @@ impl Session {
     ///
     /// # Panics
     ///
-    /// Panics if no scope is open.
+    /// Panics if no scope is open; supervised code paths use
+    /// [`Session::try_scope_exit`] instead.
     pub fn scope_exit(&mut self) {
+        if let Err(e) = self.try_scope_exit() {
+            panic!("{e}");
+        }
+    }
+
+    /// Exits the innermost scope, reporting a protocol violation instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError::ScopeExitWithoutEnter`] if no scope is open.
+    pub fn try_scope_exit(&mut self) -> Result<(), SessionError> {
         self.timeline.sync();
         let (name, start) = self
             .scope_stack
             .pop()
-            .expect("scope_exit without scope_enter");
+            .ok_or(SessionError::ScopeExitWithoutEnter)?;
         let dur = self.timeline.now() - start;
         match self.scope_times.iter_mut().find(|(n, _)| *n == name) {
             Some((_, t)) => *t += dur,
@@ -217,10 +256,14 @@ impl Session {
         if obs::is_active() {
             obs::span_end(obs::tracks::SCOPES, self.timeline.now());
         }
+        Ok(())
     }
 
     /// Registers a step-scoped device allocation.
     pub fn alloc(&mut self, bytes: u64) {
+        if gnn_faults::is_active() {
+            gnn_faults::on_alloc(bytes, self.memory.current(), self.sim_now());
+        }
         self.memory.alloc(bytes);
         self.trace_memory();
     }
@@ -233,6 +276,9 @@ impl Session {
 
     /// Registers a persistent device allocation (parameters, optimizer state).
     pub fn alloc_persistent(&mut self, bytes: u64) {
+        if gnn_faults::is_active() {
+            gnn_faults::on_alloc(bytes, self.memory.current(), self.sim_now());
+        }
         self.memory.alloc_persistent(bytes);
         self.trace_memory();
     }
@@ -375,8 +421,25 @@ pub fn install(session: Session) -> SessionHandle {
 ///
 /// # Panics
 ///
-/// Panics if other clones of the handle's session are still alive.
+/// Panics if other clones of the handle's session are still alive;
+/// supervised code paths use [`try_finish`] instead.
 pub fn finish(handle: SessionHandle) -> DeviceReport {
+    match try_finish(handle) {
+        Ok(report) => report,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Uninstalls the session and returns its report, reporting a protocol
+/// violation instead of panicking.
+///
+/// # Errors
+///
+/// Returns [`SessionError::HandleStillShared`] if other clones of the
+/// handle's session are still alive (the session stays uninstalled — the
+/// surviving clone holders keep it alive, but free functions no longer
+/// reach it).
+pub fn try_finish(handle: SessionHandle) -> Result<DeviceReport, SessionError> {
     CURRENT.with(|c| {
         let mut cur = c.borrow_mut();
         if let Some(rc) = cur.as_ref() {
@@ -386,9 +449,9 @@ pub fn finish(handle: SessionHandle) -> DeviceReport {
         }
     });
     let session = Rc::try_unwrap(handle.0)
-        .expect("session handle still shared at finish")
+        .map_err(|_| SessionError::HandleStillShared)?
         .into_inner();
-    session.into_report()
+    Ok(session.into_report())
 }
 
 /// Runs `f` with the current session and returns its result, if any.

@@ -146,6 +146,9 @@ impl Conv<rustyg::Batch> for rustyg::GinConv {
     fn has_internal_norm(&self) -> bool {
         true
     }
+    fn norms(&self) -> Vec<&gnn_tensor::nn::BatchNorm1d> {
+        vec![rustyg::GinConv::bn(self)]
+    }
 }
 
 impl Conv<rgl::HeteroBatch> for rgl::GinConv {
@@ -157,6 +160,9 @@ impl Conv<rgl::HeteroBatch> for rgl::GinConv {
     }
     fn has_internal_norm(&self) -> bool {
         true
+    }
+    fn norms(&self) -> Vec<&gnn_tensor::nn::BatchNorm1d> {
+        vec![rgl::GinConv::bn(self)]
     }
 }
 

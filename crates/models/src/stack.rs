@@ -21,6 +21,12 @@ pub trait Conv<B> {
     fn has_internal_norm(&self) -> bool {
         false
     }
+    /// The layer's internal batch-norm layers, if any (GIN). Their running
+    /// statistics are mutable training state that checkpoint/retry
+    /// machinery must capture.
+    fn norms(&self) -> Vec<&BatchNorm1d> {
+        Vec::new()
+    }
 }
 
 /// The task head of a stack.
@@ -156,6 +162,21 @@ impl<B: ModelBatch> GnnStack<B> {
     /// and multi-GPU transfer modelling.
     pub fn param_bytes(&self) -> u64 {
         self.params().iter().map(|p| p.data().byte_size()).sum()
+    }
+
+    /// Every batch-norm layer in the stack, in a deterministic order: each
+    /// layer's internal norms (GIN) then its outer norm. Training forwards
+    /// mutate these layers' running statistics, so exact checkpoint/retry
+    /// must snapshot them alongside the parameters.
+    pub fn norm_layers(&self) -> Vec<&BatchNorm1d> {
+        let mut norms = Vec::new();
+        for (conv, bn) in self.convs.iter().zip(&self.bns) {
+            norms.extend(conv.norms());
+            if let Some(bn) = bn {
+                norms.push(bn);
+            }
+        }
+        norms
     }
 }
 

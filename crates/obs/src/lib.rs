@@ -93,4 +93,6 @@ pub mod tracks {
     pub const TRAIN: &str = "train";
     /// Experiment-runner markers (sweep cells).
     pub const RUNNER: &str = "runner";
+    /// Injected-fault markers (`gnn-faults` fire events).
+    pub const FAULTS: &str = "faults";
 }

@@ -51,6 +51,12 @@ impl GinConv {
         self.w.out_dim()
     }
 
+    /// The layer's internal batch norm (its running statistics are mutable
+    /// training state that checkpointing must capture).
+    pub fn bn(&self) -> &BatchNorm1d {
+        &self.bn
+    }
+
     /// Trainable parameters (ε, both linears, BN affine).
     pub fn params(&self) -> Vec<Tensor> {
         let mut p = vec![self.eps.clone()];

@@ -140,6 +140,35 @@ impl BatchNorm1d {
     pub fn params(&self) -> Vec<Tensor> {
         vec![self.gamma.clone(), self.beta.clone()]
     }
+
+    /// Snapshot of the running statistics `(mean, var)`.
+    ///
+    /// Training forwards mutate these buffers, so checkpoint/retry
+    /// machinery must capture them alongside the parameters to reproduce a
+    /// run exactly.
+    pub fn running_stats(&self) -> (Vec<f32>, Vec<f32>) {
+        (
+            self.running_mean.borrow().data().to_vec(),
+            self.running_var.borrow().data().to_vec(),
+        )
+    }
+
+    /// Restores running statistics captured by
+    /// [`BatchNorm1d::running_stats`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths do not match the layer's feature dim.
+    pub fn set_running_stats(&self, mean: &[f32], var: &[f32]) {
+        self.running_mean
+            .borrow_mut()
+            .data_mut()
+            .copy_from_slice(mean);
+        self.running_var
+            .borrow_mut()
+            .data_mut()
+            .copy_from_slice(var);
+    }
 }
 
 /// Dropout layer.

@@ -1,0 +1,493 @@
+//! Exact training checkpoints: params + optimizer + scheduler + RNG +
+//! batch-norm running stats + progress counters.
+//!
+//! A [`Checkpoint`] captures *everything* a training loop mutates, so a
+//! resumed (or rolled-back) run continues bit-identically to one that was
+//! never interrupted. Floats are serialized as hex bit patterns
+//! (`f32::to_bits` / `f64::to_bits`) — decimal formatting would lose the
+//! low bits and silently break the bit-exactness the resume tests assert.
+//!
+//! The on-disk format is a line-oriented text file (`gnn-ckpt v1` header),
+//! written next to the trace artifacts so a killed sweep leaves its resume
+//! state where its other outputs already live.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use gnn_tensor::nn::BatchNorm1d;
+use gnn_tensor::{NdArray, Tensor};
+use rand::rngs::StdRng;
+
+use crate::optim::Adam;
+use crate::scheduler::ReduceLrOnPlateau;
+
+/// A complete snapshot of mutable training state.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Checkpoint {
+    /// Epochs fully completed (training resumes at this epoch index).
+    pub epoch: u64,
+    /// Shuffle-RNG state, for loops that draw from one (`None` for
+    /// full-batch loops with no RNG).
+    pub rng: Option<[u64; 4]>,
+    /// Parameter buffers, flattened, in `model.params()` order (shape
+    /// `(rows, cols)` kept for reconstruction checks).
+    pub params: Vec<(usize, usize, Vec<f32>)>,
+    /// Adam first moments, same order/shape as `params`.
+    pub adam_m: Vec<(usize, usize, Vec<f32>)>,
+    /// Adam second moments.
+    pub adam_v: Vec<(usize, usize, Vec<f32>)>,
+    /// Adam step counter.
+    pub adam_t: i32,
+    /// Current learning rate.
+    pub lr: f32,
+    /// Plateau-scheduler state `(best, epochs_since_best)`, if a scheduler
+    /// is in play.
+    pub sched: Option<(f32, usize)>,
+    /// Batch-norm running stats `(mean, var)` in `norm_layers()` order.
+    pub bn_stats: Vec<(Vec<f32>, Vec<f32>)>,
+    /// Best validation accuracy so far, percent (node task).
+    pub best_val: f64,
+    /// Test accuracy at the best-validation epoch, percent (node task).
+    pub test_at_best: f64,
+    /// Per-epoch loss curve so far (the series the resume property test
+    /// compares bit-for-bit).
+    pub losses: Vec<f64>,
+    /// Cumulative simulated training seconds up to `epoch`, so a resumed
+    /// run reports the same epoch/total times as an uninterrupted one (the
+    /// fresh session's clock restarts at zero).
+    pub total_time: f64,
+    /// Raw device clock at capture. A resumed session fast-forwards its
+    /// fresh clock to this value so every subsequent timestamp — and thus
+    /// every epoch duration — is bit-identical to the uninterrupted run
+    /// (durations are differences against the running clock, so the
+    /// absolute value matters down to the last ULP).
+    pub clock: f64,
+}
+
+fn flatten(arrays: impl Iterator<Item = NdArray>) -> Vec<(usize, usize, Vec<f32>)> {
+    arrays
+        .map(|a| {
+            let (r, c) = a.shape();
+            (r, c, a.data().to_vec())
+        })
+        .collect()
+}
+
+impl Checkpoint {
+    /// Captures the full mutable state of a training loop.
+    pub fn capture(
+        params: &[Tensor],
+        norms: &[&BatchNorm1d],
+        opt: &Adam,
+        sched: Option<&ReduceLrOnPlateau>,
+        rng: Option<&StdRng>,
+        epoch: u64,
+    ) -> Self {
+        let (m, v, t) = opt.state();
+        Checkpoint {
+            epoch,
+            rng: rng.map(StdRng::state),
+            params: flatten(params.iter().map(|p| p.data().clone())),
+            adam_m: flatten(m.into_iter()),
+            adam_v: flatten(v.into_iter()),
+            adam_t: t,
+            lr: opt.lr(),
+            sched: sched.map(ReduceLrOnPlateau::state),
+            bn_stats: norms.iter().map(|bn| bn.running_stats()).collect(),
+            best_val: 0.0,
+            test_at_best: 0.0,
+            losses: Vec::new(),
+            total_time: 0.0,
+            clock: 0.0,
+        }
+    }
+
+    /// Writes the captured state back into live training objects. `params`
+    /// and `norms` must be the same (and same-ordered) collections the
+    /// checkpoint was captured from.
+    ///
+    /// Returns the restored shuffle RNG, if one was captured.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shape mismatch between the checkpoint and the live
+    /// model — restoring into the wrong model is always a bug.
+    pub fn restore(
+        &self,
+        params: &[Tensor],
+        norms: &[&BatchNorm1d],
+        opt: &mut Adam,
+        sched: Option<&mut ReduceLrOnPlateau>,
+    ) -> Option<StdRng> {
+        assert_eq!(params.len(), self.params.len(), "param count mismatch");
+        assert_eq!(norms.len(), self.bn_stats.len(), "norm count mismatch");
+        for (p, (r, c, data)) in params.iter().zip(&self.params) {
+            assert_eq!(p.shape(), (*r, *c), "param shape mismatch");
+            p.data_mut().data_mut().copy_from_slice(data);
+            p.zero_grad();
+        }
+        for (bn, (mean, var)) in norms.iter().zip(&self.bn_stats) {
+            bn.set_running_stats(mean, var);
+        }
+        let rebuild = |flat: &[(usize, usize, Vec<f32>)]| -> Vec<NdArray> {
+            flat.iter()
+                .map(|(r, c, data)| NdArray::from_vec(*r, *c, data.clone()))
+                .collect()
+        };
+        opt.restore_state(rebuild(&self.adam_m), rebuild(&self.adam_v), self.adam_t);
+        opt.set_lr(self.lr);
+        if let (Some(s), Some((best, since))) = (sched, self.sched) {
+            s.restore_state(best, since);
+        }
+        self.rng.map(StdRng::from_state)
+    }
+
+    /// Renders the checkpoint as its `gnn-ckpt v1` text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("gnn-ckpt v1\n");
+        let _ = writeln!(out, "epoch {}", self.epoch);
+        match self.rng {
+            Some(s) => {
+                let _ = writeln!(
+                    out,
+                    "rng {:016x} {:016x} {:016x} {:016x}",
+                    s[0], s[1], s[2], s[3]
+                );
+            }
+            None => out.push_str("rng none\n"),
+        }
+        let _ = writeln!(out, "adam_t {}", self.adam_t);
+        let _ = writeln!(out, "lr {:08x}", self.lr.to_bits());
+        match self.sched {
+            Some((best, since)) => {
+                let _ = writeln!(out, "sched {:08x} {since}", best.to_bits());
+            }
+            None => out.push_str("sched none\n"),
+        }
+        let _ = writeln!(
+            out,
+            "best {:016x} {:016x}",
+            self.best_val.to_bits(),
+            self.test_at_best.to_bits()
+        );
+        out.push_str("losses");
+        for l in &self.losses {
+            let _ = write!(out, " {:016x}", l.to_bits());
+        }
+        out.push('\n');
+        let _ = writeln!(out, "time {:016x}", self.total_time.to_bits());
+        let _ = writeln!(out, "clock {:016x}", self.clock.to_bits());
+        let mut section = |name: &str, arrays: &[(usize, usize, Vec<f32>)]| {
+            let _ = writeln!(out, "{name} {}", arrays.len());
+            for (r, c, data) in arrays {
+                let _ = write!(out, "a {r} {c}");
+                for x in data {
+                    let _ = write!(out, " {:08x}", x.to_bits());
+                }
+                out.push('\n');
+            }
+        };
+        section("params", &self.params);
+        section("adam_m", &self.adam_m);
+        section("adam_v", &self.adam_v);
+        let _ = writeln!(out, "bn {}", self.bn_stats.len());
+        for (mean, var) in &self.bn_stats {
+            let _ = write!(out, "m {}", mean.len());
+            for x in mean {
+                let _ = write!(out, " {:08x}", x.to_bits());
+            }
+            out.push('\n');
+            let _ = write!(out, "v {}", var.len());
+            for x in var {
+                let _ = write!(out, " {:08x}", x.to_bits());
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the `gnn-ckpt v1` text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn parse(text: &str) -> Result<Checkpoint, String> {
+        let mut lines = text.lines();
+        if lines.next() != Some("gnn-ckpt v1") {
+            return Err("missing `gnn-ckpt v1` header".into());
+        }
+        let mut ckpt = Checkpoint::default();
+        let next = |lines: &mut std::str::Lines<'_>, what: &str| -> Result<String, String> {
+            lines
+                .next()
+                .map(str::to_owned)
+                .ok_or_else(|| format!("truncated checkpoint: expected {what}"))
+        };
+        let f32_hex = |w: &str| -> Result<f32, String> { parse_hex32(w).map(f32::from_bits) };
+        let f64_hex = |w: &str| -> Result<f64, String> { parse_hex64(w).map(f64::from_bits) };
+
+        // epoch
+        let line = next(&mut lines, "epoch")?;
+        ckpt.epoch = field(&line, "epoch")?
+            .parse()
+            .map_err(|e| format!("epoch: {e}"))?;
+        // rng
+        let line = next(&mut lines, "rng")?;
+        let rest = field(&line, "rng")?;
+        ckpt.rng = if rest == "none" {
+            None
+        } else {
+            let words: Vec<&str> = rest.split_whitespace().collect();
+            if words.len() != 4 {
+                return Err("rng needs 4 words".into());
+            }
+            let mut s = [0u64; 4];
+            for (slot, w) in s.iter_mut().zip(&words) {
+                *slot = parse_hex64(w)?;
+            }
+            Some(s)
+        };
+        // adam_t
+        let line = next(&mut lines, "adam_t")?;
+        ckpt.adam_t = field(&line, "adam_t")?
+            .parse()
+            .map_err(|e| format!("adam_t: {e}"))?;
+        // lr
+        let line = next(&mut lines, "lr")?;
+        ckpt.lr = f32_hex(field(&line, "lr")?)?;
+        // sched
+        let line = next(&mut lines, "sched")?;
+        let rest = field(&line, "sched")?;
+        ckpt.sched = if rest == "none" {
+            None
+        } else {
+            let mut words = rest.split_whitespace();
+            let best = f32_hex(words.next().ok_or("sched: missing best")?)?;
+            let since: usize = words
+                .next()
+                .ok_or("sched: missing epochs_since_best")?
+                .parse()
+                .map_err(|e| format!("sched: {e}"))?;
+            Some((best, since))
+        };
+        // best
+        let line = next(&mut lines, "best")?;
+        let rest = field(&line, "best")?;
+        let mut words = rest.split_whitespace();
+        ckpt.best_val = f64_hex(words.next().ok_or("best: missing best_val")?)?;
+        ckpt.test_at_best = f64_hex(words.next().ok_or("best: missing test_at_best")?)?;
+        // losses
+        let line = next(&mut lines, "losses")?;
+        let rest = line
+            .strip_prefix("losses")
+            .ok_or("expected `losses` line")?;
+        ckpt.losses = rest
+            .split_whitespace()
+            .map(f64_hex)
+            .collect::<Result<_, _>>()?;
+        // time
+        let line = next(&mut lines, "time")?;
+        ckpt.total_time = f64_hex(field(&line, "time")?)?;
+        let line = next(&mut lines, "clock")?;
+        ckpt.clock = f64_hex(field(&line, "clock")?)?;
+        // array sections
+        let read_section = |lines: &mut std::str::Lines<'_>,
+                            name: &str|
+         -> Result<Vec<(usize, usize, Vec<f32>)>, String> {
+            let line = next(lines, name)?;
+            let count: usize = field(&line, name)?
+                .parse()
+                .map_err(|e| format!("{name}: {e}"))?;
+            let mut arrays = Vec::with_capacity(count);
+            for _ in 0..count {
+                let line = next(lines, "array row")?;
+                let mut words = line.split_whitespace();
+                if words.next() != Some("a") {
+                    return Err(format!("{name}: expected `a <rows> <cols> ...` row"));
+                }
+                let r: usize = words
+                    .next()
+                    .ok_or("array: missing rows")?
+                    .parse()
+                    .map_err(|e| format!("array rows: {e}"))?;
+                let c: usize = words
+                    .next()
+                    .ok_or("array: missing cols")?
+                    .parse()
+                    .map_err(|e| format!("array cols: {e}"))?;
+                let data: Vec<f32> = words.map(f32_hex).collect::<Result<_, _>>()?;
+                if data.len() != r * c {
+                    return Err(format!(
+                        "{name}: array has {} values, expected {r}×{c}",
+                        data.len()
+                    ));
+                }
+                arrays.push((r, c, data));
+            }
+            Ok(arrays)
+        };
+        ckpt.params = read_section(&mut lines, "params")?;
+        ckpt.adam_m = read_section(&mut lines, "adam_m")?;
+        ckpt.adam_v = read_section(&mut lines, "adam_v")?;
+        // bn
+        let line = next(&mut lines, "bn")?;
+        let count: usize = field(&line, "bn")?
+            .parse()
+            .map_err(|e| format!("bn: {e}"))?;
+        for _ in 0..count {
+            let read_vec =
+                |lines: &mut std::str::Lines<'_>, tag: &str| -> Result<Vec<f32>, String> {
+                    let line = next(lines, "bn stats row")?;
+                    let mut words = line.split_whitespace();
+                    if words.next() != Some(tag) {
+                        return Err(format!("bn: expected `{tag} <len> ...` row"));
+                    }
+                    let len: usize = words
+                        .next()
+                        .ok_or("bn: missing len")?
+                        .parse()
+                        .map_err(|e| format!("bn len: {e}"))?;
+                    let data: Vec<f32> = words.map(f32_hex).collect::<Result<_, _>>()?;
+                    if data.len() != len {
+                        return Err(format!("bn: {} values, expected {len}", data.len()));
+                    }
+                    Ok(data)
+                };
+            let mean = read_vec(&mut lines, "m")?;
+            let var = read_vec(&mut lines, "v")?;
+            ckpt.bn_stats.push((mean, var));
+        }
+        Ok(ckpt)
+    }
+
+    /// Writes the checkpoint to `path` (atomically: temp file + rename, so
+    /// a kill mid-write never leaves a truncated checkpoint behind).
+    ///
+    /// # Errors
+    ///
+    /// Returns the IO error message.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        let tmp = path.with_extension("ckpt.tmp");
+        std::fs::write(&tmp, self.to_text())
+            .map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, path).map_err(|e| format!("renaming to {}: {e}", path.display()))
+    }
+
+    /// Loads a checkpoint from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the IO error message or the parse diagnostic.
+    pub fn load(path: &Path) -> Result<Checkpoint, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        Checkpoint::parse(&text)
+    }
+}
+
+fn field<'a>(line: &'a str, key: &str) -> Result<&'a str, String> {
+    line.strip_prefix(key)
+        .map(str::trim)
+        .ok_or_else(|| format!("expected `{key} ...`, got `{line}`"))
+}
+
+fn parse_hex32(w: &str) -> Result<u32, String> {
+    u32::from_str_radix(w, 16).map_err(|e| format!("bad hex f32 `{w}`: {e}"))
+}
+
+fn parse_hex64(w: &str) -> Result<u64, String> {
+    u64::from_str_radix(w, 16).map_err(|e| format!("bad hex u64 `{w}`: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            epoch: 7,
+            rng: Some([1, 2, 3, 0xdead_beef_cafe_f00d]),
+            params: vec![(2, 2, vec![1.5, -0.25, f32::MIN_POSITIVE, 3.0e-39])],
+            adam_m: vec![(2, 2, vec![0.1, 0.2, 0.3, 0.4])],
+            adam_v: vec![(2, 2, vec![0.0; 4])],
+            adam_t: 99,
+            lr: 1e-3,
+            sched: Some((0.123_456_8, 4)),
+            bn_stats: vec![(vec![0.5, 0.75], vec![1.0, 1.25])],
+            best_val: 81.234_567_890_123,
+            test_at_best: 79.5,
+            losses: vec![1.9, 1.1, 0.7],
+            total_time: 0.004_321_987_654_321,
+            clock: 0.005_678_123_456_789,
+        }
+    }
+
+    #[test]
+    fn text_round_trip_is_bit_exact() {
+        let ckpt = sample();
+        let parsed = Checkpoint::parse(&ckpt.to_text()).unwrap();
+        assert_eq!(parsed, ckpt);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("gnn-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round_trip.ckpt");
+        let ckpt = sample();
+        ckpt.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), ckpt);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Checkpoint::parse("not a checkpoint").is_err());
+        assert!(Checkpoint::parse("gnn-ckpt v1\nepoch x\n").is_err());
+        let truncated = sample().to_text();
+        let cut = &truncated[..truncated.len() / 2];
+        // Cutting mid-file must fail loudly, never yield a partial state.
+        assert!(Checkpoint::parse(cut).is_err());
+    }
+
+    #[test]
+    fn capture_restore_round_trips_live_state() {
+        use gnn_tensor::nn::BatchNorm1d;
+        let p = Tensor::param(NdArray::from_vec(1, 3, vec![1.0, 2.0, 3.0]));
+        let bn = BatchNorm1d::new(3);
+        let mut opt = Adam::new(vec![p.clone()], 0.01);
+        let mut sched = ReduceLrOnPlateau::new(0.5, 2, 1e-6);
+        let mut rng = StdRng::seed_from_u64(9);
+        // Mutate everything.
+        let loss = p.mul(&p);
+        loss.backward();
+        opt.step();
+        sched.step(0.5, opt.lr());
+        sched.step(0.9, opt.lr());
+        let _: u64 = rng.gen();
+        bn.set_running_stats(&[0.1, 0.2, 0.3], &[1.1, 1.2, 1.3]);
+
+        let norms = [&bn];
+        let ckpt = Checkpoint::capture(opt.params(), &norms, &opt, Some(&sched), Some(&rng), 3);
+        let frozen_params = p.data().data().to_vec();
+        let frozen_draw = rng.clone().gen::<u64>();
+
+        // Keep training past the snapshot...
+        let loss = p.mul(&p);
+        loss.backward();
+        opt.step();
+        sched.step(2.0, opt.lr());
+        bn.set_running_stats(&[9.0, 9.0, 9.0], &[9.0, 9.0, 9.0]);
+
+        // ...then restore and verify every piece came back.
+        let params = opt.params().to_vec();
+        let restored_rng = ckpt.restore(&params, &norms, &mut opt, Some(&mut sched));
+        assert_eq!(p.data().data(), &frozen_params[..]);
+        assert_eq!(bn.running_stats().0, vec![0.1, 0.2, 0.3]);
+        assert_eq!(sched.state(), (0.5, 1));
+        let (_, _, t) = opt.state();
+        assert_eq!(t, 1);
+        assert_eq!(restored_rng.unwrap().gen::<u64>(), frozen_draw);
+    }
+}

@@ -15,6 +15,7 @@
 //! comparison ("we make sure that the key properties of the training
 //! algorithm are the same across implementations").
 
+pub mod checkpoint;
 mod epoch_trace;
 pub mod graph_task;
 pub mod metrics;
@@ -22,12 +23,19 @@ pub mod multi_gpu;
 pub mod node_task;
 pub mod optim;
 pub mod scheduler;
+pub mod supervisor;
 
+pub use checkpoint::Checkpoint;
 pub use graph_task::{
     run_cross_validation, run_graph_fold, CvOutcome, FoldOutcome, GraphTaskConfig,
 };
 pub use metrics::{mean_std, Summary};
-pub use multi_gpu::{data_parallel_epoch_time, MultiGpuConfig};
+pub use multi_gpu::{
+    data_parallel_epoch_time, data_parallel_epoch_time_supervised, MultiGpuConfig,
+};
 pub use node_task::{run_node_task, NodeOutcome, NodeTaskConfig};
 pub use optim::Adam;
 pub use scheduler::ReduceLrOnPlateau;
+pub use supervisor::{
+    run_graph_fold_supervised, run_node_task_supervised, Supervised, Supervisor, TrainError,
+};

@@ -106,6 +106,31 @@ impl Adam {
             p.zero_grad();
         }
     }
+
+    /// The optimized parameters, in registration order.
+    pub fn params(&self) -> &[Tensor] {
+        &self.params
+    }
+
+    /// Snapshot of the optimizer state: first moments, second moments, and
+    /// the step counter. Checkpoint/rollback machinery captures this to
+    /// reproduce a run exactly.
+    pub fn state(&self) -> (Vec<NdArray>, Vec<NdArray>, i32) {
+        (self.m.clone(), self.v.clone(), self.t)
+    }
+
+    /// Restores state captured by [`Adam::state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the moment vectors do not match the parameter count.
+    pub fn restore_state(&mut self, m: Vec<NdArray>, v: Vec<NdArray>, t: i32) {
+        assert_eq!(m.len(), self.params.len(), "moment/param count mismatch");
+        assert_eq!(v.len(), self.params.len(), "moment/param count mismatch");
+        self.m = m;
+        self.v = v;
+        self.t = t;
+    }
 }
 
 #[cfg(test)]

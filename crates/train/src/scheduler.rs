@@ -62,6 +62,18 @@ impl ReduceLrOnPlateau {
     pub fn should_stop(&self, lr: f32) -> bool {
         lr <= self.min_lr
     }
+
+    /// Snapshot of the mutable scheduler state `(best, epochs_since_best)`
+    /// for checkpoint/rollback.
+    pub fn state(&self) -> (f32, usize) {
+        (self.best, self.epochs_since_best)
+    }
+
+    /// Restores state captured by [`ReduceLrOnPlateau::state`].
+    pub fn restore_state(&mut self, best: f32, epochs_since_best: usize) {
+        self.best = best;
+        self.epochs_since_best = epochs_since_best;
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,967 @@
+//! Supervised training: typed errors, bounded retry, checkpoint/resume,
+//! and graceful degradation.
+//!
+//! The plain loops in [`crate::node_task`] / [`crate::graph_task`] assume a
+//! healthy device and panic on anything unexpected — fine for unit tests,
+//! fatal for a 60-cell sweep. The supervised variants here run the *same*
+//! training computation under a [`Supervisor`] policy:
+//!
+//! - **Typed failures** — every abnormal exit is a [`TrainError`], never a
+//!   panic, so the sweep runner can record the cell and move on.
+//! - **Retry with backoff** — transient device faults (one-shot OOM, kernel
+//!   faults from `gnn-faults`) roll the step back (batch-norm running
+//!   stats restored, gradients cleared — parameters are untouched until
+//!   `opt.step`) and replay it. Because the forward pass uses no RNG, a
+//!   successfully retried run is **bit-identical** to a fault-free one; the
+//!   property tests in `tests/faults.rs` assert exactly that.
+//! - **Checkpoint/resume** — per-epoch [`Checkpoint`] files capture params,
+//!   optimizer moments, scheduler state, shuffle RNG, and batch-norm
+//!   statistics, so a killed run resumed with `--resume` reproduces the
+//!   uninterrupted loss curve exactly.
+//! - **Graceful degradation** — persistent OOM (a memory ceiling) halves
+//!   the mini-batch size and continues; a NaN-poisoned loss rolls back to
+//!   the last checkpoint and replays; a failed data-parallel replica
+//!   shrinks the world and re-prices the schedule.
+
+use std::path::PathBuf;
+
+use gnn_datasets::{Fold, NodeDataset};
+use gnn_device::{CostModel, Phase, Session, SessionError};
+use gnn_faults::Fault;
+use gnn_models::{GnnStack, Loader, ModelBatch};
+use gnn_tensor::nn::BatchNorm1d;
+use gnn_tensor::{accuracy, cross_entropy};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::rc::Rc;
+
+use crate::checkpoint::Checkpoint;
+use crate::epoch_trace::EpochTracker;
+use crate::graph_task::{evaluate, FoldOutcome, GraphTaskConfig};
+use crate::node_task::{NodeOutcome, NodeTaskConfig};
+use crate::optim::Adam;
+use crate::scheduler::ReduceLrOnPlateau;
+
+/// Why a supervised training run stopped abnormally.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// A device fault persisted past the retry budget.
+    RetriesExhausted {
+        /// Attempts made on the failing step.
+        attempts: usize,
+        /// The last fault observed.
+        cause: String,
+    },
+    /// The loss went NaN/Inf and rollback could not clear it (a genuinely
+    /// diverged run, not a one-shot poisoning).
+    NanLoss {
+        /// Epoch at which the loss diverged.
+        epoch: u64,
+    },
+    /// All data-parallel replicas failed.
+    WorldCollapsed,
+    /// A profiling-session protocol violation.
+    Session(SessionError),
+    /// Checkpoint IO/parse failure.
+    Checkpoint(String),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::RetriesExhausted { attempts, cause } => {
+                write!(f, "fault persisted after {attempts} attempts: {cause}")
+            }
+            TrainError::NanLoss { epoch } => {
+                write!(
+                    f,
+                    "loss diverged to NaN at epoch {epoch} (rollback did not clear it)"
+                )
+            }
+            TrainError::WorldCollapsed => write!(f, "all data-parallel replicas failed"),
+            TrainError::Session(e) => write!(f, "session protocol violation: {e}"),
+            TrainError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<SessionError> for TrainError {
+    fn from(e: SessionError) -> Self {
+        TrainError::Session(e)
+    }
+}
+
+/// Retry/checkpoint policy for supervised runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Supervisor {
+    /// Retries allowed per training step before giving up (or, for OOM,
+    /// degrading).
+    pub max_retries: usize,
+    /// Simulated seconds of host backoff added per retry attempt
+    /// (multiplied by the attempt number: linear backoff).
+    pub backoff: f64,
+    /// Where to write per-epoch checkpoints (`None` disables them; in-memory
+    /// rollback for NaN recovery works regardless).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Checkpoint every N epochs (when a path is set).
+    pub checkpoint_every: u64,
+    /// Resume from `checkpoint_path` if the file exists.
+    pub resume: bool,
+}
+
+impl Default for Supervisor {
+    fn default() -> Self {
+        Supervisor {
+            max_retries: 3,
+            backoff: 1e-3,
+            checkpoint_path: None,
+            checkpoint_every: 1,
+            resume: false,
+        }
+    }
+}
+
+impl Supervisor {
+    /// Enables per-epoch checkpoints at `path` (builder-style).
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Enables resume-from-checkpoint (builder-style).
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+}
+
+/// A supervised run's result: the underlying outcome plus what the
+/// supervisor had to do to get there.
+#[derive(Debug, Clone)]
+pub struct Supervised<T> {
+    /// The training outcome.
+    pub outcome: T,
+    /// Whether any degradation policy fired (batch halved, world shrunk).
+    pub degraded: bool,
+    /// Total step retries performed.
+    pub retries: usize,
+    /// Human-readable log of every supervisor intervention.
+    pub notes: Vec<String>,
+    /// Per-epoch loss curve (training loss for the node task, validation
+    /// loss for the graph task) — the series resume tests compare
+    /// bit-for-bit.
+    pub losses: Vec<f64>,
+}
+
+fn snapshot_norms(norms: &[&BatchNorm1d]) -> Vec<(Vec<f32>, Vec<f32>)> {
+    norms.iter().map(|bn| bn.running_stats()).collect()
+}
+
+fn restore_norms(norms: &[&BatchNorm1d], snap: &[(Vec<f32>, Vec<f32>)]) {
+    for (bn, (mean, var)) in norms.iter().zip(snap) {
+        bn.set_running_stats(mean, var);
+    }
+}
+
+/// Rolls the device/optimizer state of an aborted step back so it can be
+/// replayed: batch-norm stats restored, gradients cleared, step-scoped
+/// device memory released. Parameters are untouched because `opt.step`
+/// never ran.
+fn unwind_step(norms: &[&BatchNorm1d], snap: &[(Vec<f32>, Vec<f32>)], opt: &Adam) {
+    restore_norms(norms, snap);
+    opt.zero_grad();
+    gnn_device::with(|s| s.end_step());
+}
+
+fn fault_to_error(fault: &Fault, attempts: usize) -> TrainError {
+    TrainError::RetriesExhausted {
+        attempts,
+        cause: fault.to_string(),
+    }
+}
+
+/// What happened to one supervised training step.
+enum StepResult {
+    /// Step committed (`opt.step` ran); carries the step's loss.
+    Ok(f32),
+    /// OOM persisted past the retry budget — the caller should degrade
+    /// (halve the batch) if it can.
+    OomPersistent { attempts: usize },
+    /// The loss came back NaN/Inf — the caller should roll back to its
+    /// last checkpoint.
+    Poisoned,
+    /// Unrecoverable.
+    Fatal(TrainError),
+}
+
+/// Runs one training step (forward/loss/backward/update) over `compute`,
+/// retrying transient device faults under the supervisor's budget.
+///
+/// `compute` must be a pure replayable step: given the same model state it
+/// reproduces the same loss tensor (all loops here satisfy this — the
+/// forward pass draws no RNG).
+fn supervised_step<F: FnMut() -> gnn_tensor::Tensor>(
+    mut compute: F,
+    norms: &[&BatchNorm1d],
+    opt: &mut Adam,
+    sup: &Supervisor,
+    retries: &mut usize,
+    notes: &mut Vec<String>,
+    epoch: u64,
+) -> StepResult {
+    let mut attempts = 0usize;
+    loop {
+        let snap = snapshot_norms(norms);
+        let loss = compute();
+        if let Some(fault) = gnn_faults::take_pending() {
+            unwind_step(norms, &snap, opt);
+            attempts += 1;
+            *retries += 1;
+            if attempts > sup.max_retries {
+                return match fault {
+                    Fault::Oom { .. } => StepResult::OomPersistent { attempts },
+                    Fault::Kernel { .. } => StepResult::Fatal(fault_to_error(&fault, attempts)),
+                };
+            }
+            notes.push(format!(
+                "epoch {epoch}: retrying step after {fault} (attempt {attempts})"
+            ));
+            gnn_device::host(sup.backoff * attempts as f64);
+            continue;
+        }
+        let loss_val = gnn_faults::poison_loss(loss.item(), gnn_device::sim_now());
+        if !loss_val.is_finite() {
+            unwind_step(norms, &snap, opt);
+            return StepResult::Poisoned;
+        }
+        gnn_device::set_phase(Phase::Update);
+        opt.step();
+        opt.zero_grad();
+        gnn_device::set_phase(Phase::Other);
+        gnn_device::with(|s| s.end_step());
+        return StepResult::Ok(loss_val);
+    }
+}
+
+/// Runs `eval` with bounded retries on device faults. Evaluation mutates
+/// nothing (inference mode), so a retry is a plain redo.
+fn supervised_eval<T, F: FnMut() -> T>(
+    mut eval: F,
+    sup: &Supervisor,
+    retries: &mut usize,
+    notes: &mut Vec<String>,
+    epoch: u64,
+) -> Result<T, TrainError> {
+    let mut attempts = 0usize;
+    loop {
+        let out = eval();
+        match gnn_faults::take_pending() {
+            None => return Ok(out),
+            Some(fault) => {
+                gnn_device::with(|s| s.end_step());
+                attempts += 1;
+                *retries += 1;
+                if attempts > sup.max_retries {
+                    return Err(fault_to_error(&fault, attempts));
+                }
+                notes.push(format!(
+                    "epoch {epoch}: retrying evaluation after {fault} (attempt {attempts})"
+                ));
+                gnn_device::host(sup.backoff * attempts as f64);
+            }
+        }
+    }
+}
+
+/// Supervised full-batch node classification: the Section IV-A loop with
+/// typed errors, retry, NaN rollback, and checkpoint/resume.
+///
+/// # Errors
+///
+/// Returns a [`TrainError`] instead of panicking on device faults that
+/// survive the retry budget, diverged losses, or checkpoint IO failures.
+///
+/// # Panics
+///
+/// Panics on caller bugs (empty splits, batch/dataset mismatch), exactly
+/// like [`crate::run_node_task`].
+pub fn run_node_task_supervised<B: ModelBatch>(
+    model: &GnnStack<B>,
+    batch: &B,
+    ds: &NodeDataset,
+    cfg: &NodeTaskConfig,
+    sup: &Supervisor,
+) -> Result<Supervised<NodeOutcome>, TrainError> {
+    assert!(!ds.train_idx.is_empty(), "empty training split");
+    assert_eq!(
+        batch.num_nodes(),
+        ds.graph.num_nodes(),
+        "batch/dataset mismatch"
+    );
+
+    let handle = gnn_device::session::install(Session::new(CostModel::rtx2080ti()));
+    let result = node_body(model, batch, ds, cfg, sup);
+    match result {
+        Ok(body) => {
+            let report = gnn_device::session::try_finish(handle)?;
+            let epochs = body.losses.len();
+            let measured = accumulated(body.prior_time, &body.epoch_times);
+            Ok(Supervised {
+                outcome: NodeOutcome {
+                    test_acc: body.test_at_best,
+                    best_val_acc: body.best_val,
+                    epochs,
+                    epoch_time: measured / epochs.max(1) as f64,
+                    total_time: measured,
+                    report,
+                },
+                degraded: false,
+                retries: body.retries,
+                notes: body.notes,
+                losses: body.losses,
+            })
+        }
+        Err(e) => {
+            // Surface the training failure, not any secondary finish issue.
+            let _ = gnn_device::session::try_finish(handle);
+            Err(e)
+        }
+    }
+}
+
+/// Total training time as a left fold continuing from `prior`. A fresh run
+/// has `prior == 0.0` (so this equals `times.iter().sum()`); a resumed run's
+/// `prior` is the same left fold over the epochs the earlier session timed,
+/// so the combined fold is bit-identical to the uninterrupted run's sum.
+fn accumulated(prior: f64, times: &[f64]) -> f64 {
+    let mut total = prior;
+    for t in times {
+        total += t;
+    }
+    total
+}
+
+/// Fast-forwards a fresh session's clock to the checkpointed value so every
+/// subsequent timestamp matches the uninterrupted run bit-for-bit.
+fn restore_clock(clock: f64) {
+    let mut now = 0.0;
+    gnn_device::with(|s| now = s.now());
+    if clock > now {
+        gnn_device::host(clock - now);
+    }
+}
+
+struct NodeBody {
+    best_val: f64,
+    test_at_best: f64,
+    losses: Vec<f64>,
+    epoch_times: Vec<f64>,
+    /// Training seconds accumulated by earlier sessions (restored from the
+    /// checkpoint on resume); `epoch_times` only covers this process.
+    prior_time: f64,
+    retries: usize,
+    notes: Vec<String>,
+}
+
+fn node_body<B: ModelBatch>(
+    model: &GnnStack<B>,
+    batch: &B,
+    ds: &NodeDataset,
+    cfg: &NodeTaskConfig,
+    sup: &Supervisor,
+) -> Result<NodeBody, TrainError> {
+    gnn_device::with(|s| {
+        s.alloc_persistent(2 * model.param_bytes() + batch.feature_bytes());
+    });
+    let mut opt = Adam::new(model.params(), cfg.lr);
+    let params = model.params();
+    let norms = model.norm_layers();
+
+    let train_idx: gnn_tensor::Ids = Rc::new(ds.train_idx.clone());
+    let val_idx: gnn_tensor::Ids = Rc::new(ds.val_idx.clone());
+    let test_idx: gnn_tensor::Ids = Rc::new(ds.test_idx.clone());
+    let train_labels = ds.labels_at(&ds.train_idx);
+    let val_labels = ds.labels_at(&ds.val_idx);
+    let test_labels = ds.labels_at(&ds.test_idx);
+
+    let mut body = NodeBody {
+        best_val: 0.0,
+        test_at_best: 0.0,
+        losses: Vec::new(),
+        epoch_times: Vec::new(),
+        prior_time: 0.0,
+        retries: 0,
+        notes: Vec::new(),
+    };
+    let mut epoch: u64 = 0;
+
+    if sup.resume {
+        if let Some(path) = sup.checkpoint_path.as_deref().filter(|p| p.exists()) {
+            let ckpt = Checkpoint::load(path).map_err(TrainError::Checkpoint)?;
+            ckpt.restore(&params, &norms, &mut opt, None);
+            epoch = ckpt.epoch;
+            body.best_val = ckpt.best_val;
+            body.test_at_best = ckpt.test_at_best;
+            body.losses = ckpt.losses.clone();
+            body.prior_time = ckpt.total_time;
+            restore_clock(ckpt.clock);
+            body.notes
+                .push(format!("resumed from checkpoint at epoch {epoch}"));
+        }
+    }
+
+    let capture = |opt: &Adam, body: &NodeBody, epoch: u64| -> Checkpoint {
+        let mut ckpt = Checkpoint::capture(&params, &norms, opt, None, None, epoch);
+        ckpt.best_val = body.best_val;
+        ckpt.test_at_best = body.test_at_best;
+        ckpt.losses = body.losses.clone();
+        ckpt.total_time = accumulated(body.prior_time, &body.epoch_times);
+        gnn_device::with(|s| ckpt.clock = s.now());
+        ckpt
+    };
+    let mut rollback = capture(&opt, &body, epoch);
+    let mut last_rollback_epoch: Option<u64> = None;
+
+    let mut last_mark = 0.0f64;
+    gnn_device::with(|s| last_mark = s.now());
+    let mut tracker = EpochTracker::new(format!("node/{}/{}", model.name(), ds.name));
+
+    while epoch < cfg.max_epochs as u64 {
+        gnn_faults::set_epoch(epoch);
+
+        let step = supervised_step(
+            || {
+                gnn_device::set_phase(Phase::DataLoad);
+                gnn_device::host(20e-6);
+                gnn_device::set_phase(Phase::Forward);
+                let logits = model.forward(batch, true);
+                let loss = cross_entropy(&logits.gather_rows(&train_idx), &train_labels);
+                gnn_device::set_phase(Phase::Backward);
+                loss.backward();
+                loss
+            },
+            &norms,
+            &mut opt,
+            sup,
+            &mut body.retries,
+            &mut body.notes,
+            epoch,
+        );
+        let loss_val = match step {
+            StepResult::Ok(v) => v,
+            StepResult::Poisoned => {
+                if last_rollback_epoch == Some(epoch) {
+                    // Rolling back did not clear the NaN: genuine divergence.
+                    return Err(TrainError::NanLoss { epoch });
+                }
+                last_rollback_epoch = Some(epoch);
+                body.notes.push(format!(
+                    "epoch {epoch}: NaN loss — rolled back to checkpoint at epoch {} and replaying",
+                    rollback.epoch
+                ));
+                rollback.restore(&params, &norms, &mut opt, None);
+                body.best_val = rollback.best_val;
+                body.test_at_best = rollback.test_at_best;
+                body.losses = rollback.losses.clone();
+                epoch = rollback.epoch;
+                continue;
+            }
+            StepResult::OomPersistent { attempts } => {
+                // Full-batch training has no batch to shrink.
+                return Err(TrainError::RetriesExhausted {
+                    attempts,
+                    cause: "device OOM (full-batch task cannot reduce its batch)".into(),
+                });
+            }
+            StepResult::Fatal(e) => return Err(e),
+        };
+
+        let eval_logits = supervised_eval(
+            || gnn_tensor::no_grad(|| model.forward(batch, false)),
+            sup,
+            &mut body.retries,
+            &mut body.notes,
+            epoch,
+        )?;
+        let val_acc = accuracy(&eval_logits.gather_rows(&val_idx), &val_labels) * 100.0;
+        if val_acc > body.best_val {
+            body.best_val = val_acc;
+            body.test_at_best = accuracy(&eval_logits.gather_rows(&test_idx), &test_labels) * 100.0;
+        }
+        gnn_device::with(|s| s.end_step());
+
+        let mut now = 0.0;
+        gnn_device::with(|s| now = s.now());
+        body.epoch_times.push(now - last_mark);
+        last_mark = now;
+        tracker.emit(
+            f64::from(loss_val),
+            Some(val_acc / 100.0),
+            f64::from(cfg.lr),
+        );
+        body.losses.push(f64::from(loss_val));
+        epoch += 1;
+
+        rollback = capture(&opt, &body, epoch);
+        if let Some(path) = &sup.checkpoint_path {
+            if epoch.is_multiple_of(sup.checkpoint_every) {
+                rollback.save(path).map_err(TrainError::Checkpoint)?;
+            }
+        }
+    }
+    Ok(body)
+}
+
+/// Supervised mini-batch graph classification: the Section IV-B fold loop
+/// with typed errors, retry, batch-halving OOM degradation, NaN rollback,
+/// and checkpoint/resume.
+///
+/// # Errors
+///
+/// Returns a [`TrainError`] on faults that survive retry and degradation,
+/// diverged losses, or checkpoint IO failures.
+///
+/// # Panics
+///
+/// Panics on caller bugs (empty fold, zero batch size), exactly like
+/// [`crate::run_graph_fold`].
+pub fn run_graph_fold_supervised<L: Loader>(
+    model: &GnnStack<L::Batch>,
+    loader: &L,
+    fold: &Fold,
+    cfg: &GraphTaskConfig,
+    sup: &Supervisor,
+) -> Result<Supervised<FoldOutcome>, TrainError> {
+    assert!(!fold.train.is_empty(), "empty training fold");
+    assert!(cfg.batch_size > 0, "batch size must be positive");
+
+    let handle = gnn_device::session::install(Session::new(CostModel::rtx2080ti()));
+    let result = graph_body(model, loader, fold, cfg, sup);
+    match result {
+        Ok(body) => {
+            let report = gnn_device::session::try_finish(handle)?;
+            let epochs = body.losses.len();
+            let measured = accumulated(body.prior_time, &body.epoch_times);
+            Ok(Supervised {
+                outcome: FoldOutcome {
+                    test_acc: body.test_acc * 100.0,
+                    epochs,
+                    epoch_time: measured / epochs.max(1) as f64,
+                    total_time: measured,
+                    report,
+                },
+                degraded: body.degraded,
+                retries: body.retries,
+                notes: body.notes,
+                losses: body.losses,
+            })
+        }
+        Err(e) => {
+            let _ = gnn_device::session::try_finish(handle);
+            Err(e)
+        }
+    }
+}
+
+struct GraphBody {
+    test_acc: f64,
+    losses: Vec<f64>,
+    epoch_times: Vec<f64>,
+    /// Training seconds accumulated by earlier sessions (restored from the
+    /// checkpoint on resume); `epoch_times` only covers this process.
+    prior_time: f64,
+    degraded: bool,
+    retries: usize,
+    notes: Vec<String>,
+}
+
+fn graph_body<L: Loader>(
+    model: &GnnStack<L::Batch>,
+    loader: &L,
+    fold: &Fold,
+    cfg: &GraphTaskConfig,
+    sup: &Supervisor,
+) -> Result<GraphBody, TrainError> {
+    gnn_device::with(|s| s.alloc_persistent(2 * model.param_bytes()));
+    let mut opt = Adam::new(model.params(), cfg.init_lr);
+    let mut sched = ReduceLrOnPlateau::new(cfg.decay_factor, cfg.patience, cfg.min_lr);
+    let params = model.params();
+    let norms = model.norm_layers();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut order = fold.train.clone();
+
+    let mut body = GraphBody {
+        test_acc: 0.0,
+        losses: Vec::new(),
+        epoch_times: Vec::new(),
+        prior_time: 0.0,
+        degraded: false,
+        retries: 0,
+        notes: Vec::new(),
+    };
+    let mut epoch: u64 = 0;
+    let mut eff_batch = cfg.batch_size;
+
+    if sup.resume {
+        if let Some(path) = sup.checkpoint_path.as_deref().filter(|p| p.exists()) {
+            let ckpt = Checkpoint::load(path).map_err(TrainError::Checkpoint)?;
+            if let Some(restored) = ckpt.restore(&params, &norms, &mut opt, Some(&mut sched)) {
+                rng = restored;
+            }
+            epoch = ckpt.epoch;
+            body.losses = ckpt.losses.clone();
+            body.prior_time = ckpt.total_time;
+            restore_clock(ckpt.clock);
+            // The shuffle order is itself training state: rebuild it by
+            // replaying the completed epochs' shuffles with a fresh stream
+            // (the stored RNG state is where that replay would end).
+            if cfg.shuffle {
+                let mut replay = StdRng::seed_from_u64(cfg.seed);
+                for _ in 0..epoch {
+                    order.shuffle(&mut replay);
+                }
+            }
+            body.notes
+                .push(format!("resumed from checkpoint at epoch {epoch}"));
+        }
+    }
+
+    let capture = |opt: &Adam,
+                   sched: &ReduceLrOnPlateau,
+                   rng: &StdRng,
+                   body: &GraphBody,
+                   epoch: u64|
+     -> Checkpoint {
+        let mut ckpt = Checkpoint::capture(&params, &norms, opt, Some(sched), Some(rng), epoch);
+        ckpt.losses = body.losses.clone();
+        ckpt.total_time = accumulated(body.prior_time, &body.epoch_times);
+        gnn_device::with(|s| ckpt.clock = s.now());
+        ckpt
+    };
+    let mut rollback = (capture(&opt, &sched, &rng, &body, epoch), order.clone());
+    let mut last_rollback_epoch: Option<u64> = None;
+
+    let mut last_mark = 0.0f64;
+    gnn_device::with(|s| last_mark = s.now());
+    let mut tracker = EpochTracker::new(format!("graph/{}/bs{}", model.name(), cfg.batch_size));
+
+    'epochs: while epoch < cfg.max_epochs as u64 {
+        // A resumed fold whose checkpoint was taken at the lr floor must not
+        // train further (fresh runs always get their first epoch, matching
+        // the unsupervised loop's check-after-epoch semantics).
+        if epoch > 0 && sched.should_stop(opt.lr()) {
+            break;
+        }
+        gnn_faults::set_epoch(epoch);
+        if cfg.shuffle {
+            order.shuffle(&mut rng);
+        }
+
+        let mut pos = 0usize;
+        while pos < order.len() {
+            let end = (pos + eff_batch).min(order.len());
+            let chunk = &order[pos..end];
+            let step = supervised_step(
+                || {
+                    gnn_device::set_phase(Phase::DataLoad);
+                    let batch = loader.load(chunk);
+                    gnn_device::set_phase(Phase::Forward);
+                    let logits = model.forward(&batch, true);
+                    let loss = cross_entropy(&logits, batch.labels());
+                    gnn_device::set_phase(Phase::Backward);
+                    loss.backward();
+                    loss
+                },
+                &norms,
+                &mut opt,
+                sup,
+                &mut body.retries,
+                &mut body.notes,
+                epoch,
+            );
+            match step {
+                StepResult::Ok(_) => pos = end,
+                StepResult::OomPersistent { attempts } => {
+                    if eff_batch == 1 {
+                        return Err(TrainError::RetriesExhausted {
+                            attempts,
+                            cause: "device OOM persists even at batch size 1".into(),
+                        });
+                    }
+                    eff_batch = (eff_batch / 2).max(1);
+                    body.degraded = true;
+                    body.notes.push(format!(
+                        "epoch {epoch}: halving batch size to {eff_batch} after persistent OOM"
+                    ));
+                    // pos unchanged: replay the failed chunk at the smaller size.
+                }
+                StepResult::Poisoned => {
+                    if last_rollback_epoch == Some(epoch) {
+                        return Err(TrainError::NanLoss { epoch });
+                    }
+                    last_rollback_epoch = Some(epoch);
+                    let (ckpt, saved_order) = &rollback;
+                    body.notes.push(format!(
+                        "epoch {epoch}: NaN loss — rolled back to checkpoint at epoch {} and replaying",
+                        ckpt.epoch
+                    ));
+                    if let Some(restored) =
+                        ckpt.restore(&params, &norms, &mut opt, Some(&mut sched))
+                    {
+                        rng = restored;
+                    }
+                    body.losses = ckpt.losses.clone();
+                    order = saved_order.clone();
+                    epoch = ckpt.epoch;
+                    continue 'epochs;
+                }
+                StepResult::Fatal(e) => return Err(e),
+            }
+        }
+
+        let (val_loss, val_acc) = supervised_eval(
+            || evaluate(model, loader, &fold.val, eff_batch),
+            sup,
+            &mut body.retries,
+            &mut body.notes,
+            epoch,
+        )?;
+        let new_lr = sched.step(val_loss, opt.lr());
+        if new_lr != opt.lr() {
+            opt.set_lr(new_lr);
+        }
+
+        let mut now = 0.0;
+        gnn_device::with(|s| now = s.now());
+        body.epoch_times.push(now - last_mark);
+        last_mark = now;
+        tracker.emit(f64::from(val_loss), Some(val_acc), f64::from(opt.lr()));
+        body.losses.push(f64::from(val_loss));
+        epoch += 1;
+
+        rollback = (capture(&opt, &sched, &rng, &body, epoch), order.clone());
+        if let Some(path) = &sup.checkpoint_path {
+            if epoch.is_multiple_of(sup.checkpoint_every) {
+                rollback.0.save(path).map_err(TrainError::Checkpoint)?;
+            }
+        }
+
+        if sched.should_stop(opt.lr()) {
+            break;
+        }
+    }
+
+    let (_, test_acc) = supervised_eval(
+        || evaluate(model, loader, &fold.test, eff_batch),
+        sup,
+        &mut body.retries,
+        &mut body.notes,
+        epoch,
+    )?;
+    body.test_acc = test_acc;
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn_datasets::{stratified_kfold, CitationSpec, TudSpec};
+    use gnn_faults::{FaultKind, FaultPlan};
+    use gnn_models::adapt::RustygLoader;
+    use gnn_models::{build, ModelKind};
+
+    fn node_fixture() -> (
+        GnnStack<rustyg::Batch>,
+        rustyg::Batch,
+        gnn_datasets::NodeDataset,
+    ) {
+        let ds = CitationSpec::cora().scaled(0.08).generate(7);
+        let mut rng = StdRng::seed_from_u64(7);
+        let model = build::node_model_rustyg(ModelKind::Gcn, 1433, 7, &mut rng);
+        let batch = rustyg::loader::full_graph_batch(&ds);
+        (model, batch, ds)
+    }
+
+    fn node_cfg() -> NodeTaskConfig {
+        NodeTaskConfig {
+            max_epochs: 5,
+            lr: 0.01,
+        }
+    }
+
+    #[test]
+    fn supervised_node_matches_dimensions() {
+        let (model, batch, ds) = node_fixture();
+        let out =
+            run_node_task_supervised(&model, &batch, &ds, &node_cfg(), &Supervisor::default())
+                .unwrap();
+        assert_eq!(out.outcome.epochs, 5);
+        assert_eq!(out.losses.len(), 5);
+        assert_eq!(out.retries, 0);
+        assert!(!out.degraded);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_metrics_unchanged() {
+        let (model, batch, ds) = node_fixture();
+        let clean =
+            run_node_task_supervised(&model, &batch, &ds, &node_cfg(), &Supervisor::default())
+                .unwrap();
+
+        let (model, batch, ds) = node_fixture();
+        let plan = FaultPlan::empty()
+            .with(FaultKind::Oom { at: 30 })
+            .with(FaultKind::KernelFault { at: 100 });
+        let h = gnn_faults::install(plan);
+        let faulted =
+            run_node_task_supervised(&model, &batch, &ds, &node_cfg(), &Supervisor::default())
+                .unwrap();
+        let log = gnn_faults::finish(h);
+
+        assert_eq!(log.len(), 2, "both faults must fire: {:?}", log.events);
+        assert!(faulted.retries >= 2);
+        assert_eq!(
+            clean.losses, faulted.losses,
+            "retried run must be bit-identical"
+        );
+        assert_eq!(clean.outcome.test_acc, faulted.outcome.test_acc);
+        assert_eq!(clean.outcome.best_val_acc, faulted.outcome.best_val_acc);
+    }
+
+    #[test]
+    fn nan_poisoning_rolls_back_and_recovers() {
+        let (model, batch, ds) = node_fixture();
+        let clean =
+            run_node_task_supervised(&model, &batch, &ds, &node_cfg(), &Supervisor::default())
+                .unwrap();
+
+        let (model, batch, ds) = node_fixture();
+        let h = gnn_faults::install(FaultPlan::empty().with(FaultKind::NanLoss { epoch: 2 }));
+        let poisoned =
+            run_node_task_supervised(&model, &batch, &ds, &node_cfg(), &Supervisor::default())
+                .unwrap();
+        let log = gnn_faults::finish(h);
+
+        assert_eq!(log.len(), 1);
+        assert!(poisoned.notes.iter().any(|n| n.contains("rolled back")));
+        assert_eq!(clean.losses, poisoned.losses, "replay must be clean");
+    }
+
+    #[test]
+    fn kernel_fault_beyond_budget_is_typed_not_a_panic() {
+        let (model, batch, ds) = node_fixture();
+        // A kernel fault on every launch: retries cannot win.
+        let plan = (1..=2000u64).fold(FaultPlan::empty(), |p, i| {
+            p.with(FaultKind::KernelFault { at: i })
+        });
+        let h = gnn_faults::install(plan);
+        let err = run_node_task_supervised(
+            &model,
+            &batch,
+            &ds,
+            &NodeTaskConfig {
+                max_epochs: 200,
+                lr: 0.01,
+            },
+            &Supervisor {
+                max_retries: 1,
+                ..Supervisor::default()
+            },
+        )
+        .unwrap_err();
+        gnn_faults::finish(h);
+        assert!(matches!(err, TrainError::RetriesExhausted { .. }), "{err}");
+        assert!(err.to_string().contains("kernel fault"));
+    }
+
+    #[test]
+    fn graph_memlimit_halves_batch_and_continues() {
+        let ds = TudSpec::enzymes().scaled(0.2).generate(8);
+        let folds = stratified_kfold(&ds.labels(), 10, 8);
+        let mut rng = StdRng::seed_from_u64(8);
+        let model = build::graph_model_rustyg(ModelKind::Gcn, 18, 6, &mut rng);
+        let loader = RustygLoader::new(&ds);
+        let cfg = GraphTaskConfig {
+            batch_size: 32,
+            init_lr: 1e-3,
+            patience: 5,
+            decay_factor: 0.5,
+            min_lr: 1e-6,
+            max_epochs: 2,
+            seed: 8,
+            shuffle: true,
+        };
+        // A ceiling one byte under the fault-free peak: the peak-reaching
+        // allocation (a full-size training batch) must fail, while halved
+        // batches fit.
+        let probe =
+            run_graph_fold_supervised(&model, &loader, &folds[0], &cfg, &Supervisor::default())
+                .unwrap();
+        let limit = probe.outcome.report.peak_memory - 1;
+
+        let mut rng = StdRng::seed_from_u64(8);
+        let model = build::graph_model_rustyg(ModelKind::Gcn, 18, 6, &mut rng);
+        let h = gnn_faults::install(FaultPlan::empty().with(FaultKind::MemLimit { bytes: limit }));
+        let out =
+            run_graph_fold_supervised(&model, &loader, &folds[0], &cfg, &Supervisor::default())
+                .unwrap();
+        let log = gnn_faults::finish(h);
+
+        assert!(out.degraded, "memory ceiling must trigger degradation");
+        assert!(!log.is_empty());
+        assert!(
+            out.notes.iter().any(|n| n.contains("halving batch size")),
+            "{:?}",
+            out.notes
+        );
+        assert!(out.outcome.epochs > 0);
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_loss_curve() {
+        let dir = std::env::temp_dir().join("gnn-sup-resume-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("node.ckpt");
+        std::fs::remove_file(&path).ok();
+
+        let cfg = NodeTaskConfig {
+            max_epochs: 6,
+            lr: 0.01,
+        };
+        let (model, batch, ds) = node_fixture();
+        let full =
+            run_node_task_supervised(&model, &batch, &ds, &cfg, &Supervisor::default()).unwrap();
+
+        // "Kill" a checkpointing run at epoch 3...
+        let (model, batch, ds) = node_fixture();
+        let sup = Supervisor::default().with_checkpoint(&path);
+        run_node_task_supervised(
+            &model,
+            &batch,
+            &ds,
+            &NodeTaskConfig {
+                max_epochs: 3,
+                lr: 0.01,
+            },
+            &sup,
+        )
+        .unwrap();
+
+        // ...and resume it on a *fresh* model to the full horizon.
+        let (model, batch, ds) = node_fixture();
+        let resumed =
+            run_node_task_supervised(&model, &batch, &ds, &cfg, &sup.clone().with_resume(true))
+                .unwrap();
+
+        assert_eq!(
+            full.losses, resumed.losses,
+            "loss curve must be bit-identical"
+        );
+        assert_eq!(full.outcome.test_acc, resumed.outcome.test_acc);
+        assert_eq!(full.outcome.best_val_acc, resumed.outcome.best_val_acc);
+        std::fs::remove_file(&path).ok();
+    }
+}
