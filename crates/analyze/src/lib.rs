@@ -24,6 +24,11 @@
 //!   (zero triggers on 1-based counters, poisonings past the last epoch,
 //!   replica failures on GPUs no experiment creates) or can never be
 //!   survived (a memory limit of zero).
+//! - **Serve-config audit** ([`serve_check`]): inference-serving runs are
+//!   checked for batching policies that can never fire (zero delay with a
+//!   batch size above one, batch sizes beyond the dataset's admissible
+//!   targets, queues too small to fill a batch) and endpoints naming
+//!   unknown cells.
 //!
 //! Entry points: the `gnn-lint` binary, [`run::lint_run`] /
 //! [`run::lint_and_export`] (used by the bench binaries' `--lint` gate),
@@ -38,6 +43,7 @@ pub mod lower;
 pub mod report;
 pub mod run;
 pub mod schedule;
+pub mod serve_check;
 pub mod tape;
 
 pub use fault_plan::check_fault_plan;
@@ -46,4 +52,5 @@ pub use lower::{lower_stack, LayerPlan, StackPlan, Task};
 pub use report::{Finding, FindingKind, LintReport};
 pub use run::{lint_and_export, lint_run};
 pub use schedule::{data_parallel_schedule, Lane, Schedule, Slice};
+pub use serve_check::check_serve_config;
 pub use tape::audit_tape;

@@ -33,6 +33,9 @@ pub enum FindingKind {
     /// A fault-injection spec can never fire (or can never be survived)
     /// under the configured run.
     InvalidFaultPlan,
+    /// A serving configuration is degenerate: a batching policy that can
+    /// never fire, or endpoints naming unknown cells.
+    InvalidServeConfig,
 }
 
 impl FindingKind {
@@ -48,6 +51,7 @@ impl FindingKind {
             FindingKind::TransferOverlap => "transfer-overlap",
             FindingKind::InvalidConfig => "invalid-config",
             FindingKind::InvalidFaultPlan => "invalid-fault-plan",
+            FindingKind::InvalidServeConfig => "serve-config",
         }
     }
 }

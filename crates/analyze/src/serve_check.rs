@@ -1,0 +1,232 @@
+//! Serve-config auditing: proving an inference-serving run can actually
+//! fire its batches before any model is loaded.
+//!
+//! A [`gnn_serve::ServeConfig`] is plain data checked only when the engine
+//! runs, so a misconfigured serving sweep fails late or silently: an
+//! endpoint naming a cell the sweep never trains serves nothing, a
+//! `max_delay` of zero with `max_batch > 1` dispatches every request alone
+//! (the batcher exists but never batches), and a `max_batch` beyond the
+//! dataset's admissible targets can never fill. This pass flags every
+//! degenerate knob under [`FindingKind::InvalidServeConfig`] ahead of the
+//! run — the `gnn-bench serve` binary's `--lint` gate refuses to start on
+//! any finding.
+
+use gnn_serve::registry::target_count;
+use gnn_serve::{CellId, ServeConfig};
+
+use crate::report::{Finding, FindingKind};
+
+/// Audits a serving run before execution, appending one finding per
+/// degenerate knob. `endpoints` are the *raw* endpoint paths as given on
+/// the command line (pre-parse, so unknown cells are reportable);
+/// `cfg.endpoints` itself is not consulted. Paths are `serve/policy`,
+/// `serve/workload`, `serve/replicas`, or `serve/endpoints/<i>`.
+pub fn check_serve_config(endpoints: &[String], cfg: &ServeConfig, findings: &mut Vec<Finding>) {
+    if endpoints.is_empty() {
+        findings.push(Finding::new(
+            FindingKind::InvalidServeConfig,
+            "serve/endpoints",
+            "no endpoints configured: the registry would be empty",
+        ));
+    }
+    let mut cells = Vec::new();
+    for (i, raw) in endpoints.iter().enumerate() {
+        match CellId::parse(raw) {
+            Ok(cell) => cells.push(cell),
+            Err(e) => findings.push(Finding::new(
+                FindingKind::InvalidServeConfig,
+                format!("serve/endpoints/{i}"),
+                e,
+            )),
+        }
+    }
+
+    let policy = &cfg.policy;
+    let mut policy_flag = |message: String| {
+        findings.push(Finding::new(
+            FindingKind::InvalidServeConfig,
+            "serve/policy",
+            message,
+        ));
+    };
+    if policy.max_batch == 0 {
+        policy_flag("max_batch=0 can never dispatch a batch".into());
+    }
+    if !(policy.max_delay.is_finite() && policy.max_delay >= 0.0) {
+        policy_flag(format!(
+            "max_delay={} must be finite and non-negative",
+            policy.max_delay
+        ));
+    } else if policy.max_delay == 0.0 && policy.max_batch > 1 {
+        policy_flag(format!(
+            "max_delay=0 with max_batch={} can never batch: the head request \
+             dispatches immediately, so the batcher degenerates to batch size 1",
+            policy.max_batch
+        ));
+    }
+    if cfg.queue_cap < policy.max_batch {
+        policy_flag(format!(
+            "queue_cap={} below max_batch={}: a full batch can never accumulate",
+            cfg.queue_cap, policy.max_batch
+        ));
+    }
+    // The size-fill rule can also never fire when a named endpoint's
+    // dataset has fewer admissible targets than one batch holds.
+    for cell in &cells {
+        match target_count(cell, cfg.scale, cfg.seed) {
+            Ok(n) if (policy.max_batch as u64) > u64::from(n) => {
+                findings.push(Finding::new(
+                    FindingKind::InvalidServeConfig,
+                    format!("serve/{}", cell.path()),
+                    format!(
+                        "max_batch={} exceeds the dataset's {n} admissible target(s) \
+                         at scale {}: a full batch can never fill",
+                        policy.max_batch, cfg.scale
+                    ),
+                ));
+            }
+            Ok(_) => {}
+            Err(e) => findings.push(Finding::new(
+                FindingKind::InvalidServeConfig,
+                format!("serve/{}", cell.path()),
+                e,
+            )),
+        }
+    }
+
+    if cfg.requests == 0 {
+        findings.push(Finding::new(
+            FindingKind::InvalidServeConfig,
+            "serve/workload",
+            "requests=0: the workload generates nothing",
+        ));
+    }
+    if !(cfg.rate.is_finite() && cfg.rate > 0.0) {
+        findings.push(Finding::new(
+            FindingKind::InvalidServeConfig,
+            "serve/workload",
+            format!("rate={} must be positive and finite", cfg.rate),
+        ));
+    }
+    if cfg.replicas == 0 {
+        findings.push(Finding::new(
+            FindingKind::InvalidServeConfig,
+            "serve/replicas",
+            "replicas=0: no device session can execute batches",
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn_serve::BatchPolicy;
+
+    fn raw(paths: &[&str]) -> Vec<String> {
+        paths.iter().map(|p| (*p).to_string()).collect()
+    }
+
+    fn lint(endpoints: &[String], cfg: &ServeConfig) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        check_serve_config(endpoints, cfg, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn default_config_is_clean() {
+        let cfg = ServeConfig::default();
+        let endpoints: Vec<String> = cfg.endpoints.iter().map(|c| c.path()).collect();
+        let findings = lint(&endpoints, &cfg);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn unknown_cells_are_flagged_by_position() {
+        let cfg = ServeConfig::default();
+        let endpoints = raw(&[
+            "table4/Cora/GCN/PyG",
+            "table6/Cora/GCN/PyG",
+            "table4/Cora/VGG/PyG",
+        ]);
+        let findings = lint(&endpoints, &cfg);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings
+            .iter()
+            .all(|f| f.kind == FindingKind::InvalidServeConfig));
+        assert_eq!(findings[0].path, "serve/endpoints/1");
+        assert_eq!(findings[1].path, "serve/endpoints/2");
+        assert!(findings[1].message.contains("model"));
+    }
+
+    #[test]
+    fn never_firing_policies_are_flagged() {
+        let mut cfg = ServeConfig {
+            policy: BatchPolicy {
+                max_batch: 8,
+                max_delay: 0.0,
+            },
+            ..ServeConfig::default()
+        };
+        let endpoints = raw(&["table4/Cora/GCN/PyG"]);
+        let findings = lint(&endpoints, &cfg);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("can never batch"));
+
+        cfg.policy = BatchPolicy {
+            max_batch: 0,
+            max_delay: 0.001,
+        };
+        let findings = lint(&endpoints, &cfg);
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("can never dispatch")));
+
+        // max_batch == 1 with zero delay is a legitimate no-batching mode.
+        cfg.policy = BatchPolicy {
+            max_batch: 1,
+            max_delay: 0.0,
+        };
+        assert!(lint(&endpoints, &cfg).is_empty());
+    }
+
+    #[test]
+    fn oversized_batches_and_starved_queues_are_flagged() {
+        // ENZYMES at smoke scale has a few dozen graphs; 10_000 cannot fill.
+        let mut cfg = ServeConfig {
+            policy: BatchPolicy {
+                max_batch: 10_000,
+                max_delay: 0.001,
+            },
+            queue_cap: 20_000,
+            ..ServeConfig::default()
+        };
+        let endpoints = raw(&["table5/ENZYMES/GIN/DGL"]);
+        let findings = lint(&endpoints, &cfg);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].path.contains("ENZYMES"));
+        assert!(findings[0].message.contains("can never fill"));
+
+        cfg.policy = BatchPolicy {
+            max_batch: 8,
+            max_delay: 0.001,
+        };
+        cfg.queue_cap = 4;
+        let findings = lint(&endpoints, &cfg);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("never accumulate"));
+    }
+
+    #[test]
+    fn degenerate_workload_and_fleet_are_flagged() {
+        let cfg = ServeConfig {
+            requests: 0,
+            rate: 0.0,
+            replicas: 0,
+            ..ServeConfig::default()
+        };
+        let findings = lint(&raw(&["table4/Cora/GCN/PyG"]), &cfg);
+        assert_eq!(findings.len(), 3, "{findings:?}");
+        let findings = lint(&[], &cfg);
+        assert!(findings.iter().any(|f| f.path == "serve/endpoints"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Inference serving: sweeps batching policies over trained sweep cells
+//! under a seeded open-loop client workload.
+//!
+//! For each `--policies` entry the engine loads the configured endpoints
+//! (restoring `gnn-ckpt v1` weights from `--ckpt <dir>` when present),
+//! replays the same seeded request stream through the dynamic batcher onto
+//! the device replicas, and prints latency percentiles, throughput, batch
+//! occupancy, and queue depths. With `--trace <dir>` the per-request spans
+//! land on the `serve` obs track and `<dir>/serve_metrics.csv` gets one
+//! aggregate + one per-endpoint row per policy. `--faults <plan>` arms a
+//! fault plan around the whole run: the engine answers every request
+//! anyway (OOM split-and-retry, kernel retries, replica shedding).
+//!
+//! Exits nonzero if any request went unanswered (dropped — must never
+//! happen) or the `--lint` gate found a degenerate config.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match gnn_bench::parse_serve_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: serve [--endpoints cell,cell,...] [--all-endpoints] \
+                 [--policies b@us,b@us,...] [--requests n] [--rate req/s] [--seed n] \
+                 [--scale f] [--queue-cap n] [--replicas n] [--ckpt dir] [--trace dir] \
+                 [--lint] [--faults canonical|seeded:n|path]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    if opts.lint {
+        let mut findings = Vec::new();
+        gnn_lint::check_serve_config(&opts.endpoints_raw, &opts.serve, &mut findings);
+        let report = gnn_lint::LintReport {
+            findings,
+            ..Default::default()
+        };
+        print!("{report}");
+        if let Some(dir) = &opts.trace {
+            if let Err(e) = report.save(dir) {
+                eprintln!("error: writing lint.json to {}: {e}", dir.display());
+            }
+        }
+        if !report.is_clean() {
+            eprintln!("error: gnn-lint found serve-config problems; refusing to serve");
+            std::process::exit(1);
+        }
+    }
+
+    println!(
+        "Inference serving: {} endpoint(s), {} request(s) at {} req/s, seed {}, \
+         {} replica(s), faults {}\n",
+        opts.serve.endpoints.len(),
+        opts.serve.requests,
+        opts.serve.rate,
+        opts.serve.seed,
+        opts.serve.replicas,
+        if opts.faults.is_some() {
+            "armed"
+        } else {
+            "off"
+        },
+    );
+
+    let fault_handle = match &opts.faults {
+        Some(plan) if !gnn_faults::is_active() => Some(gnn_faults::install(plan.clone())),
+        _ => None,
+    };
+    let obs_handle = opts
+        .trace
+        .as_ref()
+        .map(|_| gnn_obs::install(gnn_obs::Collector::new()));
+
+    let mut reports = Vec::with_capacity(opts.policies.len());
+    let mut failed = false;
+    for policy in &opts.policies {
+        let mut cfg = opts.serve.clone();
+        cfg.policy = *policy;
+        match gnn_serve::serve(&cfg) {
+            Ok(report) => {
+                print!("{}", report.summary());
+                if report.answered() + report.rejected() != cfg.requests {
+                    eprintln!(
+                        "error: policy {} dropped {} request(s)",
+                        policy.label(),
+                        cfg.requests - report.answered() - report.rejected()
+                    );
+                    failed = true;
+                }
+                reports.push(report);
+            }
+            Err(e) => {
+                eprintln!("error: policy {}: {e}", policy.label());
+                failed = true;
+            }
+        }
+        println!();
+    }
+
+    if let Some(report) = reports.first() {
+        if report.restored_endpoints < opts.serve.endpoints.len() {
+            println!(
+                "note: {}/{} endpoint(s) restored from checkpoints; the rest serve \
+                 their deterministic initialization weights",
+                report.restored_endpoints,
+                opts.serve.endpoints.len()
+            );
+        }
+    }
+
+    if let Some(h) = fault_handle {
+        let log = gnn_faults::finish(h);
+        if !log.is_empty() {
+            println!("faults fired ({}):", log.len());
+            for line in log.summary().lines() {
+                println!("  {line}");
+            }
+        }
+    }
+
+    if let Some(dir) = &opts.trace {
+        match gnn_serve::write_serve_metrics(dir, &reports) {
+            Ok(path) => println!("serve:   {}", path.display()),
+            Err(e) => {
+                eprintln!("error: writing serve_metrics.csv to {}: {e}", dir.display());
+                failed = true;
+            }
+        }
+        if let Some(h) = obs_handle {
+            let trace = gnn_obs::finish(h);
+            match trace.save(dir) {
+                Ok((trace_path, metrics_path)) => {
+                    println!("trace:   {}", trace_path.display());
+                    println!("metrics: {}", metrics_path.display());
+                }
+                Err(e) => {
+                    eprintln!("error: writing trace artifacts to {}: {e}", dir.display());
+                    failed = true;
+                }
+            }
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -13,6 +13,8 @@
 //! | `fig3`    | Fig. 3 — layer-wise execution time on ENZYMES |
 //! | `fig4_5`  | Figs. 4–5 — peak memory + GPU utilization |
 //! | `fig6`    | Fig. 6 — multi-GPU scaling of GCN/GAT on MNIST |
+//! | `sweep`   | Fault-isolated sweep over all 60 cells |
+//! | `serve`   | Inference serving: batching-policy sweep over trained cells |
 //!
 //! Common flags: `--quick` (default), `--full` (paper scale), `--smoke`,
 //! `--scale <f>`, `--seed <n>`, `--epochs <n>`, `--folds <n>`,
@@ -147,6 +149,156 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         config,
         dataset,
         metric,
+    })
+}
+
+/// Parsed command-line options of the `serve` binary.
+#[derive(Debug, Clone)]
+pub struct ServeCliOptions {
+    /// Base serving config; `policy` holds the first entry of `policies`.
+    pub serve: gnn_serve::ServeConfig,
+    /// Batching policies to sweep, in declaration order.
+    pub policies: Vec<gnn_serve::BatchPolicy>,
+    /// Raw endpoint paths as given (pre-parse, for the serve-config lint).
+    pub endpoints_raw: Vec<String>,
+    /// Run the `serve-config` lint first and refuse to serve on findings.
+    pub lint: bool,
+    /// Fault plan to arm around the run.
+    pub faults: Option<FaultPlan>,
+    /// Directory for trace artifacts and `serve_metrics.csv`.
+    pub trace: Option<std::path::PathBuf>,
+}
+
+/// Parses a `--policies` entry: `<max_batch>@<delay_us>`, e.g. `8@2000`.
+fn parse_policy(spec: &str) -> Result<gnn_serve::BatchPolicy, String> {
+    let (batch, delay) = spec
+        .split_once('@')
+        .ok_or_else(|| format!("policy `{spec}` must be <max_batch>@<delay_us>"))?;
+    let max_batch: usize = batch
+        .parse()
+        .map_err(|e| format!("policy `{spec}` max_batch: {e}"))?;
+    let delay_us: f64 = delay
+        .parse()
+        .map_err(|e| format!("policy `{spec}` delay_us: {e}"))?;
+    Ok(gnn_serve::BatchPolicy {
+        max_batch,
+        max_delay: delay_us * 1e-6,
+    })
+}
+
+/// Parses the `serve` binary's arguments (without the program name).
+///
+/// Flags: `--endpoints <cell,cell,...>` (default: the representative
+/// six-cell set), `--all-endpoints` (all 60 sweep cells),
+/// `--policies <b@us,b@us,...>` (default `1@0,4@1000,8@2000`),
+/// `--requests <n>`, `--rate <req/s>`, `--seed <n>`, `--scale <f>`,
+/// `--queue-cap <n>`, `--replicas <n>`, `--ckpt <dir>`, `--trace <dir>`,
+/// `--lint`, `--faults canonical|seeded:<n>|<path>`.
+///
+/// # Errors
+///
+/// Returns a human-readable message on unknown flags or unparsable values.
+pub fn parse_serve_args(args: &[String]) -> Result<ServeCliOptions, String> {
+    let mut serve = gnn_serve::ServeConfig::default();
+    let mut policies = vec![
+        gnn_serve::BatchPolicy {
+            max_batch: 1,
+            max_delay: 0.0,
+        },
+        gnn_serve::BatchPolicy {
+            max_batch: 4,
+            max_delay: 0.001,
+        },
+        gnn_serve::BatchPolicy {
+            max_batch: 8,
+            max_delay: 0.002,
+        },
+    ];
+    let mut endpoints_raw: Vec<String> = serve.endpoints.iter().map(|c| c.path()).collect();
+    let mut lint = false;
+    let mut faults = None;
+    let mut trace = None;
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let mut value_of = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--endpoints" => {
+                endpoints_raw = value_of("--endpoints")?
+                    .split(',')
+                    .map(str::to_owned)
+                    .collect();
+            }
+            "--all-endpoints" => {
+                endpoints_raw = gnn_serve::CellId::all().iter().map(|c| c.path()).collect();
+            }
+            "--policies" => {
+                policies = value_of("--policies")?
+                    .split(',')
+                    .map(parse_policy)
+                    .collect::<Result<_, _>>()?;
+                if policies.is_empty() {
+                    return Err("--policies needs at least one policy".into());
+                }
+            }
+            "--requests" => {
+                serve.requests = value_of("--requests")?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?;
+            }
+            "--rate" => {
+                serve.rate = value_of("--rate")?
+                    .parse()
+                    .map_err(|e| format!("--rate: {e}"))?;
+            }
+            "--seed" => {
+                serve.seed = value_of("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--scale" => {
+                let v: f64 = value_of("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?;
+                if !(v > 0.0 && v <= 1.0) {
+                    return Err(format!("--scale {v} out of (0, 1]"));
+                }
+                serve.scale = v;
+            }
+            "--queue-cap" => {
+                serve.queue_cap = value_of("--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("--queue-cap: {e}"))?;
+            }
+            "--replicas" => {
+                serve.replicas = value_of("--replicas")?
+                    .parse()
+                    .map_err(|e| format!("--replicas: {e}"))?;
+            }
+            "--ckpt" => serve.ckpt_dir = Some(value_of("--ckpt")?.into()),
+            "--trace" => trace = Some(value_of("--trace")?.into()),
+            "--lint" => lint = true,
+            "--faults" => faults = Some(parse_fault_plan(&value_of("--faults")?)?),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    // Endpoint parse errors surface through the lint (when enabled) or the
+    // registry build; keep whatever parses so `serve` holds a usable config.
+    serve.endpoints = endpoints_raw
+        .iter()
+        .filter_map(|p| gnn_serve::CellId::parse(p).ok())
+        .collect();
+    serve.policy = policies[0];
+    Ok(ServeCliOptions {
+        serve,
+        policies,
+        endpoints_raw,
+        lint,
+        faults,
+        trace,
     })
 }
 
@@ -326,6 +478,72 @@ mod tests {
         );
         let o = parse_args(&s(&["--ckpt", "my/ckpts"])).unwrap();
         assert!(!o.config.resume, "--ckpt alone must not imply --resume");
+    }
+
+    #[test]
+    fn serve_args_defaults_and_overrides() {
+        let o = parse_serve_args(&[]).unwrap();
+        assert_eq!(o.serve.endpoints.len(), 6);
+        assert_eq!(o.policies.len(), 3);
+        assert_eq!(o.serve.policy, o.policies[0]);
+        assert!(!o.lint);
+        assert!(o.faults.is_none());
+
+        let o = parse_serve_args(&s(&[
+            "--endpoints",
+            "table4/Cora/GCN/PyG,table5/DD/MoNet/DGL",
+            "--policies",
+            "16@4000",
+            "--requests",
+            "250",
+            "--rate",
+            "1500",
+            "--seed",
+            "9",
+            "--replicas",
+            "3",
+            "--queue-cap",
+            "64",
+            "--lint",
+            "--faults",
+            "canonical",
+            "--trace",
+            "out/serve",
+        ]))
+        .unwrap();
+        assert_eq!(o.serve.endpoints.len(), 2);
+        assert_eq!(o.endpoints_raw.len(), 2);
+        assert_eq!(o.policies.len(), 1);
+        assert_eq!(o.serve.policy.max_batch, 16);
+        assert!((o.serve.policy.max_delay - 0.004).abs() < 1e-12);
+        assert_eq!(o.serve.requests, 250);
+        assert_eq!(o.serve.rate, 1500.0);
+        assert_eq!(o.serve.seed, 9);
+        assert_eq!(o.serve.replicas, 3);
+        assert_eq!(o.serve.queue_cap, 64);
+        assert!(o.lint);
+        assert_eq!(o.faults, Some(FaultPlan::canonical()));
+        assert_eq!(o.trace.as_deref(), Some(std::path::Path::new("out/serve")));
+
+        let o = parse_serve_args(&s(&["--all-endpoints"])).unwrap();
+        assert_eq!(o.serve.endpoints.len(), 60);
+    }
+
+    #[test]
+    fn serve_args_keep_raw_unknown_endpoints_for_lint() {
+        let o = parse_serve_args(&s(&["--endpoints", "table4/Cora/GCN/PyG,bogus/cell"])).unwrap();
+        assert_eq!(o.endpoints_raw.len(), 2, "raw list keeps the bad entry");
+        assert_eq!(o.serve.endpoints.len(), 1, "config keeps what parses");
+    }
+
+    #[test]
+    fn serve_args_reject_malformed_values() {
+        assert!(parse_serve_args(&s(&["--policies", "8"])).is_err());
+        assert!(parse_serve_args(&s(&["--policies", "x@10"])).is_err());
+        assert!(parse_serve_args(&s(&["--policies", ""])).is_err());
+        assert!(parse_serve_args(&s(&["--rate"])).is_err());
+        assert!(parse_serve_args(&s(&["--scale", "2.0"])).is_err());
+        assert!(parse_serve_args(&s(&["--bogus"])).is_err());
     }
 
     #[test]

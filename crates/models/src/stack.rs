@@ -235,6 +235,32 @@ mod tests {
     }
 
     #[test]
+    fn eval_stack_forward_is_bit_identical_under_inference_mode() {
+        // Whole-stack version of the inference-mode contract: an eval
+        // forward (training = false) through conv + BN + readout layers is
+        // bit-identical whether or not the autograd tape records it, for
+        // both frameworks. gnn-serve answers requests under
+        // `gnn_tensor::inference`, so this equality is what makes served
+        // logits match a training-loop evaluation exactly.
+        let ds = TudSpec::enzymes().scaled(0.05).generate(3);
+        let loader_a = crate::adapt::RustygLoader::new(&ds);
+        let loader_b = crate::adapt::RglLoader::new(&ds);
+        let mut rng = StdRng::seed_from_u64(5);
+        let pyg = build::graph_model_rustyg(ModelKind::Gin, 18, 6, &mut rng);
+        let dgl = build::graph_model_rgl(ModelKind::Gat, 18, 6, &mut rng);
+
+        let taped = pyg.forward(&loader_a.load(&[0, 1, 4]), false);
+        let untaped = gnn_tensor::inference(|| pyg.forward(&loader_a.load(&[0, 1, 4]), false));
+        assert_eq!(taped.data().data(), untaped.data().data());
+        assert!(!untaped.needs_grad(), "inference mode must keep no tape");
+
+        let taped = dgl.forward(&loader_b.load(&[2, 3]), false);
+        let untaped = gnn_tensor::inference(|| dgl.forward(&loader_b.load(&[2, 3]), false));
+        assert_eq!(taped.data().data(), untaped.data().data());
+        assert!(!untaped.needs_grad(), "inference mode must keep no tape");
+    }
+
+    #[test]
     fn params_nonempty_and_param_bytes_positive() {
         let mut rng = StdRng::seed_from_u64(2);
         let model = build::graph_model_rgl(ModelKind::GatedGcn, 18, 6, &mut rng);

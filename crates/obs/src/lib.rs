@@ -95,4 +95,7 @@ pub mod tracks {
     pub const RUNNER: &str = "runner";
     /// Injected-fault markers (`gnn-faults` fire events).
     pub const FAULTS: &str = "faults";
+    /// Inference-serving spans and counters (`gnn-serve`: per-request
+    /// enqueue→reply spans, per-batch forward slices, queue-depth counters).
+    pub const SERVE: &str = "serve";
 }

@@ -1,0 +1,232 @@
+//! The dynamic batcher: max-batch-size + max-queue-delay dispatch policy
+//! over bounded per-endpoint queues.
+//!
+//! A batch dispatches as soon as either condition holds: the queue reaches
+//! `max_batch` requests, or the oldest queued request has waited
+//! `max_delay` simulated seconds. Queues are bounded; an arrival that finds
+//! its endpoint queue full is answered immediately with
+//! [`ServeError::Overloaded`] instead of growing the queue without limit —
+//! open-loop arrivals never stop coming, so backpressure must be explicit.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::workload::Request;
+
+/// Dispatch policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchPolicy {
+    /// Dispatch when this many requests are queued (also the batch size
+    /// cap). Must be ≥ 1.
+    pub max_batch: usize,
+    /// Dispatch when the oldest queued request has waited this many
+    /// simulated seconds, even if the batch is not full. `0` disables
+    /// waiting entirely (every request dispatches alone — only sensible
+    /// with `max_batch == 1`).
+    pub max_delay: f64,
+}
+
+impl BatchPolicy {
+    /// Stable label used in reports and `serve_metrics.csv`, e.g.
+    /// `b8/d2ms`.
+    pub fn label(&self) -> String {
+        format!("b{}/d{:.0}us", self.max_batch, self.max_delay * 1e6)
+    }
+}
+
+impl fmt::Display for BatchPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Typed serving errors a request can be answered with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The endpoint's queue was full on arrival; the request was refused
+    /// (answered immediately) rather than queued without bound.
+    Overloaded {
+        /// Queue depth observed at rejection time.
+        queue_depth: usize,
+    },
+    /// The request named a cell the registry does not hold.
+    UnknownEndpoint(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { queue_depth } => {
+                write!(f, "overloaded: queue full at depth {queue_depth}")
+            }
+            ServeError::UnknownEndpoint(cell) => write!(f, "unknown endpoint `{cell}`"),
+        }
+    }
+}
+
+/// A queued request with its admission timestamp.
+#[derive(Debug, Clone)]
+pub struct Pending {
+    /// The request.
+    pub req: Request,
+    /// Simulated time the request entered the queue (its arrival — the
+    /// span every latency figure is measured from).
+    pub enqueue: f64,
+}
+
+/// One endpoint's bounded FIFO queue, with depth statistics.
+#[derive(Debug)]
+pub struct EndpointQueue {
+    cap: usize,
+    items: VecDeque<Pending>,
+    /// Largest depth ever observed (after admission).
+    pub max_depth: usize,
+    /// Sum of depths sampled at each admission (mean-depth numerator).
+    pub depth_sum: f64,
+    /// Admissions sampled (mean-depth denominator).
+    pub admitted: u64,
+}
+
+impl EndpointQueue {
+    /// Creates a queue bounded at `cap` requests.
+    pub fn new(cap: usize) -> Self {
+        EndpointQueue {
+            cap,
+            items: VecDeque::new(),
+            max_depth: 0,
+            depth_sum: 0.0,
+            admitted: 0,
+        }
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Admits a request, or refuses it with [`ServeError::Overloaded`]
+    /// when the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed backpressure error; the caller answers the
+    /// request with it immediately.
+    pub fn admit(&mut self, req: Request, now: f64) -> Result<(), ServeError> {
+        if self.items.len() >= self.cap {
+            return Err(ServeError::Overloaded {
+                queue_depth: self.items.len(),
+            });
+        }
+        self.items.push_back(Pending { req, enqueue: now });
+        self.max_depth = self.max_depth.max(self.items.len());
+        self.depth_sum += self.items.len() as f64;
+        self.admitted += 1;
+        Ok(())
+    }
+
+    /// When this queue's next batch becomes dispatchable under `policy`:
+    /// `now` if the batch is already full, the head's deadline otherwise,
+    /// `None` if the queue is empty. The caller still waits for a free
+    /// replica.
+    pub fn ready_at(&self, policy: &BatchPolicy, now: f64) -> Option<f64> {
+        let head = self.items.front()?;
+        if self.items.len() >= policy.max_batch {
+            Some(now)
+        } else {
+            Some(head.enqueue + policy.max_delay)
+        }
+    }
+
+    /// Removes and returns the next batch (up to `policy.max_batch`
+    /// requests, FIFO).
+    pub fn take_batch(&mut self, policy: &BatchPolicy) -> Vec<Pending> {
+        let n = self.items.len().min(policy.max_batch);
+        self.items.drain(..n).collect()
+    }
+
+    /// Mean depth observed at admission times.
+    pub fn mean_depth(&self) -> f64 {
+        if self.admitted == 0 {
+            0.0
+        } else {
+            self.depth_sum / self.admitted as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, arrival: f64) -> Request {
+        Request {
+            id,
+            endpoint: 0,
+            target: 0,
+            arrival,
+        }
+    }
+
+    #[test]
+    fn full_batch_is_ready_immediately() {
+        let policy = BatchPolicy {
+            max_batch: 2,
+            max_delay: 1.0,
+        };
+        let mut q = EndpointQueue::new(16);
+        q.admit(req(0, 0.0), 0.0).unwrap();
+        assert_eq!(q.ready_at(&policy, 0.0), Some(1.0), "head deadline");
+        q.admit(req(1, 0.1), 0.1).unwrap();
+        assert_eq!(q.ready_at(&policy, 0.1), Some(0.1), "full batch: now");
+        let batch = q.take_batch(&policy);
+        assert_eq!(batch.len(), 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn partial_batch_waits_for_head_deadline() {
+        let policy = BatchPolicy {
+            max_batch: 8,
+            max_delay: 0.5,
+        };
+        let mut q = EndpointQueue::new(16);
+        q.admit(req(0, 2.0), 2.0).unwrap();
+        q.admit(req(1, 2.1), 2.1).unwrap();
+        // The *oldest* request's wait bounds the delay.
+        assert_eq!(q.ready_at(&policy, 2.1), Some(2.5));
+    }
+
+    #[test]
+    fn bounded_queue_refuses_with_overloaded() {
+        let mut q = EndpointQueue::new(2);
+        q.admit(req(0, 0.0), 0.0).unwrap();
+        q.admit(req(1, 0.0), 0.0).unwrap();
+        let err = q.admit(req(2, 0.0), 0.0).unwrap_err();
+        assert_eq!(err, ServeError::Overloaded { queue_depth: 2 });
+        assert_eq!(q.len(), 2, "rejected request must not enter the queue");
+    }
+
+    #[test]
+    fn depth_stats_track_admissions() {
+        let mut q = EndpointQueue::new(8);
+        q.admit(req(0, 0.0), 0.0).unwrap();
+        q.admit(req(1, 0.0), 0.0).unwrap();
+        q.admit(req(2, 0.0), 0.0).unwrap();
+        assert_eq!(q.max_depth, 3);
+        assert!((q.mean_depth() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn policy_label_is_stable() {
+        let p = BatchPolicy {
+            max_batch: 8,
+            max_delay: 0.002,
+        };
+        assert_eq!(p.label(), "b8/d2000us");
+    }
+}

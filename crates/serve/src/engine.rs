@@ -1,0 +1,564 @@
+//! The serving engine: a deterministic discrete-event loop that admits the
+//! workload, batches per endpoint, and executes batches on simulated
+//! device replicas — surviving injected faults.
+//!
+//! Time is a single simulated serve clock. Replicas are virtual device
+//! slots: each holds only a `free_at` timestamp and an `alive` flag; a
+//! dispatched batch installs a fresh `gnn-device` session, runs the
+//! endpoint's forward in inference mode, and the session report's
+//! `total_time` is the batch's service time. Because every source of time
+//! (arrivals, cost model, fault plan) is seeded or analytic, a rerun with
+//! the same [`ServeConfig`] reproduces every reply bit-identically — the
+//! property the batcher tests and CI assert.
+//!
+//! Fault tolerance (hooks fire only when a `gnn-faults` plan is armed):
+//!
+//! - **OOM on a batch** → split-and-retry: the batch is halved and each
+//!   half re-executed in its own session, recursively down to single
+//!   requests. Eval-mode outputs are independent of batch composition, so
+//!   the replies stay bit-identical to an unfaulted run; only timing and
+//!   the split counters change.
+//! - **Kernel fault** → the attempt is retried in place up to
+//!   [`MAX_KERNEL_RETRIES`] times, then accepted with a note (the
+//!   simulated forward completes; the note mirrors the training
+//!   supervisor's bookkeeping).
+//! - **Replica failure** (`on_dp_step`) → the replica is marked dead and
+//!   all subsequent batches shed to the survivors. The last replica
+//!   refuses to die — a serving fleet of one keeps answering.
+
+use std::path::PathBuf;
+
+use gnn_device::{CostModel, Session};
+use gnn_faults::Fault;
+use gnn_obs::{self as obs, tracks, Value};
+
+use crate::batcher::{BatchPolicy, EndpointQueue, Pending};
+use crate::cell::{default_endpoints, CellId};
+use crate::metrics::{BatchRecord, Outcome, QueueStats, RequestRecord, ServeReport};
+use crate::registry::{argmax, Endpoint, ModelRegistry};
+use crate::workload::{self, WorkloadSpec};
+
+/// Whole-batch retries after a kernel fault before accepting with a note.
+pub const MAX_KERNEL_RETRIES: usize = 3;
+
+/// Everything one serving run needs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Cells to load and serve.
+    pub endpoints: Vec<CellId>,
+    /// Total requests in the synthetic workload.
+    pub requests: usize,
+    /// Mean arrival rate, requests per simulated second.
+    pub rate: f64,
+    /// Seed for workload generation (and dataset/architecture generation,
+    /// shared with the sweep convention).
+    pub seed: u64,
+    /// Batching policy.
+    pub policy: BatchPolicy,
+    /// Per-endpoint queue bound; arrivals beyond it are refused with
+    /// [`ServeError::Overloaded`].
+    pub queue_cap: usize,
+    /// Device replicas executing batches.
+    pub replicas: usize,
+    /// Dataset scale factor (sweep convention).
+    pub scale: f64,
+    /// Directory of `gnn-ckpt v1` checkpoints to restore weights from.
+    pub ckpt_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            endpoints: default_endpoints(),
+            requests: 400,
+            rate: 2000.0,
+            seed: 0,
+            policy: BatchPolicy {
+                max_batch: 8,
+                max_delay: 0.002,
+            },
+            queue_cap: 32,
+            replicas: 2,
+            scale: 0.05,
+            ckpt_dir: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the config, mirroring the `serve-config` lint's hard
+    /// rules (the lint additionally warns about never-firing policies).
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic for an impossible configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.endpoints.is_empty() {
+            return Err("serve config has no endpoints".into());
+        }
+        if self.requests == 0 {
+            return Err("serve config generates no requests".into());
+        }
+        if !(self.rate.is_finite() && self.rate > 0.0) {
+            return Err(format!("arrival rate {} must be positive", self.rate));
+        }
+        if self.policy.max_batch == 0 {
+            return Err("max_batch must be at least 1".into());
+        }
+        if !(self.policy.max_delay.is_finite() && self.policy.max_delay >= 0.0) {
+            return Err(format!(
+                "max_delay {} must be finite and non-negative",
+                self.policy.max_delay
+            ));
+        }
+        if self.queue_cap < self.policy.max_batch {
+            return Err(format!(
+                "queue_cap {} below max_batch {}: a full batch could never accumulate",
+                self.queue_cap, self.policy.max_batch
+            ));
+        }
+        if self.replicas == 0 {
+            return Err("need at least one replica".into());
+        }
+        Ok(())
+    }
+}
+
+/// One virtual device slot.
+struct Replica {
+    free_at: f64,
+    alive: bool,
+}
+
+/// Runs one complete serving session: builds the registry, generates the
+/// seeded workload, and plays it through the batcher onto the replicas.
+/// Returns a report answering *every* submitted request (served or
+/// rejected — never dropped).
+///
+/// Fault hooks are called unconditionally; they are no-ops unless the
+/// caller armed a `gnn-faults` plan (the `gnn-bench serve` binary does
+/// this for `--faults` runs).
+///
+/// # Errors
+///
+/// Returns a diagnostic for an invalid config or a registry that fails to
+/// build (unknown cell, unreadable checkpoint).
+pub fn serve(cfg: &ServeConfig) -> Result<ServeReport, String> {
+    cfg.validate()?;
+    let registry =
+        ModelRegistry::build(&cfg.endpoints, cfg.scale, cfg.seed, cfg.ckpt_dir.as_deref())?;
+    let spec = WorkloadSpec {
+        seed: cfg.seed,
+        requests: cfg.requests,
+        rate: cfg.rate,
+    };
+    let requests = workload::generate(&spec, &registry.target_space());
+    Ok(run(cfg, &registry, requests))
+}
+
+/// Plays an explicit request stream against an already-built registry.
+/// Exposed separately so property tests can drive arbitrary arrival
+/// patterns through the real engine.
+pub fn run(
+    cfg: &ServeConfig,
+    registry: &ModelRegistry,
+    requests: Vec<crate::Request>,
+) -> ServeReport {
+    let mut queues: Vec<EndpointQueue> = (0..registry.len())
+        .map(|_| EndpointQueue::new(cfg.queue_cap))
+        .collect();
+    let mut replicas: Vec<Replica> = (0..cfg.replicas)
+        .map(|_| Replica {
+            free_at: 0.0,
+            alive: true,
+        })
+        .collect();
+    let mut records: Vec<RequestRecord> = Vec::with_capacity(requests.len());
+    let mut batches: Vec<BatchRecord> = Vec::new();
+    let mut notes: Vec<String> = Vec::new();
+    let mut now = 0.0f64;
+    let mut next = 0usize; // next arrival index
+    let mut replicas_lost = 0usize;
+
+    loop {
+        let t_arr = requests
+            .get(next)
+            .map(|r| r.arrival)
+            .unwrap_or(f64::INFINITY);
+        // Earliest dispatch opportunity across endpoints: the batch must be
+        // ready (full, or head past its delay deadline) AND an alive
+        // replica must be free. Ties break on the lowest endpoint index —
+        // fully deterministic.
+        let free_at = replicas
+            .iter()
+            .filter(|r| r.alive)
+            .map(|r| r.free_at.max(now))
+            .fold(f64::INFINITY, f64::min);
+        let mut t_disp = f64::INFINITY;
+        let mut disp_ep = usize::MAX;
+        for (e, q) in queues.iter().enumerate() {
+            if let Some(ready) = q.ready_at(&cfg.policy, now) {
+                let t = ready.max(free_at);
+                if t < t_disp {
+                    t_disp = t;
+                    disp_ep = e;
+                }
+            }
+        }
+        if t_arr <= t_disp {
+            if next >= requests.len() {
+                break; // no arrivals left, nothing dispatchable
+            }
+            // Admission: an arrival at exactly a dispatch deadline joins
+            // the queue first and may ride the dispatching batch.
+            let req = requests[next].clone();
+            next += 1;
+            now = now.max(req.arrival);
+            let q = &mut queues[req.endpoint];
+            let endpoint = registry.get(req.endpoint);
+            match q.admit(req.clone(), now) {
+                Ok(()) => {
+                    obs::counter(tracks::SERVE, "queue_depth", q.len() as f64, now);
+                }
+                Err(err) => {
+                    obs::instant(
+                        tracks::SERVE,
+                        "rejected",
+                        now,
+                        vec![
+                            (
+                                "endpoint".to_owned(),
+                                Value::from(endpoint.cell.path().as_str()),
+                            ),
+                            ("request".to_owned(), Value::from(req.id as f64)),
+                            ("error".to_owned(), Value::from(err.to_string().as_str())),
+                        ],
+                    );
+                    records.push(RequestRecord {
+                        id: req.id,
+                        endpoint: endpoint.cell.path(),
+                        target: req.target,
+                        enqueue: now,
+                        dispatch: now,
+                        reply: now,
+                        batch: None,
+                        batch_size: 0,
+                        output: Vec::new(),
+                        class: 0,
+                        outcome: Outcome::Rejected(err),
+                    });
+                }
+            }
+        } else {
+            now = t_disp;
+            // Replica-failure hook fires once per dispatch (the serving
+            // analogue of a data-parallel step). The last survivor refuses
+            // to die: a fleet of one keeps answering.
+            let alive: Vec<usize> = replicas
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.alive)
+                .map(|(i, _)| i)
+                .collect();
+            if let Some(g) = gnn_faults::on_dp_step(alive.len(), now) {
+                if alive.len() > 1 {
+                    let victim = alive[g];
+                    replicas[victim].alive = false;
+                    replicas_lost += 1;
+                    notes.push(format!(
+                        "replica {victim} failed at {now:.4}s: shedding to {} survivor(s)",
+                        alive.len() - 1
+                    ));
+                } else {
+                    notes.push(format!(
+                        "replica failure injected at {now:.4}s ignored: last replica keeps serving"
+                    ));
+                }
+            }
+            // Pick the earliest-free alive replica (recomputed after any
+            // failure; lowest index breaks ties).
+            let replica = replicas
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.alive)
+                .min_by(|(_, a), (_, b)| a.free_at.partial_cmp(&b.free_at).expect("finite free_at"))
+                .map(|(i, _)| i)
+                .expect("at least one replica stays alive");
+            let start = now.max(replicas[replica].free_at);
+            let endpoint = registry.get(disp_ep);
+            let batch = queues[disp_ep].take_batch(&cfg.policy);
+            let bid = batches.len() as u64;
+            gnn_faults::set_cell(&endpoint.cell.path());
+            let exec = execute(endpoint, &batch, &mut notes);
+            let reply = start + exec.duration;
+            replicas[replica].free_at = reply;
+            obs::complete(
+                tracks::SERVE,
+                "batch",
+                start,
+                exec.duration,
+                vec![
+                    (
+                        "endpoint".to_owned(),
+                        Value::from(endpoint.cell.path().as_str()),
+                    ),
+                    ("size".to_owned(), Value::from(batch.len() as f64)),
+                    ("replica".to_owned(), Value::from(replica as f64)),
+                    ("oom_splits".to_owned(), Value::from(exec.oom_splits as f64)),
+                    (
+                        "kernel_retries".to_owned(),
+                        Value::from(exec.kernel_retries as f64),
+                    ),
+                ],
+            );
+            for (pending, output) in batch.iter().zip(exec.outputs) {
+                obs::complete(
+                    tracks::SERVE,
+                    "request",
+                    pending.enqueue,
+                    reply - pending.enqueue,
+                    vec![
+                        (
+                            "endpoint".to_owned(),
+                            Value::from(endpoint.cell.path().as_str()),
+                        ),
+                        ("target".to_owned(), Value::from(pending.req.target as f64)),
+                        ("batch".to_owned(), Value::from(bid as f64)),
+                        ("queued".to_owned(), Value::from(start - pending.enqueue)),
+                        ("service".to_owned(), Value::from(exec.duration)),
+                    ],
+                );
+                records.push(RequestRecord {
+                    id: pending.req.id,
+                    endpoint: endpoint.cell.path(),
+                    target: pending.req.target,
+                    enqueue: pending.enqueue,
+                    dispatch: start,
+                    reply,
+                    batch: Some(bid),
+                    batch_size: batch.len(),
+                    class: argmax(&output),
+                    output,
+                    outcome: Outcome::Ok,
+                });
+            }
+            batches.push(BatchRecord {
+                id: bid,
+                endpoint: endpoint.cell.path(),
+                replica,
+                start,
+                duration: exec.duration,
+                size: batch.len(),
+                oom_splits: exec.oom_splits,
+                kernel_retries: exec.kernel_retries,
+            });
+        }
+    }
+
+    records.sort_by_key(|r| r.id);
+    let makespan = records.iter().map(|r| r.reply).fold(0.0, f64::max);
+    let queues_stats = queues
+        .iter()
+        .enumerate()
+        .map(|(e, q)| QueueStats {
+            endpoint: registry.get(e).cell.path(),
+            max_depth: q.max_depth,
+            mean_depth: q.mean_depth(),
+        })
+        .collect();
+    ServeReport {
+        policy: cfg.policy,
+        requests: records,
+        batches,
+        queues: queues_stats,
+        makespan,
+        replicas: cfg.replicas,
+        replicas_lost,
+        restored_endpoints: registry.iter().filter(|e| e.restored).count(),
+        notes,
+    }
+}
+
+/// Result of executing one dispatched batch, including every retry.
+struct Execution {
+    outputs: Vec<Vec<f32>>,
+    duration: f64,
+    oom_splits: usize,
+    kernel_retries: usize,
+}
+
+/// Executes `batch` on the endpoint, surviving injected faults:
+/// OOM → split-and-retry halves (recursively, down to single requests),
+/// kernel fault → in-place retry with a cap. Each attempt runs in its own
+/// device session; the batch's service time is the sum over all attempts.
+fn execute(endpoint: &Endpoint, batch: &[Pending], notes: &mut Vec<String>) -> Execution {
+    let targets: Vec<u32> = batch.iter().map(|p| p.req.target).collect();
+    exec_targets(endpoint, &targets, notes)
+}
+
+fn exec_targets(endpoint: &Endpoint, targets: &[u32], notes: &mut Vec<String>) -> Execution {
+    let mut duration = 0.0f64;
+    let mut kernel_retries = 0usize;
+    loop {
+        let handle = gnn_device::session::install(Session::new(CostModel::rtx2080ti()));
+        let outputs = endpoint.serve_batch(targets);
+        let report = gnn_device::session::finish(handle);
+        duration += report.total_time;
+        match gnn_faults::take_pending() {
+            None => {
+                return Execution {
+                    outputs,
+                    duration,
+                    oom_splits: 0,
+                    kernel_retries,
+                }
+            }
+            Some(Fault::Oom { bytes }) => {
+                if targets.len() > 1 {
+                    // Split-and-retry: halve the batch and re-execute each
+                    // half. Outputs are batch-composition independent in
+                    // eval mode, so replies stay bit-identical.
+                    let mid = targets.len() / 2;
+                    let left = exec_targets(endpoint, &targets[..mid], notes);
+                    let right = exec_targets(endpoint, &targets[mid..], notes);
+                    let mut outputs = left.outputs;
+                    outputs.extend(right.outputs);
+                    return Execution {
+                        outputs,
+                        duration: duration + left.duration + right.duration,
+                        oom_splits: 1 + left.oom_splits + right.oom_splits,
+                        kernel_retries: kernel_retries + left.kernel_retries + right.kernel_retries,
+                    };
+                }
+                // Already a single request: the simulated forward still
+                // completed, so answer it and note the persistent OOM.
+                notes.push(format!(
+                    "{}: persistent OOM ({bytes} B) at batch size 1; answered anyway",
+                    endpoint.cell.path()
+                ));
+                return Execution {
+                    outputs,
+                    duration,
+                    oom_splits: 0,
+                    kernel_retries,
+                };
+            }
+            Some(Fault::Kernel { name }) => {
+                if kernel_retries >= MAX_KERNEL_RETRIES {
+                    notes.push(format!(
+                        "{}: kernel `{name}` still faulting after {MAX_KERNEL_RETRIES} retries; \
+                         accepting result",
+                        endpoint.cell.path()
+                    ));
+                    return Execution {
+                        outputs,
+                        duration,
+                        oom_splits: 0,
+                        kernel_retries,
+                    };
+                }
+                kernel_retries += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> ServeConfig {
+        ServeConfig {
+            endpoints: vec![
+                CellId::parse("table4/Cora/GCN/PyG").unwrap(),
+                CellId::parse("table5/ENZYMES/GIN/DGL").unwrap(),
+            ],
+            requests: 60,
+            rate: 500.0,
+            seed: 7,
+            policy: BatchPolicy {
+                max_batch: 4,
+                max_delay: 0.004,
+            },
+            queue_cap: 16,
+            replicas: 2,
+            scale: 0.05,
+            ckpt_dir: None,
+        }
+    }
+
+    #[test]
+    fn config_validation_rejects_impossible_setups() {
+        let mut cfg = small_cfg();
+        cfg.replicas = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = small_cfg();
+        cfg.queue_cap = 2; // below max_batch 4
+        assert!(cfg.validate().is_err());
+        let mut cfg = small_cfg();
+        cfg.rate = 0.0;
+        assert!(cfg.validate().is_err());
+        assert!(small_cfg().validate().is_ok());
+    }
+
+    #[test]
+    fn every_request_is_answered_exactly_once() {
+        let cfg = small_cfg();
+        let report = serve(&cfg).unwrap();
+        assert_eq!(report.requests.len(), cfg.requests, "nothing dropped");
+        for (i, r) in report.requests.iter().enumerate() {
+            assert_eq!(r.id, i as u64, "records sorted and dense by id");
+            assert!(r.reply >= r.enqueue);
+            if r.served() {
+                assert!(!r.output.is_empty());
+                assert!(r.latency() > 0.0);
+            }
+        }
+        assert!(report.answered() > 0);
+        assert!(report.makespan > 0.0);
+        assert!(!report.batches.is_empty());
+        for b in &report.batches {
+            assert!(b.size >= 1 && b.size <= cfg.policy.max_batch);
+        }
+    }
+
+    #[test]
+    fn same_seed_reruns_are_bit_identical() {
+        let cfg = small_cfg();
+        let a = serve(&cfg).unwrap();
+        let b = serve(&cfg).unwrap();
+        assert_eq!(a.requests.len(), b.requests.len());
+        for (x, y) in a.requests.iter().zip(&b.requests) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.output, y.output, "request {} outputs differ", x.id);
+            assert_eq!(x.enqueue.to_bits(), y.enqueue.to_bits());
+            assert_eq!(x.reply.to_bits(), y.reply.to_bits());
+        }
+        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+    }
+
+    #[test]
+    fn overload_rejects_instead_of_growing_queues() {
+        let mut cfg = small_cfg();
+        // One slow endpoint, tiny queue, arrivals far faster than service.
+        cfg.endpoints = vec![CellId::parse("table5/DD/MoNet/DGL").unwrap()];
+        cfg.requests = 120;
+        cfg.rate = 100_000.0;
+        cfg.queue_cap = 4;
+        cfg.policy = BatchPolicy {
+            max_batch: 4,
+            max_delay: 0.001,
+        };
+        cfg.replicas = 1;
+        let report = serve(&cfg).unwrap();
+        assert!(report.rejected() > 0, "overload must trigger backpressure");
+        assert_eq!(
+            report.answered() + report.rejected(),
+            cfg.requests,
+            "rejected requests are answered, not dropped"
+        );
+        for q in &report.queues {
+            assert!(q.max_depth <= cfg.queue_cap);
+        }
+    }
+}

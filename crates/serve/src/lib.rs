@@ -1,0 +1,41 @@
+//! `gnn-serve`: batched, fault-tolerant inference serving for the GNN
+//! framework study.
+//!
+//! The training side of this repository reproduces the paper's sweep; this
+//! crate closes the loop by *serving* those models. Every one of the 60
+//! sweep cells is an addressable endpoint ([`CellId`]); an immutable
+//! [`ModelRegistry`] rebuilds each cell's dataset and architecture exactly
+//! as the sweep did and pours `gnn-ckpt v1` checkpoint weights back in via
+//! [`gnn_train::Checkpoint::load_params`]. A seeded open-loop client
+//! workload ([`workload::generate`]) flows through a dynamic batcher
+//! ([`BatchPolicy`]: max-batch-size + max-queue-delay over bounded queues
+//! with typed [`ServeError::Overloaded`] backpressure) onto simulated
+//! device replicas; forwards run in [`gnn_tensor::inference`] mode through
+//! the frameworks' real batch-collation paths.
+//!
+//! Everything is deterministic: same config + same seed → bit-identical
+//! replies, latencies, and `serve_metrics.csv` — including under armed
+//! `gnn-faults` plans, because the engine's fault tolerance (OOM
+//! split-and-retry, kernel retry, replica shedding) preserves outputs and
+//! answers every request. See [`engine::serve`] for the entry point and
+//! [`ServeReport`] for what a run yields; the `gnn-bench serve` binary
+//! sweeps batching policies across endpoints from the command line.
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod cell;
+pub mod engine;
+pub mod metrics;
+pub mod registry;
+pub mod workload;
+
+pub use batcher::{BatchPolicy, EndpointQueue, Pending, ServeError};
+pub use cell::{default_endpoints, CellId, TaskKind, GRAPH_DATASETS, NODE_DATASETS};
+pub use engine::{serve, ServeConfig, MAX_KERNEL_RETRIES};
+pub use metrics::{
+    percentile, write_serve_metrics, BatchRecord, Outcome, QueueStats, RequestRecord, ServeReport,
+    CSV_HEADER,
+};
+pub use registry::{argmax, Endpoint, ModelRegistry};
+pub use workload::{Request, WorkloadSpec};

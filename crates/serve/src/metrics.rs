@@ -1,0 +1,432 @@
+//! Per-request accounting, latency percentiles, and `serve_metrics.csv`.
+//!
+//! Every timestamp is simulated seconds on the serve clock (the same clock
+//! batches execute on), so latency is exactly `reply - enqueue` with no
+//! wall-time jitter — reruns with the same seed reproduce every figure in
+//! this module bit-identically. Floats are written with Rust's shortest
+//! round-trip formatting, so the CSV itself is byte-stable across reruns.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::batcher::{BatchPolicy, ServeError};
+
+/// How one request was answered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Served: the output row is the model's logits for the target.
+    Ok,
+    /// Refused with a typed error (counted separately, never dropped).
+    Rejected(ServeError),
+}
+
+/// The full service record of one request.
+#[derive(Debug, Clone)]
+pub struct RequestRecord {
+    /// Request id (submission order).
+    pub id: u64,
+    /// Cell path of the endpoint.
+    pub endpoint: String,
+    /// Requested target (node or graph index).
+    pub target: u32,
+    /// Simulated admission time (= arrival).
+    pub enqueue: f64,
+    /// Simulated time the request's batch started executing (rejections:
+    /// equal to `enqueue`).
+    pub dispatch: f64,
+    /// Simulated time the reply left the server.
+    pub reply: f64,
+    /// Id of the batch that served it (rejections: `None`).
+    pub batch: Option<u64>,
+    /// Size of that batch.
+    pub batch_size: usize,
+    /// Served logits row (empty for rejections).
+    pub output: Vec<f32>,
+    /// Predicted class (rejections: 0, unused).
+    pub class: u32,
+    /// How the request ended.
+    pub outcome: Outcome,
+}
+
+impl RequestRecord {
+    /// Enqueue-to-reply latency on the serve clock.
+    pub fn latency(&self) -> f64 {
+        self.reply - self.enqueue
+    }
+
+    /// Whether the request was served (not rejected).
+    pub fn served(&self) -> bool {
+        matches!(self.outcome, Outcome::Ok)
+    }
+}
+
+/// The execution record of one dispatched batch.
+#[derive(Debug, Clone)]
+pub struct BatchRecord {
+    /// Dense batch id, in dispatch order.
+    pub id: u64,
+    /// Cell path of the endpoint.
+    pub endpoint: String,
+    /// Replica that executed it.
+    pub replica: usize,
+    /// Simulated dispatch time.
+    pub start: f64,
+    /// Total service duration, including faulted attempts and retries.
+    pub duration: f64,
+    /// Requests in the batch.
+    pub size: usize,
+    /// OOM split-and-retry halvings performed.
+    pub oom_splits: usize,
+    /// Whole-batch retries after kernel faults.
+    pub kernel_retries: usize,
+}
+
+/// Per-endpoint queue statistics.
+#[derive(Debug, Clone)]
+pub struct QueueStats {
+    /// Cell path.
+    pub endpoint: String,
+    /// Largest observed depth.
+    pub max_depth: usize,
+    /// Mean depth at admission times.
+    pub mean_depth: f64,
+}
+
+/// Everything one serving run produced.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// The batching policy that ran.
+    pub policy: BatchPolicy,
+    /// One record per submitted request, in id order. Nothing is ever
+    /// dropped: every submitted request has exactly one record.
+    pub requests: Vec<RequestRecord>,
+    /// One record per dispatched batch, in dispatch order.
+    pub batches: Vec<BatchRecord>,
+    /// Per-endpoint queue statistics.
+    pub queues: Vec<QueueStats>,
+    /// Simulated time of the last reply.
+    pub makespan: f64,
+    /// Replicas configured at start.
+    pub replicas: usize,
+    /// Replicas lost to injected failures during the run.
+    pub replicas_lost: usize,
+    /// Endpoints whose weights came from checkpoints.
+    pub restored_endpoints: usize,
+    /// Supervisor-style notes (persistent OOM at batch size 1, exhausted
+    /// kernel retries, refused replica shutdowns).
+    pub notes: Vec<String>,
+}
+
+impl ServeReport {
+    /// Requests served with logits.
+    pub fn answered(&self) -> usize {
+        self.requests.iter().filter(|r| r.served()).count()
+    }
+
+    /// Requests refused with [`ServeError::Overloaded`].
+    pub fn rejected(&self) -> usize {
+        self.requests.len() - self.answered()
+    }
+
+    /// Requests that vanished without any reply — always 0 by
+    /// construction; exposed so CI can assert it.
+    pub fn dropped(&self, submitted: usize) -> usize {
+        submitted - self.requests.len()
+    }
+
+    /// `(p50, p95, p99)` enqueue-to-reply latency over served requests.
+    pub fn latency_percentiles(&self) -> (f64, f64, f64) {
+        let mut lats: Vec<f64> = self
+            .requests
+            .iter()
+            .filter(|r| r.served())
+            .map(RequestRecord::latency)
+            .collect();
+        lats.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        (
+            percentile(&lats, 50.0),
+            percentile(&lats, 95.0),
+            percentile(&lats, 99.0),
+        )
+    }
+
+    /// Served requests per simulated second.
+    pub fn throughput(&self) -> f64 {
+        if self.makespan > 0.0 {
+            self.answered() as f64 / self.makespan
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean requests per dispatched batch.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches.is_empty() {
+            return 0.0;
+        }
+        self.batches.iter().map(|b| b.size as f64).sum::<f64>() / self.batches.len() as f64
+    }
+
+    /// Mean batch fill fraction relative to the policy's `max_batch`.
+    pub fn occupancy(&self) -> f64 {
+        self.mean_batch_size() / self.policy.max_batch as f64
+    }
+
+    /// Total OOM splits across batches.
+    pub fn oom_splits(&self) -> usize {
+        self.batches.iter().map(|b| b.oom_splits).sum()
+    }
+
+    /// Total kernel-fault retries across batches.
+    pub fn kernel_retries(&self) -> usize {
+        self.batches.iter().map(|b| b.kernel_retries).sum()
+    }
+
+    /// Human-readable run summary (the block the serve binary prints).
+    pub fn summary(&self) -> String {
+        let (p50, p95, p99) = self.latency_percentiles();
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "policy {}: {} served, {} rejected, 0 dropped over {:.4}s",
+            self.policy.label(),
+            self.answered(),
+            self.rejected(),
+            self.makespan
+        );
+        let _ = writeln!(
+            s,
+            "  latency p50 {:.3}ms  p95 {:.3}ms  p99 {:.3}ms",
+            p50 * 1e3,
+            p95 * 1e3,
+            p99 * 1e3
+        );
+        let _ = writeln!(
+            s,
+            "  throughput {:.1} req/s  batches {}  occupancy {:.2}  replicas {}-{}",
+            self.throughput(),
+            self.batches.len(),
+            self.occupancy(),
+            self.replicas,
+            self.replicas_lost
+        );
+        if self.oom_splits() + self.kernel_retries() > 0 {
+            let _ = writeln!(
+                s,
+                "  faults survived: {} OOM split(s), {} kernel retry(ies)",
+                self.oom_splits(),
+                self.kernel_retries()
+            );
+        }
+        for note in &self.notes {
+            let _ = writeln!(s, "  note: {note}");
+        }
+        s
+    }
+
+    /// Per-endpoint CSV rows (see [`write_serve_metrics`] for the header).
+    fn csv_rows(&self) -> String {
+        let mut out = String::new();
+        let mut endpoints: Vec<&str> = self.queues.iter().map(|q| q.endpoint.as_str()).collect();
+        endpoints.sort_unstable();
+        // One aggregate row, then one row per endpoint.
+        self.csv_row(&mut out, "all", |_| true);
+        for ep in endpoints {
+            self.csv_row(&mut out, ep, |r| r.endpoint == ep);
+        }
+        out
+    }
+
+    fn csv_row(&self, out: &mut String, scope: &str, keep: impl Fn(&RequestRecord) -> bool) {
+        let reqs: Vec<&RequestRecord> = self.requests.iter().filter(|r| keep(r)).collect();
+        let served: Vec<&&RequestRecord> = reqs.iter().filter(|r| r.served()).collect();
+        let mut lats: Vec<f64> = served.iter().map(|r| r.latency()).collect();
+        lats.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let batches: Vec<&BatchRecord> = self
+            .batches
+            .iter()
+            .filter(|b| scope == "all" || b.endpoint == scope)
+            .collect();
+        let mean_batch = if batches.is_empty() {
+            0.0
+        } else {
+            batches.iter().map(|b| b.size as f64).sum::<f64>() / batches.len() as f64
+        };
+        let (max_q, mean_q) = if scope == "all" {
+            (
+                self.queues.iter().map(|q| q.max_depth).max().unwrap_or(0),
+                mean(self.queues.iter().map(|q| q.mean_depth)),
+            )
+        } else {
+            self.queues
+                .iter()
+                .find(|q| q.endpoint == scope)
+                .map(|q| (q.max_depth, q.mean_depth))
+                .unwrap_or((0, 0.0))
+        };
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.policy.label(),
+            self.policy.max_batch,
+            self.policy.max_delay,
+            scope,
+            reqs.len(),
+            served.len(),
+            reqs.len() - served.len(),
+            0, // dropped: structurally impossible, asserted in CI
+            percentile(&lats, 50.0),
+            percentile(&lats, 95.0),
+            percentile(&lats, 99.0),
+            self.throughput(),
+            mean_batch,
+            mean_batch / self.policy.max_batch as f64,
+            max_q,
+            mean_q,
+        );
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0u64);
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (`0` for empty
+/// input). Deterministic: no interpolation, so the result is always an
+/// exact element of the input.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Header line of `serve_metrics.csv`.
+pub const CSV_HEADER: &str = "policy,max_batch,max_delay_s,endpoint,requests,answered,rejected,\
+dropped,p50_s,p95_s,p99_s,throughput_rps,mean_batch,occupancy,max_queue_depth,mean_queue_depth";
+
+/// Writes `serve_metrics.csv` into `dir` (created if missing): one
+/// aggregate row plus one per-endpoint row for every policy's report.
+///
+/// # Errors
+///
+/// Returns the underlying IO error.
+pub fn write_serve_metrics(dir: &Path, reports: &[ServeReport]) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let mut csv = String::from(CSV_HEADER);
+    csv.push('\n');
+    for report in reports {
+        csv.push_str(&report.csv_rows());
+    }
+    let path = dir.join("serve_metrics.csv");
+    std::fs::write(&path, csv)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 95.0), 95.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    fn sample_report() -> ServeReport {
+        let policy = BatchPolicy {
+            max_batch: 4,
+            max_delay: 0.001,
+        };
+        let mk = |id: u64, enq: f64, reply: f64, served: bool| RequestRecord {
+            id,
+            endpoint: "table4/Cora/GCN/PyG".into(),
+            target: id as u32,
+            enqueue: enq,
+            dispatch: enq,
+            reply,
+            batch: served.then_some(0),
+            batch_size: 2,
+            output: if served { vec![0.0; 7] } else { vec![] },
+            class: 0,
+            outcome: if served {
+                Outcome::Ok
+            } else {
+                Outcome::Rejected(ServeError::Overloaded { queue_depth: 4 })
+            },
+        };
+        ServeReport {
+            policy,
+            requests: vec![
+                mk(0, 0.0, 0.010, true),
+                mk(1, 0.001, 0.010, true),
+                mk(2, 0.002, 0.002, false),
+            ],
+            batches: vec![BatchRecord {
+                id: 0,
+                endpoint: "table4/Cora/GCN/PyG".into(),
+                replica: 0,
+                start: 0.002,
+                duration: 0.008,
+                size: 2,
+                oom_splits: 0,
+                kernel_retries: 0,
+            }],
+            queues: vec![QueueStats {
+                endpoint: "table4/Cora/GCN/PyG".into(),
+                max_depth: 2,
+                mean_depth: 1.5,
+            }],
+            makespan: 0.010,
+            replicas: 2,
+            replicas_lost: 0,
+            restored_endpoints: 0,
+            notes: vec![],
+        }
+    }
+
+    #[test]
+    fn report_counts_and_csv_shape() {
+        let r = sample_report();
+        assert_eq!(r.answered(), 2);
+        assert_eq!(r.rejected(), 1);
+        assert_eq!(r.dropped(3), 0);
+        assert!((r.mean_batch_size() - 2.0).abs() < 1e-12);
+        assert!((r.occupancy() - 0.5).abs() < 1e-12);
+        let dir = std::env::temp_dir().join("gnn-serve-metrics-test");
+        let path = write_serve_metrics(&dir, &[r]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], CSV_HEADER);
+        assert_eq!(lines.len(), 3, "header + all + one endpoint");
+        assert!(lines[1].starts_with("b4/d1000us,4,0.001,all,3,2,1,0,"));
+        assert!(lines[2].contains("table4/Cora/GCN/PyG"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn summary_mentions_percentiles_and_throughput() {
+        let s = sample_report().summary();
+        assert!(s.contains("p50"));
+        assert!(s.contains("p95"));
+        assert!(s.contains("p99"));
+        assert!(s.contains("throughput"));
+        assert!(s.contains("0 dropped"));
+    }
+}

@@ -1,0 +1,364 @@
+//! The immutable model registry: every endpoint's dataset + model, with
+//! weights restored from `gnn-ckpt v1` training checkpoints when available.
+//!
+//! Registry construction mirrors the training sweep exactly — same dataset
+//! generators at the same scale/seed, same architecture builders with the
+//! same per-cell RNG seeds — so a checkpoint written by
+//! `gnn_core::sweep` pours back into an identical architecture via
+//! [`gnn_train::Checkpoint::load_params`]. Endpoints without a checkpoint
+//! serve their (deterministic) initialization weights; [`Endpoint::restored`]
+//! records which happened, and the serving report surfaces it.
+
+use std::path::Path;
+
+use gnn_datasets::{CitationSpec, GraphDataset, NodeDataset, SuperpixelSpec, TudSpec};
+use gnn_models::adapt::{Loader, RglLoader, RustygLoader};
+use gnn_models::{build, FrameworkKind, GnnStack};
+use gnn_tensor::Tensor;
+use gnn_train::Checkpoint;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::cell::{CellId, TaskKind};
+
+/// The model of one endpoint, typed by framework batch.
+enum EndpointModel {
+    Rustyg(GnnStack<rustyg::Batch>),
+    Rgl(GnnStack<rgl::HeteroBatch>),
+}
+
+/// The dataset behind one endpoint.
+enum EndpointData {
+    Node(NodeDataset),
+    Graph(GraphDataset),
+}
+
+/// One loaded, servable endpoint: an immutable (dataset, model) pair.
+pub struct Endpoint {
+    /// The cell this endpoint serves.
+    pub cell: CellId,
+    /// Whether weights came from a checkpoint (`true`) or are the
+    /// deterministic initialization (`false`).
+    pub restored: bool,
+    data: EndpointData,
+    model: EndpointModel,
+}
+
+impl Endpoint {
+    /// How many distinct targets a request can name: nodes for node
+    /// endpoints, graphs for graph endpoints.
+    pub fn num_targets(&self) -> u32 {
+        match &self.data {
+            EndpointData::Node(ds) => ds.graph.num_nodes() as u32,
+            EndpointData::Graph(ds) => ds.samples.len() as u32,
+        }
+    }
+
+    /// Answers a batch of requests: one logits row per target, in request
+    /// order. Runs in inference mode (no tape) with `training = false`
+    /// (dropout identity, batch norm on running stats), through the
+    /// framework's batch path — full-graph forward for node endpoints,
+    /// concat/hetero collation for graph endpoints. Device kernels land on
+    /// whatever `gnn-device` session is installed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a target is out of range (the workload generator and the
+    /// serve-config lint both keep targets in range).
+    pub fn serve_batch(&self, targets: &[u32]) -> Vec<Vec<f32>> {
+        gnn_tensor::inference(|| match (&self.model, &self.data) {
+            (EndpointModel::Rustyg(stack), EndpointData::Node(ds)) => {
+                let batch = rustyg::loader::full_graph_batch(ds);
+                rows_at(&stack.forward(&batch, false), targets)
+            }
+            (EndpointModel::Rgl(stack), EndpointData::Node(ds)) => {
+                let batch = rgl::loader::full_graph_batch(ds);
+                rows_at(&stack.forward(&batch, false), targets)
+            }
+            (EndpointModel::Rustyg(stack), EndpointData::Graph(ds)) => {
+                let batch = RustygLoader::new(ds).load(targets);
+                all_rows(&stack.forward(&batch, false))
+            }
+            (EndpointModel::Rgl(stack), EndpointData::Graph(ds)) => {
+                let batch = RglLoader::new(ds).load(targets);
+                all_rows(&stack.forward(&batch, false))
+            }
+        })
+    }
+
+    /// Ground-truth labels for `targets` (accuracy bookkeeping).
+    pub fn labels(&self, targets: &[u32]) -> Vec<u32> {
+        match &self.data {
+            EndpointData::Node(ds) => targets.iter().map(|&t| ds.labels[t as usize]).collect(),
+            EndpointData::Graph(ds) => targets
+                .iter()
+                .map(|&t| ds.samples[t as usize].label)
+                .collect(),
+        }
+    }
+
+    /// Top-1 accuracy (percent) of served predictions over `targets`,
+    /// answered in chunks of `batch_size`. Used by the train→serve
+    /// round-trip test: a checkpoint-restored endpoint must reproduce the
+    /// training loop's eval accuracy exactly.
+    pub fn eval_accuracy(&self, targets: &[u32], batch_size: usize) -> f64 {
+        assert!(batch_size > 0, "batch_size must be positive");
+        if targets.is_empty() {
+            return 0.0;
+        }
+        let labels = self.labels(targets);
+        let mut correct = 0usize;
+        let mut seen = 0usize;
+        for chunk in targets.chunks(batch_size) {
+            for (row, &label) in self.serve_batch(chunk).iter().zip(&labels[seen..]) {
+                if argmax(row) == label {
+                    correct += 1;
+                }
+            }
+            seen += chunk.len();
+        }
+        100.0 * correct as f64 / targets.len() as f64
+    }
+
+    /// The node indices of the dataset's test split (node endpoints only).
+    pub fn test_targets(&self) -> Vec<u32> {
+        match &self.data {
+            EndpointData::Node(ds) => ds.test_idx.clone(),
+            EndpointData::Graph(ds) => (0..ds.samples.len() as u32).collect(),
+        }
+    }
+}
+
+/// Index of the largest value in a logits row.
+pub fn argmax(row: &[f32]) -> u32 {
+    let mut best = 0usize;
+    for (i, &v) in row.iter().enumerate() {
+        if v > row[best] {
+            best = i;
+        }
+    }
+    best as u32
+}
+
+fn rows_at(logits: &Tensor, targets: &[u32]) -> Vec<Vec<f32>> {
+    let data = logits.data();
+    let (_, cols) = data.shape();
+    targets
+        .iter()
+        .map(|&t| {
+            let start = t as usize * cols;
+            data.data()[start..start + cols].to_vec()
+        })
+        .collect()
+}
+
+fn all_rows(logits: &Tensor) -> Vec<Vec<f32>> {
+    let data = logits.data();
+    let (rows, cols) = data.shape();
+    (0..rows)
+        .map(|r| data.data()[r * cols..(r + 1) * cols].to_vec())
+        .collect()
+}
+
+/// The immutable registry of loaded endpoints a serving run answers from.
+pub struct ModelRegistry {
+    endpoints: Vec<Endpoint>,
+}
+
+impl ModelRegistry {
+    /// Builds the registry for `cells`: generates each cell's dataset
+    /// (same generators/scale/seed as the sweep), builds its architecture
+    /// (same per-cell RNG seeding as the sweep's run 0), and restores
+    /// weights from `<ckpt_dir>/<cell>_0.ckpt` when the directory is given
+    /// and the file exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic for an unknown cell path or an unreadable /
+    /// mismatched checkpoint. A *missing* checkpoint file is not an error —
+    /// the endpoint serves its initialization weights (`restored = false`).
+    pub fn build(
+        cells: &[CellId],
+        scale: f64,
+        seed: u64,
+        ckpt_dir: Option<&Path>,
+    ) -> Result<ModelRegistry, String> {
+        let mut endpoints = Vec::with_capacity(cells.len());
+        for cell in cells {
+            let data = generate_data(cell, scale, seed)?;
+            // Architecture seeding matches `gnn_core::sweep` run 0: node
+            // cells draw from seed + 1 (+ seed index), graph cells from
+            // seed + 10 (+ fold index). A checkpoint from that run restores
+            // into a bit-identical architecture.
+            let arch_seed = match cell.task {
+                TaskKind::Node => seed + 1,
+                TaskKind::Graph => seed + 10,
+            };
+            let mut rng = StdRng::seed_from_u64(arch_seed);
+            let (feat, classes) = match &data {
+                EndpointData::Node(ds) => (ds.features.cols(), ds.num_classes),
+                EndpointData::Graph(ds) => (ds.feature_dim, ds.num_classes),
+            };
+            let model = match (cell.framework, cell.task) {
+                (FrameworkKind::RustyG, TaskKind::Node) => EndpointModel::Rustyg(
+                    build::node_model_rustyg(cell.model, feat, classes, &mut rng),
+                ),
+                (FrameworkKind::RustyG, TaskKind::Graph) => EndpointModel::Rustyg(
+                    build::graph_model_rustyg(cell.model, feat, classes, &mut rng),
+                ),
+                (FrameworkKind::Rgl, TaskKind::Node) => {
+                    EndpointModel::Rgl(build::node_model_rgl(cell.model, feat, classes, &mut rng))
+                }
+                (FrameworkKind::Rgl, TaskKind::Graph) => {
+                    EndpointModel::Rgl(build::graph_model_rgl(cell.model, feat, classes, &mut rng))
+                }
+            };
+            let mut endpoint = Endpoint {
+                cell: cell.clone(),
+                restored: false,
+                data,
+                model,
+            };
+            if let Some(dir) = ckpt_dir {
+                let path = dir.join(cell.ckpt_file(0));
+                if path.exists() {
+                    let ckpt =
+                        Checkpoint::load(&path).map_err(|e| format!("endpoint {cell}: {e}"))?;
+                    let (params, norms) = match &endpoint.model {
+                        EndpointModel::Rustyg(s) => (s.params(), s.norm_layers()),
+                        EndpointModel::Rgl(s) => (s.params(), s.norm_layers()),
+                    };
+                    ckpt.load_params(&params, &norms);
+                    endpoint.restored = true;
+                }
+            }
+            endpoints.push(endpoint);
+        }
+        Ok(ModelRegistry { endpoints })
+    }
+
+    /// Number of endpoints.
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+
+    /// The endpoint at registry index `idx`.
+    pub fn get(&self, idx: usize) -> &Endpoint {
+        &self.endpoints[idx]
+    }
+
+    /// All endpoints, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Endpoint> {
+        self.endpoints.iter()
+    }
+
+    /// `(cell path, target count)` pairs, the shape the workload generator
+    /// consumes.
+    pub fn target_space(&self) -> Vec<(String, u32)> {
+        self.endpoints
+            .iter()
+            .map(|e| (e.cell.path(), e.num_targets()))
+            .collect()
+    }
+}
+
+/// Target count (nodes or graphs) of `cell`'s dataset at `scale`/`seed`,
+/// without building the model — the cheap path the `serve-config` lint
+/// uses to bound admissible batch sizes before anything executes.
+///
+/// # Errors
+///
+/// Returns a diagnostic for an unknown dataset name.
+pub fn target_count(cell: &CellId, scale: f64, seed: u64) -> Result<u32, String> {
+    Ok(match generate_data(cell, scale, seed)? {
+        EndpointData::Node(ds) => ds.graph.num_nodes() as u32,
+        EndpointData::Graph(ds) => ds.samples.len() as u32,
+    })
+}
+
+fn generate_data(cell: &CellId, scale: f64, seed: u64) -> Result<EndpointData, String> {
+    match cell.task {
+        TaskKind::Node => {
+            let spec = match cell.dataset.as_str() {
+                "Cora" => CitationSpec::cora(),
+                "PubMed" => CitationSpec::pubmed(),
+                other => return Err(format!("unknown node dataset `{other}`")),
+            };
+            Ok(EndpointData::Node(spec.scaled(scale).generate(seed)))
+        }
+        TaskKind::Graph => {
+            let ds = match cell.dataset.as_str() {
+                "ENZYMES" => TudSpec::enzymes().scaled(scale).generate(seed),
+                "DD" => TudSpec::dd().scaled(scale).generate(seed),
+                // MNIST subsamples 10x harder, matching the runners.
+                "MNIST" => SuperpixelSpec::mnist()
+                    .scaled((scale * 0.1).min(1.0))
+                    .generate(seed),
+                other => return Err(format!("unknown graph dataset `{other}`")),
+            };
+            Ok(EndpointData::Graph(ds))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_builds_and_serves_both_task_kinds() {
+        let cells = [
+            CellId::parse("table4/Cora/GCN/PyG").unwrap(),
+            CellId::parse("table5/ENZYMES/GIN/DGL").unwrap(),
+        ];
+        let reg = ModelRegistry::build(&cells, 0.05, 0, None).unwrap();
+        assert_eq!(reg.len(), 2);
+        assert!(!reg.get(0).restored, "no checkpoint dir given");
+
+        let node = reg.get(0);
+        assert!(node.num_targets() > 10);
+        let rows = node.serve_batch(&[0, 3, 7]);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.len() == 7), "Cora has 7 classes");
+
+        let graph = reg.get(1);
+        let rows = graph.serve_batch(&[1, 2]);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.len() == 6), "ENZYMES has 6 classes");
+    }
+
+    #[test]
+    fn served_outputs_are_independent_of_batch_composition() {
+        // The property OOM split-and-retry rests on: a request's logits do
+        // not depend on which other requests share its batch (eval mode,
+        // running-stat BN, per-graph segments).
+        let cells = [CellId::parse("table5/ENZYMES/GatedGCN/PyG").unwrap()];
+        let reg = ModelRegistry::build(&cells, 0.05, 0, None).unwrap();
+        let ep = reg.get(0);
+        let together = ep.serve_batch(&[0, 1, 2, 3]);
+        let first_half = ep.serve_batch(&[0, 1]);
+        let second_half = ep.serve_batch(&[2, 3]);
+        assert_eq!(&together[..2], &first_half[..]);
+        assert_eq!(&together[2..], &second_half[..]);
+    }
+
+    #[test]
+    fn target_space_names_cells() {
+        let cells = [CellId::parse("table4/PubMed/SAGE/PyG").unwrap()];
+        let reg = ModelRegistry::build(&cells, 0.05, 0, None).unwrap();
+        let space = reg.target_space();
+        assert_eq!(space[0].0, "table4/PubMed/SAGE/PyG");
+        assert!(space[0].1 > 0);
+    }
+
+    #[test]
+    fn argmax_picks_first_of_ties() {
+        assert_eq!(argmax(&[0.1, 0.9, 0.9]), 1);
+        assert_eq!(argmax(&[2.0]), 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Train→serve round-trip: a checkpoint written by supervised training
+//! restores into a serving endpoint that reproduces the trained model's
+//! eval logits and accuracy exactly.
+
+use gnn_datasets::CitationSpec;
+use gnn_models::{build, ModelKind};
+use gnn_serve::{CellId, ModelRegistry};
+use gnn_train::supervisor::{run_node_task_supervised, Supervisor};
+use gnn_train::NodeTaskConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn training_checkpoint_round_trips_into_serving_with_same_accuracy() {
+    const SCALE: f64 = 0.05;
+    const SEED: u64 = 0;
+    let cell = CellId::parse("table4/Cora/GCN/PyG").unwrap();
+
+    // Train exactly the architecture the registry will rebuild: same
+    // dataset generator, same scale/seed, same arch RNG as the sweep's
+    // run 0 (seed + 1 for node cells).
+    let ds = CitationSpec::cora().scaled(SCALE).generate(SEED);
+    let mut rng = StdRng::seed_from_u64(SEED + 1);
+    let model =
+        build::node_model_rustyg(ModelKind::Gcn, ds.features.cols(), ds.num_classes, &mut rng);
+    let batch = rustyg::loader::full_graph_batch(&ds);
+    let dir = std::env::temp_dir().join("gnn-serve-roundtrip-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt_path = dir.join(cell.ckpt_file(0));
+    let cfg = NodeTaskConfig {
+        max_epochs: 5,
+        lr: 0.01,
+    };
+    let sup = Supervisor::default().with_checkpoint(&ckpt_path);
+    let outcome = run_node_task_supervised(&model, &batch, &ds, &cfg, &sup).unwrap();
+    assert!(ckpt_path.exists(), "training must have checkpointed");
+    assert_eq!(outcome.outcome.epochs, 5);
+
+    // The trained model's own eval logits over the test split, in
+    // inference mode — the ground truth the served endpoint must match.
+    let test_idx = ds.test_idx.clone();
+    let expected_logits: Vec<Vec<f32>> = gnn_tensor::inference(|| {
+        let logits = model.forward(&batch, false);
+        let data = logits.data();
+        let (_, cols) = data.shape();
+        test_idx
+            .iter()
+            .map(|&t| {
+                let start = t as usize * cols;
+                data.data()[start..start + cols].to_vec()
+            })
+            .collect()
+    });
+    let expected_acc = {
+        let correct = test_idx
+            .iter()
+            .zip(&expected_logits)
+            .filter(|(&t, row)| gnn_serve::argmax(row) == ds.labels[t as usize])
+            .count();
+        100.0 * correct as f64 / test_idx.len() as f64
+    };
+
+    // A fresh registry (new process state: nothing shared with the
+    // training model) restores the checkpoint into an identical endpoint.
+    let registry =
+        ModelRegistry::build(std::slice::from_ref(&cell), SCALE, SEED, Some(&dir)).unwrap();
+    let endpoint = registry.get(0);
+    assert!(endpoint.restored, "checkpoint must be picked up");
+
+    let served = endpoint.serve_batch(&test_idx);
+    assert_eq!(
+        served, expected_logits,
+        "served logits must be bit-identical"
+    );
+    let served_acc = endpoint.eval_accuracy(&test_idx, 16);
+    assert_eq!(
+        served_acc.to_bits(),
+        expected_acc.to_bits(),
+        "eval accuracy must survive the round trip exactly ({served_acc} vs {expected_acc})"
+    );
+
+    // Without the checkpoint directory the same cell serves its (different)
+    // initialization weights — proving the restore actually did something.
+    let fresh = ModelRegistry::build(std::slice::from_ref(&cell), SCALE, SEED, None).unwrap();
+    assert!(!fresh.get(0).restored);
+    assert_ne!(
+        fresh.get(0).serve_batch(&test_idx[..1]),
+        endpoint.serve_batch(&test_idx[..1]),
+        "trained weights must differ from initialization"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

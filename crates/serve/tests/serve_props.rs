@@ -1,0 +1,222 @@
+//! Property tests of the serving engine: conservation (no request dropped
+//! or duplicated under arbitrary arrival patterns), exact latency
+//! accounting on the serve clock, and bit-identical outputs under
+//! fault-driven OOM split-and-retry.
+
+use gnn_faults::{FaultKind, FaultPlan};
+use gnn_serve::engine::run;
+use gnn_serve::{BatchPolicy, CellId, ModelRegistry, Request, ServeConfig};
+use proptest::prelude::*;
+
+thread_local! {
+    /// One registry per test thread: model building is the expensive part,
+    /// and the engine only reads it.
+    static REGISTRY: ModelRegistry = ModelRegistry::build(
+        &[
+            CellId::parse("table4/Cora/GCN/PyG").unwrap(),
+            CellId::parse("table5/ENZYMES/GIN/DGL").unwrap(),
+        ],
+        0.05,
+        0,
+        None,
+    )
+    .unwrap();
+}
+
+/// Arbitrary-but-ordered request streams: non-negative inter-arrival gaps
+/// (including bursts of zero), arbitrary endpoint choice, arbitrary
+/// targets.
+fn arrivals_strategy() -> impl Strategy<Value = Vec<(f64, usize, u32)>> {
+    proptest::collection::vec((0.0..0.004f64, 0..2usize, 0..1000u32), 1..48)
+}
+
+fn build_requests(registry: &ModelRegistry, raw: &[(f64, usize, u32)]) -> Vec<Request> {
+    let mut now = 0.0;
+    raw.iter()
+        .enumerate()
+        .map(|(id, &(gap, endpoint, target))| {
+            now += gap;
+            Request {
+                id: id as u64,
+                endpoint,
+                target: target % registry.get(endpoint).num_targets(),
+                arrival: now,
+            }
+        })
+        .collect()
+}
+
+fn cfg_for(policy: BatchPolicy, queue_cap: usize, replicas: usize) -> ServeConfig {
+    ServeConfig {
+        policy,
+        queue_cap,
+        replicas,
+        ..ServeConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Every submitted request is answered exactly once — served or
+    /// rejected, never dropped, never duplicated — for arbitrary arrival
+    /// orders, batch policies, queue bounds, and fleet sizes.
+    #[test]
+    fn no_request_dropped_or_duplicated(
+        raw in arrivals_strategy(),
+        max_batch in 1..9usize,
+        delay_us in 0.0..3000.0f64,
+        extra_cap in 0..24usize,
+        replicas in 1..4usize,
+    ) {
+        let policy = BatchPolicy { max_batch, max_delay: delay_us * 1e-6 };
+        let cfg = cfg_for(policy, max_batch + extra_cap, replicas);
+        REGISTRY.with(|registry| {
+            let requests = build_requests(registry, &raw);
+            let report = run(&cfg, registry, requests.clone());
+            prop_assert_eq!(report.requests.len(), requests.len(), "conservation");
+            for (i, r) in report.requests.iter().enumerate() {
+                prop_assert_eq!(r.id, i as u64, "ids dense and unique");
+            }
+            prop_assert_eq!(report.answered() + report.rejected(), requests.len());
+            prop_assert_eq!(report.dropped(requests.len()), 0);
+            for b in &report.batches {
+                prop_assert!(b.size >= 1 && b.size <= policy.max_batch);
+            }
+            for q in &report.queues {
+                prop_assert!(q.max_depth <= cfg.queue_cap);
+            }
+            Ok(())
+        })?;
+    }
+
+    /// Latency accounting is exact on the serve clock: a served request's
+    /// recorded latency is precisely reply − enqueue, its enqueue is its
+    /// arrival, and its reply is its batch's dispatch + service time
+    /// (bitwise, no accumulated drift).
+    #[test]
+    fn latency_is_enqueue_to_reply_on_the_serve_clock(
+        raw in arrivals_strategy(),
+        max_batch in 1..7usize,
+        delay_us in 0.0..2000.0f64,
+    ) {
+        let policy = BatchPolicy { max_batch, max_delay: delay_us * 1e-6 };
+        let cfg = cfg_for(policy, 64, 2);
+        REGISTRY.with(|registry| {
+            let requests = build_requests(registry, &raw);
+            let report = run(&cfg, registry, requests.clone());
+            for r in &report.requests {
+                prop_assert_eq!(
+                    r.enqueue.to_bits(),
+                    requests[r.id as usize].arrival.to_bits(),
+                    "enqueue is the arrival instant"
+                );
+                prop_assert_eq!(r.latency().to_bits(), (r.reply - r.enqueue).to_bits());
+                if r.served() {
+                    prop_assert!(r.dispatch >= r.enqueue, "no time travel into a batch");
+                    let b = &report.batches[r.batch.unwrap() as usize];
+                    prop_assert_eq!(r.dispatch.to_bits(), b.start.to_bits());
+                    prop_assert_eq!(
+                        r.reply.to_bits(),
+                        (b.start + b.duration).to_bits(),
+                        "reply is exactly batch dispatch + service time"
+                    );
+                }
+            }
+            Ok(())
+        })?;
+    }
+}
+
+/// Shared config for the fault-equivalence tests: fast arrivals (full
+/// batches), queues deep enough that nothing is rejected, so the served
+/// sets of clean and faulted runs line up one-to-one.
+fn fault_cfg() -> ServeConfig {
+    ServeConfig {
+        endpoints: vec![
+            CellId::parse("table4/Cora/GCN/PyG").unwrap(),
+            CellId::parse("table5/ENZYMES/GIN/DGL").unwrap(),
+        ],
+        requests: 80,
+        rate: 50_000.0,
+        seed: 11,
+        policy: BatchPolicy {
+            max_batch: 8,
+            max_delay: 0.002,
+        },
+        queue_cap: 128,
+        replicas: 2,
+        scale: 0.05,
+        ckpt_dir: None,
+    }
+}
+
+fn assert_outputs_bit_identical(clean: &gnn_serve::ServeReport, faulted: &gnn_serve::ServeReport) {
+    assert_eq!(clean.requests.len(), faulted.requests.len());
+    for (c, f) in clean.requests.iter().zip(&faulted.requests) {
+        assert_eq!(c.id, f.id);
+        assert!(
+            c.served() && f.served(),
+            "request {} must be served in both",
+            c.id
+        );
+        assert_eq!(c.output, f.output, "request {} logits diverged", c.id);
+        assert_eq!(c.class, f.class);
+    }
+}
+
+#[test]
+fn oom_split_and_retry_preserves_outputs_bit_identically() {
+    let cfg = fault_cfg();
+    let clean = gnn_serve::serve(&cfg).unwrap();
+    assert_eq!(clean.rejected(), 0, "test setup: no backpressure");
+
+    // One-shot OOMs aimed into multi-request batches (allocation counters
+    // are 1-based and count every forward alloc, so small `at` values land
+    // in the first, full batches), plus a kernel fault to exercise the
+    // in-place retry path.
+    let plan = FaultPlan::empty()
+        .with(FaultKind::Oom { at: 3 })
+        .with(FaultKind::Oom { at: 200 })
+        .with(FaultKind::KernelFault { at: 400 });
+    let handle = gnn_faults::install(plan);
+    let faulted = gnn_serve::serve(&cfg).unwrap();
+    let log = gnn_faults::finish(handle);
+
+    assert!(!log.is_empty(), "the plan must actually fire");
+    assert!(
+        faulted.oom_splits() > 0,
+        "an OOM on a multi-request batch must trigger split-and-retry: {:?}",
+        faulted.notes
+    );
+    assert_outputs_bit_identical(&clean, &faulted);
+    // Retries cost time, never answers.
+    assert_eq!(faulted.answered(), cfg.requests);
+    assert!(faulted.makespan >= clean.makespan);
+}
+
+#[test]
+fn canonical_fault_plan_answers_every_request_with_identical_outputs() {
+    let cfg = fault_cfg();
+    let clean = gnn_serve::serve(&cfg).unwrap();
+
+    let run_canonical = || {
+        let handle = gnn_faults::install(FaultPlan::canonical());
+        let report = gnn_serve::serve(&cfg).unwrap();
+        let log = gnn_faults::finish(handle);
+        (report, log)
+    };
+    let (faulted, log) = run_canonical();
+    assert!(!log.is_empty(), "canonical plan must fire");
+    assert_eq!(faulted.answered(), cfg.requests, "all answered under chaos");
+    assert_eq!(faulted.replicas_lost, 1, "replica failure shed, not fatal");
+    assert_outputs_bit_identical(&clean, &faulted);
+
+    // Same seed + same plan → the faulted run itself replays bit-identically.
+    let (again, _) = run_canonical();
+    assert_eq!(faulted.makespan.to_bits(), again.makespan.to_bits());
+    for (a, b) in faulted.requests.iter().zip(&again.requests) {
+        assert_eq!(a.reply.to_bits(), b.reply.to_bits());
+        assert_eq!(a.output, b.output);
+    }
+}

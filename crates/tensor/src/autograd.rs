@@ -141,6 +141,20 @@ pub fn no_grad<T>(f: impl FnOnce() -> T) -> T {
     f()
 }
 
+/// Runs `f` as an explicit inference pass: tape recording is disabled (as
+/// in [`no_grad`]), and the caller is expected to drive layers with
+/// `training = false` so dropout is the identity and batch norm reads its
+/// running statistics.
+///
+/// Semantically this is [`no_grad`] under a name that states intent — the
+/// serving path (`gnn-serve`) wraps every forward in it. The eval-parity
+/// tests assert the contract that makes it safe: an eval-mode forward
+/// produces bit-identical outputs with and without the tape, so skipping
+/// recording is purely a memory/tape optimization, never a numerics change.
+pub fn inference<T>(f: impl FnOnce() -> T) -> T {
+    no_grad(f)
+}
+
 impl Tensor {
     /// Creates a constant leaf (no gradient tracking).
     pub fn new(data: NdArray) -> Self {

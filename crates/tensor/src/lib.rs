@@ -37,7 +37,7 @@ pub mod nn;
 pub mod ops;
 pub mod shape_error;
 
-pub use autograd::{accumulate, grad_enabled, no_grad, Backward, Tensor};
+pub use autograd::{accumulate, grad_enabled, inference, no_grad, Backward, Tensor};
 pub use ndarray::NdArray;
 pub use ops::loss::{accuracy, cross_entropy};
 pub use ops::Ids;

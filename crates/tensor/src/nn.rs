@@ -314,4 +314,34 @@ mod tests {
         let p = Tensor::param(NdArray::zeros(10, 10));
         assert_eq!(optimizer_state_bytes(&[p]), 4 * 400);
     }
+
+    #[test]
+    fn eval_forward_is_bit_identical_with_and_without_tape() {
+        // The inference-mode contract gnn-serve relies on: running an
+        // eval-mode (training = false) forward under `inference` must change
+        // nothing about the numbers — only whether a tape exists.
+        let mut rng = StdRng::seed_from_u64(11);
+        let lin = Linear::new(6, 4, &mut rng);
+        let bn = BatchNorm1d::new(4);
+        bn.set_running_stats(&[0.1, -0.2, 0.3, 0.05], &[1.2, 0.8, 1.0, 2.0]);
+        let drop = Dropout::new(0.5);
+        let x = Tensor::new(init::uniform(5, 6, 1.0, &mut rng));
+
+        let run = |rng: &mut StdRng| {
+            let h = lin.forward(&x);
+            let h = bn.forward(&h, false);
+            let h = drop.forward(&h, false, rng);
+            h.relu()
+        };
+        let mut rng_a = StdRng::seed_from_u64(99);
+        let mut rng_b = StdRng::seed_from_u64(99);
+        let taped = run(&mut rng_a);
+        let untaped = crate::autograd::inference(|| run(&mut rng_b));
+        assert_eq!(taped.data().data(), untaped.data().data());
+        // The taped output is differentiable; the inference one kept no tape.
+        assert!(taped.needs_grad());
+        assert!(!untaped.needs_grad());
+        // Eval-mode batch norm must not have touched its running stats.
+        assert_eq!(bn.running_stats().0, vec![0.1, -0.2, 0.3, 0.05]);
+    }
 }

@@ -142,6 +142,34 @@ impl Checkpoint {
         self.rng.map(StdRng::from_state)
     }
 
+    /// Restores only the model state — parameters and batch-norm running
+    /// statistics — leaving optimizer, scheduler, and RNG state untouched.
+    ///
+    /// This is the inference-serving entry point: `gnn-serve` rebuilds a
+    /// model architecture from the cell name and pours a training sweep's
+    /// snapshot into it without constructing a `Supervisor`, an `Adam`, or
+    /// any other training machinery. `params` and `norms` must come from a
+    /// model with the same architecture the checkpoint was captured from
+    /// (`model.params()` / `model.norm_layers()` order).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a count or shape mismatch between the checkpoint and the
+    /// live model — loading weights into the wrong architecture is always
+    /// a bug, never something to serve traffic from.
+    pub fn load_params(&self, params: &[Tensor], norms: &[&BatchNorm1d]) {
+        assert_eq!(params.len(), self.params.len(), "param count mismatch");
+        assert_eq!(norms.len(), self.bn_stats.len(), "norm count mismatch");
+        for (p, (r, c, data)) in params.iter().zip(&self.params) {
+            assert_eq!(p.shape(), (*r, *c), "param shape mismatch");
+            p.data_mut().data_mut().copy_from_slice(data);
+            p.zero_grad();
+        }
+        for (bn, (mean, var)) in norms.iter().zip(&self.bn_stats) {
+            bn.set_running_stats(mean, var);
+        }
+    }
+
     /// Renders the checkpoint as its `gnn-ckpt v1` text format.
     pub fn to_text(&self) -> String {
         let mut out = String::from("gnn-ckpt v1\n");
@@ -449,6 +477,34 @@ mod tests {
         let cut = &truncated[..truncated.len() / 2];
         // Cutting mid-file must fail loudly, never yield a partial state.
         assert!(Checkpoint::parse(cut).is_err());
+    }
+
+    #[test]
+    fn load_params_restores_weights_without_training_state() {
+        use gnn_tensor::nn::BatchNorm1d;
+        let p = Tensor::param(NdArray::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let bn = BatchNorm1d::new(2);
+        bn.set_running_stats(&[0.25, 0.5], &[1.5, 2.5]);
+        let opt = Adam::new(vec![p.clone()], 0.01);
+        let norms = [&bn];
+        let ckpt = Checkpoint::capture(opt.params(), &norms, &opt, None, None, 1);
+
+        // A fresh same-shaped model with different weights and stats.
+        let q = Tensor::param(NdArray::zeros(2, 2));
+        let bn2 = BatchNorm1d::new(2);
+        ckpt.load_params(std::slice::from_ref(&q), &[&bn2]);
+        assert_eq!(q.data().data(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(bn2.running_stats(), (vec![0.25, 0.5], vec![1.5, 2.5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "param shape mismatch")]
+    fn load_params_rejects_wrong_architecture() {
+        let p = Tensor::param(NdArray::zeros(2, 2));
+        let opt = Adam::new(vec![p.clone()], 0.01);
+        let ckpt = Checkpoint::capture(opt.params(), &[], &opt, None, None, 0);
+        let wrong = Tensor::param(NdArray::zeros(3, 2));
+        ckpt.load_params(&[wrong], &[]);
     }
 
     #[test]

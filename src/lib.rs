@@ -23,6 +23,12 @@
 //! - [`train`] — Adam, plateau decay, node/graph task loops, multi-GPU
 //! - [`core`] — experiment runners and report rendering for every
 //!   table/figure
+//! - [`obs`] — structured tracing (Chrome trace-event export) and run
+//!   metrics
+//! - [`faults`] — deterministic fault injection and the chaos suite
+//! - [`lint`] — ahead-of-run static analysis of the configured sweep
+//! - [`serve`] — batched, fault-tolerant inference serving over trained
+//!   checkpoints
 //!
 //! # Quickstart
 //!
@@ -42,8 +48,12 @@
 pub use gnn_core as core;
 pub use gnn_datasets as datasets;
 pub use gnn_device as device;
+pub use gnn_faults as faults;
 pub use gnn_graph as graph;
+pub use gnn_lint as lint;
 pub use gnn_models as models;
+pub use gnn_obs as obs;
+pub use gnn_serve as serve;
 pub use gnn_tensor as tensor;
 pub use gnn_train as train;
 pub use rgl as dgl;
