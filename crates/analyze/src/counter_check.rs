@@ -1,0 +1,143 @@
+//! Counter-coverage audit: every priced kernel kind must have a counter
+//! formula.
+//!
+//! The device cost model prices a kernel kind the moment someone
+//! constructs a [`gnn_device::Kernel`] with it — but the observability
+//! layer can only attribute FLOPs, bytes, and roofline headroom if the
+//! kind also has an entry in the counter formula registry
+//! ([`gnn_device::counters::FORMULAS`]). A kind that is priced but not
+//! covered would silently show up as zero work in every roofline report,
+//! which is exactly the kind of drift a regression observatory must
+//! refuse. This pass fails the lint when any priced kind lacks a formula,
+//! and sanity-checks the formulas themselves (read fractions in `[0, 1]`,
+//! non-empty closed forms).
+
+use gnn_device::counters::{CounterFormula, FORMULAS};
+use gnn_device::{KernelKind, PRICED_KINDS};
+
+use crate::report::{Finding, FindingKind};
+
+/// Audits the live formula registry against every priced kernel kind.
+/// Returns the number of kinds checked (for the report's coverage line).
+pub fn check_counter_coverage(findings: &mut Vec<Finding>) -> usize {
+    coverage_findings(&PRICED_KINDS, &FORMULAS, findings)
+}
+
+/// The audit against an explicit registry, so tests can seed defects the
+/// real registry (by construction) no longer has.
+pub(crate) fn coverage_findings(
+    kinds: &[KernelKind],
+    formulas: &[CounterFormula],
+    findings: &mut Vec<Finding>,
+) -> usize {
+    for kind in kinds {
+        let path = format!("device/counters/{}", kind.label());
+        let Some(f) = formulas.iter().find(|f| f.kind == *kind) else {
+            findings.push(Finding::new(
+                FindingKind::CounterCoverage,
+                path,
+                "kernel kind is priced by the cost model but has no \
+                 FLOPs/bytes counter formula — roofline attribution would \
+                 report zero work for it",
+            ));
+            continue;
+        };
+        if f.flops.is_empty() || f.bytes.is_empty() {
+            findings.push(Finding::new(
+                FindingKind::CounterCoverage,
+                path.clone(),
+                "counter formula has an empty closed form",
+            ));
+        }
+        if !(0.0..=1.0).contains(&f.read_fraction) {
+            findings.push(Finding::new(
+                FindingKind::CounterCoverage,
+                path,
+                format!(
+                    "read fraction {} outside [0, 1]: byte split would not \
+                     sum to total traffic",
+                    f.read_fraction
+                ),
+            ));
+        }
+    }
+    // Orphaned formulas are drift in the other direction: an entry for a
+    // kind the cost model no longer prices.
+    for f in formulas {
+        if !kinds.contains(&f.kind) {
+            findings.push(Finding::new(
+                FindingKind::CounterCoverage,
+                format!("device/counters/{}", f.kind.label()),
+                "counter formula covers a kind the cost model does not price",
+            ));
+        }
+    }
+    kinds.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_registry_covers_every_priced_kind() {
+        let mut findings = Vec::new();
+        let checked = check_counter_coverage(&mut findings);
+        assert_eq!(checked, PRICED_KINDS.len());
+        assert!(findings.is_empty(), "{findings:?}");
+        assert!(gnn_device::counters::uncovered_kinds().is_empty());
+    }
+
+    #[test]
+    fn missing_formula_is_flagged() {
+        // Seed the defect: drop the Scatter formula from the registry.
+        let partial: Vec<CounterFormula> = FORMULAS
+            .iter()
+            .copied()
+            .filter(|f| f.kind != KernelKind::Scatter)
+            .collect();
+        let mut findings = Vec::new();
+        coverage_findings(&PRICED_KINDS, &partial, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].kind, FindingKind::CounterCoverage);
+        assert!(
+            findings[0].path.ends_with("scatter"),
+            "{}",
+            findings[0].path
+        );
+        assert!(findings[0].message.contains("no FLOPs/bytes"));
+    }
+
+    #[test]
+    fn degenerate_read_fraction_is_flagged() {
+        let mut bad = FORMULAS;
+        bad[0].read_fraction = 1.5;
+        let mut findings = Vec::new();
+        coverage_findings(&PRICED_KINDS, &bad, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("outside [0, 1]"));
+    }
+
+    #[test]
+    fn orphaned_formula_is_flagged() {
+        // A registry entry for a kind the model does not price.
+        let kinds: Vec<KernelKind> = PRICED_KINDS
+            .into_iter()
+            .filter(|k| *k != KernelKind::Softmax)
+            .collect();
+        let mut findings = Vec::new();
+        coverage_findings(&kinds, &FORMULAS, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("does not price"));
+    }
+
+    #[test]
+    fn formula_lookup_agrees_with_registry() {
+        for kind in PRICED_KINDS {
+            assert_eq!(
+                gnn_device::counters::formula(kind).map(|f| f.kind),
+                Some(kind)
+            );
+        }
+    }
+}

@@ -24,6 +24,9 @@
 //!   (zero triggers on 1-based counters, poisonings past the last epoch,
 //!   replica failures on GPUs no experiment creates) or can never be
 //!   survived (a memory limit of zero).
+//! - **Counter-coverage audit** ([`counter_check`]): every kernel kind the
+//!   device cost model prices must have a FLOPs/bytes counter formula, or
+//!   roofline attribution would silently report zero work for it.
 //! - **Serve-config audit** ([`serve_check`]): inference-serving runs are
 //!   checked for batching policies that can never fire (zero delay with a
 //!   batch size above one, batch sizes beyond the dataset's admissible
@@ -36,6 +39,7 @@
 //! `lint.json` next to the `gnn-obs` trace artifacts (see the README's
 //! findings-format reference).
 
+pub mod counter_check;
 pub mod fault_plan;
 pub mod index_check;
 pub mod ir;
@@ -46,6 +50,7 @@ pub mod schedule;
 pub mod serve_check;
 pub mod tape;
 
+pub use counter_check::check_counter_coverage;
 pub use fault_plan::check_fault_plan;
 pub use ir::{DType, GraphBuilder, OpGraph, Rows, SymShape};
 pub use lower::{lower_stack, LayerPlan, StackPlan, Task};

@@ -36,6 +36,10 @@ pub enum FindingKind {
     /// A serving configuration is degenerate: a batching policy that can
     /// never fire, or endpoints naming unknown cells.
     InvalidServeConfig,
+    /// A kernel kind is priced by the device cost model but has no
+    /// FLOPs/bytes counter formula (or a degenerate one), so roofline
+    /// attribution would silently report zero work for it.
+    CounterCoverage,
 }
 
 impl FindingKind {
@@ -52,6 +56,7 @@ impl FindingKind {
             FindingKind::InvalidConfig => "invalid-config",
             FindingKind::InvalidFaultPlan => "invalid-fault-plan",
             FindingKind::InvalidServeConfig => "serve-config",
+            FindingKind::CounterCoverage => "counter-coverage",
         }
     }
 }
@@ -99,6 +104,8 @@ pub struct LintReport {
     pub datasets_checked: usize,
     /// Device schedules checked for hazards.
     pub schedules_checked: usize,
+    /// Priced kernel kinds audited for counter-formula coverage.
+    pub kernel_kinds_checked: usize,
 }
 
 impl LintReport {
@@ -119,6 +126,7 @@ impl LintReport {
         self.ops_checked += other.ops_checked;
         self.datasets_checked += other.datasets_checked;
         self.schedules_checked += other.schedules_checked;
+        self.kernel_kinds_checked += other.kernel_kinds_checked;
     }
 
     /// The report as a JSON tree (the `lint.json` schema; see README).
@@ -133,6 +141,10 @@ impl LintReport {
                     (
                         "schedules".into(),
                         Value::Num(self.schedules_checked as f64),
+                    ),
+                    (
+                        "kernel_kinds".into(),
+                        Value::Num(self.kernel_kinds_checked as f64),
                     ),
                 ]),
             ),
@@ -170,11 +182,13 @@ impl fmt::Display for LintReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "gnn-lint: {} cell(s), {} op(s), {} dataset(s), {} schedule(s) checked — {}",
+            "gnn-lint: {} cell(s), {} op(s), {} dataset(s), {} schedule(s), \
+             {} kernel kind(s) checked — {}",
             self.cells_checked,
             self.ops_checked,
             self.datasets_checked,
             self.schedules_checked,
+            self.kernel_kinds_checked,
             if self.is_clean() {
                 "clean".to_string()
             } else {

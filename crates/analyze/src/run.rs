@@ -24,6 +24,7 @@ use gnn_datasets::{CitationSpec, SuperpixelSpec, TudSpec};
 use gnn_device::{DataParallel, StepCost};
 use gnn_models::config::{graph_hparams, FrameworkKind, ModelKind, ALL_FRAMEWORKS, ALL_MODELS};
 
+use crate::counter_check::check_counter_coverage;
 use crate::fault_plan::check_fault_plan;
 use crate::index_check::{check_graph_dataset, check_node_dataset};
 use crate::lower::{lower_stack, StackPlan};
@@ -48,6 +49,10 @@ fn fw_dir(fw: FrameworkKind) -> &'static str {
 /// config always yields the same report.
 pub fn lint_run(cfg: &RunConfig) -> LintReport {
     let mut report = LintReport::default();
+
+    // Counter coverage first: this audits the device layer itself, so a
+    // gap fails every configured run identically.
+    report.kernel_kinds_checked += check_counter_coverage(&mut report.findings);
 
     // Armed fault plans are audited first: a chaos campaign whose specs
     // cannot fire (or cannot be survived) should be rejected before the
@@ -167,6 +172,7 @@ mod tests {
         assert_eq!(report.cells_checked, 60);
         assert_eq!(report.datasets_checked, 5);
         assert_eq!(report.schedules_checked, 16);
+        assert_eq!(report.kernel_kinds_checked, gnn_device::PRICED_KINDS.len());
         assert!(report.ops_checked > 1000, "{}", report.ops_checked);
     }
 

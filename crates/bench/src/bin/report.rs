@@ -1,0 +1,197 @@
+//! The regression observatory: runs the canonical performance report and
+//! diffs it against the previous checked-in baseline.
+//!
+//! Trains the six representative sweep cells at a fixed small scale,
+//! sweeps the serve batching policies over the same endpoints, and writes
+//! a schema-versioned `BENCH_<n>.json` (default `BENCH_6.json`) whose
+//! every number is simulated — a rerun with the same flags reproduces the
+//! file byte-for-byte, which CI enforces with `cmp`. When a baseline
+//! exists (`--baseline <path>`, or the highest-numbered other
+//! `BENCH_*.json` next to the output), the two documents are diffed
+//! metric by metric and the process exits nonzero on any regression past
+//! `--threshold` (default 5%).
+//!
+//! Flags: `--out <path>`, `--baseline <path>`, `--threshold <frac>`,
+//! `--scale <f>`, `--epochs <n>`, `--seed <n>`, `--requests <n>`,
+//! `--rate <req/s>`, `--slo-ms <ms>`, `--no-diff`.
+
+use std::path::{Path, PathBuf};
+
+use gnn_bench::report::{diff_reports, parse_bench_report, render_diff, run_report, ReportConfig};
+
+struct Options {
+    cfg: ReportConfig,
+    out: PathBuf,
+    baseline: Option<PathBuf>,
+    threshold: f64,
+    diff: bool,
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut o = Options {
+        cfg: ReportConfig::default(),
+        out: PathBuf::from("BENCH_6.json"),
+        baseline: None,
+        threshold: 0.05,
+        diff: true,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--out" => o.out = value_of("--out")?.into(),
+            "--baseline" => o.baseline = Some(value_of("--baseline")?.into()),
+            "--threshold" => {
+                o.threshold = value_of("--threshold")?
+                    .parse()
+                    .map_err(|e| format!("--threshold: {e}"))?;
+                if o.threshold < 0.0 {
+                    return Err("--threshold must be non-negative".into());
+                }
+            }
+            "--scale" => {
+                let v: f64 = value_of("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?;
+                if !(v > 0.0 && v <= 1.0) {
+                    return Err(format!("--scale {v} out of (0, 1]"));
+                }
+                o.cfg.scale = v;
+            }
+            "--epochs" => {
+                o.cfg.epochs = value_of("--epochs")?
+                    .parse()
+                    .map_err(|e| format!("--epochs: {e}"))?;
+            }
+            "--seed" => {
+                o.cfg.seed = value_of("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--requests" => {
+                o.cfg.requests = value_of("--requests")?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?;
+            }
+            "--rate" => {
+                o.cfg.rate = value_of("--rate")?
+                    .parse()
+                    .map_err(|e| format!("--rate: {e}"))?;
+            }
+            "--slo-ms" => {
+                let ms: f64 = value_of("--slo-ms")?
+                    .parse()
+                    .map_err(|e| format!("--slo-ms: {e}"))?;
+                o.cfg.slo_target = ms * 1e-3;
+            }
+            "--no-diff" => o.diff = false,
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(o)
+}
+
+/// The highest-numbered `BENCH_<n>.json` in `dir` other than `out` —
+/// the natural baseline for a report trajectory.
+fn discover_baseline(out: &Path) -> Option<PathBuf> {
+    let dir = out.parent().filter(|p| !p.as_os_str().is_empty())?;
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in std::fs::read_dir(dir).ok()? {
+        let path = entry.ok()?.path();
+        if path == out {
+            continue;
+        }
+        let name = path.file_name()?.to_str()?;
+        let n: u64 = name
+            .strip_prefix("BENCH_")?
+            .strip_suffix(".json")
+            .and_then(|s| s.parse().ok())?;
+        if best.as_ref().is_none_or(|(b, _)| n > *b) {
+            best = Some((n, path));
+        }
+    }
+    best.map(|(_, p)| p)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: report [--out path] [--baseline path] [--threshold frac] \
+                 [--scale f] [--epochs n] [--seed n] [--requests n] [--rate req/s] \
+                 [--slo-ms ms] [--no-diff]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "Performance report: {} cell(s), {} serve policy(ies), scale {}, {} epoch(s), seed {}\n",
+        opts.cfg.cells.len(),
+        opts.cfg.policies.len(),
+        opts.cfg.scale,
+        opts.cfg.epochs,
+        opts.cfg.seed,
+    );
+
+    // The previous document must be read before the new one overwrites it
+    // in place (the usual CI flow regenerates BENCH_6.json on top of the
+    // checked-in baseline).
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .or_else(|| discover_baseline(&opts.out))
+        .or_else(|| opts.out.exists().then(|| opts.out.clone()));
+    let baseline = baseline_path.as_ref().and_then(|p| {
+        match std::fs::read_to_string(p).map_err(|e| e.to_string()) {
+            Ok(text) => match parse_bench_report(&text) {
+                Ok(r) => Some((p.clone(), r)),
+                Err(e) => {
+                    eprintln!("warning: baseline {} unreadable: {e}", p.display());
+                    None
+                }
+            },
+            Err(e) => {
+                eprintln!("warning: baseline {} unreadable: {e}", p.display());
+                None
+            }
+        }
+    });
+
+    let report = run_report(&opts.cfg);
+    print!("{}", report.summary());
+
+    if let Err(e) = std::fs::write(&opts.out, report.to_json()) {
+        eprintln!("error: writing {}: {e}", opts.out.display());
+        std::process::exit(1);
+    }
+    println!("\nreport: {}", opts.out.display());
+
+    if !opts.diff {
+        return;
+    }
+    let Some((path, previous)) = baseline else {
+        println!("no baseline found — skipping diff");
+        return;
+    };
+    println!(
+        "diff vs {} (threshold {:.1}%):",
+        path.display(),
+        opts.threshold * 100.0
+    );
+    let lines = diff_reports(&previous, &report, opts.threshold);
+    print!("{}", render_diff(&lines));
+    let regressions = lines.iter().filter(|l| l.regression).count();
+    if regressions > 0 {
+        eprintln!("error: {regressions} metric(s) regressed past the threshold");
+        std::process::exit(1);
+    }
+    println!("no regressions");
+}

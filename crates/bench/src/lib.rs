@@ -15,6 +15,7 @@
 //! | `fig6`    | Fig. 6 — multi-GPU scaling of GCN/GAT on MNIST |
 //! | `sweep`   | Fault-isolated sweep over all 60 cells |
 //! | `serve`   | Inference serving: batching-policy sweep over trained cells |
+//! | `report`  | Regression observatory: canonical cells + serve policies → `BENCH_<n>.json`, diffed against the previous report |
 //!
 //! Common flags: `--quick` (default), `--full` (paper scale), `--smoke`,
 //! `--scale <f>`, `--seed <n>`, `--epochs <n>`, `--folds <n>`,
@@ -37,6 +38,8 @@
 //! itself* (real CPU time of the tensor kernels, message-passing lowerings,
 //! and the two frameworks' collation paths) rather than the simulated
 //! device.
+
+pub mod report;
 
 use gnn_core::RunConfig;
 use gnn_faults::FaultPlan;

@@ -464,6 +464,8 @@ mod tests {
             lr: 1e-3,
             phase_times: vec![("forward".into(), 0.1)],
             kernel_counts: vec![("gemm".into(), 10), ("gather".into(), 2)],
+            flops: 5_000_000,
+            bytes: 3_000_000,
             peak_memory: 2_000_000,
             utilization: 0.4,
             sim_time: 0.2 * (epoch + 1) as f64,

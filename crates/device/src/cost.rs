@@ -34,6 +34,24 @@ pub struct CostModel {
     bw_eff: [f64; 11],
 }
 
+/// Every kernel kind the cost model prices, in efficiency-table order.
+/// The counter model ([`crate::counters`]) and the `counter-coverage` lint
+/// both iterate this list, so pricing a new kind without giving it a
+/// FLOPs/bytes formula is a lint failure, not a silent gap.
+pub const PRICED_KINDS: [KernelKind; 11] = [
+    KernelKind::Gemm,
+    KernelKind::Elementwise,
+    KernelKind::Reduction,
+    KernelKind::Gather,
+    KernelKind::Scatter,
+    KernelKind::Segment,
+    KernelKind::Softmax,
+    KernelKind::Norm,
+    KernelKind::SpMM,
+    KernelKind::SDDMM,
+    KernelKind::Transfer,
+];
+
 fn kind_index(kind: KernelKind) -> usize {
     match kind {
         KernelKind::Gemm => 0,
@@ -101,10 +119,25 @@ impl CostModel {
 
     /// Device execution time of `kernel` in seconds (excluding launch).
     pub fn kernel_time(&self, kernel: &Kernel) -> f64 {
+        let (compute, traffic) = self.roofline_terms(kernel);
+        self.kernel_overhead + compute.max(traffic)
+    }
+
+    /// The two roofline legs of `kernel`'s duration, in seconds: time under
+    /// the effective compute rate and time under the effective bandwidth.
+    /// `kernel_time` is their max plus the fixed kernel overhead; the
+    /// counter model uses the individual terms to classify boundness.
+    pub fn roofline_terms(&self, kernel: &Kernel) -> (f64, f64) {
         let i = kind_index(kernel.kind);
         let compute = kernel.flops as f64 / (self.peak_flops * self.flops_eff[i]);
         let traffic = kernel.bytes as f64 / (self.peak_bw * self.bw_eff[i]);
-        self.kernel_overhead + compute.max(traffic)
+        (compute, traffic)
+    }
+
+    /// The `(flops, bandwidth)` efficiency fractions applied to `kind`.
+    pub fn efficiency(&self, kind: KernelKind) -> (f64, f64) {
+        let i = kind_index(kind);
+        (self.flops_eff[i], self.bw_eff[i])
     }
 
     /// Host time spent issuing one kernel, in seconds.

@@ -1,0 +1,330 @@
+//! Analytical hardware counters: FLOPs, DRAM traffic, arithmetic intensity,
+//! and roofline attribution per kernel launch.
+//!
+//! The source paper reads these from `nvprof`; the follow-up study
+//! ("Characterizing the Efficiency of GNN Frameworks with a Magnifying
+//! Glass") shows the framework gaps live in memory traffic and arithmetic
+//! intensity rather than raw FLOPs. Here the counters are derived
+//! analytically from the same [`Kernel`] descriptors the cost model prices,
+//! so every traced slice can carry the full counter set at zero simulation
+//! cost: [`CostModel::counters`] never touches the timeline.
+//!
+//! Two layers:
+//!
+//! - [`KernelCounters`] — per-launch derived counters: work, split traffic,
+//!   intensity, boundness class, and attained roofline fraction.
+//! - [`CounterFormula`] — a static registry documenting, per
+//!   [`KernelKind`], where the work counts come from and how DRAM traffic
+//!   splits into reads and writes. The `counter-coverage` lint checks this
+//!   registry against [`crate::cost::PRICED_KINDS`] so pricing a kind
+//!   without a formula fails ahead of run.
+
+use crate::cost::{CostModel, PRICED_KINDS};
+use crate::kernel::{Kernel, KernelKind};
+
+/// Which roofline resource bounds a kernel's duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bound {
+    /// The compute leg dominates: duration ≈ flops / effective FLOP rate.
+    Compute,
+    /// The traffic leg dominates: duration ≈ bytes / effective bandwidth.
+    Bandwidth,
+    /// The fixed per-kernel overhead exceeds both legs (tiny kernels — the
+    /// launch-bound regime the paper's utilization numbers expose).
+    Overhead,
+}
+
+impl Bound {
+    /// Stable label used in trace args and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Bound::Compute => "compute",
+            Bound::Bandwidth => "bandwidth",
+            Bound::Overhead => "overhead",
+        }
+    }
+}
+
+/// Derived counters for one kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelCounters {
+    /// Floating-point operations performed.
+    pub flops: u64,
+    /// Bytes read from DRAM.
+    pub bytes_read: u64,
+    /// Bytes written to DRAM.
+    pub bytes_written: u64,
+    /// Arithmetic intensity in FLOP/byte (0 for traffic-free kernels).
+    pub intensity: f64,
+    /// Device duration in seconds — identical to
+    /// [`CostModel::kernel_time`], so deriving counters cannot drift from
+    /// the priced duration.
+    pub duration: f64,
+    /// Which roofline resource bounds the duration.
+    pub bound: Bound,
+    /// Attained fraction of the binding *peak* rate over the kernel's
+    /// duration: `max(flops/dur/peak_flops, bytes/dur/peak_bw)`, clamped
+    /// to `[0, 1]`. Low values on the binding leg are efficiency losses
+    /// (irregular access, overhead), exactly what the roofline plot shows.
+    pub roofline: f64,
+}
+
+impl KernelCounters {
+    /// Total DRAM traffic in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+}
+
+/// How one kernel kind's counters derive from its launch descriptor.
+///
+/// The `flops`/`bytes` strings document the closed-form expressions the
+/// [`Kernel`] constructors use; `read_fraction` is the representative share
+/// of DRAM traffic that is reads (the constructors fold reads and writes
+/// into one `bytes` figure, so the split is a per-kind constant rather than
+/// per-launch).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CounterFormula {
+    /// The kernel kind this formula covers.
+    pub kind: KernelKind,
+    /// Closed form of the FLOP count.
+    pub flops: &'static str,
+    /// Closed form of the DRAM byte count.
+    pub bytes: &'static str,
+    /// Fraction of traffic that is reads, in `[0, 1]`.
+    pub read_fraction: f64,
+}
+
+/// The counter formula registry, one entry per priced kernel kind.
+///
+/// Read fractions follow the constructors' traffic models: a GEMM streams
+/// two input operands per output (2/3 reads); a scatter-add reads source
+/// and destination and writes the destination back (2/3); a gather reads
+/// source rows + indices and writes the same volume out (~1/2); reductions
+/// and segment ops read far more than they write.
+pub const FORMULAS: [CounterFormula; 11] = [
+    CounterFormula {
+        kind: KernelKind::Gemm,
+        flops: "2*m*k*n",
+        bytes: "4*(m*k + k*n + m*n)",
+        read_fraction: 2.0 / 3.0,
+    },
+    CounterFormula {
+        kind: KernelKind::Elementwise,
+        flops: "elems * ops_per_elem",
+        bytes: "4 * elems * streams",
+        read_fraction: 0.6,
+    },
+    CounterFormula {
+        kind: KernelKind::Reduction,
+        flops: "elems",
+        bytes: "4 * (elems + outputs)",
+        read_fraction: 0.95,
+    },
+    CounterFormula {
+        kind: KernelKind::Gather,
+        flops: "0",
+        bytes: "8*rows*cols + 4*rows",
+        read_fraction: 0.5,
+    },
+    CounterFormula {
+        kind: KernelKind::Scatter,
+        flops: "rows*cols",
+        bytes: "12*rows*cols + 4*rows",
+        read_fraction: 2.0 / 3.0,
+    },
+    CounterFormula {
+        kind: KernelKind::Segment,
+        flops: "rows*cols",
+        bytes: "4*(rows*cols + segments*cols) + 4*rows",
+        read_fraction: 0.85,
+    },
+    CounterFormula {
+        kind: KernelKind::Softmax,
+        flops: "~4*elems (max, sub-exp, sum, div)",
+        bytes: "4*elems*(read passes + write)",
+        read_fraction: 0.65,
+    },
+    CounterFormula {
+        kind: KernelKind::Norm,
+        flops: "~3*elems (stats + apply)",
+        bytes: "4*elems*(2 reads + 1 write)",
+        read_fraction: 0.7,
+    },
+    CounterFormula {
+        kind: KernelKind::SpMM,
+        flops: "nnz*cols",
+        bytes: "8*nnz*cols + 8*nnz (fused gather+reduce)",
+        read_fraction: 0.75,
+    },
+    CounterFormula {
+        kind: KernelKind::SDDMM,
+        flops: "nnz*cols",
+        bytes: "8*nnz*cols + 4*nnz (two endpoint reads, edge write)",
+        read_fraction: 0.8,
+    },
+    CounterFormula {
+        kind: KernelKind::Transfer,
+        flops: "0",
+        bytes: "payload bytes",
+        read_fraction: 0.5,
+    },
+];
+
+/// Looks up the counter formula for `kind`.
+pub fn formula(kind: KernelKind) -> Option<&'static CounterFormula> {
+    FORMULAS.iter().find(|f| f.kind == kind)
+}
+
+impl CostModel {
+    /// Derives the full counter set for one kernel launch.
+    ///
+    /// Pure and non-mutating: the duration is exactly
+    /// [`CostModel::kernel_time`], so instrumentation that calls this can
+    /// never perturb the simulation.
+    pub fn counters(&self, kernel: &Kernel) -> KernelCounters {
+        let (compute, traffic) = self.roofline_terms(kernel);
+        let duration = self.kernel_time(kernel);
+        let bound = if self.kernel_overhead >= compute.max(traffic) {
+            Bound::Overhead
+        } else if compute >= traffic {
+            Bound::Compute
+        } else {
+            Bound::Bandwidth
+        };
+        let read_fraction = formula(kernel.kind).map_or(0.5, |f| f.read_fraction);
+        let bytes_read = (kernel.bytes as f64 * read_fraction).round() as u64;
+        let bytes_written = kernel.bytes - bytes_read.min(kernel.bytes);
+        let intensity = if kernel.bytes == 0 {
+            0.0
+        } else {
+            kernel.flops as f64 / kernel.bytes as f64
+        };
+        let roofline = if duration <= 0.0 {
+            0.0
+        } else {
+            let flop_frac = kernel.flops as f64 / duration / self.peak_flops;
+            let bw_frac = kernel.bytes as f64 / duration / self.peak_bw;
+            flop_frac.max(bw_frac).clamp(0.0, 1.0)
+        };
+        KernelCounters {
+            flops: kernel.flops,
+            bytes_read,
+            bytes_written,
+            intensity,
+            duration,
+            bound,
+            roofline,
+        }
+    }
+}
+
+/// Returns the priced kinds that have no entry in the formula registry.
+/// The `counter-coverage` lint fails when this is non-empty.
+pub fn uncovered_kinds() -> Vec<KernelKind> {
+    PRICED_KINDS
+        .into_iter()
+        .filter(|k| formula(*k).is_none())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_priced_kind_has_a_formula() {
+        assert!(uncovered_kinds().is_empty());
+        for kind in PRICED_KINDS {
+            let f = formula(kind).unwrap();
+            assert!((0.0..=1.0).contains(&f.read_fraction), "{:?}", kind);
+            assert!(!f.flops.is_empty() && !f.bytes.is_empty());
+        }
+    }
+
+    #[test]
+    fn big_gemm_is_compute_bound_with_high_roofline() {
+        let m = CostModel::rtx2080ti();
+        let c = m.counters(&Kernel::gemm("mm", 4096, 4096, 4096));
+        assert_eq!(c.bound, Bound::Compute);
+        // Attained fraction equals the GEMM compute efficiency factor.
+        let (eff, _) = m.efficiency(KernelKind::Gemm);
+        assert!((c.roofline - eff).abs() < 0.01, "roofline {}", c.roofline);
+        assert!(c.intensity > 100.0);
+    }
+
+    #[test]
+    fn scatter_is_bandwidth_bound() {
+        let m = CostModel::rtx2080ti();
+        let c = m.counters(&Kernel::scatter("sc", 1_000_000, 64));
+        assert_eq!(c.bound, Bound::Bandwidth);
+        let (_, bw_eff) = m.efficiency(KernelKind::Scatter);
+        assert!((c.roofline - bw_eff).abs() < 0.01);
+        assert!(c.intensity < 1.0);
+    }
+
+    #[test]
+    fn tiny_kernel_is_overhead_bound() {
+        let m = CostModel::rtx2080ti();
+        let c = m.counters(&Kernel::elementwise("relu", 8, 1, 2));
+        assert_eq!(c.bound, Bound::Overhead);
+        assert!(c.roofline < 0.01);
+    }
+
+    #[test]
+    fn byte_split_sums_to_total_traffic() {
+        let m = CostModel::rtx2080ti();
+        for k in [
+            Kernel::gemm("mm", 128, 64, 32),
+            Kernel::gather("g", 1000, 64),
+            Kernel::scatter("s", 1000, 64),
+            Kernel::segment("seg", 1000, 64, 100),
+            Kernel::transfer("h2d", 1 << 20),
+        ] {
+            let c = m.counters(&k);
+            assert_eq!(c.bytes(), k.bytes, "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn duration_matches_priced_kernel_time_exactly() {
+        let m = CostModel::rtx2080ti();
+        for k in [
+            Kernel::gemm("mm", 128, 64, 32),
+            Kernel::elementwise("relu", 10_000, 1, 2),
+            Kernel::transfer("h2d", 1 << 20),
+        ] {
+            assert_eq!(m.counters(&k).duration, m.kernel_time(&k), "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn roofline_is_always_a_fraction() {
+        let m = CostModel::rtx2080ti();
+        for k in [
+            Kernel::gemm("mm", 1, 1, 1),
+            Kernel::gemm("mm", 8192, 8192, 8192),
+            Kernel::transfer("h2d", 1 << 30),
+            Kernel::new("zero", KernelKind::Reduction, 0, 0),
+        ] {
+            let r = m.counters(&k).roofline;
+            assert!((0.0..=1.0).contains(&r), "{} roofline {}", k.name, r);
+        }
+    }
+
+    #[test]
+    fn bound_labels_are_distinct() {
+        let labels = [
+            Bound::Compute.label(),
+            Bound::Bandwidth.label(),
+            Bound::Overhead.label(),
+        ];
+        assert_eq!(
+            labels.len(),
+            labels
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        );
+    }
+}

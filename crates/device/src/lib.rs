@@ -18,6 +18,9 @@
 //!
 //! - [`kernel::Kernel`] — a device kernel launch descriptor (kind, flops, bytes).
 //! - [`cost::CostModel`] — roofline timing: `launch + max(flops/peak, bytes/bw)`.
+//! - [`counters`] — analytical hardware counters per launch: FLOPs, split
+//!   DRAM traffic, arithmetic intensity, boundness, and attained roofline
+//!   fraction, plus the per-kind formula registry the lint checks.
 //! - [`timeline::Timeline`] — a single-stream execution timeline with a host
 //!   clock and a device-free clock; tracks busy time for utilization.
 //! - [`memory::MemoryTracker`] — a caching-allocator-style tracker with
@@ -42,6 +45,7 @@
 //! ```
 
 pub mod cost;
+pub mod counters;
 pub mod kernel;
 pub mod memory;
 pub mod multi;
@@ -49,11 +53,12 @@ pub mod pipeline;
 pub mod session;
 pub mod timeline;
 
-pub use cost::CostModel;
+pub use cost::{CostModel, PRICED_KINDS};
+pub use counters::{Bound, CounterFormula, KernelCounters};
 pub use kernel::{Kernel, KernelKind};
 pub use memory::MemoryTracker;
 pub use multi::{DataParallel, MultiGpuError, PcieModel, StepCost};
-pub use session::{DeviceReport, Phase, Session, SessionError};
+pub use session::{DeviceReport, KindProfile, Phase, Session, SessionError};
 pub use timeline::Timeline;
 
 /// Convenience re-export of the free functions that tensor/framework code

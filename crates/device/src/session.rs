@@ -101,8 +101,37 @@ pub struct Session {
     scope_stack: Vec<(String, f64)>,
     scope_times: Vec<(String, f64)>,
     kind_counts: Vec<(KernelKind, u64)>,
+    profile: Vec<KindProfile>,
+    total_flops: u64,
+    total_bytes: u64,
     /// Whether a phase span is currently open on the trace (tracing only).
     trace_phase_open: bool,
+}
+
+/// Accumulated counters for one kernel kind over a session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KindProfile {
+    /// The kernel kind.
+    pub kind: KernelKind,
+    /// Number of launches.
+    pub launches: u64,
+    /// Total floating-point operations.
+    pub flops: u64,
+    /// Total DRAM traffic in bytes (reads + writes).
+    pub bytes: u64,
+    /// Total device execution time in seconds (includes kernel overhead).
+    pub device_time: f64,
+}
+
+impl KindProfile {
+    /// Arithmetic intensity of this kind's aggregate work, FLOP/byte.
+    pub fn intensity(&self) -> f64 {
+        if self.bytes == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.bytes as f64
+        }
+    }
 }
 
 impl Session {
@@ -119,6 +148,9 @@ impl Session {
             scope_stack: Vec::new(),
             scope_times: Vec::new(),
             kind_counts: Vec::new(),
+            profile: Vec::new(),
+            total_flops: 0,
+            total_bytes: 0,
             trace_phase_open: false,
         }
     }
@@ -129,12 +161,31 @@ impl Session {
         if gnn_faults::is_active() {
             gnn_faults::on_kernel(kernel.name, self.sim_now());
         }
-        let dur = self.cost.kernel_time(&kernel);
-        let (start, end) = self.timeline.launch(self.cost.launch_time(), dur);
+        let counters = self.cost.counters(&kernel);
+        let (start, end) = self
+            .timeline
+            .launch(self.cost.launch_time(), counters.duration);
         match self.kind_counts.iter_mut().find(|(k, _)| *k == kernel.kind) {
             Some((_, n)) => *n += 1,
             None => self.kind_counts.push((kernel.kind, 1)),
         }
+        match self.profile.iter_mut().find(|p| p.kind == kernel.kind) {
+            Some(p) => {
+                p.launches += 1;
+                p.flops += kernel.flops;
+                p.bytes += kernel.bytes;
+                p.device_time += counters.duration;
+            }
+            None => self.profile.push(KindProfile {
+                kind: kernel.kind,
+                launches: 1,
+                flops: kernel.flops,
+                bytes: kernel.bytes,
+                device_time: counters.duration,
+            }),
+        }
+        self.total_flops += kernel.flops;
+        self.total_bytes += kernel.bytes;
         if obs::is_active() {
             obs::complete(
                 obs::tracks::KERNELS,
@@ -145,6 +196,17 @@ impl Session {
                     ("kind".to_owned(), obs::Value::from(kernel.kind.label())),
                     ("flops".to_owned(), obs::Value::from(kernel.flops)),
                     ("bytes".to_owned(), obs::Value::from(kernel.bytes)),
+                    (
+                        "bytes_read".to_owned(),
+                        obs::Value::from(counters.bytes_read),
+                    ),
+                    (
+                        "bytes_written".to_owned(),
+                        obs::Value::from(counters.bytes_written),
+                    ),
+                    ("ai".to_owned(), obs::Value::Num(counters.intensity)),
+                    ("roofline".to_owned(), obs::Value::Num(counters.roofline)),
+                    ("bound".to_owned(), obs::Value::from(counters.bound.label())),
                 ],
             );
         }
@@ -190,6 +252,22 @@ impl Session {
     /// Kernel launch counts per kind so far, in first-seen order.
     pub fn kind_counts_so_far(&self) -> &[(KernelKind, u64)] {
         &self.kind_counts
+    }
+
+    /// Accumulated per-kind counter profile so far, in first-seen order.
+    pub fn profile_so_far(&self) -> &[KindProfile] {
+        &self.profile
+    }
+
+    /// Total `(flops, bytes)` accumulated across all launches so far.
+    pub fn counter_totals_so_far(&self) -> (u64, u64) {
+        (self.total_flops, self.total_bytes)
+    }
+
+    /// Accumulated device busy time so far. Non-mutating, like
+    /// [`Session::sim_now`].
+    pub fn busy_so_far(&self) -> f64 {
+        self.timeline.busy()
     }
 
     /// Kernels launched so far.
@@ -325,6 +403,11 @@ impl Session {
             persistent_memory: self.memory.persistent(),
             scopes: self.scope_times,
             kind_counts: self.kind_counts,
+            profile: self.profile,
+            total_flops: self.total_flops,
+            total_bytes: self.total_bytes,
+            peak_flops: self.cost.peak_flops,
+            peak_bw: self.cost.peak_bw,
         }
     }
 }
@@ -348,6 +431,16 @@ pub struct DeviceReport {
     pub scopes: Vec<(String, f64)>,
     /// Kernel launch counts per kind, in first-seen order.
     pub kind_counts: Vec<(KernelKind, u64)>,
+    /// Accumulated counters per kind, in first-seen order.
+    pub profile: Vec<KindProfile>,
+    /// Total floating-point operations across all launches.
+    pub total_flops: u64,
+    /// Total DRAM traffic in bytes across all launches.
+    pub total_bytes: u64,
+    /// Peak FLOP rate of the session's cost model (for roofline fractions).
+    pub peak_flops: f64,
+    /// Peak DRAM bandwidth of the session's cost model.
+    pub peak_bw: f64,
 }
 
 impl DeviceReport {
@@ -358,6 +451,47 @@ impl DeviceReport {
         } else {
             (self.busy_time / self.total_time).clamp(0.0, 1.0)
         }
+    }
+
+    /// Device time spent in transfer kernels.
+    pub fn transfer_time(&self) -> f64 {
+        // fold from +0.0: an empty `sum()` is IEEE -0.0, which would leak
+        // a negative zero into reports for runs with no transfers.
+        self.profile
+            .iter()
+            .filter(|p| p.kind == KernelKind::Transfer)
+            .fold(0.0, |acc, p| acc + p.device_time)
+    }
+
+    /// Device time spent in compute (non-transfer) kernels.
+    pub fn kernel_exec_time(&self) -> f64 {
+        (self.busy_time - self.transfer_time()).max(0.0)
+    }
+
+    /// Time the device sat idle: elapsed minus busy.
+    pub fn idle_time(&self) -> f64 {
+        (self.total_time - self.busy_time).max(0.0)
+    }
+
+    /// Aggregate arithmetic intensity of the run, FLOP/byte.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            self.total_flops as f64 / self.total_bytes as f64
+        }
+    }
+
+    /// Attained roofline fraction over device busy time: the larger of the
+    /// achieved FLOP rate over peak FLOP/s and the achieved DRAM rate over
+    /// peak bandwidth, clamped to `[0, 1]`.
+    pub fn roofline_utilization(&self) -> f64 {
+        if self.busy_time <= 0.0 || self.peak_flops <= 0.0 || self.peak_bw <= 0.0 {
+            return 0.0;
+        }
+        let flop_frac = self.total_flops as f64 / self.busy_time / self.peak_flops;
+        let bw_frac = self.total_bytes as f64 / self.busy_time / self.peak_bw;
+        flop_frac.max(bw_frac).clamp(0.0, 1.0)
     }
 
     /// Time attributed to `phase` in seconds.
@@ -381,6 +515,14 @@ impl std::fmt::Display for DeviceReport {
             self.utilization() * 100.0,
             self.kernel_count,
             self.peak_memory as f64 / 1e6
+        )?;
+        writeln!(
+            f,
+            "  {:.2} GFLOP | {:.2} GB moved | AI {:.2} flop/B | roofline {:.1}%",
+            self.total_flops as f64 / 1e9,
+            self.total_bytes as f64 / 1e9,
+            self.arithmetic_intensity(),
+            self.roofline_utilization() * 100.0
         )?;
         for (phase, t) in PHASES.iter().zip(&self.phase_times) {
             writeln!(f, "  {:<10} {:.3} ms", phase.label(), t * 1e3)?;
@@ -517,13 +659,62 @@ pub fn scope<T, F: FnOnce() -> T>(name: &str, f: F) -> T {
 /// tracing enabled the simulation still proceeds identically. Framework
 /// internals (message-passing lowerings, fused kernels) use it to appear
 /// as named slices in the Chrome trace.
+///
+/// With a session installed the slice carries the hardware counters the
+/// wrapped work accumulated — FLOPs, DRAM bytes, arithmetic intensity, and
+/// the attained roofline fraction over the device time it occupied — read
+/// through the non-mutating accessors before and after `f`. Without a
+/// session it degrades to a plain begin/end span pair.
 pub fn traced<T, F: FnOnce() -> T>(track: &'static str, name: &str, f: F) -> T {
     if !obs::is_active() {
         return f();
     }
-    obs::span_begin(track, name, sim_now());
+    let before = query(|s| (s.sim_now(), s.counter_totals_so_far(), s.busy_so_far()));
+    let Some((start, (flops0, bytes0), busy0)) = before else {
+        obs::span_begin(track, name, 0.0);
+        let out = f();
+        obs::span_end(track, 0.0);
+        return out;
+    };
     let out = f();
-    obs::span_end(track, sim_now());
+    let after = query(|s| {
+        (
+            s.sim_now(),
+            s.counter_totals_so_far(),
+            s.busy_so_far(),
+            (s.cost_model().peak_flops, s.cost_model().peak_bw),
+        )
+    });
+    let Some((end, (flops1, bytes1), busy1, (peak_flops, peak_bw))) = after else {
+        return out;
+    };
+    let flops = flops1 - flops0;
+    let bytes = bytes1 - bytes0;
+    let busy = busy1 - busy0;
+    let ai = if bytes == 0 {
+        0.0
+    } else {
+        flops as f64 / bytes as f64
+    };
+    let roofline = if busy <= 0.0 {
+        0.0
+    } else {
+        let flop_frac = flops as f64 / busy / peak_flops;
+        let bw_frac = bytes as f64 / busy / peak_bw;
+        flop_frac.max(bw_frac).clamp(0.0, 1.0)
+    };
+    obs::complete(
+        track,
+        name,
+        start,
+        (end - start).max(0.0),
+        vec![
+            ("flops".to_owned(), obs::Value::from(flops)),
+            ("bytes".to_owned(), obs::Value::from(bytes)),
+            ("ai".to_owned(), obs::Value::Num(ai)),
+            ("roofline".to_owned(), obs::Value::Num(roofline)),
+        ],
+    );
     out
 }
 
@@ -642,6 +833,96 @@ mod tests {
         assert!(text.contains("util"));
         assert!(text.contains("conv1"));
         assert!(text.contains("forward") || text.contains("other"));
+    }
+
+    #[test]
+    fn profile_accumulates_counters_per_kind() {
+        let mut s = Session::new(fast_model());
+        let a = Kernel::gemm("a", 8, 8, 8);
+        let b = Kernel::gemm("b", 8, 8, 8);
+        let t = Kernel::transfer("h2d", 4096);
+        s.record(a);
+        s.record(b);
+        s.record(t);
+        let report = s.into_report();
+        let gemm = report
+            .profile
+            .iter()
+            .find(|p| p.kind == KernelKind::Gemm)
+            .unwrap();
+        assert_eq!(gemm.launches, 2);
+        assert_eq!(gemm.flops, a.flops + b.flops);
+        assert_eq!(gemm.bytes, a.bytes + b.bytes);
+        assert!(gemm.device_time > 0.0);
+        assert_eq!(report.total_flops, a.flops + b.flops);
+        assert_eq!(report.total_bytes, a.bytes + b.bytes + t.bytes);
+        // Kernel/transfer/idle partition the elapsed time.
+        let whole = report.kernel_exec_time() + report.transfer_time() + report.idle_time();
+        assert!((whole - report.total_time).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&report.roofline_utilization()));
+        assert!(report.arithmetic_intensity() > 0.0);
+    }
+
+    #[test]
+    fn kernel_slices_carry_counter_args_when_traced() {
+        let oh = obs::install(obs::Collector::new());
+        let h = install(Session::new(fast_model()));
+        record(Kernel::gemm("mm", 64, 64, 64));
+        finish(h);
+        let trace = obs::finish(oh);
+        let slice = trace
+            .events
+            .iter()
+            .find_map(|e| match &e.kind {
+                obs::EventKind::Complete { name, args, .. } if name == "mm" => Some(args),
+                _ => None,
+            })
+            .expect("kernel slice");
+        for key in [
+            "kind",
+            "flops",
+            "bytes",
+            "bytes_read",
+            "bytes_written",
+            "ai",
+            "roofline",
+            "bound",
+        ] {
+            assert!(slice.iter().any(|(k, _)| k == key), "missing arg {key}");
+        }
+    }
+
+    #[test]
+    fn traced_slices_carry_counter_deltas() {
+        let oh = obs::install(obs::Collector::new());
+        let h = install(Session::new(fast_model()));
+        let k = Kernel::gemm("mm", 64, 64, 64);
+        traced("rustyg", "agg", || record(k));
+        finish(h);
+        let trace = obs::finish(oh);
+        let args = trace
+            .events
+            .iter()
+            .find_map(|e| match &e.kind {
+                obs::EventKind::Complete { name, args, .. }
+                    if e.track == "rustyg" && name == "agg" =>
+                {
+                    Some(args)
+                }
+                _ => None,
+            })
+            .expect("traced slice");
+        let get = |key: &str| {
+            args.iter()
+                .find(|(n, _)| n == key)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("missing arg {key}"))
+        };
+        assert_eq!(get("flops").as_u64(), Some(k.flops));
+        assert_eq!(get("bytes").as_u64(), Some(k.bytes));
+        assert!(get("ai").as_f64().unwrap() > 0.0);
+        let roofline = get("roofline").as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&roofline) && roofline > 0.0);
     }
 
     #[test]

@@ -1,0 +1,523 @@
+//! Critical-path extraction and exhaustive time attribution from a trace.
+//!
+//! The device model executes on a single stream, so a session's critical
+//! path *is* its timeline: every simulated second is either a kernel of
+//! some kind executing, or the device sitting idle while the host issues
+//! launches and does framework work. [`analyze`] reconstructs that budget
+//! from the recorded events alone — no live session required — and
+//! guarantees the pieces sum **exactly** to the total, because the residual
+//! (idle) is computed as `total - accounted` rather than measured
+//! independently.
+//!
+//! Two attribution scopes come out of one trace:
+//!
+//! - [`SessionAttribution`] — per session generation (one training run /
+//!   one serve batch execution): device time split by kernel kind plus
+//!   idle, phase spans, and the hottest kernels by accumulated time.
+//! - [`ServeAttribution`] — across the serve track: the run's makespan
+//!   split into batch-execute time, queue-wait-only time (requests waiting
+//!   with no batch running — the batching delay), and idle, from the
+//!   queue-wait / execute sub-spans the engine emits per request.
+
+use crate::json::Value;
+use crate::recorder::{EventKind, Trace, TraceEvent};
+
+/// Exhaustive time attribution of one session generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionAttribution {
+    /// The trace generation (Chrome-trace process) this covers.
+    pub generation: u32,
+    /// Total simulated time spanned by the generation's events.
+    pub total: f64,
+    /// Device-busy time per kernel kind label, in first-seen order.
+    pub kinds: Vec<(String, f64)>,
+    /// Device idle time: `total` minus all kind times (exact residual).
+    pub idle: f64,
+    /// Time per training phase, from the phase track's begin/end spans.
+    pub phases: Vec<(String, f64)>,
+    /// Kernels ranked by accumulated device time: `(name, time, launches)`.
+    pub hotspots: Vec<(String, f64, u64)>,
+}
+
+impl SessionAttribution {
+    /// The attribution rows — every kind plus idle — summing exactly to
+    /// [`SessionAttribution::total`] by construction.
+    pub fn rows(&self) -> Vec<(String, f64)> {
+        let mut rows = self.kinds.clone();
+        rows.push(("idle".to_owned(), self.idle));
+        rows
+    }
+}
+
+/// Exhaustive attribution of a serving run's makespan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeAttribution {
+    /// End of the last serve event on the engine's clock.
+    pub makespan: f64,
+    /// Time at least one batch was executing.
+    pub execute: f64,
+    /// Time at least one request was queued while *no* batch executed —
+    /// pure batching/backlog delay.
+    pub queue_only: f64,
+    /// Residual: `makespan - execute - queue_only` (exact).
+    pub idle: f64,
+    /// Requests observed.
+    pub requests: u64,
+    /// Batches observed.
+    pub batches: u64,
+}
+
+impl ServeAttribution {
+    /// The attribution rows — execute, queue-wait, idle — summing exactly
+    /// to [`ServeAttribution::makespan`] by construction.
+    pub fn rows(&self) -> Vec<(String, f64)> {
+        vec![
+            ("execute".to_owned(), self.execute),
+            ("queue_wait".to_owned(), self.queue_only),
+            ("idle".to_owned(), self.idle),
+        ]
+    }
+}
+
+/// Everything [`analyze`] extracts from one trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceAnalysis {
+    /// One attribution per session generation, in generation order.
+    pub sessions: Vec<SessionAttribution>,
+    /// Serve-run attribution, when the trace contains serve-track events.
+    pub serve: Option<ServeAttribution>,
+}
+
+impl TraceAnalysis {
+    /// Renders a human-readable critical-path report.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        for s in &self.sessions {
+            out.push_str(&format!(
+                "session {} — total {:.3} ms\n",
+                s.generation,
+                s.total * 1e3
+            ));
+            for (label, t) in s.rows() {
+                let pct = if s.total > 0.0 {
+                    t / s.total * 100.0
+                } else {
+                    0.0
+                };
+                out.push_str(&format!(
+                    "  {label:<12} {:>10.3} ms  {pct:>5.1}%\n",
+                    t * 1e3
+                ));
+            }
+            for (phase, t) in &s.phases {
+                out.push_str(&format!("  phase {phase:<11} {:>8.3} ms\n", t * 1e3));
+            }
+            for (name, t, n) in s.hotspots.iter().take(5) {
+                out.push_str(&format!(
+                    "  hot {name:<16} {:>8.3} ms over {n} launches\n",
+                    t * 1e3
+                ));
+            }
+        }
+        if let Some(serve) = &self.serve {
+            out.push_str(&format!(
+                "serve — makespan {:.3} ms, {} requests in {} batches\n",
+                serve.makespan * 1e3,
+                serve.requests,
+                serve.batches
+            ));
+            for (label, t) in serve.rows() {
+                let pct = if serve.makespan > 0.0 {
+                    t / serve.makespan * 100.0
+                } else {
+                    0.0
+                };
+                out.push_str(&format!(
+                    "  {label:<12} {:>10.3} ms  {pct:>5.1}%\n",
+                    t * 1e3
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// End of an event on the simulated clock.
+fn event_end(e: &TraceEvent) -> f64 {
+    match &e.kind {
+        EventKind::Complete { dur, .. } => e.sim + dur,
+        _ => e.sim,
+    }
+}
+
+fn arg_str<'a>(args: &'a [(String, Value)], key: &str) -> Option<&'a str> {
+    args.iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| v.as_str())
+}
+
+/// Analyzes a recorded trace into per-session and serve attributions.
+pub fn analyze(trace: &Trace) -> TraceAnalysis {
+    let mut generations: Vec<u32> = Vec::new();
+    for e in &trace.events {
+        if !generations.contains(&e.generation) {
+            generations.push(e.generation);
+        }
+    }
+    let sessions = generations
+        .iter()
+        .map(|g| analyze_session(trace, *g))
+        .collect();
+    TraceAnalysis {
+        sessions,
+        serve: analyze_serve(trace),
+    }
+}
+
+fn analyze_session(trace: &Trace, generation: u32) -> SessionAttribution {
+    let events: Vec<&TraceEvent> = trace
+        .events
+        .iter()
+        .filter(|e| e.generation == generation)
+        .collect();
+    let total = events.iter().map(|e| event_end(e)).fold(0.0, f64::max);
+
+    // Kernel slices on the device stream, in execution order. The stream
+    // is single, so slices never overlap; a cursor guards against float
+    // noise double-counting anyway.
+    let mut slices: Vec<(f64, f64, String, String)> = events
+        .iter()
+        .filter(|e| e.track == crate::tracks::KERNELS)
+        .filter_map(|e| match &e.kind {
+            EventKind::Complete { name, dur, args } => {
+                let kind = arg_str(args, "kind").unwrap_or(name.as_str()).to_owned();
+                Some((e.sim, e.sim + dur, kind, name.clone()))
+            }
+            _ => None,
+        })
+        .collect();
+    slices.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let mut kinds: Vec<(String, f64)> = Vec::new();
+    let mut hotspots: Vec<(String, f64, u64)> = Vec::new();
+    let mut cursor = 0.0f64;
+    let mut accounted = 0.0f64;
+    for (start, end, kind, name) in &slices {
+        let s = start.max(cursor);
+        let e = end.max(s);
+        let dur = e - s;
+        cursor = e;
+        accounted += dur;
+        match kinds.iter_mut().find(|(k, _)| k == kind) {
+            Some((_, t)) => *t += dur,
+            None => kinds.push((kind.clone(), dur)),
+        }
+        match hotspots.iter_mut().find(|(n, _, _)| n == name) {
+            Some((_, t, c)) => {
+                *t += dur;
+                *c += 1;
+            }
+            None => hotspots.push((name.clone(), dur, 1)),
+        }
+    }
+    hotspots.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    let idle = (total - accounted).max(0.0);
+
+    // Phase spans: begin/end pairs on the phase track. An unclosed span
+    // (trace cut mid-run) closes at the generation's end.
+    let mut phases: Vec<(String, f64)> = Vec::new();
+    let mut open: Option<(String, f64)> = None;
+    for e in &events {
+        if e.track != crate::tracks::PHASE {
+            continue;
+        }
+        match &e.kind {
+            EventKind::Begin { name } => {
+                if let Some((n, start)) = open.take() {
+                    add_time(&mut phases, &n, e.sim - start);
+                }
+                open = Some((name.clone(), e.sim));
+            }
+            EventKind::End => {
+                if let Some((n, start)) = open.take() {
+                    add_time(&mut phases, &n, e.sim - start);
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some((n, start)) = open.take() {
+        add_time(&mut phases, &n, total - start);
+    }
+
+    SessionAttribution {
+        generation,
+        total,
+        kinds,
+        idle,
+        phases,
+        hotspots,
+    }
+}
+
+fn add_time(acc: &mut Vec<(String, f64)>, name: &str, dur: f64) {
+    let dur = dur.max(0.0);
+    match acc.iter_mut().find(|(n, _)| n == name) {
+        Some((_, t)) => *t += dur,
+        None => acc.push((name.to_owned(), dur)),
+    }
+}
+
+/// Sorts and merges intervals into a disjoint union.
+fn union(mut intervals: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    intervals.retain(|(s, e)| e > s);
+    intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let mut out: Vec<(f64, f64)> = Vec::new();
+    for (s, e) in intervals {
+        match out.last_mut() {
+            Some((_, last_e)) if s <= *last_e => *last_e = last_e.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+fn total_len(intervals: &[(f64, f64)]) -> f64 {
+    intervals.iter().map(|(s, e)| e - s).sum()
+}
+
+/// Subtracts the disjoint union `b` from the disjoint union `a`.
+fn subtract(a: &[(f64, f64)], b: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let mut out = Vec::new();
+    for &(mut s, e) in a {
+        for &(bs, be) in b {
+            if be <= s || bs >= e {
+                continue;
+            }
+            if bs > s {
+                out.push((s, bs));
+            }
+            s = s.max(be);
+            if s >= e {
+                break;
+            }
+        }
+        if s < e {
+            out.push((s, e));
+        }
+    }
+    out
+}
+
+fn analyze_serve(trace: &Trace) -> Option<ServeAttribution> {
+    let events: Vec<&TraceEvent> = trace
+        .events
+        .iter()
+        .filter(|e| e.track == crate::tracks::SERVE)
+        .collect();
+    if events.is_empty() {
+        return None;
+    }
+    let makespan = events.iter().map(|e| event_end(e)).fold(0.0, f64::max);
+    let mut exec_intervals = Vec::new();
+    let mut queue_intervals = Vec::new();
+    let mut requests = 0u64;
+    let mut batches = 0u64;
+    for e in &events {
+        if let EventKind::Complete { name, dur, .. } = &e.kind {
+            match name.as_str() {
+                "batch" => {
+                    batches += 1;
+                    exec_intervals.push((e.sim, e.sim + dur));
+                }
+                "request" => requests += 1,
+                "queue_wait" => queue_intervals.push((e.sim, e.sim + dur)),
+                _ => {}
+            }
+        }
+    }
+    let exec = union(exec_intervals);
+    let queue_only = subtract(&union(queue_intervals), &exec);
+    let execute = total_len(&exec);
+    let queue_only_len = total_len(&queue_only);
+    let idle = (makespan - execute - queue_only_len).max(0.0);
+    Some(ServeAttribution {
+        makespan,
+        execute,
+        queue_only: queue_only_len,
+        idle,
+        requests,
+        batches,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{EventKind, Trace, TraceEvent};
+
+    fn ev(track: &str, kind: EventKind, sim: f64, generation: u32) -> TraceEvent {
+        TraceEvent {
+            track: track.to_owned(),
+            kind,
+            sim,
+            wall: 0.0,
+            generation,
+        }
+    }
+
+    fn slice(name: &str, dur: f64, args: Vec<(String, Value)>) -> EventKind {
+        EventKind::Complete {
+            name: name.to_owned(),
+            dur,
+            args,
+        }
+    }
+
+    fn kernel(name: &str, kind: &str, sim: f64, dur: f64, generation: u32) -> TraceEvent {
+        ev(
+            crate::tracks::KERNELS,
+            EventKind::Complete {
+                name: name.to_owned(),
+                dur,
+                args: vec![("kind".to_owned(), Value::from(kind))],
+            },
+            sim,
+            generation,
+        )
+    }
+
+    #[test]
+    fn session_attribution_sums_exactly_to_total() {
+        let trace = Trace {
+            events: vec![
+                ev(
+                    crate::tracks::PHASE,
+                    EventKind::Begin {
+                        name: "forward".into(),
+                    },
+                    0.0,
+                    1,
+                ),
+                kernel("gemm_a", "gemm", 0.1, 0.2, 1),
+                kernel("gather_b", "gather", 0.3, 0.1, 1),
+                ev(
+                    crate::tracks::PHASE,
+                    EventKind::Begin {
+                        name: "backward".into(),
+                    },
+                    0.5,
+                    1,
+                ),
+                kernel("gemm_a", "gemm", 0.6, 0.3, 1),
+                ev(crate::tracks::PHASE, EventKind::End, 1.0, 1),
+            ],
+            epochs: vec![],
+        };
+        let a = analyze(&trace);
+        assert_eq!(a.sessions.len(), 1);
+        let s = &a.sessions[0];
+        assert_eq!(s.total, 1.0);
+        let sum: f64 = s.rows().iter().map(|(_, t)| t).sum();
+        assert_eq!(sum, s.total, "attribution must be exhaustive");
+        assert_eq!(s.kinds.len(), 2);
+        assert!((s.kinds[0].1 - 0.5).abs() < 1e-12); // gemm
+        assert!((s.kinds[1].1 - 0.1).abs() < 1e-12); // gather
+        assert!((s.idle - 0.4).abs() < 1e-12);
+        // Phases partition the span.
+        let phase_sum: f64 = s.phases.iter().map(|(_, t)| t).sum();
+        assert!((phase_sum - s.total).abs() < 1e-12);
+        // Hotspots ranked by time.
+        assert_eq!(s.hotspots[0].0, "gemm_a");
+        assert_eq!(s.hotspots[0].2, 2);
+    }
+
+    #[test]
+    fn generations_attribute_independently() {
+        let trace = Trace {
+            events: vec![
+                kernel("k", "gemm", 0.0, 1.0, 1),
+                kernel("k", "gemm", 0.0, 2.0, 2),
+            ],
+            epochs: vec![],
+        };
+        let a = analyze(&trace);
+        assert_eq!(a.sessions.len(), 2);
+        assert_eq!(a.sessions[0].total, 1.0);
+        assert_eq!(a.sessions[1].total, 2.0);
+        assert_eq!(a.sessions[0].idle, 0.0);
+    }
+
+    #[test]
+    fn serve_attribution_sums_exactly_to_makespan() {
+        let sv = crate::tracks::SERVE;
+        let trace = Trace {
+            events: vec![
+                // Request enqueued at 0, waits until its batch runs 1→2.
+                ev(sv, slice("queue_wait", 1.0, vec![]), 0.0, 1),
+                ev(sv, slice("batch", 1.0, vec![]), 1.0, 1),
+                ev(sv, slice("execute", 1.0, vec![]), 1.0, 1),
+                ev(sv, slice("request", 2.0, vec![]), 0.0, 1),
+                // A later lone batch 3→4 with no queueing before it.
+                ev(sv, slice("batch", 1.0, vec![]), 3.0, 1),
+            ],
+            epochs: vec![],
+        };
+        let a = analyze(&trace).serve.expect("serve events present");
+        assert_eq!(a.makespan, 4.0);
+        assert_eq!(a.execute, 2.0);
+        assert_eq!(a.queue_only, 1.0);
+        assert_eq!(a.idle, 1.0);
+        let sum: f64 = a.rows().iter().map(|(_, t)| t).sum();
+        assert_eq!(sum, a.makespan, "serve attribution must be exhaustive");
+        assert_eq!(a.requests, 1);
+        assert_eq!(a.batches, 2);
+    }
+
+    #[test]
+    fn queue_wait_overlapping_execute_counts_as_execute() {
+        let sv = crate::tracks::SERVE;
+        let trace = Trace {
+            events: vec![
+                // Queueing 0→3 fully covers the batch 1→2: only the
+                // non-overlapping 2 seconds are queue-only.
+                ev(sv, slice("queue_wait", 3.0, vec![]), 0.0, 1),
+                ev(sv, slice("batch", 1.0, vec![]), 1.0, 1),
+            ],
+            epochs: vec![],
+        };
+        let a = analyze(&trace).serve.unwrap();
+        assert_eq!(a.execute, 1.0);
+        assert_eq!(a.queue_only, 2.0);
+        assert_eq!(a.idle, 0.0);
+    }
+
+    #[test]
+    fn interval_helpers_merge_and_subtract() {
+        let u = union(vec![(0.0, 1.0), (0.5, 2.0), (3.0, 4.0), (4.0, 4.0)]);
+        assert_eq!(u, vec![(0.0, 2.0), (3.0, 4.0)]);
+        assert_eq!(total_len(&u), 3.0);
+        let d = subtract(&u, &[(0.5, 1.0), (1.5, 3.5)]);
+        assert_eq!(d, vec![(0.0, 0.5), (1.0, 1.5), (3.5, 4.0)]);
+    }
+
+    #[test]
+    fn empty_trace_analyzes_to_nothing() {
+        let a = analyze(&Trace::default());
+        assert!(a.sessions.is_empty());
+        assert!(a.serve.is_none());
+        assert_eq!(a.report(), "");
+    }
+
+    #[test]
+    fn report_renders_percentages() {
+        let trace = Trace {
+            events: vec![kernel("k", "gemm", 0.0, 1.0, 1)],
+            epochs: vec![],
+        };
+        let text = analyze(&trace).report();
+        assert!(text.contains("session 1"));
+        assert!(text.contains("gemm"));
+        assert!(text.contains("100.0%"));
+        assert!(text.contains("idle"));
+    }
+}

@@ -95,6 +95,121 @@ fn tid_for(tracks: &[(u32, String)], generation: u32, track: &str) -> u32 {
         .expect("track registered above") as u32
 }
 
+/// Parses a Chrome trace-event JSON document produced by
+/// [`chrome_trace_json`] back into the event stream.
+///
+/// Inverse up to timestamp precision: track names are recovered from the
+/// `thread_name` metadata, generations from pids, wall-clock stamps from
+/// `args.wall_s`, and every custom arg survives the round trip verbatim
+/// (`args` re-enter in document order minus the injected `wall_s`).
+/// Timestamps go through the µs scaling and back, so they match to float
+/// rounding rather than bit-for-bit.
+///
+/// # Errors
+///
+/// Returns a diagnostic when the document is not valid JSON, is missing
+/// `traceEvents`, references a thread with no `thread_name` metadata, or
+/// contains an event of unknown phase.
+pub fn parse_chrome_trace(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let doc = crate::json::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .ok_or("missing traceEvents array")?;
+    // First pass: thread_name metadata maps (pid, tid) back to tracks.
+    let mut threads: Vec<((u64, u64), String)> = Vec::new();
+    for e in events {
+        if e.get("ph").and_then(Value::as_str) == Some("M")
+            && e.get("name").and_then(Value::as_str) == Some("thread_name")
+        {
+            let pid = e.get("pid").and_then(Value::as_u64).ok_or("meta pid")?;
+            let tid = e.get("tid").and_then(Value::as_u64).ok_or("meta tid")?;
+            let track = e
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Value::as_str)
+                .ok_or("thread_name without args.name")?;
+            threads.push(((pid, tid), track.to_owned()));
+        }
+    }
+    let mut out = Vec::new();
+    for e in events {
+        let ph = e
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or("event without ph")?;
+        if ph == "M" {
+            continue;
+        }
+        let pid = e.get("pid").and_then(Value::as_u64).ok_or("event pid")?;
+        let tid = e.get("tid").and_then(Value::as_u64).ok_or("event tid")?;
+        let track = threads
+            .iter()
+            .find(|(k, _)| *k == (pid, tid))
+            .map(|(_, t)| t.clone())
+            .ok_or_else(|| format!("no thread_name metadata for pid {pid} tid {tid}"))?;
+        let sim = e.get("ts").and_then(Value::as_f64).ok_or("event ts")? / 1e6;
+        let wall = e
+            .get("args")
+            .and_then(|a| a.get("wall_s"))
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        let name = || {
+            e.get("name")
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or("event without name")
+        };
+        let custom_args = || -> Vec<(String, Value)> {
+            e.get("args")
+                .and_then(Value::as_obj)
+                .map(|members| {
+                    members
+                        .iter()
+                        .filter(|(k, _)| k != "wall_s")
+                        .cloned()
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let kind = match ph {
+            "B" => EventKind::Begin { name: name()? },
+            "E" => EventKind::End,
+            "X" => EventKind::Complete {
+                name: name()?,
+                dur: e
+                    .get("dur")
+                    .and_then(Value::as_f64)
+                    .ok_or("X without dur")?
+                    / 1e6,
+                args: custom_args(),
+            },
+            "i" => EventKind::Instant {
+                name: name()?,
+                args: custom_args(),
+            },
+            "C" => {
+                let name = name()?;
+                let value = e
+                    .get("args")
+                    .and_then(|a| a.get(&name))
+                    .and_then(Value::as_f64)
+                    .ok_or("C without value")?;
+                EventKind::Counter { name, value }
+            }
+            other => return Err(format!("unknown event phase {other}")),
+        };
+        out.push(TraceEvent {
+            track,
+            kind,
+            sim,
+            wall,
+            generation: pid as u32,
+        });
+    }
+    Ok(out)
+}
+
 fn meta_event(name: &str, pid: u32, tid: u32, value: &str) -> Value {
     Value::Obj(vec![
         ("ph".into(), Value::from("M")),
@@ -160,6 +275,77 @@ mod tests {
                 .and_then(Value::as_str),
             Some("gemm")
         );
+    }
+
+    #[test]
+    fn round_trip_preserves_counter_args() {
+        let h = install(Collector::new());
+        crate::recorder::session_started();
+        span_begin("phase", "forward", 0.5);
+        crate::recorder::complete(
+            "kernels",
+            "gemm",
+            0.5,
+            0.25,
+            vec![
+                ("kind".into(), Value::from("gemm")),
+                ("flops".into(), Value::from(123456u64)),
+                ("bytes".into(), Value::from(7890u64)),
+                ("ai".into(), Value::Num(15.647)),
+                ("roofline".into(), Value::Num(0.55)),
+                ("bound".into(), Value::from("compute")),
+            ],
+        );
+        crate::recorder::instant(
+            "train",
+            "epoch",
+            0.75,
+            vec![("n".into(), Value::from(3u32))],
+        );
+        crate::recorder::counter("memory", "device_bytes", 4096.0, 1.0);
+        span_end("phase", 1.0);
+        let trace = finish(h);
+        let parsed = parse_chrome_trace(&trace.to_chrome_json()).expect("round trip");
+        assert_eq!(parsed.len(), trace.events.len());
+        for (orig, back) in trace.events.iter().zip(&parsed) {
+            assert_eq!(orig.track, back.track);
+            assert_eq!(orig.generation, back.generation);
+            assert!((orig.sim - back.sim).abs() < 1e-9, "sim drifted");
+            // End/Counter events carry no wall_s in the export; every
+            // other kind's wall stamp survives.
+            if !matches!(orig.kind, EventKind::End | EventKind::Counter { .. }) {
+                assert!((orig.wall - back.wall).abs() < 1e-12, "wall lost");
+            }
+            // Kinds — including every custom arg — survive verbatim.
+            match (&orig.kind, &back.kind) {
+                (
+                    EventKind::Complete {
+                        name: a,
+                        dur: da,
+                        args: aa,
+                    },
+                    EventKind::Complete {
+                        name: b,
+                        dur: db,
+                        args: ab,
+                    },
+                ) => {
+                    assert_eq!(a, b);
+                    assert!((da - db).abs() < 1e-9);
+                    assert_eq!(aa, ab, "counter args must survive the round trip");
+                }
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(parse_chrome_trace("not json").is_err());
+        assert!(parse_chrome_trace("{}").is_err());
+        // An event referencing a thread with no metadata.
+        let doc = r#"{"traceEvents":[{"ph":"B","pid":1,"tid":9,"ts":0,"name":"x"}]}"#;
+        assert!(parse_chrome_trace(doc).unwrap_err().contains("thread_name"));
     }
 
     #[test]

@@ -14,6 +14,19 @@
 //!   training epoch (loss, accuracy, phase breakdown, kernel counts by
 //!   kind, peak memory, utilization) for plotting and regression tracking.
 //!
+//! On top of the stream sit two analysis layers:
+//!
+//! - **Trace analysis** ([`analysis`]) — reconstructs the critical path of
+//!   an epoch or serve run from the recorded events: per-kind device time,
+//!   idle, phase spans, hotspots, and serve queue-wait/execute/idle — each
+//!   budget summing exactly to its total.
+//! - **Metrics registry** ([`registry`]) — typed counters, gauges, and
+//!   log-scale latency histograms with exact nearest-rank quantiles,
+//!   replacing ad-hoc summary math in train/serve.
+//!
+//! The Chrome export also parses back ([`parse_chrome_trace`]), so saved
+//! traces can be re-analyzed offline with the same code paths.
+//!
 //! ## Dual timestamps
 //!
 //! The workspace *simulates* a GPU: kernel durations come from a roofline
@@ -66,17 +79,22 @@
 //! [`epoch`]: recorder::epoch
 //! [`Collector`]: recorder::Collector
 
+pub mod analysis;
 pub mod chrome;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
+pub mod registry;
 
+pub use analysis::{analyze, ServeAttribution, SessionAttribution, TraceAnalysis};
+pub use chrome::parse_chrome_trace;
 pub use json::Value;
 pub use metrics::parse_metrics_jsonl;
 pub use recorder::{
     complete, counter, epoch, finish, install, instant, is_active, session_started, span_begin,
     span_end, Collector, CollectorHandle, EpochRecord, EventKind, Trace, TraceEvent,
 };
+pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
 
 /// Well-known track names used by the workspace's instrumentation, so the
 /// Chrome export groups consistently across crates.

@@ -7,7 +7,7 @@
 //! ```json
 //! {"run":"gcn/rustyg/cora","epoch":0,"loss":1.94,"accuracy":0.31,
 //!  "lr":0.01,"sim_time":0.41,"wall_time":0.002,"utilization":0.55,
-//!  "peak_memory":1048576,
+//!  "flops":52000000,"bytes":31000000,"peak_memory":1048576,
 //!  "phase_times":{"data_load":0.1,"forward":0.2},
 //!  "kernel_counts":{"gemm":12,"scatter":4}}
 //! ```
@@ -34,6 +34,8 @@ pub fn metrics_jsonl(records: &[EpochRecord]) -> String {
             ("sim_time".into(), Value::Num(r.sim_time)),
             ("wall_time".into(), Value::Num(r.wall_time)),
             ("utilization".into(), Value::Num(r.utilization)),
+            ("flops".into(), Value::from(r.flops)),
+            ("bytes".into(), Value::from(r.bytes)),
             ("peak_memory".into(), Value::from(r.peak_memory)),
             (
                 "phase_times".into(),
@@ -113,6 +115,12 @@ pub fn parse_metrics_jsonl(text: &str) -> Result<Vec<EpochRecord>, String> {
                 .into_iter()
                 .map(|(k, v)| (k, v as u64))
                 .collect(),
+            flops: field("flops")?
+                .as_u64()
+                .ok_or_else(|| format!("line {}: flops is not an integer", i + 1))?,
+            bytes: field("bytes")?
+                .as_u64()
+                .ok_or_else(|| format!("line {}: bytes is not an integer", i + 1))?,
             peak_memory: field("peak_memory")?
                 .as_u64()
                 .ok_or_else(|| format!("line {}: peak_memory is not an integer", i + 1))?,
@@ -137,6 +145,8 @@ mod tests {
             lr: 0.01,
             phase_times: vec![("forward".into(), 0.25), ("backward".into(), 0.5)],
             kernel_counts: vec![("gemm".into(), 12), ("scatter".into(), 4)],
+            flops: 123_456_789,
+            bytes: 987_654_321,
             peak_memory: 1 << 20,
             utilization: 0.625,
             sim_time: 0.75 * (epoch + 1) as f64,

@@ -84,6 +84,12 @@ pub struct EpochRecord {
     pub phase_times: Vec<(String, f64)>,
     /// Kernel launches *during this epoch* per kernel kind (label → count).
     pub kernel_counts: Vec<(String, u64)>,
+    /// Floating-point operations executed *during this epoch*, from the
+    /// device counter model.
+    pub flops: u64,
+    /// Bytes moved through device memory *during this epoch* (reads +
+    /// writes, including transfers).
+    pub bytes: u64,
     /// Peak device memory over the run so far, in bytes.
     pub peak_memory: u64,
     /// Device utilization over the run so far (busy / elapsed, 0–1).
@@ -336,6 +342,8 @@ mod tests {
             lr: 0.0,
             phase_times: vec![],
             kernel_counts: vec![],
+            flops: 0,
+            bytes: 0,
             peak_memory: 0,
             utilization: 0.0,
             sim_time: 0.0,
@@ -355,6 +363,8 @@ mod tests {
             lr: 0.01,
             phase_times: vec![("forward".into(), 0.2)],
             kernel_counts: vec![("gemm".into(), 12)],
+            flops: 1_000_000,
+            bytes: 4_000_000,
             peak_memory: 1 << 20,
             utilization: 0.7,
             sim_time: 1.5,

@@ -1,0 +1,395 @@
+//! Typed metrics registry: counters, gauges, and log-scale histograms.
+//!
+//! Replaces the ad-hoc summary math scattered through train/serve with one
+//! deterministic vocabulary. Three metric shapes:
+//!
+//! - [`Counter`] — a monotone `u64` (kernel launches, requests served).
+//!   Also supports snapshot-diffing against an external monotone total via
+//!   [`Counter::advance_to`], which is how per-epoch deltas are carved out
+//!   of a session's running totals.
+//! - [`Gauge`] — a sampled `f64` (utilization, loss), with the same
+//!   [`Gauge::advance_to`] diffing for monotone time totals.
+//! - [`Histogram`] — a latency distribution. Every observation is retained
+//!   exactly, so quantiles are *nearest-rank on the sorted sample* —
+//!   bit-identical to sorting the raw values yourself — while a log-scale
+//!   bucketing (4 buckets per decade) summarizes the shape for display
+//!   without losing the tail.
+//!
+//! A [`MetricsRegistry`] names metrics in first-seen order, keeping every
+//! rendering deterministic.
+
+/// A monotone integer counter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+
+    /// Advances the counter to an externally tracked monotone `total`,
+    /// returning the delta since the previous observation. Saturates at
+    /// zero if `total` regressed (e.g. a fresh session reset its totals).
+    pub fn advance_to(&mut self, total: u64) -> u64 {
+        let delta = total.saturating_sub(self.value);
+        self.value = total;
+        delta
+    }
+}
+
+/// A sampled floating-point gauge.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Gauge {
+    value: f64,
+}
+
+impl Gauge {
+    /// Creates a zeroed gauge.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the gauge.
+    pub fn set(&mut self, v: f64) {
+        self.value = v;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        self.value
+    }
+
+    /// Advances the gauge to a monotone `total`, returning the delta since
+    /// the previous observation (clamped at zero).
+    pub fn advance_to(&mut self, total: f64) -> f64 {
+        let delta = (total - self.value).max(0.0);
+        self.value = total;
+        delta
+    }
+}
+
+/// Buckets per decade of the histogram's log scale.
+const BUCKETS_PER_DECADE: f64 = 4.0;
+
+/// A latency histogram with exact quantiles and log-scale display buckets.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Builds a histogram from a sample.
+    pub fn from_values(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut h = Histogram::new();
+        for v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: f64) {
+        self.values.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.values.len() as f64
+        }
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    fn sort(&mut self) {
+        if !self.sorted {
+            self.values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            self.sorted = true;
+        }
+    }
+
+    /// Nearest-rank quantile: the smallest observation such that at least
+    /// `p` percent of the sample is ≤ it. Identical to indexing the sorted
+    /// sample directly — no interpolation — so results are bit-exact and
+    /// deterministic. Returns 0 for an empty histogram.
+    pub fn quantile(&mut self, p: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.sort();
+        let rank = ((p / 100.0) * self.values.len() as f64).ceil() as usize;
+        self.values[rank.clamp(1, self.values.len()) - 1]
+    }
+
+    /// Fraction of observations ≤ `threshold` (1.0 for an empty sample):
+    /// SLO attainment when observations are latencies.
+    pub fn fraction_le(&self, threshold: f64) -> f64 {
+        if self.values.is_empty() {
+            return 1.0;
+        }
+        self.values.iter().filter(|v| **v <= threshold).count() as f64 / self.values.len() as f64
+    }
+
+    /// Non-empty log-scale buckets as `(lo, hi, count)`, 4 per decade.
+    /// Non-positive observations land in a single underflow bucket
+    /// `(0, 0, n)`.
+    pub fn buckets(&self) -> Vec<(f64, f64, u64)> {
+        let mut counts: Vec<(i64, u64)> = Vec::new();
+        let mut underflow = 0u64;
+        for v in &self.values {
+            if *v <= 0.0 {
+                underflow += 1;
+                continue;
+            }
+            let idx = (v.log10() * BUCKETS_PER_DECADE).floor() as i64;
+            match counts.iter_mut().find(|(i, _)| *i == idx) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((idx, 1)),
+            }
+        }
+        counts.sort_by_key(|(i, _)| *i);
+        let mut out = Vec::new();
+        if underflow > 0 {
+            out.push((0.0, 0.0, underflow));
+        }
+        for (idx, n) in counts {
+            let lo = 10f64.powf(idx as f64 / BUCKETS_PER_DECADE);
+            let hi = 10f64.powf((idx + 1) as f64 / BUCKETS_PER_DECADE);
+            out.push((lo, hi, n));
+        }
+        out
+    }
+}
+
+/// A named collection of metrics, in first-seen order.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: Vec<(String, Counter)>,
+    gauges: Vec<(String, Gauge)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, creating it at zero on first use.
+    pub fn counter(&mut self, name: &str) -> &mut Counter {
+        if let Some(i) = self.counters.iter().position(|(n, _)| n == name) {
+            return &mut self.counters[i].1;
+        }
+        self.counters.push((name.to_owned(), Counter::new()));
+        &mut self.counters.last_mut().unwrap().1
+    }
+
+    /// The gauge named `name`, creating it at zero on first use.
+    pub fn gauge(&mut self, name: &str) -> &mut Gauge {
+        if let Some(i) = self.gauges.iter().position(|(n, _)| n == name) {
+            return &mut self.gauges[i].1;
+        }
+        self.gauges.push((name.to_owned(), Gauge::new()));
+        &mut self.gauges.last_mut().unwrap().1
+    }
+
+    /// The histogram named `name`, creating it empty on first use.
+    pub fn histogram(&mut self, name: &str) -> &mut Histogram {
+        if let Some(i) = self.histograms.iter().position(|(n, _)| n == name) {
+            return &mut self.histograms[i].1;
+        }
+        self.histograms.push((name.to_owned(), Histogram::new()));
+        &mut self.histograms.last_mut().unwrap().1
+    }
+
+    /// All counters in first-seen order.
+    pub fn counters(&self) -> &[(String, Counter)] {
+        &self.counters
+    }
+
+    /// All gauges in first-seen order.
+    pub fn gauges(&self) -> &[(String, Gauge)] {
+        &self.gauges
+    }
+
+    /// All histograms in first-seen order.
+    pub fn histograms(&self) -> &[(String, Histogram)] {
+        &self.histograms
+    }
+
+    /// Renders a deterministic text summary of every metric.
+    pub fn render(&mut self) -> String {
+        let mut out = String::new();
+        for (name, c) in &self.counters {
+            out.push_str(&format!("counter   {name} = {}\n", c.get()));
+        }
+        for (name, g) in &self.gauges {
+            out.push_str(&format!("gauge     {name} = {:.6}\n", g.get()));
+        }
+        let names: Vec<String> = self.histograms.iter().map(|(n, _)| n.clone()).collect();
+        for name in names {
+            let h = self.histogram(&name);
+            let (p50, p95, p99) = (h.quantile(50.0), h.quantile(95.0), h.quantile(99.0));
+            out.push_str(&format!(
+                "histogram {name}: n={} mean={:.6} p50={p50:.6} p95={p95:.6} p99={p99:.6}\n",
+                h.count(),
+                h.mean(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_adds_and_diffs() {
+        let mut c = Counter::new();
+        c.add(3);
+        c.add(4);
+        assert_eq!(c.get(), 7);
+        assert_eq!(c.advance_to(10), 3);
+        assert_eq!(c.advance_to(10), 0);
+        // Regressed total (fresh session): clamps, re-anchors.
+        assert_eq!(c.advance_to(2), 0);
+        assert_eq!(c.advance_to(5), 3);
+    }
+
+    #[test]
+    fn gauge_diffs_monotone_totals() {
+        let mut g = Gauge::new();
+        assert_eq!(g.advance_to(1.5), 1.5);
+        assert_eq!(g.advance_to(4.0), 2.5);
+        g.set(0.25);
+        assert_eq!(g.get(), 0.25);
+    }
+
+    #[test]
+    fn quantiles_match_exact_sorted_quantiles() {
+        // The satellite guarantee: nearest-rank on the retained sample is
+        // identical to indexing the sorted inputs.
+        let sample = [5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0, 4.0, 6.0, 10.0];
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut h = Histogram::from_values(sample.iter().copied());
+        for p in [0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0] {
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+            let exact = sorted[rank.clamp(1, sorted.len()) - 1];
+            assert_eq!(h.quantile(p), exact, "p{p}");
+        }
+        assert_eq!(h.quantile(50.0), 5.0);
+        assert_eq!(h.quantile(100.0), 10.0);
+        assert_eq!(h.quantile(0.0), 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(99.0), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.fraction_le(1.0), 1.0);
+        assert!(h.buckets().is_empty());
+    }
+
+    #[test]
+    fn log_buckets_cover_all_observations() {
+        let mut h = Histogram::new();
+        for v in [0.0001, 0.001, 0.01, 0.1, 1.0, 10.0, 0.0002, 0.00025] {
+            h.record(v);
+        }
+        let buckets = h.buckets();
+        let total: u64 = buckets.iter().map(|(_, _, n)| n).sum();
+        assert_eq!(total as usize, h.count());
+        // Boundaries are monotone and each value lies in [lo, hi).
+        for w in buckets.windows(2) {
+            assert!(w[0].1 <= w[1].0 + 1e-12);
+        }
+        // 4 buckets per decade: 0.0001 and 0.00025 land in different buckets.
+        assert!(buckets.len() >= 6, "got {buckets:?}");
+    }
+
+    #[test]
+    fn underflow_bucket_captures_nonpositive() {
+        let h = Histogram::from_values([0.0, -1.0, 0.5]);
+        let buckets = h.buckets();
+        assert_eq!(buckets[0], (0.0, 0.0, 2));
+    }
+
+    #[test]
+    fn fraction_le_is_slo_attainment() {
+        let h = Histogram::from_values([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(h.fraction_le(2.5), 0.5);
+        assert_eq!(h.fraction_le(0.5), 0.0);
+        assert_eq!(h.fraction_le(4.0), 1.0);
+    }
+
+    #[test]
+    fn registry_names_are_stable_and_first_seen() {
+        let mut r = MetricsRegistry::new();
+        r.counter("requests").add(2);
+        r.counter("batches").add(1);
+        r.counter("requests").add(1);
+        r.gauge("util").set(0.5);
+        r.histogram("latency").record(0.01);
+        assert_eq!(r.counters()[0].0, "requests");
+        assert_eq!(r.counters()[0].1.get(), 3);
+        assert_eq!(r.counters()[1].0, "batches");
+        let text = r.render();
+        assert!(text.contains("counter   requests = 3"));
+        assert!(text.contains("gauge     util"));
+        assert!(text.contains("histogram latency: n=1"));
+    }
+}

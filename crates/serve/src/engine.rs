@@ -292,6 +292,8 @@ pub fn run(
             let exec = execute(endpoint, &batch, &mut notes);
             let reply = start + exec.duration;
             replicas[replica].free_at = reply;
+            let model = CostModel::rtx2080ti();
+            let roofline = exec.roofline(model.peak_flops, model.peak_bw);
             obs::complete(
                 tracks::SERVE,
                 "batch",
@@ -309,19 +311,50 @@ pub fn run(
                         "kernel_retries".to_owned(),
                         Value::from(exec.kernel_retries as f64),
                     ),
+                    ("flops".to_owned(), Value::from(exec.flops)),
+                    ("bytes".to_owned(), Value::from(exec.bytes)),
+                    ("ai".to_owned(), Value::Num(exec.intensity())),
+                    ("roofline".to_owned(), Value::Num(roofline)),
                 ],
             );
             for (pending, output) in batch.iter().zip(exec.outputs) {
+                let ep_arg = (
+                    "endpoint".to_owned(),
+                    Value::from(endpoint.cell.path().as_str()),
+                );
+                let req_arg = ("request".to_owned(), Value::from(pending.req.id as f64));
+                // Sub-phases of the request's life: queue-wait from
+                // admission to batch dispatch, execute from dispatch to
+                // reply. The critical-path analyzer attributes serve
+                // latency from exactly these two slices, and they sum to
+                // the enclosing request span by construction.
+                obs::complete(
+                    tracks::SERVE,
+                    "queue_wait",
+                    pending.enqueue,
+                    start - pending.enqueue,
+                    vec![ep_arg.clone(), req_arg.clone()],
+                );
+                obs::complete(
+                    tracks::SERVE,
+                    "execute",
+                    start,
+                    exec.duration,
+                    vec![
+                        ep_arg.clone(),
+                        req_arg,
+                        ("flops".to_owned(), Value::from(exec.flops)),
+                        ("bytes".to_owned(), Value::from(exec.bytes)),
+                        ("roofline".to_owned(), Value::Num(roofline)),
+                    ],
+                );
                 obs::complete(
                     tracks::SERVE,
                     "request",
                     pending.enqueue,
                     reply - pending.enqueue,
                     vec![
-                        (
-                            "endpoint".to_owned(),
-                            Value::from(endpoint.cell.path().as_str()),
-                        ),
+                        ep_arg,
                         ("target".to_owned(), Value::from(pending.req.target as f64)),
                         ("batch".to_owned(), Value::from(bid as f64)),
                         ("queued".to_owned(), Value::from(start - pending.enqueue)),
@@ -385,6 +418,31 @@ struct Execution {
     duration: f64,
     oom_splits: usize,
     kernel_retries: usize,
+    /// Hardware counters summed over every attempt's session report.
+    flops: u64,
+    bytes: u64,
+    busy: f64,
+}
+
+impl Execution {
+    /// Attained roofline fraction of the batch's device-busy time against
+    /// the replica cost model's peaks.
+    fn roofline(&self, peak_flops: f64, peak_bw: f64) -> f64 {
+        if self.busy <= 0.0 {
+            return 0.0;
+        }
+        let flop_frac = self.flops as f64 / self.busy / peak_flops;
+        let bw_frac = self.bytes as f64 / self.busy / peak_bw;
+        flop_frac.max(bw_frac).clamp(0.0, 1.0)
+    }
+
+    fn intensity(&self) -> f64 {
+        if self.bytes == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.bytes as f64
+        }
+    }
 }
 
 /// Executes `batch` on the endpoint, surviving injected faults:
@@ -399,11 +457,17 @@ fn execute(endpoint: &Endpoint, batch: &[Pending], notes: &mut Vec<String>) -> E
 fn exec_targets(endpoint: &Endpoint, targets: &[u32], notes: &mut Vec<String>) -> Execution {
     let mut duration = 0.0f64;
     let mut kernel_retries = 0usize;
+    let mut flops = 0u64;
+    let mut bytes_moved = 0u64;
+    let mut busy = 0.0f64;
     loop {
         let handle = gnn_device::session::install(Session::new(CostModel::rtx2080ti()));
         let outputs = endpoint.serve_batch(targets);
         let report = gnn_device::session::finish(handle);
         duration += report.total_time;
+        flops += report.total_flops;
+        bytes_moved += report.total_bytes;
+        busy += report.busy_time;
         match gnn_faults::take_pending() {
             None => {
                 return Execution {
@@ -411,6 +475,9 @@ fn exec_targets(endpoint: &Endpoint, targets: &[u32], notes: &mut Vec<String>) -
                     duration,
                     oom_splits: 0,
                     kernel_retries,
+                    flops,
+                    bytes: bytes_moved,
+                    busy,
                 }
             }
             Some(Fault::Oom { bytes }) => {
@@ -428,6 +495,9 @@ fn exec_targets(endpoint: &Endpoint, targets: &[u32], notes: &mut Vec<String>) -
                         duration: duration + left.duration + right.duration,
                         oom_splits: 1 + left.oom_splits + right.oom_splits,
                         kernel_retries: kernel_retries + left.kernel_retries + right.kernel_retries,
+                        flops: flops + left.flops + right.flops,
+                        bytes: bytes_moved + left.bytes + right.bytes,
+                        busy: busy + left.busy + right.busy,
                     };
                 }
                 // Already a single request: the simulated forward still
@@ -441,6 +511,9 @@ fn exec_targets(endpoint: &Endpoint, targets: &[u32], notes: &mut Vec<String>) -
                     duration,
                     oom_splits: 0,
                     kernel_retries,
+                    flops,
+                    bytes: bytes_moved,
+                    busy,
                 };
             }
             Some(Fault::Kernel { name }) => {
@@ -455,6 +528,9 @@ fn exec_targets(endpoint: &Endpoint, targets: &[u32], notes: &mut Vec<String>) -
                         duration,
                         oom_splits: 0,
                         kernel_retries,
+                        flops,
+                        bytes: bytes_moved,
+                        busy,
                     };
                 }
                 kernel_retries += 1;

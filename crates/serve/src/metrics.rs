@@ -10,6 +10,8 @@ use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use gnn_obs::Histogram;
+
 use crate::batcher::{BatchPolicy, ServeError};
 
 /// How one request was answered.
@@ -135,20 +137,37 @@ impl ServeReport {
         submitted - self.requests.len()
     }
 
+    /// Served enqueue-to-reply latencies as a [`Histogram`] (the typed
+    /// registry primitive; its nearest-rank [`Histogram::quantile`] is
+    /// bit-identical to [`percentile`] on the sorted latencies).
+    pub fn latency_histogram(&self) -> Histogram {
+        Histogram::from_values(
+            self.requests
+                .iter()
+                .filter(|r| r.served())
+                .map(RequestRecord::latency),
+        )
+    }
+
     /// `(p50, p95, p99)` enqueue-to-reply latency over served requests.
     pub fn latency_percentiles(&self) -> (f64, f64, f64) {
-        let mut lats: Vec<f64> = self
-            .requests
-            .iter()
-            .filter(|r| r.served())
-            .map(RequestRecord::latency)
-            .collect();
-        lats.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let mut hist = self.latency_histogram();
         (
-            percentile(&lats, 50.0),
-            percentile(&lats, 95.0),
-            percentile(&lats, 99.0),
+            hist.quantile(50.0),
+            hist.quantile(95.0),
+            hist.quantile(99.0),
         )
+    }
+
+    /// Fraction of **submitted** requests answered within `target`
+    /// seconds. Rejections count against attainment (they were submitted
+    /// and not served in time); an empty run attains trivially.
+    pub fn slo_attainment(&self, target: f64) -> f64 {
+        if self.requests.is_empty() {
+            return 1.0;
+        }
+        let hist = self.latency_histogram();
+        hist.fraction_le(target) * self.answered() as f64 / self.requests.len() as f64
     }
 
     /// Served requests per simulated second.
@@ -241,8 +260,7 @@ impl ServeReport {
     fn csv_row(&self, out: &mut String, scope: &str, keep: impl Fn(&RequestRecord) -> bool) {
         let reqs: Vec<&RequestRecord> = self.requests.iter().filter(|r| keep(r)).collect();
         let served: Vec<&&RequestRecord> = reqs.iter().filter(|r| r.served()).collect();
-        let mut lats: Vec<f64> = served.iter().map(|r| r.latency()).collect();
-        lats.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let mut lats = Histogram::from_values(served.iter().map(|r| r.latency()));
         let batches: Vec<&BatchRecord> = self
             .batches
             .iter()
@@ -276,9 +294,9 @@ impl ServeReport {
             served.len(),
             reqs.len() - served.len(),
             0, // dropped: structurally impossible, asserted in CI
-            percentile(&lats, 50.0),
-            percentile(&lats, 95.0),
-            percentile(&lats, 99.0),
+            lats.quantile(50.0),
+            lats.quantile(95.0),
+            lats.quantile(99.0),
             self.throughput(),
             mean_batch,
             mean_batch / self.policy.max_batch as f64,
@@ -418,6 +436,39 @@ mod tests {
         assert!(lines[1].starts_with("b4/d1000us,4,0.001,all,3,2,1,0,"));
         assert!(lines[2].contains("table4/Cora/GCN/PyG"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn histogram_percentiles_match_legacy_percentile_fn() {
+        let r = sample_report();
+        let mut lats: Vec<f64> = r
+            .requests
+            .iter()
+            .filter(|q| q.served())
+            .map(RequestRecord::latency)
+            .collect();
+        lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (p50, p95, p99) = r.latency_percentiles();
+        assert_eq!(p50, percentile(&lats, 50.0));
+        assert_eq!(p95, percentile(&lats, 95.0));
+        assert_eq!(p99, percentile(&lats, 99.0));
+    }
+
+    #[test]
+    fn slo_attainment_counts_rejections_against() {
+        let r = sample_report();
+        // Both served requests land within 10ms, but one of three
+        // submissions was rejected: attainment is 2/3, not 1.
+        assert!((r.slo_attainment(0.010) - 2.0 / 3.0).abs() < 1e-12);
+        // A 1ms target excludes every served request too.
+        assert_eq!(r.slo_attainment(0.001), 0.0);
+        let empty = ServeReport {
+            requests: vec![],
+            batches: vec![],
+            queues: vec![],
+            ..r
+        };
+        assert_eq!(empty.slo_attainment(0.010), 1.0);
     }
 
     #[test]

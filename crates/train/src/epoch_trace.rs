@@ -1,22 +1,27 @@
 //! Per-epoch metrics emission into the `gnn-obs` stream.
 //!
 //! Both training loops drive an [`EpochTracker`]: once per epoch it
-//! snapshots the live session (phase times, kernel counts by kind, peak
-//! memory, utilization) through the non-mutating accessors, diffs against
-//! the previous epoch's snapshot, and emits one [`gnn_obs::EpochRecord`]
-//! plus an `epoch` instant on the `train` track. Everything short-circuits
-//! when no collector is installed, so untraced runs pay only an
-//! `is_active()` check per epoch.
+//! snapshots the live session (phase times, kernel counts by kind, FLOP
+//! and byte totals, peak memory, utilization) through the non-mutating
+//! accessors, diffs against the previous epoch through a
+//! [`gnn_obs::MetricsRegistry`] — gauges for monotone phase times,
+//! counters for launch/FLOP/byte totals — and emits one
+//! [`gnn_obs::EpochRecord`] plus an `epoch` instant on the `train` track.
+//! Everything short-circuits when no collector is installed, so untraced
+//! runs pay only an `is_active()` check per epoch.
 
 use gnn_device::session::PHASES;
-use gnn_device::{KernelKind, Phase};
+use gnn_device::Phase;
 use gnn_obs as obs;
+use gnn_obs::MetricsRegistry;
 
 pub(crate) struct EpochTracker {
     run: String,
     epoch: u32,
-    prev_phases: [f64; 5],
-    prev_kinds: Vec<(KernelKind, u64)>,
+    /// Snapshot-diffing state: `phase/<label>` gauges, `kind/<label>`,
+    /// `flops`, and `bytes` counters, each advanced to the session's
+    /// running total once per epoch.
+    registry: MetricsRegistry,
 }
 
 impl EpochTracker {
@@ -24,8 +29,7 @@ impl EpochTracker {
         EpochTracker {
             run,
             epoch: 0,
-            prev_phases: [0.0; 5],
-            prev_kinds: Vec::new(),
+            registry: MetricsRegistry::new(),
         }
     }
 
@@ -39,35 +43,45 @@ impl EpochTracker {
         // Attribution-neutral: the time would land in Other at the next
         // transition anyway, and the loop has already synchronized.
         gnn_device::set_phase(Phase::Other);
-        let Some((phases, kinds, peak, util, sim)) = gnn_device::session::query(|s| {
-            (
-                s.phase_times_so_far(),
-                s.kind_counts_so_far().to_vec(),
-                s.memory().peak(),
-                s.utilization_so_far(),
-                s.sim_now(),
-            )
-        }) else {
+        let Some((phases, kinds, (flops_total, bytes_total), peak, util, sim)) =
+            gnn_device::session::query(|s| {
+                (
+                    s.phase_times_so_far(),
+                    s.kind_counts_so_far().to_vec(),
+                    s.counter_totals_so_far(),
+                    s.memory().peak(),
+                    s.utilization_so_far(),
+                    s.sim_now(),
+                )
+            })
+        else {
             return;
         };
         let phase_times: Vec<(String, f64)> = PHASES
             .iter()
             .enumerate()
-            .map(|(i, p)| (p.label().to_owned(), phases[i] - self.prev_phases[i]))
+            .map(|(i, p)| {
+                let dt = self
+                    .registry
+                    .gauge(&format!("phase/{}", p.label()))
+                    .advance_to(phases[i]);
+                (p.label().to_owned(), dt)
+            })
             .filter(|(_, dt)| *dt > 0.0)
             .collect();
         let kernel_counts: Vec<(String, u64)> = kinds
             .iter()
             .map(|(kind, n)| {
-                let prev = self
-                    .prev_kinds
-                    .iter()
-                    .find(|(k, _)| k == kind)
-                    .map_or(0, |(_, n)| *n);
-                (kind.label().to_owned(), n - prev)
+                let dn = self
+                    .registry
+                    .counter(&format!("kind/{}", kind.label()))
+                    .advance_to(*n);
+                (kind.label().to_owned(), dn)
             })
             .filter(|(_, dn)| *dn > 0)
             .collect();
+        let flops = self.registry.counter("flops").advance_to(flops_total);
+        let bytes = self.registry.counter("bytes").advance_to(bytes_total);
         obs::instant(
             obs::tracks::TRAIN,
             "epoch",
@@ -91,13 +105,13 @@ impl EpochTracker {
             lr,
             phase_times,
             kernel_counts,
+            flops,
+            bytes,
             peak_memory: peak,
             utilization: util,
             sim_time: sim,
             wall_time: 0.0, // stamped by the collector
         });
-        self.prev_phases = phases;
-        self.prev_kinds = kinds;
         self.epoch += 1;
     }
 }
