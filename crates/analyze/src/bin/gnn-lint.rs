@@ -1,26 +1,31 @@
 //! Standalone static analyzer for the paper sweep.
 //!
 //! ```text
-//! gnn-lint [--smoke|--quick|--full] [--scale F] [--seed N] [--json DIR]
+//! gnn-lint [--smoke|--quick|--full] [--scale F] [--seed N] [--faults P] [--json DIR]
 //! ```
 //!
 //! Lints every cell, dataset, and schedule the selected configuration would
-//! run, prints the report, and exits non-zero if any finding survives —
-//! CI's `lint-clean` job is exactly `gnn-lint --full`.
+//! run — including the memory certification of all 60 cells — prints the
+//! report, and exits non-zero if any finding survives. CI's `lint-clean`
+//! job is exactly `gnn-lint --full`; its `lint-mem` job adds `--faults
+//! canonical` and diffs `memory.json` across reruns.
 
 use std::process::ExitCode;
 
 use gnn_core::RunConfig;
+use gnn_faults::FaultPlan;
 use gnn_lint::lint_and_export;
 
-const USAGE: &str = "usage: gnn-lint [--smoke|--quick|--full] [--scale F] [--seed N] [--json DIR]
+const USAGE: &str =
+    "usage: gnn-lint [--smoke|--quick|--full] [--scale F] [--seed N] [--faults P] [--json DIR]
 
   --smoke      lint at smoke-test scale (default)
   --quick      lint at laptop scale
   --full       lint at paper scale
   --scale F    override the dataset scale, 0 < F <= 1
   --seed N     override the base RNG seed
-  --json DIR   additionally write machine-readable findings to DIR/lint.json";
+  --faults P   audit a fault plan against the run: 'canonical' or a plan file
+  --json DIR   additionally write DIR/lint.json and DIR/memory.json";
 
 fn parse(args: &[String]) -> Result<RunConfig, String> {
     let mut cfg = RunConfig::smoke();
@@ -41,6 +46,17 @@ fn parse(args: &[String]) -> Result<RunConfig, String> {
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 cfg.seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?;
+            }
+            "--faults" => {
+                let v = it
+                    .next()
+                    .ok_or("--faults needs 'canonical' or a plan file")?;
+                let plan = if v == "canonical" {
+                    FaultPlan::canonical()
+                } else {
+                    FaultPlan::load(std::path::Path::new(v))?
+                };
+                cfg = cfg.with_faults(plan);
             }
             "--json" => {
                 let dir = it.next().ok_or("--json needs a directory")?;

@@ -11,6 +11,7 @@
 use gnn_core::RunConfig;
 use gnn_faults::{FaultKind, FaultPlan};
 
+use crate::memory::CellCert;
 use crate::report::{Finding, FindingKind};
 
 /// The largest data-parallel world any configured experiment builds
@@ -64,6 +65,66 @@ pub fn check_fault_plan(plan: &FaultPlan, cfg: &RunConfig, findings: &mut Vec<Fi
                 ));
             }
             _ => {}
+        }
+    }
+}
+
+/// Audits a plan's memory ceilings against the certified per-cell
+/// footprints of the configured sweep. Two static rejections, in order of
+/// severity:
+///
+/// - a ceiling below the largest cell's *persistent* footprint
+///   (parameters + optimizer state + pinned features) is an
+///   [`FindingKind::InvalidFaultPlan`]: not even the model fits, so no
+///   amount of batch halving can help;
+/// - a ceiling below the largest cell's *fatal floor* (persistent + the
+///   smallest mandatory step at batch 1) is
+///   [`FindingKind::CeilingUnsatisfiable`]: the supervisor's batch-halving
+///   degradation has no fixed point — halving bottoms out at 1 and the
+///   retries still exhaust.
+///
+/// Zero-byte ceilings are skipped here; [`check_fault_plan`] already
+/// rejects them. Paths follow the `faults/<index>` convention.
+pub fn check_memory_ceilings(plan: &FaultPlan, certs: &[CellCert], findings: &mut Vec<Finding>) {
+    let Some(worst_persistent) = certs.iter().max_by_key(|c| c.persistent) else {
+        return;
+    };
+    let worst_floor = certs
+        .iter()
+        .max_by_key(|c| c.floor_fatal)
+        .expect("non-empty certs");
+    for (i, spec) in plan.specs.iter().enumerate() {
+        let FaultKind::MemLimit { bytes } = spec.kind else {
+            continue;
+        };
+        if bytes == 0 {
+            continue;
+        }
+        let path = format!("faults/{i}");
+        if bytes < worst_persistent.persistent {
+            findings.push(Finding::new(
+                FindingKind::InvalidFaultPlan,
+                path,
+                format!(
+                    "memlimit bytes={bytes} is below the certified persistent footprint \
+                     ({} B: parameters, optimizer state, pinned features) of {}: \
+                     no batch size can fit, so the supervisor cannot degrade its way out",
+                    worst_persistent.persistent,
+                    worst_persistent.path()
+                ),
+            ));
+        } else if bytes < worst_floor.floor_fatal {
+            findings.push(Finding::new(
+                FindingKind::CeilingUnsatisfiable,
+                path,
+                format!(
+                    "memlimit bytes={bytes} admits no batch size for {}: the certified \
+                     floor at batch 1 is {} B, so batch-halving degradation has no \
+                     fixed point and the cell fails after retries",
+                    worst_floor.path(),
+                    worst_floor.floor_fatal
+                ),
+            ));
         }
     }
 }
@@ -124,6 +185,60 @@ mod tests {
             &long
         )
         .is_empty());
+    }
+
+    #[test]
+    fn memory_ceilings_are_checked_against_certified_footprints() {
+        use crate::memory::certify_node_cell;
+        use gnn_datasets::CitationSpec;
+        use gnn_models::config::{FrameworkKind, ModelKind};
+
+        let ds = CitationSpec::cora().scaled(0.05).generate(0);
+        let cert = certify_node_cell(ModelKind::Gcn, FrameworkKind::RustyG, &ds);
+        let certs = [cert.clone()];
+        let audit = |bytes: u64| {
+            let mut findings = Vec::new();
+            check_memory_ceilings(
+                &FaultPlan::empty().with(FaultKind::MemLimit { bytes }),
+                &certs,
+                &mut findings,
+            );
+            findings
+        };
+
+        // Below the persistent footprint: statically fatal, invalid plan.
+        let below = audit(cert.persistent - 1);
+        assert_eq!(below.len(), 1, "{below:?}");
+        assert_eq!(below[0].kind, FindingKind::InvalidFaultPlan);
+        assert!(below[0].message.contains("persistent footprint"));
+        assert_eq!(below[0].path, "faults/0");
+
+        // Between persistent and the fatal floor: no batch size admits.
+        let squeezed = audit(cert.floor_fatal - 1);
+        assert_eq!(squeezed.len(), 1, "{squeezed:?}");
+        assert_eq!(squeezed[0].kind, FindingKind::CeilingUnsatisfiable);
+        assert!(squeezed[0].message.contains("no batch size"));
+
+        // At or above the floor: survivable (possibly degraded) — clean.
+        assert!(audit(cert.floor_fatal).is_empty());
+        assert!(audit(cert.peak_upper).is_empty());
+
+        // bytes=0 is check_fault_plan's finding, not a duplicate here.
+        assert!(audit(0).is_empty());
+
+        // Non-memlimit specs and empty cert sets are ignored.
+        let mut findings = Vec::new();
+        check_memory_ceilings(
+            &FaultPlan::empty().with(FaultKind::Oom { at: 1 }),
+            &certs,
+            &mut findings,
+        );
+        check_memory_ceilings(
+            &FaultPlan::empty().with(FaultKind::MemLimit { bytes: 1 }),
+            &[],
+            &mut findings,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
     }
 
     #[test]

@@ -23,15 +23,25 @@
 //!   checked for specs that can never fire under the configured run
 //!   (zero triggers on 1-based counters, poisonings past the last epoch,
 //!   replica failures on GPUs no experiment creates) or can never be
-//!   survived (a memory limit of zero).
+//!   survived (a memory limit of zero, or one below the certified
+//!   persistent footprint of the largest cell).
 //! - **Counter-coverage audit** ([`counter_check`]): every kernel kind the
 //!   device cost model prices must have a FLOPs/bytes counter formula, or
 //!   roofline attribution would silently report zero work for it.
 //! - **Serve-config audit** ([`serve_check`]): inference-serving runs are
 //!   checked for batching policies that can never fire (zero delay with a
 //!   batch size above one, batch sizes beyond the dataset's admissible
-//!   targets, queues too small to fill a batch) and endpoints naming
-//!   unknown cells.
+//!   targets, queues too small to fill a batch), endpoints naming unknown
+//!   cells, and policies whose `max_batch` cannot fit one replica
+//!   session's certified inference footprint.
+//! - **Memory certification** ([`memory`], [`liveness`]): every cell's
+//!   lowering is priced allocation-by-allocation into a closed-form
+//!   symbolic peak-memory expression (forward activations, autograd-saved
+//!   tensors, parameters, optimizer state), evaluated against the
+//!   datasets' concrete sizes. Cells that provably cannot fit a device,
+//!   and fault-plan memory ceilings that admit no batch size under the
+//!   supervisor's batch-halving degradation, are rejected statically; the
+//!   full per-cell table exports as `memory.json` next to `lint.json`.
 //!
 //! Entry points: the `gnn-lint` binary, [`run::lint_run`] /
 //! [`run::lint_and_export`] (used by the bench binaries' `--lint` gate),
@@ -43,7 +53,9 @@ pub mod counter_check;
 pub mod fault_plan;
 pub mod index_check;
 pub mod ir;
+pub mod liveness;
 pub mod lower;
+pub mod memory;
 pub mod report;
 pub mod run;
 pub mod schedule;
@@ -51,11 +63,15 @@ pub mod serve_check;
 pub mod tape;
 
 pub use counter_check::check_counter_coverage;
-pub use fault_plan::check_fault_plan;
+pub use fault_plan::{check_fault_plan, check_memory_ceilings};
 pub use ir::{DType, GraphBuilder, OpGraph, Rows, SymShape};
 pub use lower::{lower_stack, LayerPlan, StackPlan, Task};
+pub use memory::{
+    certify_graph_cell, certify_node_cell, footprint, CellCert, CellFootprint, MemExpr, MemVerdict,
+    MemoryReport,
+};
 pub use report::{Finding, FindingKind, LintReport};
-pub use run::{lint_and_export, lint_run};
+pub use run::{certify_run, lint_and_export, lint_run, lint_run_with_memory};
 pub use schedule::{data_parallel_schedule, Lane, Schedule, Slice};
-pub use serve_check::check_serve_config;
+pub use serve_check::{check_replica_memory, check_serve_config};
 pub use tape::audit_tape;

@@ -40,6 +40,17 @@ pub enum FindingKind {
     /// FLOPs/bytes counter formula (or a degenerate one), so roofline
     /// attribution would silently report zero work for it.
     CounterCoverage,
+    /// A cell's certified minimum memory footprint exceeds a device's
+    /// capacity: no admissible batch size exists, so the cell provably
+    /// cannot run there.
+    PeakExceedsDeviceMemory,
+    /// A fault-plan memory ceiling admits no batch size: even after the
+    /// supervisor's batch-halving degradation reaches batch 1, the
+    /// certified floor still overflows (the fixed point is failure).
+    CeilingUnsatisfiable,
+    /// A serve policy's `max_batch` cannot fit one replica session's
+    /// certified inference footprint.
+    ServeBatchExceedsReplicaMemory,
 }
 
 impl FindingKind {
@@ -57,6 +68,9 @@ impl FindingKind {
             FindingKind::InvalidFaultPlan => "invalid-fault-plan",
             FindingKind::InvalidServeConfig => "serve-config",
             FindingKind::CounterCoverage => "counter-coverage",
+            FindingKind::PeakExceedsDeviceMemory => "peak-exceeds-device-memory",
+            FindingKind::CeilingUnsatisfiable => "ceiling-unsatisfiable",
+            FindingKind::ServeBatchExceedsReplicaMemory => "serve-batch-exceeds-replica-memory",
         }
     }
 }

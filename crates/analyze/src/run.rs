@@ -13,21 +13,25 @@
 //! 4. timeline hazard detection over the data-parallel schedules
 //!    ([`crate::schedule`]),
 //! 5. fault-plan auditing when the config arms one — specs that can never
-//!    fire or never be survived under this run ([`crate::fault_plan`]).
+//!    fire or never be survived under this run ([`crate::fault_plan`]),
+//! 6. memory certification of every cell at the generated datasets'
+//!    concrete sizes ([`crate::memory`]), including device-capacity checks
+//!    and — for armed plans — memory ceilings that admit no batch size.
 //!
 //! Finding paths are rooted at the sweep position:
 //! `table4/Cora/GCN/PyG/conv2/matmul`, `table5/MNIST/GatedGCN/DGL/...`,
 //! `fig6/GCN/DGL/gpus4/...`.
 
 use gnn_core::RunConfig;
-use gnn_datasets::{CitationSpec, SuperpixelSpec, TudSpec};
+use gnn_datasets::{stratified_kfold, CitationSpec, SuperpixelSpec, TudSpec};
 use gnn_device::{DataParallel, StepCost};
 use gnn_models::config::{graph_hparams, FrameworkKind, ModelKind, ALL_FRAMEWORKS, ALL_MODELS};
 
 use crate::counter_check::check_counter_coverage;
-use crate::fault_plan::check_fault_plan;
+use crate::fault_plan::{check_fault_plan, check_memory_ceilings};
 use crate::index_check::{check_graph_dataset, check_node_dataset};
 use crate::lower::{lower_stack, StackPlan};
+use crate::memory::{certify_graph_cell, certify_node_cell, check_device_fit, MemoryReport};
 use crate::report::{Finding, FindingKind, LintReport};
 use crate::schedule::data_parallel_schedule;
 use crate::tape::audit_tape;
@@ -48,7 +52,23 @@ fn fw_dir(fw: FrameworkKind) -> &'static str {
 /// Lints the full sweep a [`RunConfig`] describes. Deterministic: the same
 /// config always yields the same report.
 pub fn lint_run(cfg: &RunConfig) -> LintReport {
+    lint_run_with_memory(cfg).0
+}
+
+/// Certifies the memory footprint of every cell the config sweeps, without
+/// the rest of the lint. Deterministic, like [`lint_run`].
+pub fn certify_run(cfg: &RunConfig) -> MemoryReport {
+    lint_run_with_memory(cfg).1
+}
+
+/// Lints the sweep and certifies its memory in one pass over the generated
+/// datasets (each dataset is built once and shared by both analyses). The
+/// memory findings — device-capacity violations and unsatisfiable fault
+/// ceilings — appear in *both* reports, so `lint_run` alone still gates
+/// them.
+pub fn lint_run_with_memory(cfg: &RunConfig) -> (LintReport, MemoryReport) {
     let mut report = LintReport::default();
+    let mut memory = MemoryReport::default();
 
     // Counter coverage first: this audits the device layer itself, so a
     // gap fails every configured run identically.
@@ -72,6 +92,9 @@ pub fn lint_run(cfg: &RunConfig) -> LintReport {
                 let plan = StackPlan::node(model, fw, ds.features.cols(), ds.num_classes);
                 let path = format!("{ds_path}/{}/{}", model.label(), fw_dir(fw));
                 lint_cell(&plan, &path, &mut report);
+                let cert = certify_node_cell(model, fw, &ds);
+                check_device_fit(&cert, &mut memory.findings);
+                memory.cells.push(cert);
             }
         }
     }
@@ -103,11 +126,20 @@ pub fn lint_run(cfg: &RunConfig) -> LintReport {
         let batch = cfg.batch_sizes.iter().copied().max().unwrap_or(128);
         check_graph_dataset(&ds, batch, &ds_path, &mut report.findings);
         report.datasets_checked += 1;
+        // The runner clamps the configured batch size against fold 0's
+        // training split; certify at the exact batch it would use.
+        let folds = stratified_kfold(&ds.labels(), 10, cfg.seed);
         for model in ALL_MODELS {
             for fw in ALL_FRAMEWORKS {
                 let plan = StackPlan::graph(model, fw, ds.feature_dim, ds.num_classes);
                 let path = format!("{ds_path}/{}/{}", model.label(), fw_dir(fw));
                 lint_cell(&plan, &path, &mut report);
+                let run_batch = graph_hparams(model)
+                    .batch_size
+                    .min((folds[0].train.len() / 3).max(8));
+                let cert = certify_graph_cell(model, fw, &ds, run_batch);
+                check_device_fit(&cert, &mut memory.findings);
+                memory.cells.push(cert);
             }
         }
     }
@@ -146,16 +178,27 @@ pub fn lint_run(cfg: &RunConfig) -> LintReport {
         }
     }
 
-    report
+    // Memory-ceiling audit last: it needs the certified footprints of the
+    // whole sweep to know the worst cell a `MemLimit` must accommodate.
+    if let Some(plan) = &cfg.faults {
+        check_memory_ceilings(plan, &memory.cells, &mut memory.findings);
+    }
+    report.findings.extend(memory.findings.iter().cloned());
+
+    (report, memory)
 }
 
-/// Lints and — when the config traces — saves `lint.json` next to the trace
-/// artifacts. Returns the report either way.
+/// Lints and — when the config traces — saves `lint.json` and
+/// `memory.json` next to the trace artifacts. Returns the lint report
+/// either way.
 pub fn lint_and_export(cfg: &RunConfig) -> LintReport {
-    let report = lint_run(cfg);
+    let (report, memory) = lint_run_with_memory(cfg);
     if let Some(dir) = cfg.trace.dir() {
         if let Err(e) = report.save(dir) {
             eprintln!("gnn-lint: could not write lint.json: {e}");
+        }
+        if let Err(e) = memory.save(dir) {
+            eprintln!("gnn-lint: could not write memory.json: {e}");
         }
     }
     report
@@ -192,7 +235,7 @@ mod tests {
     }
 
     #[test]
-    fn lint_and_export_writes_lint_json() {
+    fn lint_and_export_writes_lint_and_memory_json() {
         let dir = std::env::temp_dir().join("gnn-lint-test-export");
         let _ = std::fs::remove_dir_all(&dir);
         let cfg = RunConfig::smoke().with_trace(&dir);
@@ -201,6 +244,51 @@ mod tests {
         let json = std::fs::read_to_string(dir.join("lint.json")).unwrap();
         let v = gnn_obs::json::parse(&json).unwrap();
         assert_eq!(v.get("clean"), Some(&gnn_obs::Value::Bool(true)));
+        let json = std::fs::read_to_string(dir.join("memory.json")).unwrap();
+        let v = gnn_obs::json::parse(&json).unwrap();
+        assert_eq!(v.get("clean"), Some(&gnn_obs::Value::Bool(true)));
+        assert_eq!(
+            v.get("cells").and_then(|c| c.as_arr()).map(|c| c.len()),
+            Some(60)
+        );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn certify_run_covers_all_60_cells_deterministically() {
+        let cfg = RunConfig::smoke();
+        let memory = certify_run(&cfg);
+        assert!(memory.is_clean(), "{memory}");
+        assert_eq!(memory.cells.len(), 60);
+        // Every lowered cell has a certificate at its lint path, with
+        // ordered bounds.
+        for cert in &memory.cells {
+            assert!(cert.persistent > 0, "{}", cert.path());
+            assert!(
+                cert.persistent < cert.floor_fatal && cert.floor_fatal <= cert.peak_upper,
+                "{}: persistent {} floor {} upper {}",
+                cert.path(),
+                cert.persistent,
+                cert.floor_fatal,
+                cert.peak_upper
+            );
+        }
+        assert!(memory.cell("table4/Cora/GCN/PyG").is_some());
+        assert!(memory.cell("table5/DD/GatedGCN/DGL").is_some());
+        // Byte-identical export across reruns: the CI job diffs two runs.
+        let again = certify_run(&cfg);
+        assert_eq!(memory.to_value().to_json(), again.to_value().to_json());
+    }
+
+    #[test]
+    fn unsatisfiable_memory_ceilings_fail_the_lint() {
+        use gnn_faults::{FaultKind, FaultPlan};
+        // 1 MiB sits above zero (so check_fault_plan passes it) but below
+        // any cell's persistent footprint at smoke scale.
+        let cfg = RunConfig::smoke()
+            .with_faults(FaultPlan::empty().with(FaultKind::MemLimit { bytes: 1 << 20 }));
+        let report = lint_run(&cfg);
+        assert!(!report.is_clean());
+        assert_eq!(report.of_kind(FindingKind::InvalidFaultPlan).len(), 1);
     }
 }

@@ -171,33 +171,53 @@ pub fn data_parallel_schedule(
 ) -> Result<Schedule, MultiGpuError> {
     dp.validate()?;
     let n = dp.n_gpus;
-    let mut slices = Vec::new();
-    let mut t = 0.0;
+    let nf = n as f64;
 
-    slices.push(Slice::new("host_load", Lane::Host, t, t + step.host_load).writing(["batch"]));
-    t += step.host_load;
+    // Phase boundaries use the same grouped expressions, accumulated in the
+    // same left-to-right order, as `DataParallel::step_time`, so the
+    // schedule's makespan is bit-identical to the priced step time — not
+    // merely close. Per-chunk slices fill each phase; the last slice of a
+    // phase is pinned to the grouped boundary so per-chunk rounding cannot
+    // drift the total.
+    let scatter = nf * dp.pcie.latency + step.input_bytes as f64 / dp.pcie.bandwidth;
+    let replicate = (nf - 1.0) * dp.pcie.transfer_time(dp.param_bytes);
+    let gather = nf * dp.pcie.latency + step.output_bytes as f64 / dp.pcie.bandwidth;
+    let reduce = (nf - 1.0) * dp.pcie.transfer_time(dp.param_bytes);
+    let end_load = step.host_load;
+    let end_scatter = end_load + scatter;
+    let end_replicate = end_scatter + replicate;
+    let end_compute = end_replicate + step.compute;
+    let end_gather = end_compute + gather;
+    let end_reduce = end_gather + reduce;
+    let end_update = end_reduce + step.update;
+
+    let mut slices = Vec::new();
+    slices.push(Slice::new("host_load", Lane::Host, 0.0, end_load).writing(["batch"]));
 
     // Scatter: one chunk per replica, serialized over link 0.
-    let chunk = step.input_bytes as f64 / n as f64 / dp.pcie.bandwidth;
+    let chunk = dp.pcie.latency + step.input_bytes as f64 / nf / dp.pcie.bandwidth;
+    let mut t = end_load;
     for g in 0..n {
-        let dt = dp.pcie.latency + chunk;
+        let end = if g + 1 == n { end_scatter } else { t + chunk };
         slices.push(
-            Slice::new(format!("scatter[{g}]"), Lane::Link(0), t, t + dt)
+            Slice::new(format!("scatter[{g}]"), Lane::Link(0), t, end)
                 .reading(["batch"])
                 .writing([format!("input[{g}]")]),
         );
-        t += dt;
+        t = end;
     }
 
     // Replicate parameters to replicas 1..n.
+    let bcast = dp.pcie.transfer_time(dp.param_bytes);
+    let mut t = end_scatter;
     for g in 1..n {
-        let dt = dp.pcie.transfer_time(dp.param_bytes);
+        let end = if g + 1 == n { end_replicate } else { t + bcast };
         slices.push(
-            Slice::new(format!("broadcast[{g}]"), Lane::Link(0), t, t + dt)
+            Slice::new(format!("broadcast[{g}]"), Lane::Link(0), t, end)
                 .reading(["params[0]"])
                 .writing([format!("params[{g}]")]),
         );
-        t += dt;
+        t = end;
     }
 
     // Forward+backward in parallel, one stream per replica, disjoint buffers.
@@ -206,40 +226,45 @@ pub fn data_parallel_schedule(
             Slice::new(
                 format!("compute[{g}]"),
                 Lane::Stream(g),
-                t,
-                t + step.compute,
+                end_replicate,
+                end_compute,
             )
             .reading([format!("input[{g}]"), format!("params[{g}]")])
             .writing([format!("out[{g}]"), format!("grads[{g}]")]),
         );
     }
-    t += step.compute;
 
     // Gather outputs to device 0.
-    let out_chunk = step.output_bytes as f64 / n as f64 / dp.pcie.bandwidth;
+    let out_chunk = dp.pcie.latency + step.output_bytes as f64 / nf / dp.pcie.bandwidth;
+    let mut t = end_compute;
     for g in 0..n {
-        let dt = dp.pcie.latency + out_chunk;
+        let end = if g + 1 == n {
+            end_gather
+        } else {
+            t + out_chunk
+        };
         slices.push(
-            Slice::new(format!("gather[{g}]"), Lane::Link(0), t, t + dt)
+            Slice::new(format!("gather[{g}]"), Lane::Link(0), t, end)
                 .reading([format!("out[{g}]")])
                 .writing(["outs"]),
         );
-        t += dt;
+        t = end;
     }
 
     // Reduce gradients from replicas 1..n into device 0.
+    let mut t = end_gather;
     for g in 1..n {
-        let dt = dp.pcie.transfer_time(dp.param_bytes);
+        let end = if g + 1 == n { end_reduce } else { t + bcast };
         slices.push(
-            Slice::new(format!("reduce[{g}]"), Lane::Link(0), t, t + dt)
+            Slice::new(format!("reduce[{g}]"), Lane::Link(0), t, end)
                 .reading([format!("grads[{g}]")])
                 .writing(["grads[0]"]),
         );
-        t += dt;
+        t = end;
     }
 
     slices.push(
-        Slice::new("update", Lane::Stream(0), t, t + step.update)
+        Slice::new("update", Lane::Stream(0), end_reduce, end_update)
             .reading(["grads[0]"])
             .writing(["params[0]"]),
     );
@@ -263,18 +288,59 @@ mod tests {
 
     #[test]
     fn data_parallel_schedule_is_clean_and_prices_like_step_time() {
-        for n in [1, 2, 4, 8] {
+        for n in 1..=8 {
             let dp = DataParallel::new(n, 1_000_000);
             let sched = data_parallel_schedule(&dp, &step()).unwrap();
             let mut out = vec![];
             sched.check("fig6", &mut out);
             assert!(out.is_empty(), "n={n}: {out:?}");
+            // Bit-identical, not approximately equal: the schedule is the
+            // authority the lint pass vets, so its price must be the exact
+            // number `DataParallel::step_time` charges the sweep.
             let expect = dp.step_time(&step());
-            assert!(
-                (sched.makespan() - expect).abs() < 1e-9,
+            assert_eq!(
+                sched.makespan().to_bits(),
+                expect.to_bits(),
                 "n={n}: {} vs {expect}",
                 sched.makespan()
             );
+        }
+    }
+
+    #[test]
+    fn pricing_stays_bit_identical_for_awkward_step_costs() {
+        // Odd byte counts and zero-duration phases exercise the rounding
+        // paths where per-chunk accumulation would drift off the grouped
+        // totals without the pinned phase boundaries.
+        let costs = [
+            StepCost {
+                host_load: 3.7e-3,
+                input_bytes: 1_234_567,
+                compute: 9.1e-4,
+                output_bytes: 7_777,
+                update: 3.3e-5,
+            },
+            StepCost {
+                host_load: 0.0,
+                input_bytes: 1,
+                compute: 0.0,
+                output_bytes: 0,
+                update: 0.0,
+            },
+        ];
+        for step in costs {
+            for n in 1..=8 {
+                let dp = DataParallel::new(n, 999_999);
+                let sched = data_parallel_schedule(&dp, &step).unwrap();
+                let mut out = vec![];
+                sched.check("fig6", &mut out);
+                assert!(out.is_empty(), "n={n}: {out:?}");
+                assert_eq!(
+                    sched.makespan().to_bits(),
+                    dp.step_time(&step).to_bits(),
+                    "n={n} step={step:?}"
+                );
+            }
         }
     }
 

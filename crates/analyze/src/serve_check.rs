@@ -10,17 +10,27 @@
 //! degenerate knob under [`FindingKind::InvalidServeConfig`] ahead of the
 //! run — the `gnn-bench serve` binary's `--lint` gate refuses to start on
 //! any finding.
+//!
+//! It also prices every endpoint's inference footprint through the memory
+//! certifier ([`crate::memory`]) and rejects policies whose worst
+//! `max_batch`-sized dispatch cannot fit one replica session's device
+//! memory ([`FindingKind::ServeBatchExceedsReplicaMemory`]).
 
+use gnn_datasets::{CitationSpec, SuperpixelSpec, TudSpec};
+use gnn_device::CostModel;
 use gnn_serve::registry::target_count;
-use gnn_serve::{CellId, ServeConfig};
+use gnn_serve::{CellId, ServeConfig, TaskKind};
 
+use crate::lower::StackPlan;
+use crate::memory::footprint;
 use crate::report::{Finding, FindingKind};
 
 /// Audits a serving run before execution, appending one finding per
 /// degenerate knob. `endpoints` are the *raw* endpoint paths as given on
 /// the command line (pre-parse, so unknown cells are reportable);
 /// `cfg.endpoints` itself is not consulted. Paths are `serve/policy`,
-/// `serve/workload`, `serve/replicas`, or `serve/endpoints/<i>`.
+/// `serve/workload`, `serve/replicas`, `serve/endpoints/<i>`, or
+/// `serve/<cell>/memory`.
 pub fn check_serve_config(endpoints: &[String], cfg: &ServeConfig, findings: &mut Vec<Finding>) {
     if endpoints.is_empty() {
         findings.push(Finding::new(
@@ -114,6 +124,112 @@ pub fn check_serve_config(endpoints: &[String], cfg: &ServeConfig, findings: &mu
             "serve/replicas",
             "replicas=0: no device session can execute batches",
         ));
+    }
+
+    check_replica_memory(&cells, cfg, CostModel::rtx2080ti().device_memory, findings);
+}
+
+/// Audits each endpoint's certified inference footprint against one
+/// replica session's device `capacity` (production uses the RTX 2080 Ti's,
+/// the study's serving card), appending
+/// [`FindingKind::ServeBatchExceedsReplicaMemory`] findings at
+/// `serve/<cell>/memory`.
+///
+/// Each dispatch installs a fresh device session, so the footprint is the
+/// loader's batch allocation plus one no-grad forward:
+///
+/// - node endpoints answer from a *full-graph* forward, so the batch size
+///   is irrelevant — an oversized graph can never be answered at all
+///   (OOM splitting re-runs the same full graph);
+/// - graph endpoints collate the requested samples, so the worst
+///   `max_batch`-sized batch (the largest node counts and, independently,
+///   the largest edge counts the workload can compose) bounds every
+///   dispatch; when it cannot fit, the policy's `max_batch` is unreachable
+///   and every full batch burns an OOM split before succeeding.
+pub fn check_replica_memory(
+    cells: &[CellId],
+    cfg: &ServeConfig,
+    capacity: u64,
+    findings: &mut Vec<Finding>,
+) {
+    for cell in cells {
+        let Some((need, detail)) = replica_footprint(cell, cfg) else {
+            continue; // unknown dataset: already flagged against the parse
+        };
+        if need > capacity {
+            findings.push(Finding::new(
+                FindingKind::ServeBatchExceedsReplicaMemory,
+                format!("serve/{}/memory", cell.path()),
+                format!(
+                    "certified inference footprint {need} B ({detail}) exceeds one \
+                     replica session's {capacity} B of device memory"
+                ),
+            ));
+        }
+    }
+}
+
+/// The certified per-dispatch device footprint of `cell` under `cfg`, with
+/// a human-readable breakdown; `None` for unknown dataset names.
+fn replica_footprint(cell: &CellId, cfg: &ServeConfig) -> Option<(u64, String)> {
+    match cell.task {
+        TaskKind::Node => {
+            let spec = match cell.dataset.as_str() {
+                "Cora" => CitationSpec::cora(),
+                "PubMed" => CitationSpec::pubmed(),
+                _ => return None,
+            };
+            let ds = spec.scaled(cfg.scale).generate(cfg.seed);
+            let plan = StackPlan::node(
+                cell.model,
+                cell.framework,
+                ds.features.cols(),
+                ds.num_classes,
+            );
+            let fp = footprint(&plan);
+            let (n, e) = (ds.graph.num_nodes() as u64, ds.graph.num_edges() as u64);
+            let need = fp.load.eval(n, e, 1) + fp.forward.minus_const(4).eval(n, e, 1);
+            Some((
+                need,
+                format!("full-graph forward over {n} nodes / {e} edges"),
+            ))
+        }
+        TaskKind::Graph => {
+            let ds = match cell.dataset.as_str() {
+                "ENZYMES" => TudSpec::enzymes().scaled(cfg.scale).generate(cfg.seed),
+                "DD" => TudSpec::dd().scaled(cfg.scale).generate(cfg.seed),
+                "MNIST" => SuperpixelSpec::mnist()
+                    .scaled((cfg.scale * 0.1).min(1.0))
+                    .generate(cfg.seed),
+                _ => return None,
+            };
+            if ds.samples.is_empty() || cfg.policy.max_batch == 0 {
+                return None; // degenerate cases carry their own findings
+            }
+            let b = cfg.policy.max_batch.min(ds.samples.len()) as u64;
+            let mut node_counts: Vec<u64> = ds
+                .samples
+                .iter()
+                .map(|s| s.graph.num_nodes() as u64)
+                .collect();
+            let mut edge_counts: Vec<u64> = ds
+                .samples
+                .iter()
+                .map(|s| s.graph.num_edges() as u64)
+                .collect();
+            node_counts.sort_unstable_by(|a, b| b.cmp(a));
+            edge_counts.sort_unstable_by(|a, b| b.cmp(a));
+            let n_top: u64 = node_counts.iter().take(b as usize).sum();
+            let e_top: u64 = edge_counts.iter().take(b as usize).sum();
+            let plan = StackPlan::graph(cell.model, cell.framework, ds.feature_dim, ds.num_classes);
+            let fp = footprint(&plan);
+            let need =
+                fp.load.eval(n_top, e_top, b) + fp.forward.minus_const(4).eval(n_top, e_top, b);
+            Some((
+                need,
+                format!("worst max_batch={b} composition: {n_top} nodes / {e_top} edges"),
+            ))
+        }
     }
 }
 
@@ -214,6 +330,73 @@ mod tests {
         let findings = lint(&endpoints, &cfg);
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert!(findings[0].message.contains("never accumulate"));
+    }
+
+    #[test]
+    fn replica_memory_is_certified_per_endpoint() {
+        let cfg = ServeConfig::default();
+        let cells: Vec<CellId> = cfg.endpoints.clone();
+
+        // The default fleet fits the production card (also covered by
+        // `default_config_is_clean`), and trivially an infinite card.
+        let mut findings = Vec::new();
+        check_replica_memory(&cells, &cfg, u64::MAX, &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+
+        // A replica with almost no memory can serve nothing: every
+        // endpoint's footprint is flagged at its memory path.
+        let mut findings = Vec::new();
+        check_replica_memory(&cells, &cfg, 1 << 10, &mut findings);
+        assert_eq!(findings.len(), cells.len(), "{findings:?}");
+        assert!(findings
+            .iter()
+            .all(|f| f.kind == FindingKind::ServeBatchExceedsReplicaMemory));
+        assert!(findings
+            .iter()
+            .any(|f| f.path == format!("serve/{}/memory", cells[0].path())));
+        // Node endpoints report the full graph; graph endpoints the worst
+        // max_batch composition.
+        assert!(findings.iter().any(|f| f.message.contains("full-graph")));
+        assert!(findings.iter().any(|f| f.message.contains("max_batch")));
+
+        // The graph footprint grows with the policy's max_batch, so a
+        // capacity between the two compositions separates the policies.
+        let graph_cell: Vec<CellId> = cells
+            .iter()
+            .filter(|c| c.task == gnn_serve::TaskKind::Graph)
+            .take(1)
+            .cloned()
+            .collect();
+        let small = replica_need(&graph_cell[0], 1, &cfg);
+        let large = replica_need(&graph_cell[0], 64, &cfg);
+        assert!(small < large, "{small} vs {large}");
+        let mut between = ServeConfig {
+            policy: gnn_serve::BatchPolicy {
+                max_batch: 64,
+                max_delay: 0.001,
+            },
+            ..ServeConfig::default()
+        };
+        let mut findings = Vec::new();
+        check_replica_memory(&graph_cell, &between, small.max(large - 1), &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        between.policy.max_batch = 1;
+        let mut findings = Vec::new();
+        check_replica_memory(&graph_cell, &between, small, &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    fn replica_need(cell: &CellId, max_batch: usize, base: &ServeConfig) -> u64 {
+        let cfg = ServeConfig {
+            policy: gnn_serve::BatchPolicy {
+                max_batch,
+                max_delay: 0.001,
+            },
+            ..base.clone()
+        };
+        super::replica_footprint(cell, &cfg)
+            .expect("known dataset")
+            .0
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Cross-validation of the static memory certifier against the runtime
+//! allocator.
+//!
+//! Two independent checks keep the symbolic model honest:
+//!
+//! 1. **Dominance and tightness** — for every cell of the paper sweep, the
+//!    certified `peak_upper` must dominate the peak device memory the real
+//!    supervised training run reports, and stay within a 2x factor of it
+//!    (a bound that loose would certify anything). The same must hold under
+//!    the canonical chaos plan: transient faults are retried, never
+//!    allocated past the certified worst case.
+//!
+//! 2. **Ceiling verdicts** (property-based) — for random (cell, ceiling)
+//!    pairs, the certifier's verdict must agree with what actually happens
+//!    when a `MemLimit` fault at that ceiling is armed under the
+//!    supervisor: `Fits` runs finish clean and undegraded, `Fatal`
+//!    ceilings kill the run with a typed error. `Unknown` is the honest
+//!    middle band and asserts nothing.
+
+use gnn_core::{sweep, CellStatus, RunConfig};
+use gnn_datasets::{stratified_kfold, CitationSpec, TudSpec};
+use gnn_faults::{FaultKind, FaultPlan};
+use gnn_lint::{certify_graph_cell, certify_node_cell, certify_run, MemVerdict};
+use gnn_models::adapt::{RglLoader, RustygLoader};
+use gnn_models::config::{graph_hparams, node_hparams, ALL_FRAMEWORKS, ALL_MODELS};
+use gnn_models::{build, FrameworkKind, ModelKind};
+use gnn_train::{
+    run_graph_fold_supervised, run_node_task_supervised, GraphTaskConfig, NodeTaskConfig,
+    Supervisor,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The smallest config that still trains all 60 cells (mirrors the sweep's
+/// own tiny test config).
+fn tiny_cfg() -> RunConfig {
+    let mut cfg = RunConfig::smoke();
+    cfg.scale = 0.03;
+    cfg.node_epochs = 2;
+    cfg.graph_epochs = 1;
+    cfg
+}
+
+/// Certifies `cfg`'s sweep, runs it for real, and checks every cell's
+/// observed allocator high-water mark against its certificate.
+fn assert_certs_dominate(cfg: &RunConfig) {
+    // Certify first: the sweep arms the config's fault plan and the
+    // certifier must not run under an injector it did not ask for.
+    let certs = certify_run(cfg);
+    let out = sweep(cfg);
+    assert_eq!(out.cells.len(), 60);
+    for cell in &out.cells {
+        let path = format!(
+            "{}/{}/{}/{}",
+            cell.experiment,
+            cell.dataset,
+            cell.model.label(),
+            cell.framework.label()
+        );
+        assert_ne!(cell.status, CellStatus::Failed, "{path}: {}", cell.detail);
+        let cert = certs
+            .cell(&path)
+            .unwrap_or_else(|| panic!("no certificate for {path}"));
+        assert!(cell.peak_memory > 0, "{path}: sweep recorded no peak");
+        assert!(
+            cert.peak_upper >= cell.peak_memory,
+            "{path}: certified peak {} B does not dominate observed {} B",
+            cert.peak_upper,
+            cell.peak_memory
+        );
+        assert!(
+            cert.peak_upper as f64 <= 2.0 * cell.peak_memory as f64,
+            "{path}: certified peak {} B is more than 2x the observed {} B",
+            cert.peak_upper,
+            cell.peak_memory
+        );
+    }
+}
+
+#[test]
+fn certified_bounds_dominate_the_runtime_allocator() {
+    assert_certs_dominate(&tiny_cfg());
+}
+
+#[test]
+fn certified_bounds_hold_under_the_canonical_chaos_plan() {
+    assert_certs_dominate(&tiny_cfg().with_faults(FaultPlan::canonical()));
+}
+
+/// Maps `frac` in [0, 100] onto a ceiling spanning from well below the
+/// cell's fatal floor to comfortably above its certified peak, so the
+/// strategy exercises all three verdict bands.
+fn ceiling_from(frac: u64, floor_fatal: u64, peak_upper: u64) -> u64 {
+    let lo = floor_fatal / 2;
+    let hi = peak_upper + peak_upper / 2;
+    lo + (hi - lo) * frac / 100
+}
+
+fn node_ceiling_case(model: ModelKind, fw: FrameworkKind, frac: u64) {
+    let ds = CitationSpec::cora().scaled(0.05).generate(7);
+    let cert = certify_node_cell(model, fw, &ds);
+    let ceiling = ceiling_from(frac, cert.floor_fatal, cert.peak_upper);
+    let verdict = cert.ceiling_verdict(ceiling);
+    if verdict == MemVerdict::Unknown {
+        return; // between the bounds: the certifier honestly proves nothing
+    }
+    let f = ds.features.cols();
+    let c = ds.num_classes;
+    let mut rng = StdRng::seed_from_u64(7);
+    let task = NodeTaskConfig {
+        max_epochs: 2,
+        lr: node_hparams(model).lr,
+    };
+    let sup = Supervisor::default();
+    let handle =
+        gnn_faults::install(FaultPlan::empty().with(FaultKind::MemLimit { bytes: ceiling }));
+    let result = match fw {
+        FrameworkKind::RustyG => {
+            let stack = build::node_model_rustyg(model, f, c, &mut rng);
+            let batch = rustyg::loader::full_graph_batch(&ds);
+            run_node_task_supervised(&stack, &batch, &ds, &task, &sup)
+        }
+        FrameworkKind::Rgl => {
+            let stack = build::node_model_rgl(model, f, c, &mut rng);
+            let batch = rgl::loader::full_graph_batch(&ds);
+            run_node_task_supervised(&stack, &batch, &ds, &task, &sup)
+        }
+    };
+    gnn_faults::finish(handle);
+    match verdict {
+        MemVerdict::Fits => {
+            let run = result.unwrap_or_else(|e| {
+                panic!(
+                    "{}: certified Fits at {ceiling} B but run died: {e}",
+                    cert.path()
+                )
+            });
+            assert!(
+                !run.degraded,
+                "{}: certified Fits at {ceiling} B but the run degraded",
+                cert.path()
+            );
+        }
+        MemVerdict::Fatal => assert!(
+            result.is_err(),
+            "{}: certified Fatal at {ceiling} B but the run survived",
+            cert.path()
+        ),
+        MemVerdict::Unknown => unreachable!(),
+    }
+}
+
+fn graph_ceiling_case(model: ModelKind, fw: FrameworkKind, frac: u64) {
+    let ds = TudSpec::enzymes().scaled(0.15).generate(8);
+    let folds = stratified_kfold(&ds.labels(), 10, 8);
+    let mut task = GraphTaskConfig::from_hparams(&graph_hparams(model), 1, 8);
+    task.batch_size = task.batch_size.min((folds[0].train.len() / 3).max(8));
+    let cert = certify_graph_cell(model, fw, &ds, task.batch_size);
+    let ceiling = ceiling_from(frac, cert.floor_fatal, cert.peak_upper);
+    let verdict = cert.ceiling_verdict(ceiling);
+    if verdict == MemVerdict::Unknown {
+        return;
+    }
+    let f = ds.feature_dim;
+    let c = ds.num_classes;
+    let mut rng = StdRng::seed_from_u64(8);
+    let sup = Supervisor::default();
+    let handle =
+        gnn_faults::install(FaultPlan::empty().with(FaultKind::MemLimit { bytes: ceiling }));
+    let result = match fw {
+        FrameworkKind::RustyG => {
+            let stack = build::graph_model_rustyg(model, f, c, &mut rng);
+            let loader = RustygLoader::new(&ds);
+            run_graph_fold_supervised(&stack, &loader, &folds[0], &task, &sup)
+        }
+        FrameworkKind::Rgl => {
+            let stack = build::graph_model_rgl(model, f, c, &mut rng);
+            let loader = RglLoader::new(&ds);
+            run_graph_fold_supervised(&stack, &loader, &folds[0], &task, &sup)
+        }
+    };
+    gnn_faults::finish(handle);
+    match verdict {
+        MemVerdict::Fits => {
+            let run = result.unwrap_or_else(|e| {
+                panic!(
+                    "{}: certified Fits at {ceiling} B but run died: {e}",
+                    cert.path()
+                )
+            });
+            assert!(
+                !run.degraded,
+                "{}: certified Fits at {ceiling} B but the run degraded",
+                cert.path()
+            );
+        }
+        MemVerdict::Fatal => assert!(
+            result.is_err(),
+            "{}: certified Fatal at {ceiling} B but the run survived",
+            cert.path()
+        ),
+        MemVerdict::Unknown => unreachable!(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Full-graph node training under a random memory ceiling behaves
+    /// exactly as the certificate's verdict predicts.
+    #[test]
+    fn node_ceiling_verdicts_match_the_supervised_runtime(
+        midx in 0usize..ALL_MODELS.len(),
+        fwi in 0usize..ALL_FRAMEWORKS.len(),
+        frac in 0u64..=100,
+    ) {
+        node_ceiling_case(ALL_MODELS[midx], ALL_FRAMEWORKS[fwi], frac);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// Mini-batch graph training, where the supervisor may halve the batch
+    /// before giving up, still lands on the certified verdict: `Fatal`
+    /// ceilings admit no batch size at all.
+    #[test]
+    fn graph_ceiling_verdicts_match_the_supervised_runtime(
+        midx in 0usize..ALL_MODELS.len(),
+        fwi in 0usize..ALL_FRAMEWORKS.len(),
+        frac in 0u64..=100,
+    ) {
+        graph_ceiling_case(ALL_MODELS[midx], ALL_FRAMEWORKS[fwi], frac);
+    }
+}

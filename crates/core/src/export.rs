@@ -144,11 +144,13 @@ pub fn multi_gpu_csv(rows: &[MultiGpuRow]) -> String {
 /// dataset, model, framework) cell, with its status, retry count, detail
 /// message and the faults that fired while it ran.
 pub fn cell_outcomes_csv(cells: &[CellOutcome]) -> String {
-    let mut out = String::from("experiment,dataset,model,framework,status,retries,detail,faults\n");
+    let mut out = String::from(
+        "experiment,dataset,model,framework,status,retries,detail,faults,peak_mem_bytes\n",
+    );
     for c in cells {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{}",
             esc(&c.experiment),
             esc(&c.dataset),
             c.model.label(),
@@ -156,7 +158,8 @@ pub fn cell_outcomes_csv(cells: &[CellOutcome]) -> String {
             c.status.label(),
             c.retries,
             esc(&c.detail),
-            esc(&c.faults.join("; "))
+            esc(&c.faults.join("; ")),
+            c.peak_memory
         );
     }
     out
@@ -271,6 +274,7 @@ mod tests {
                 detail: String::new(),
                 faults: vec![],
                 retries: 0,
+                peak_memory: 1 << 20,
             },
             CellOutcome {
                 experiment: "table5".into(),
@@ -281,13 +285,16 @@ mod tests {
                 detail: "device OOM, halving batch size to 16".into(),
                 faults: vec!["oom:device OOM allocating 64 B".into()],
                 retries: 2,
+                peak_memory: 2 << 20,
             },
         ];
         let csv = cell_outcomes_csv(&cells);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
-        assert_eq!(lines[0].split(',').count(), 8);
+        assert_eq!(lines[0].split(',').count(), 9);
+        assert!(lines[0].ends_with(",peak_mem_bytes"));
         assert!(lines[1].starts_with("table4,Cora,GCN,PyG,ok,0,,"));
+        assert!(lines[1].ends_with(&format!(",{}", 1 << 20)));
         // The comma-bearing detail must be quoted to keep the column count.
         assert!(lines[2].contains("\"device OOM, halving batch size to 16\""));
         assert!(lines[2].contains("degraded"));

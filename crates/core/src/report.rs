@@ -427,6 +427,7 @@ mod tests {
             detail: detail.into(),
             faults,
             retries: 1,
+            peak_memory: 0,
         };
         let out = SweepOutcome {
             cells: vec![

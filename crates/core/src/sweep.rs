@@ -85,6 +85,11 @@ pub struct CellOutcome {
     pub faults: Vec<String>,
     /// Step retries the supervisor performed in this cell.
     pub retries: usize,
+    /// Largest device-session allocator high-water mark (bytes) across the
+    /// cell's runs/folds; 0 for failed cells. The static certifier's
+    /// `peak_upper` must dominate this, which the conformance suite
+    /// asserts.
+    pub peak_memory: u64,
 }
 
 /// Result of the fault-isolated sweep.
@@ -284,8 +289,14 @@ fn node_cell(
         Ok(runs) => digest(runs),
         Err(msg) => (CellStatus::Failed, msg.clone(), 0),
     };
+    let mut peak_memory = 0;
     if let Ok(runs) = result {
         let accs: Vec<f64> = runs.iter().map(|r| r.outcome.test_acc).collect();
+        peak_memory = runs
+            .iter()
+            .map(|r| r.outcome.report.peak_memory)
+            .max()
+            .unwrap_or(0);
         let last = runs.last().expect("seeds >= 1");
         out.table4.push(Table4Row {
             dataset: ds.name.clone(),
@@ -305,6 +316,7 @@ fn node_cell(
         detail,
         faults: fired_since(events_before),
         retries,
+        peak_memory,
     });
 }
 
@@ -350,10 +362,16 @@ fn graph_cell(
         Ok(runs) => digest(runs),
         Err(msg) => (CellStatus::Failed, msg.clone(), 0),
     };
+    let mut peak_memory = 0;
     if let Ok(runs) = result {
         let accs: Vec<f64> = runs.iter().map(|r| r.outcome.test_acc).collect();
         let epoch_times: Vec<f64> = runs.iter().map(|r| r.outcome.epoch_time).collect();
         let total_times: Vec<f64> = runs.iter().map(|r| r.outcome.total_time).collect();
+        peak_memory = runs
+            .iter()
+            .map(|r| r.outcome.report.peak_memory)
+            .max()
+            .unwrap_or(0);
         out.table5.push(Table5Row {
             dataset: ds.name.clone(),
             model,
@@ -372,6 +390,7 @@ fn graph_cell(
         detail,
         faults: fired_since(events_before),
         retries,
+        peak_memory,
     });
 }
 

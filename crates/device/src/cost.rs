@@ -28,6 +28,10 @@ pub struct CostModel {
     pub launch_overhead: f64,
     /// Device-side fixed cost per kernel (scheduling, tail effects; seconds).
     pub kernel_overhead: f64,
+    /// Usable device DRAM capacity in bytes. The static memory certifier
+    /// (`gnn-lint`) compares each cell's certified peak footprint against
+    /// this when deciding `peak-exceeds-device-memory`.
+    pub device_memory: u64,
     /// Compute efficiency factor per kernel kind (fraction of `peak_flops`).
     flops_eff: [f64; 11],
     /// Bandwidth efficiency factor per kernel kind (fraction of `peak_bw`).
@@ -84,6 +88,7 @@ impl CostModel {
             peak_bw: 616.0e9,
             launch_overhead: 6.0e-6,
             kernel_overhead: 1.5e-6,
+            device_memory: 11 * (1u64 << 30),
             //           gemm  elem  red   gath  scat  seg   smax  norm  spmm  sddmm xfer
             flops_eff: [
                 0.55, 0.05, 0.05, 0.02, 0.02, 0.03, 0.03, 0.05, 0.10, 0.05, 1.0,
@@ -106,6 +111,7 @@ impl CostModel {
         CostModel {
             peak_flops: 19.5e12,
             peak_bw: 1555.0e9,
+            device_memory: 40 * (1u64 << 30),
             ..CostModel::rtx2080ti()
         }
     }
@@ -177,6 +183,12 @@ impl CostModelBuilder {
         self
     }
 
+    /// Sets the usable device DRAM capacity (bytes).
+    pub fn device_memory(mut self, bytes: u64) -> Self {
+        self.model.device_memory = bytes;
+        self
+    }
+
     /// Sets the efficiency factors for one kernel kind.
     pub fn efficiency(mut self, kind: KernelKind, flops_frac: f64, bw_frac: f64) -> Self {
         let i = kind_index(kind);
@@ -236,6 +248,14 @@ mod tests {
         }
         // Launch overhead is a host property: unchanged.
         assert_eq!(a.launch_time(), t.launch_time());
+    }
+
+    #[test]
+    fn device_memory_capacities() {
+        assert_eq!(CostModel::rtx2080ti().device_memory, 11u64 << 30);
+        assert_eq!(CostModel::a100().device_memory, 40u64 << 30);
+        let m = CostModel::builder().device_memory(1 << 20).build();
+        assert_eq!(m.device_memory, 1 << 20);
     }
 
     #[test]

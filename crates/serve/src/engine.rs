@@ -384,6 +384,7 @@ pub fn run(
                 size: batch.len(),
                 oom_splits: exec.oom_splits,
                 kernel_retries: exec.kernel_retries,
+                peak_memory: exec.peak_memory,
             });
         }
     }
@@ -422,6 +423,8 @@ struct Execution {
     flops: u64,
     bytes: u64,
     busy: f64,
+    /// Largest session peak memory across every attempt (bytes).
+    peak_memory: u64,
 }
 
 impl Execution {
@@ -460,6 +463,7 @@ fn exec_targets(endpoint: &Endpoint, targets: &[u32], notes: &mut Vec<String>) -
     let mut flops = 0u64;
     let mut bytes_moved = 0u64;
     let mut busy = 0.0f64;
+    let mut peak_memory = 0u64;
     loop {
         let handle = gnn_device::session::install(Session::new(CostModel::rtx2080ti()));
         let outputs = endpoint.serve_batch(targets);
@@ -468,6 +472,7 @@ fn exec_targets(endpoint: &Endpoint, targets: &[u32], notes: &mut Vec<String>) -
         flops += report.total_flops;
         bytes_moved += report.total_bytes;
         busy += report.busy_time;
+        peak_memory = peak_memory.max(report.peak_memory);
         match gnn_faults::take_pending() {
             None => {
                 return Execution {
@@ -478,6 +483,7 @@ fn exec_targets(endpoint: &Endpoint, targets: &[u32], notes: &mut Vec<String>) -
                     flops,
                     bytes: bytes_moved,
                     busy,
+                    peak_memory,
                 }
             }
             Some(Fault::Oom { bytes }) => {
@@ -498,6 +504,7 @@ fn exec_targets(endpoint: &Endpoint, targets: &[u32], notes: &mut Vec<String>) -
                         flops: flops + left.flops + right.flops,
                         bytes: bytes_moved + left.bytes + right.bytes,
                         busy: busy + left.busy + right.busy,
+                        peak_memory: peak_memory.max(left.peak_memory).max(right.peak_memory),
                     };
                 }
                 // Already a single request: the simulated forward still
@@ -514,6 +521,7 @@ fn exec_targets(endpoint: &Endpoint, targets: &[u32], notes: &mut Vec<String>) -
                     flops,
                     bytes: bytes_moved,
                     busy,
+                    peak_memory,
                 };
             }
             Some(Fault::Kernel { name }) => {
@@ -531,6 +539,7 @@ fn exec_targets(endpoint: &Endpoint, targets: &[u32], notes: &mut Vec<String>) -
                         flops,
                         bytes: bytes_moved,
                         busy,
+                        peak_memory,
                     };
                 }
                 kernel_retries += 1;
@@ -595,6 +604,7 @@ mod tests {
         assert!(!report.batches.is_empty());
         for b in &report.batches {
             assert!(b.size >= 1 && b.size <= cfg.policy.max_batch);
+            assert!(b.peak_memory > 0, "every dispatch allocates on-device");
         }
     }
 

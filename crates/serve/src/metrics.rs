@@ -82,6 +82,10 @@ pub struct BatchRecord {
     pub oom_splits: usize,
     /// Whole-batch retries after kernel faults.
     pub kernel_retries: usize,
+    /// Largest device-session allocator high-water mark (bytes) across the
+    /// batch's attempts, including OOM-split re-executions. Cross-checked
+    /// against the static certifier's per-cell bound.
+    pub peak_memory: u64,
 }
 
 /// Per-endpoint queue statistics.
@@ -202,6 +206,15 @@ impl ServeReport {
         self.batches.iter().map(|b| b.kernel_retries).sum()
     }
 
+    /// Largest device-session peak memory (bytes) across all batches.
+    pub fn peak_memory(&self) -> u64 {
+        self.batches
+            .iter()
+            .map(|b| b.peak_memory)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Human-readable run summary (the block the serve binary prints).
     pub fn summary(&self) -> String {
         let (p50, p95, p99) = self.latency_percentiles();
@@ -283,9 +296,10 @@ impl ServeReport {
                 .map(|q| (q.max_depth, q.mean_depth))
                 .unwrap_or((0, 0.0))
         };
+        let peak_mem = batches.iter().map(|b| b.peak_memory).max().unwrap_or(0);
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.policy.label(),
             self.policy.max_batch,
             self.policy.max_delay,
@@ -302,6 +316,7 @@ impl ServeReport {
             mean_batch / self.policy.max_batch as f64,
             max_q,
             mean_q,
+            peak_mem,
         );
     }
 }
@@ -332,7 +347,8 @@ pub fn percentile(sorted: &[f64], p: f64) -> f64 {
 
 /// Header line of `serve_metrics.csv`.
 pub const CSV_HEADER: &str = "policy,max_batch,max_delay_s,endpoint,requests,answered,rejected,\
-dropped,p50_s,p95_s,p99_s,throughput_rps,mean_batch,occupancy,max_queue_depth,mean_queue_depth";
+dropped,p50_s,p95_s,p99_s,throughput_rps,mean_batch,occupancy,max_queue_depth,mean_queue_depth,\
+peak_mem_bytes";
 
 /// Writes `serve_metrics.csv` into `dir` (created if missing): one
 /// aggregate row plus one per-endpoint row for every policy's report.
@@ -405,6 +421,7 @@ mod tests {
                 size: 2,
                 oom_splits: 0,
                 kernel_retries: 0,
+                peak_memory: 4096,
             }],
             queues: vec![QueueStats {
                 endpoint: "table4/Cora/GCN/PyG".into(),
@@ -427,6 +444,7 @@ mod tests {
         assert_eq!(r.dropped(3), 0);
         assert!((r.mean_batch_size() - 2.0).abs() < 1e-12);
         assert!((r.occupancy() - 0.5).abs() < 1e-12);
+        assert_eq!(r.peak_memory(), 4096);
         let dir = std::env::temp_dir().join("gnn-serve-metrics-test");
         let path = write_serve_metrics(&dir, &[r]).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
@@ -434,6 +452,7 @@ mod tests {
         assert_eq!(lines[0], CSV_HEADER);
         assert_eq!(lines.len(), 3, "header + all + one endpoint");
         assert!(lines[1].starts_with("b4/d1000us,4,0.001,all,3,2,1,0,"));
+        assert!(lines[1].ends_with(",4096"), "{}", lines[1]);
         assert!(lines[2].contains("table4/Cora/GCN/PyG"));
         std::fs::remove_dir_all(&dir).ok();
     }
