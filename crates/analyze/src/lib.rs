@@ -34,6 +34,11 @@
 //!   targets, queues too small to fill a batch), endpoints naming unknown
 //!   cells, and policies whose `max_batch` cannot fit one replica
 //!   session's certified inference footprint.
+//! - **What-if audit** ([`whatif_check`]): causal-profiler predictions
+//!   (`gnn-bench whatif`) are checked for internal consistency before
+//!   publication — a virtual *speedup* may never predict a slowdown,
+//!   predictions must improve monotonically with the speedup factor, and
+//!   no component may save more time than its own measured budget.
 //! - **Memory certification** ([`memory`], [`liveness`]): every cell's
 //!   lowering is priced allocation-by-allocation into a closed-form
 //!   symbolic peak-memory expression (forward activations, autograd-saved
@@ -61,6 +66,7 @@ pub mod run;
 pub mod schedule;
 pub mod serve_check;
 pub mod tape;
+pub mod whatif_check;
 
 pub use counter_check::check_counter_coverage;
 pub use fault_plan::{check_fault_plan, check_memory_ceilings};

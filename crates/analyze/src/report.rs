@@ -51,6 +51,11 @@ pub enum FindingKind {
     /// A serve policy's `max_batch` cannot fit one replica session's
     /// certified inference footprint.
     ServeBatchExceedsReplicaMemory,
+    /// A causal what-if prediction violates its own physics: a virtual
+    /// speedup that slows the run down, a prediction that is not monotone
+    /// in the speedup factor, or a predicted saving exceeding the
+    /// component's recorded critical-path budget.
+    WhatIfInconsistent,
 }
 
 impl FindingKind {
@@ -71,6 +76,7 @@ impl FindingKind {
             FindingKind::PeakExceedsDeviceMemory => "peak-exceeds-device-memory",
             FindingKind::CeilingUnsatisfiable => "ceiling-unsatisfiable",
             FindingKind::ServeBatchExceedsReplicaMemory => "serve-batch-exceeds-replica-memory",
+            FindingKind::WhatIfInconsistent => "whatif-inconsistency",
         }
     }
 }

@@ -122,7 +122,18 @@ fn main() {
 
     if let Some(dir) = &opts.trace {
         match gnn_serve::write_serve_metrics(dir, &reports) {
-            Ok(path) => println!("serve:   {}", path.display()),
+            // Parse the artifact back and assert its schema stamp, so a
+            // column drift fails the run here rather than in a consumer.
+            Ok(path) => match std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| gnn_serve::check_serve_metrics_schema(&text))
+            {
+                Ok(()) => println!("serve:   {}", path.display()),
+                Err(e) => {
+                    eprintln!("error: {}: {e}", path.display());
+                    failed = true;
+                }
+            },
             Err(e) => {
                 eprintln!("error: writing serve_metrics.csv to {}: {e}", dir.display());
                 failed = true;

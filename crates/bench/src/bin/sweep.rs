@@ -10,7 +10,9 @@
 //!
 //! Exits nonzero if any cell failed.
 
-use gnn_core::export::{cell_outcomes_csv, table4_csv, table5_csv, write_csv};
+use gnn_core::export::{
+    cell_outcomes_csv, check_csv_schema, table4_csv, table5_csv, write_csv, CELL_OUTCOMES_SCHEMA,
+};
 use gnn_core::report::{sweep_report, table4_report, table5_report};
 
 fn main() {
@@ -32,7 +34,18 @@ fn main() {
     if let Some(dir) = cfg.trace.dir() {
         let path = dir.join("cell_outcomes.csv");
         match write_csv(&path, &cell_outcomes_csv(&out.cells)) {
-            Ok(()) => println!("cells:   {}", path.display()),
+            // Parse the artifact back and assert its schema stamp, so a
+            // column drift fails the run here rather than in a consumer.
+            Ok(()) => match std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| check_csv_schema(&text, CELL_OUTCOMES_SCHEMA))
+            {
+                Ok(()) => println!("cells:   {}", path.display()),
+                Err(e) => {
+                    eprintln!("error: {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            },
             Err(e) => eprintln!("error: writing {}: {e}", path.display()),
         }
         let _ = write_csv(&dir.join("table4.csv"), &table4_csv(&out.table4));

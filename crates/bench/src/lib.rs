@@ -16,6 +16,7 @@
 //! | `sweep`   | Fault-isolated sweep over all 60 cells |
 //! | `serve`   | Inference serving: batching-policy sweep over trained cells |
 //! | `report`  | Regression observatory: canonical cells + serve policies → `BENCH_<n>.json`, diffed against the previous report |
+//! | `whatif`  | Causal profiler: virtual-speedup experiments over the recorded timeline → ranked opportunities in `whatif.json` (`--conformance` re-runs the top predictions for real) |
 //!
 //! Common flags: `--quick` (default), `--full` (paper scale), `--smoke`,
 //! `--scale <f>`, `--seed <n>`, `--epochs <n>`, `--folds <n>`,
@@ -40,6 +41,7 @@
 //! device.
 
 pub mod report;
+pub mod whatif;
 
 use gnn_core::RunConfig;
 use gnn_faults::FaultPlan;
@@ -58,6 +60,19 @@ fn parse_fault_plan(spec: &str) -> Result<FaultPlan, String> {
             }
         }
     }
+}
+
+/// Parses and validates an artifact-directory flag value: the destination
+/// must be creatable and writable ([`gnn_core::validate_artifact_dir`]),
+/// so a doomed `--trace`/`--ckpt` path fails at parse time with a typed
+/// diagnostic naming the path, instead of after the training run.
+fn artifact_dir(
+    name: &str,
+    value_of: &mut impl FnMut(&str) -> Result<String, String>,
+) -> Result<std::path::PathBuf, String> {
+    let dir = std::path::PathBuf::from(value_of(name)?);
+    gnn_core::validate_artifact_dir(&dir).map_err(|e| format!("{name}: {e}"))?;
+    Ok(dir)
 }
 
 /// Parsed command-line options shared by the reproduction binaries.
@@ -129,11 +144,11 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                     .map_err(|e| format!("--seeds: {e}"))?;
             }
             "--trace" => {
-                config.trace = gnn_core::TraceConfig::to(value_of("--trace")?);
+                config.trace = gnn_core::TraceConfig::to(artifact_dir("--trace", &mut value_of)?);
             }
             "--lint" => lint = true,
             "--faults" => faults = Some(parse_fault_plan(&value_of("--faults")?)?),
-            "--ckpt" => ckpt_dir = Some(value_of("--ckpt")?.into()),
+            "--ckpt" => ckpt_dir = Some(artifact_dir("--ckpt", &mut value_of)?),
             "--resume" => resume = true,
             "--dataset" => dataset = Some(value_of("--dataset")?.to_lowercase()),
             "--metric" => metric = Some(value_of("--metric")?.to_lowercase()),
@@ -281,8 +296,8 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeCliOptions, String> {
                     .parse()
                     .map_err(|e| format!("--replicas: {e}"))?;
             }
-            "--ckpt" => serve.ckpt_dir = Some(value_of("--ckpt")?.into()),
-            "--trace" => trace = Some(value_of("--trace")?.into()),
+            "--ckpt" => serve.ckpt_dir = Some(artifact_dir("--ckpt", &mut value_of)?),
+            "--trace" => trace = Some(artifact_dir("--trace", &mut value_of)?),
             "--lint" => lint = true,
             "--faults" => faults = Some(parse_fault_plan(&value_of("--faults")?)?),
             other => return Err(format!("unknown flag: {other}")),
@@ -428,6 +443,30 @@ mod tests {
         assert!(o.config.trace.enabled());
         assert_eq!(o.config.trace.dir(), Some(std::path::Path::new("out/run1")));
         assert!(parse_args(&s(&["--trace"])).is_err());
+    }
+
+    #[test]
+    fn artifact_dir_flags_reject_unusable_paths() {
+        let dir = std::env::temp_dir().join(format!("gnn_bench_artifact_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("plain.txt");
+        std::fs::write(&file, "x").unwrap();
+        let blocked = file.join("nested").display().to_string();
+
+        for flag in ["--trace", "--ckpt"] {
+            let err = parse_args(&s(&[flag, &blocked])).unwrap_err();
+            assert!(err.contains(flag), "{err}");
+            assert!(err.contains(&blocked), "error must name the path: {err}");
+            assert!(err.contains("not a directory"), "{err}");
+            let err = parse_serve_args(&s(&[flag, &blocked])).unwrap_err();
+            assert!(err.contains(&blocked), "{err}");
+        }
+        // Good paths still parse, and validation creates nothing.
+        let fresh = dir.join("fresh/run");
+        let o = parse_args(&s(&["--trace", fresh.to_str().unwrap()])).unwrap();
+        assert_eq!(o.config.trace.dir(), Some(fresh.as_path()));
+        assert!(!fresh.exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

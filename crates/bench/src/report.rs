@@ -137,22 +137,32 @@ pub struct BenchReport {
     pub serve: Vec<ServePolicyReport>,
 }
 
-fn run_cell(cell: &CellId, cfg: &ReportConfig) -> CellReport {
-    let report = match cell.task {
+/// Trains one cell and returns `(epoch_time, total_time, device_report)`.
+/// Shared between the report harness and the causal what-if profiler
+/// (`crate::whatif`), which needs the raw device report for roofline
+/// attribution and runs under an observability collector to capture the
+/// device schedule.
+pub(crate) fn train_cell(
+    cell: &CellId,
+    scale: f64,
+    epochs: usize,
+    seed: u64,
+) -> (f64, f64, gnn_device::DeviceReport) {
+    match cell.task {
         TaskKind::Node => {
             let spec = match cell.dataset.as_str() {
                 "Cora" => CitationSpec::cora(),
                 "PubMed" => CitationSpec::pubmed(),
                 other => panic!("unknown node dataset {other}"),
             };
-            let ds = spec.scaled(cfg.scale).generate(cfg.seed);
+            let ds = spec.scaled(scale).generate(seed);
             let task = NodeTaskConfig {
-                max_epochs: cfg.epochs,
+                max_epochs: epochs,
                 lr: node_hparams(cell.model).lr,
             };
             let f = ds.features.cols();
             let c = ds.num_classes;
-            let mut rng = StdRng::seed_from_u64(cfg.seed + 1);
+            let mut rng = StdRng::seed_from_u64(seed + 1);
             let out = match cell.framework {
                 FrameworkKind::RustyG => {
                     let stack = build::node_model_rustyg(cell.model, f, c, &mut rng);
@@ -169,21 +179,20 @@ fn run_cell(cell: &CellId, cfg: &ReportConfig) -> CellReport {
         }
         TaskKind::Graph => {
             let ds = match cell.dataset.as_str() {
-                "ENZYMES" => TudSpec::enzymes().scaled(cfg.scale).generate(cfg.seed),
-                "DD" => TudSpec::dd().scaled(cfg.scale).generate(cfg.seed),
+                "ENZYMES" => TudSpec::enzymes().scaled(scale).generate(seed),
+                "DD" => TudSpec::dd().scaled(scale).generate(seed),
                 "MNIST" => SuperpixelSpec::mnist()
-                    .scaled((cfg.scale * 0.1).min(1.0))
-                    .generate(cfg.seed),
+                    .scaled((scale * 0.1).min(1.0))
+                    .generate(seed),
                 other => panic!("unknown graph dataset {other}"),
             };
-            let folds = stratified_kfold(&ds.labels(), 10, cfg.seed);
+            let folds = stratified_kfold(&ds.labels(), 10, seed);
             let fold = &folds[0];
-            let mut task =
-                GraphTaskConfig::from_hparams(&graph_hparams(cell.model), cfg.epochs, cfg.seed);
+            let mut task = GraphTaskConfig::from_hparams(&graph_hparams(cell.model), epochs, seed);
             task.batch_size = task.batch_size.min((fold.train.len() / 3).max(8));
             let f = ds.feature_dim;
             let c = ds.num_classes;
-            let mut rng = StdRng::seed_from_u64(cfg.seed + 1);
+            let mut rng = StdRng::seed_from_u64(seed + 1);
             let out = match cell.framework {
                 FrameworkKind::RustyG => {
                     let stack = build::graph_model_rustyg(cell.model, f, c, &mut rng);
@@ -198,8 +207,11 @@ fn run_cell(cell: &CellId, cfg: &ReportConfig) -> CellReport {
             };
             (out.epoch_time, out.total_time, out.report)
         }
-    };
-    let (epoch_time, total_time, dev) = report;
+    }
+}
+
+fn run_cell(cell: &CellId, cfg: &ReportConfig) -> CellReport {
+    let (epoch_time, total_time, dev) = train_cell(cell, cfg.scale, cfg.epochs, cfg.seed);
     CellReport {
         cell: cell.path(),
         epoch_time,

@@ -1,8 +1,147 @@
 //! Run-scale configuration.
 
+use std::fmt;
 use std::path::{Path, PathBuf};
 
 use gnn_faults::FaultPlan;
+
+/// A typed error for an unusable artifact destination (`--trace`,
+/// `--ckpt`, `--out`): names the offending path and why it cannot be used.
+///
+/// Before this existed, a bad artifact path surfaced only when the first
+/// write happened — after minutes of training, and for some paths as a
+/// panic. The bench binaries now validate destinations at flag-parse time
+/// and report this error instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArtifactPathError {
+    /// The offending path, as given on the command line.
+    pub path: PathBuf,
+    /// Why the path cannot be used.
+    pub reason: String,
+}
+
+impl fmt::Display for ArtifactPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "artifact path `{}` is unusable: {}",
+            self.path.display(),
+            self.reason
+        )
+    }
+}
+
+impl std::error::Error for ArtifactPathError {}
+
+impl ArtifactPathError {
+    fn new(path: &Path, reason: impl Into<String>) -> Self {
+        ArtifactPathError {
+            path: path.to_path_buf(),
+            reason: reason.into(),
+        }
+    }
+}
+
+/// Validates that `dir` can serve as an artifact directory *without
+/// creating anything*: no existing ancestor may be a non-directory, and
+/// the nearest existing ancestor must be writable (checked with a probe
+/// file that is removed again). Suitable for flag-parse time, so a doomed
+/// `--trace`/`--ckpt` destination fails before any training runs.
+///
+/// # Errors
+///
+/// Returns an [`ArtifactPathError`] naming `dir` and the blocking
+/// condition.
+pub fn validate_artifact_dir(dir: &Path) -> Result<(), ArtifactPathError> {
+    if dir.as_os_str().is_empty() {
+        return Err(ArtifactPathError::new(dir, "empty path"));
+    }
+    // The nearest existing ancestor decides: everything below it will be
+    // created with `create_dir_all`, which only needs that ancestor to be
+    // a writable directory.
+    let mut existing: Option<&Path> = None;
+    for ancestor in dir.ancestors() {
+        if ancestor.as_os_str().is_empty() {
+            continue;
+        }
+        if ancestor.exists() {
+            existing = Some(ancestor);
+            break;
+        }
+    }
+    // A fully relative path may have no existing ancestor; the current
+    // directory is then the creation root.
+    let root = existing.unwrap_or(Path::new("."));
+    if !root.is_dir() {
+        return Err(ArtifactPathError::new(
+            dir,
+            format!("`{}` exists but is not a directory", root.display()),
+        ));
+    }
+    let probe = root.join(format!(".gnn-artifact-probe-{}", std::process::id()));
+    match std::fs::write(&probe, b"probe") {
+        Ok(()) => {
+            let _ = std::fs::remove_file(&probe);
+            Ok(())
+        }
+        Err(e) => Err(ArtifactPathError::new(
+            dir,
+            format!("`{}` is not writable: {e}", root.display()),
+        )),
+    }
+}
+
+/// Validates that `path` can serve as an artifact *file* destination: it
+/// must not be an existing directory, and its parent must pass
+/// [`validate_artifact_dir`]. Creates nothing.
+///
+/// # Errors
+///
+/// Returns an [`ArtifactPathError`] naming `path` and the blocking
+/// condition.
+pub fn validate_artifact_path(path: &Path) -> Result<(), ArtifactPathError> {
+    if path.is_dir() {
+        return Err(ArtifactPathError::new(
+            path,
+            "is a directory, expected a file path",
+        ));
+    }
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    validate_artifact_dir(parent).map_err(|e| ArtifactPathError::new(path, e.reason))
+}
+
+/// Like [`validate_artifact_dir`], then actually creates the directory
+/// (and parents). For use right before writing artifacts.
+///
+/// # Errors
+///
+/// Returns an [`ArtifactPathError`] naming `dir` and the blocking
+/// condition.
+pub fn ensure_artifact_dir(dir: &Path) -> Result<(), ArtifactPathError> {
+    validate_artifact_dir(dir)?;
+    std::fs::create_dir_all(dir)
+        .map_err(|e| ArtifactPathError::new(dir, format!("cannot create: {e}")))
+}
+
+/// Like [`validate_artifact_path`], then creates the parent directory so
+/// a subsequent write of `path` can succeed.
+///
+/// # Errors
+///
+/// Returns an [`ArtifactPathError`] naming `path` and the blocking
+/// condition.
+pub fn ensure_artifact_path(path: &Path) -> Result<(), ArtifactPathError> {
+    validate_artifact_path(path)?;
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => return Ok(()),
+    };
+    std::fs::create_dir_all(parent)
+        .map_err(|e| ArtifactPathError::new(path, format!("cannot create parent: {e}")))
+}
 
 /// Trace-emission settings for a run (see the `gnn-obs` crate).
 ///
@@ -240,6 +379,44 @@ mod tests {
         assert_eq!(c.faults, Some(FaultPlan::canonical()));
         assert_eq!(c.ckpt_dir.as_deref(), Some(Path::new("out/ckpt")));
         assert!(c.resume);
+    }
+
+    #[test]
+    fn artifact_paths_under_a_file_are_typed_errors() {
+        let dir = std::env::temp_dir().join(format!("gnn_core_artifact_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("plain.txt");
+        std::fs::write(&file, "x").unwrap();
+
+        // A directory nested under a plain file can never be created.
+        let blocked = file.join("sub/deeper");
+        let err = validate_artifact_dir(&blocked).unwrap_err();
+        assert_eq!(err.path, blocked);
+        assert!(err.reason.contains("not a directory"), "{err}");
+        assert!(err.to_string().contains(&blocked.display().to_string()));
+
+        // Missing-but-creatable parents are fine (and nothing is created).
+        let fresh = dir.join("a/b/c");
+        assert!(validate_artifact_dir(&fresh).is_ok());
+        assert!(!fresh.exists(), "validation must not create directories");
+
+        // A file destination must not name an existing directory, and
+        // inherits its parent's validation.
+        assert!(validate_artifact_path(&dir).is_err());
+        assert!(validate_artifact_path(&file.join("x.json")).is_err());
+        assert!(validate_artifact_path(&dir.join("out/report.json")).is_ok());
+
+        // ensure_* actually creates.
+        let made = dir.join("made/deep");
+        assert!(ensure_artifact_dir(&made).is_ok());
+        assert!(made.is_dir());
+        let target = dir.join("made2/file.json");
+        assert!(ensure_artifact_path(&target).is_ok());
+        assert!(target.parent().unwrap().is_dir());
+        assert!(!target.exists());
+
+        assert!(validate_artifact_dir(Path::new("")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

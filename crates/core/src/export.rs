@@ -140,11 +140,36 @@ pub fn multi_gpu_csv(rows: &[MultiGpuRow]) -> String {
     out
 }
 
+/// Schema tag stamped into `cell_outcomes.csv` as a leading `# schema:`
+/// comment line; bumped on any column change so downstream consumers fail
+/// loudly on drift instead of misreading shifted columns.
+pub const CELL_OUTCOMES_SCHEMA: &str = "gnn-cell-outcomes/v1";
+
+/// Verifies that `text` (a CSV artifact) starts with the expected
+/// `# schema: <tag>` comment line.
+///
+/// # Errors
+///
+/// Returns a diagnostic naming the expected and found tags.
+pub fn check_csv_schema(text: &str, schema: &str) -> Result<(), String> {
+    let expected = format!("# schema: {schema}");
+    match text.lines().next() {
+        Some(first) if first == expected => Ok(()),
+        Some(first) => Err(format!(
+            "CSV schema mismatch: expected `{expected}`, found `{first}`"
+        )),
+        None => Err(format!("empty CSV, expected `{expected}`")),
+    }
+}
+
 /// Renders per-cell sweep outcomes as CSV: one line per (experiment,
 /// dataset, model, framework) cell, with its status, retry count, detail
-/// message and the faults that fired while it ran.
+/// message and the faults that fired while it ran. The first line is a
+/// `# schema:` comment ([`CELL_OUTCOMES_SCHEMA`]); consumers should skip
+/// `#` lines and may assert the tag via [`check_csv_schema`].
 pub fn cell_outcomes_csv(cells: &[CellOutcome]) -> String {
-    let mut out = String::from(
+    let mut out = format!("# schema: {CELL_OUTCOMES_SCHEMA}\n");
+    out.push_str(
         "experiment,dataset,model,framework,status,retries,detail,faults,peak_mem_bytes\n",
     );
     for c in cells {
@@ -290,14 +315,21 @@ mod tests {
         ];
         let csv = cell_outcomes_csv(&cells);
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines.len(), 3);
-        assert_eq!(lines[0].split(',').count(), 9);
-        assert!(lines[0].ends_with(",peak_mem_bytes"));
-        assert!(lines[1].starts_with("table4,Cora,GCN,PyG,ok,0,,"));
-        assert!(lines[1].ends_with(&format!(",{}", 1 << 20)));
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], format!("# schema: {CELL_OUTCOMES_SCHEMA}"));
+        assert_eq!(lines[1].split(',').count(), 9);
+        assert!(lines[1].ends_with(",peak_mem_bytes"));
+        assert!(lines[2].starts_with("table4,Cora,GCN,PyG,ok,0,,"));
+        assert!(lines[2].ends_with(&format!(",{}", 1 << 20)));
         // The comma-bearing detail must be quoted to keep the column count.
-        assert!(lines[2].contains("\"device OOM, halving batch size to 16\""));
-        assert!(lines[2].contains("degraded"));
+        assert!(lines[3].contains("\"device OOM, halving batch size to 16\""));
+        assert!(lines[3].contains("degraded"));
+        // Parse-back guard: consumers assert the tag and fail on drift.
+        assert!(check_csv_schema(&csv, CELL_OUTCOMES_SCHEMA).is_ok());
+        assert!(check_csv_schema(&csv, "gnn-cell-outcomes/v2").is_err());
+        assert!(check_csv_schema("", CELL_OUTCOMES_SCHEMA).is_err());
+        let err = check_csv_schema("a,b\n1,2\n", CELL_OUTCOMES_SCHEMA).unwrap_err();
+        assert!(err.contains(CELL_OUTCOMES_SCHEMA), "{err}");
     }
 
     #[test]

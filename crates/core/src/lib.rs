@@ -37,6 +37,9 @@ pub mod report;
 pub mod runner;
 pub mod sweep;
 
-pub use config::{RunConfig, TraceConfig};
+pub use config::{
+    ensure_artifact_dir, ensure_artifact_path, validate_artifact_dir, validate_artifact_path,
+    ArtifactPathError, RunConfig, TraceConfig,
+};
 pub use report::render_table;
 pub use sweep::{sweep, CellOutcome, CellStatus, SweepOutcome};

@@ -475,6 +475,7 @@ mod tests {
         let trace = gnn_obs::Trace {
             events: vec![],
             epochs: vec![rec("a", 0), rec("a", 1), rec("b", 0)],
+            schedule: vec![],
         };
         let s = run_summary(&trace);
         assert!(s.contains("| a"), "{s}");
@@ -488,6 +489,7 @@ mod tests {
         let trace = gnn_obs::Trace {
             events: vec![],
             epochs: vec![],
+            schedule: vec![],
         };
         let s = run_summary(&trace);
         assert!(s.contains("no epoch records"), "{s}");

@@ -36,6 +36,25 @@ pub struct CostModel {
     flops_eff: [f64; 11],
     /// Bandwidth efficiency factor per kernel kind (fraction of `peak_bw`).
     bw_eff: [f64; 11],
+    /// Hypothetical what-if speedups (identity on every real model); see
+    /// [`CostModel::with_speedups`].
+    speedups: Speedups,
+}
+
+pub use gnn_obs::whatif::{Speedups, COMPONENT_HOST, COMPONENT_LAUNCH, WHATIF_COMPONENTS};
+
+/// Human-readable label of what-if component `component` (a kernel kind
+/// label in [`PRICED_KINDS`] order, `"launch"`, or `"host"`).
+///
+/// # Panics
+///
+/// Panics if `component >= WHATIF_COMPONENTS`.
+pub fn component_label(component: usize) -> &'static str {
+    match component {
+        COMPONENT_LAUNCH => "launch",
+        COMPONENT_HOST => "host",
+        i => PRICED_KINDS[i].label(),
+    }
 }
 
 /// Every kernel kind the cost model prices, in efficiency-table order.
@@ -56,7 +75,7 @@ pub const PRICED_KINDS: [KernelKind; 11] = [
     KernelKind::Transfer,
 ];
 
-fn kind_index(kind: KernelKind) -> usize {
+pub(crate) fn kind_index(kind: KernelKind) -> usize {
     match kind {
         KernelKind::Gemm => 0,
         KernelKind::Elementwise => 1,
@@ -99,6 +118,7 @@ impl CostModel {
             bw_eff: [
                 0.85, 0.80, 0.70, 0.55, 0.50, 0.48, 0.45, 0.65, 0.55, 0.45, 0.60,
             ],
+            speedups: Speedups::identity(),
         }
     }
 
@@ -124,9 +144,14 @@ impl CostModel {
     }
 
     /// Device execution time of `kernel` in seconds (excluding launch).
+    ///
+    /// Computed as the unscaled roofline time divided by the kernel kind's
+    /// what-if speedup factor (`1.0` on every real model); the division is
+    /// last so causal replay can reproduce an overlaid model exactly.
     pub fn kernel_time(&self, kernel: &Kernel) -> f64 {
         let (compute, traffic) = self.roofline_terms(kernel);
-        self.kernel_overhead + compute.max(traffic)
+        let base = self.kernel_overhead + compute.max(traffic);
+        base / self.speedups.kinds[kind_index(kernel.kind)]
     }
 
     /// The two roofline legs of `kernel`'s duration, in seconds: time under
@@ -148,7 +173,45 @@ impl CostModel {
 
     /// Host time spent issuing one kernel, in seconds.
     pub fn launch_time(&self) -> f64 {
-        self.launch_overhead
+        self.launch_overhead / self.speedups.launch
+    }
+
+    /// Derives a hypothetical model with `speedups` overlaid: every cost is
+    /// the base model's value divided by the matching factor. The receiver
+    /// is not mutated, so the real model stays intact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any factor is not positive (`f64::INFINITY` is allowed and
+    /// removes the component's cost entirely).
+    pub fn with_speedups(&self, speedups: &Speedups) -> CostModel {
+        for (i, &k) in speedups.kinds.iter().enumerate() {
+            assert!(
+                k > 0.0,
+                "speedup for {} must be positive",
+                component_label(i)
+            );
+        }
+        assert!(speedups.launch > 0.0, "launch speedup must be positive");
+        assert!(speedups.host > 0.0, "host speedup must be positive");
+        let mut m = self.clone();
+        m.speedups = Speedups {
+            kinds: std::array::from_fn(|i| self.speedups.kinds[i] * speedups.kinds[i]),
+            launch: self.speedups.launch * speedups.launch,
+            host: self.speedups.host * speedups.host,
+        };
+        m
+    }
+
+    /// The what-if speedup overlay in effect (identity on real models).
+    pub fn speedups(&self) -> &Speedups {
+        &self.speedups
+    }
+
+    /// The factor dividing pure host work, consumed by
+    /// [`crate::session::Session::host`].
+    pub fn host_speedup(&self) -> f64 {
+        self.speedups.host
     }
 }
 
@@ -270,6 +333,42 @@ mod tests {
         let k = Kernel::gemm("mm", 1024, 1024, 1024);
         let compute = k.flops as f64 / 1e12;
         assert!((m.kernel_time(&k) - (compute + m.kernel_overhead)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_overlay_divides_exactly() {
+        let base = CostModel::rtx2080ti();
+        for (i, kind) in PRICED_KINDS.iter().enumerate() {
+            let k = Kernel::new("k", *kind, 1_000_000, 4_000_000);
+            let twice = base.with_speedups(&Speedups::component(i, 2.0));
+            // Bit-exact: the overlay divides the base value as its last step.
+            assert_eq!(twice.kernel_time(&k), base.kernel_time(&k) / 2.0);
+            let gone = base.with_speedups(&Speedups::component(i, f64::INFINITY));
+            assert_eq!(gone.kernel_time(&k), 0.0);
+            // Other kinds are untouched.
+            let other = PRICED_KINDS[(i + 1) % PRICED_KINDS.len()];
+            let o = Kernel::new("o", other, 1_000_000, 4_000_000);
+            assert_eq!(twice.kernel_time(&o), base.kernel_time(&o));
+        }
+        let launch = base.with_speedups(&Speedups::component(COMPONENT_LAUNCH, 4.0));
+        assert_eq!(launch.launch_time(), base.launch_time() / 4.0);
+        let host = base.with_speedups(&Speedups::component(COMPONENT_HOST, 2.0));
+        assert_eq!(host.host_speedup(), 2.0);
+        // The receiver itself is never mutated.
+        assert_eq!(base, CostModel::rtx2080ti());
+        assert!(base.speedups().is_identity());
+        assert!(!launch.speedups().is_identity());
+    }
+
+    #[test]
+    fn component_labels_cover_all_levers() {
+        let labels: Vec<&str> = (0..WHATIF_COMPONENTS).map(component_label).collect();
+        assert_eq!(labels.len(), 13);
+        assert_eq!(labels[COMPONENT_LAUNCH], "launch");
+        assert_eq!(labels[COMPONENT_HOST], "host");
+        assert!(labels.contains(&"gemm") && labels.contains(&"transfer"));
+        let unique: std::collections::HashSet<&str> = labels.iter().copied().collect();
+        assert_eq!(unique.len(), labels.len(), "labels must be distinct");
     }
 
     #[test]

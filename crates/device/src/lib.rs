@@ -53,12 +53,18 @@ pub mod pipeline;
 pub mod session;
 pub mod timeline;
 
-pub use cost::{CostModel, PRICED_KINDS};
+pub use cost::{
+    component_label, CostModel, Speedups, COMPONENT_HOST, COMPONENT_LAUNCH, PRICED_KINDS,
+    WHATIF_COMPONENTS,
+};
 pub use counters::{Bound, CounterFormula, KernelCounters};
 pub use kernel::{Kernel, KernelKind};
 pub use memory::MemoryTracker;
 pub use multi::{DataParallel, MultiGpuError, PcieModel, StepCost};
-pub use session::{DeviceReport, KindProfile, Phase, Session, SessionError};
+pub use session::{
+    default_cost_model, with_default_cost_model, DeviceReport, KindProfile, Phase, Session,
+    SessionError,
+};
 pub use timeline::Timeline;
 
 /// Convenience re-export of the free functions that tensor/framework code

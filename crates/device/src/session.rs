@@ -162,9 +162,15 @@ impl Session {
             gnn_faults::on_kernel(kernel.name, self.sim_now());
         }
         let counters = self.cost.counters(&kernel);
-        let (start, end) = self
-            .timeline
-            .launch(self.cost.launch_time(), counters.duration);
+        let launch = self.cost.launch_time();
+        let (start, end) = self.timeline.launch(launch, counters.duration);
+        if obs::is_active() {
+            obs::sched_launch(
+                crate::cost::kind_index(kernel.kind) as u8,
+                launch,
+                counters.duration,
+            );
+        }
         match self.kind_counts.iter_mut().find(|(k, _)| *k == kernel.kind) {
             Some((_, n)) => *n += 1,
             None => self.kind_counts.push((kernel.kind, 1)),
@@ -212,15 +218,30 @@ impl Session {
         }
     }
 
-    /// Advances the host clock by `seconds` of pure host work.
+    /// Advances the host clock by `seconds` of pure host work, divided by
+    /// the cost model's what-if host speedup (`1.0` on real models).
     pub fn host(&mut self, seconds: f64) {
-        self.timeline.host(seconds);
+        let applied = seconds / self.cost.host_speedup();
+        self.timeline.host(applied);
+        if obs::is_active() {
+            obs::sched_host(applied);
+        }
+    }
+
+    /// Synchronizes the timeline, recording the sync on the captured
+    /// schedule — syncs decide how device speedups propagate to the host
+    /// clock, so causal replay needs every one of them.
+    fn sync(&mut self) {
+        self.timeline.sync();
+        if obs::is_active() {
+            obs::sched_sync();
+        }
     }
 
     /// Switches the current phase, synchronizing and attributing the elapsed
     /// span to the previous phase.
     pub fn set_phase(&mut self, phase: Phase) {
-        self.timeline.sync();
+        self.sync();
         let now = self.timeline.now();
         self.phase_times[self.phase.index()] += now - self.phase_start;
         self.phase = phase;
@@ -287,14 +308,14 @@ impl Session {
 
     /// Current simulated host time.
     pub fn now(&mut self) -> f64 {
-        self.timeline.sync();
+        self.sync();
         self.timeline.now()
     }
 
     /// Enters a named scope (e.g. `"conv1"`). Scopes nest; a span is
     /// attributed to every scope on the stack when it closes.
     pub fn scope_enter(&mut self, name: &str) {
-        self.timeline.sync();
+        self.sync();
         self.scope_stack
             .push((name.to_owned(), self.timeline.now()));
         if obs::is_active() {
@@ -321,7 +342,7 @@ impl Session {
     ///
     /// Returns [`SessionError::ScopeExitWithoutEnter`] if no scope is open.
     pub fn try_scope_exit(&mut self) -> Result<(), SessionError> {
-        self.timeline.sync();
+        self.sync();
         let (name, start) = self
             .scope_stack
             .pop()
@@ -536,6 +557,37 @@ impl std::fmt::Display for DeviceReport {
 
 thread_local! {
     static CURRENT: RefCell<Option<Rc<RefCell<Session>>>> = const { RefCell::new(None) };
+    static DEFAULT_COST: RefCell<Option<CostModel>> = const { RefCell::new(None) };
+}
+
+/// The cost model training and serving runners create their sessions with:
+/// the paper's RTX 2080Ti unless a what-if harness has scoped an overlay in
+/// with [`with_default_cost_model`].
+pub fn default_cost_model() -> CostModel {
+    DEFAULT_COST.with(|m| {
+        m.borrow()
+            .as_ref()
+            .cloned()
+            .unwrap_or_else(CostModel::rtx2080ti)
+    })
+}
+
+/// Runs `f` with `model` installed as this thread's default cost model,
+/// restoring the previous default afterwards (also on panic). The causal
+/// profiler's conformance pass uses this to re-run a whole training cell
+/// under a hypothetically sped-up model without threading the model through
+/// every runner signature.
+pub fn with_default_cost_model<T>(model: CostModel, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<CostModel>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            DEFAULT_COST.with(|m| *m.borrow_mut() = prev);
+        }
+    }
+    let prev = DEFAULT_COST.with(|m| m.borrow_mut().replace(model));
+    let _restore = Restore(prev);
+    f()
 }
 
 /// Handle to an installed session; pass back to [`finish`] to retrieve the
@@ -923,6 +975,61 @@ mod tests {
         assert!(get("ai").as_f64().unwrap() > 0.0);
         let roofline = get("roofline").as_f64().unwrap();
         assert!((0.0..=1.0).contains(&roofline) && roofline > 0.0);
+    }
+
+    #[test]
+    fn default_cost_model_scopes_and_restores() {
+        assert_eq!(default_cost_model(), CostModel::rtx2080ti());
+        let overlaid =
+            CostModel::rtx2080ti().with_speedups(&crate::cost::Speedups::component(0, 2.0));
+        let inner = with_default_cost_model(overlaid.clone(), default_cost_model);
+        assert_eq!(inner, overlaid);
+        assert_eq!(default_cost_model(), CostModel::rtx2080ti());
+        // Restores the previous default even when `f` panics.
+        let _ = std::panic::catch_unwind(|| {
+            with_default_cost_model(overlaid, || panic!("boom"));
+        });
+        assert_eq!(default_cost_model(), CostModel::rtx2080ti());
+    }
+
+    fn capture_run(model: CostModel) -> (DeviceReport, obs::Trace) {
+        let oh = obs::install(obs::Collector::new());
+        let h = install(Session::new(model));
+        set_phase(Phase::DataLoad);
+        host(1e-3);
+        set_phase(Phase::Forward);
+        record(Kernel::gemm("mm", 64, 64, 64));
+        record(Kernel::gather("g", 1000, 16));
+        scope("layer", || {
+            record(Kernel::elementwise("relu", 10_000, 1, 2))
+        });
+        host(2e-5);
+        record(Kernel::transfer("h2d", 1 << 16));
+        let report = finish(h);
+        (report, obs::finish(oh))
+    }
+
+    #[test]
+    fn captured_schedule_replays_overlaid_reruns_bit_exactly() {
+        use gnn_obs::whatif::{replay_schedule, Speedups, WHATIF_COMPONENTS};
+        let (base_report, base_trace) = capture_run(CostModel::rtx2080ti());
+        assert!(!base_trace.schedule.is_empty());
+        let identity = replay_schedule(&base_trace.schedule, &Speedups::identity());
+        assert_eq!(identity.total, base_report.total_time);
+        assert_eq!(identity.busy, base_report.busy_time);
+        assert_eq!(identity.launches, base_report.kernel_count);
+        for component in 0..WHATIF_COMPONENTS {
+            for k in [1.1, 1.25, 1.5, 2.0, f64::INFINITY] {
+                let s = Speedups::component(component, k);
+                let predicted = replay_schedule(&base_trace.schedule, &s);
+                let (re_report, _) = capture_run(CostModel::rtx2080ti().with_speedups(&s));
+                assert_eq!(
+                    predicted.total, re_report.total_time,
+                    "prediction must equal the real re-run for component {component} at {k}x"
+                );
+                assert_eq!(predicted.busy, re_report.busy_time);
+            }
+        }
     }
 
     #[test]

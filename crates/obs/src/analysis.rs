@@ -412,6 +412,7 @@ mod tests {
                 ev(crate::tracks::PHASE, EventKind::End, 1.0, 1),
             ],
             epochs: vec![],
+            schedule: vec![],
         };
         let a = analyze(&trace);
         assert_eq!(a.sessions.len(), 1);
@@ -439,6 +440,7 @@ mod tests {
                 kernel("k", "gemm", 0.0, 2.0, 2),
             ],
             epochs: vec![],
+            schedule: vec![],
         };
         let a = analyze(&trace);
         assert_eq!(a.sessions.len(), 2);
@@ -461,6 +463,7 @@ mod tests {
                 ev(sv, slice("batch", 1.0, vec![]), 3.0, 1),
             ],
             epochs: vec![],
+            schedule: vec![],
         };
         let a = analyze(&trace).serve.expect("serve events present");
         assert_eq!(a.makespan, 4.0);
@@ -484,6 +487,7 @@ mod tests {
                 ev(sv, slice("batch", 1.0, vec![]), 1.0, 1),
             ],
             epochs: vec![],
+            schedule: vec![],
         };
         let a = analyze(&trace).serve.unwrap();
         assert_eq!(a.execute, 1.0);
@@ -513,6 +517,7 @@ mod tests {
         let trace = Trace {
             events: vec![kernel("k", "gemm", 0.0, 1.0, 1)],
             epochs: vec![],
+            schedule: vec![],
         };
         let text = analyze(&trace).report();
         assert!(text.contains("session 1"));

@@ -85,16 +85,19 @@ pub mod json;
 pub mod metrics;
 pub mod recorder;
 pub mod registry;
+pub mod whatif;
 
 pub use analysis::{analyze, ServeAttribution, SessionAttribution, TraceAnalysis};
 pub use chrome::parse_chrome_trace;
 pub use json::Value;
 pub use metrics::parse_metrics_jsonl;
 pub use recorder::{
-    complete, counter, epoch, finish, install, instant, is_active, session_started, span_begin,
-    span_end, Collector, CollectorHandle, EpochRecord, EventKind, Trace, TraceEvent,
+    complete, counter, epoch, finish, install, instant, is_active, sched_host, sched_launch,
+    sched_sync, session_started, span_begin, span_end, Collector, CollectorHandle, EpochRecord,
+    EventKind, Trace, TraceEvent,
 };
 pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use whatif::{SchedEntry, SchedOp, Speedups};
 
 /// Well-known track names used by the workspace's instrumentation, so the
 /// Chrome export groups consistently across crates.

@@ -13,6 +13,7 @@ use std::rc::Rc;
 use std::time::Instant;
 
 use crate::json::Value;
+use crate::whatif::{SchedEntry, SchedOp};
 
 /// One recorded trace event.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,6 +108,9 @@ pub struct Trace {
     pub events: Vec<TraceEvent>,
     /// Per-epoch metrics records in emission order.
     pub epochs: Vec<EpochRecord>,
+    /// Device-timeline operations in emission order, the raw material for
+    /// causal what-if replay ([`crate::whatif::replay_schedule`]).
+    pub schedule: Vec<SchedEntry>,
 }
 
 impl Trace {
@@ -280,6 +284,35 @@ pub fn instant(track: &str, name: &str, sim: f64, args: Vec<(String, Value)>) {
     });
 }
 
+fn sched(op: SchedOp) {
+    with(|c| {
+        let generation = c.generation;
+        c.trace.schedule.push(SchedEntry { generation, op });
+    });
+}
+
+/// Records pure host work on the device timeline (no-op when inactive).
+pub fn sched_host(seconds: f64) {
+    sched(SchedOp::Host { seconds });
+}
+
+/// Records a kernel launch on the device timeline: `kind` is the priced-kind
+/// index, `launch`/`duration` the applied host and device seconds (no-op
+/// when inactive).
+pub fn sched_launch(kind: u8, launch: f64, duration: f64) {
+    sched(SchedOp::Launch {
+        kind,
+        launch,
+        duration,
+    });
+}
+
+/// Records a host-device synchronization on the device timeline (no-op when
+/// inactive).
+pub fn sched_sync() {
+    sched(SchedOp::Sync);
+}
+
 /// Samples a counter series (no-op when inactive).
 pub fn counter(track: &str, name: &str, value: f64, sim: f64) {
     with(|c| {
@@ -373,6 +406,35 @@ mod tests {
         let trace = finish(h);
         assert_eq!(trace.epochs.len(), 1);
         assert!(trace.epochs[0].wall_time >= 0.0);
+    }
+
+    #[test]
+    fn sched_ops_capture_with_generations() {
+        let h = install(Collector::new());
+        session_started();
+        sched_host(1e-4);
+        sched_launch(0, 6e-6, 5e-5);
+        sched_sync();
+        session_started();
+        sched_host(2e-4);
+        let trace = finish(h);
+        assert_eq!(trace.schedule.len(), 4);
+        assert_eq!(trace.schedule[0].op, SchedOp::Host { seconds: 1e-4 },);
+        assert_eq!(
+            trace.schedule[1].op,
+            SchedOp::Launch {
+                kind: 0,
+                launch: 6e-6,
+                duration: 5e-5
+            },
+        );
+        assert_eq!(trace.schedule[2].op, SchedOp::Sync);
+        let gens: Vec<u32> = trace.schedule.iter().map(|e| e.generation).collect();
+        assert_eq!(gens, vec![1, 1, 1, 2]);
+        // Disabled path stays a no-op.
+        sched_host(1.0);
+        sched_sync();
+        assert!(!is_active());
     }
 
     #[test]

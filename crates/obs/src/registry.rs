@@ -377,6 +377,93 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_histogram_is_that_sample_everywhere() {
+        let mut h = Histogram::from_values([0.0042]);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), 0.0042);
+        assert_eq!(h.min(), 0.0042);
+        assert_eq!(h.max(), 0.0042);
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.quantile(p), 0.0042, "p{p}");
+        }
+        assert_eq!(h.fraction_le(0.0042), 1.0);
+        assert_eq!(h.fraction_le(0.0041), 0.0);
+        let buckets = h.buckets();
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].2, 1);
+        assert!(buckets[0].0 <= 0.0042 && 0.0042 < buckets[0].1);
+    }
+
+    #[test]
+    fn quantile_is_exact_at_rank_boundaries() {
+        // Ten distinct values: every multiple of 10% sits exactly on a
+        // nearest-rank boundary, so p=10k must return the k-th smallest
+        // while p=10k+ε must step to the (k+1)-th. No interpolation ever.
+        let mut h = Histogram::from_values((1..=10).map(|i| i as f64));
+        for k in 1..=10usize {
+            let p = 10.0 * k as f64;
+            assert_eq!(h.quantile(p), k as f64, "p{p} is the rank-{k} value");
+            if k < 10 {
+                let eps = 1e-9;
+                assert_eq!(h.quantile(p + eps), (k + 1) as f64, "p{p}+eps steps");
+            }
+        }
+        // p=0 clamps to the minimum rather than indexing below the sample.
+        assert_eq!(h.quantile(0.0), 1.0);
+        // Duplicated boundary values: the plateau absorbs nearby ranks.
+        let mut dup = Histogram::from_values([1.0, 2.0, 2.0, 2.0, 3.0]);
+        assert_eq!(dup.quantile(20.0), 1.0);
+        assert_eq!(dup.quantile(40.0), 2.0);
+        assert_eq!(dup.quantile(80.0), 2.0);
+        assert_eq!(dup.quantile(81.0), 3.0);
+    }
+
+    /// The oracle the histogram's docs promise: sort the raw sample and
+    /// index it at the nearest rank.
+    fn sorted_sample_oracle(sample: &[f64], p: f64) -> f64 {
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig {
+            cases: 64,
+            ..proptest::ProptestConfig::default()
+        })]
+
+        /// Seeded property: for arbitrary finite samples (including
+        /// duplicates and non-positives) and arbitrary percentiles, the
+        /// histogram's quantile is bit-identical to the sorted-sample
+        /// nearest-rank oracle, and `fraction_le` matches a direct count.
+        #[test]
+        fn quantiles_match_sorted_sample_oracle(
+            sample in proptest::collection::vec(-2.0..50.0f64, 1..40),
+            // Tenth-of-a-percent grid covering both endpoints exactly.
+            p in proptest::strategy::Strategy::prop_map(0..=1000u32, |t| t as f64 / 10.0),
+        ) {
+            use proptest::prelude::*;
+            let mut h = Histogram::from_values(sample.iter().copied());
+            prop_assert_eq!(
+                h.quantile(p).to_bits(),
+                sorted_sample_oracle(&sample, p).to_bits(),
+                "quantile p{} diverged from the oracle on {:?}",
+                p,
+                sample
+            );
+            let threshold = sorted_sample_oracle(&sample, p);
+            let direct =
+                sample.iter().filter(|v| **v <= threshold).count() as f64 / sample.len() as f64;
+            prop_assert_eq!(h.fraction_le(threshold).to_bits(), direct.to_bits());
+            // Nearest-rank self-consistency: at least p% of the sample is
+            // ≤ the reported quantile.
+            let q = h.quantile(p);
+            prop_assert!(h.fraction_le(q) * 100.0 >= p - 1e-9);
+        }
+    }
+
+    #[test]
     fn registry_names_are_stable_and_first_seen() {
         let mut r = MetricsRegistry::new();
         r.counter("requests").add(2);

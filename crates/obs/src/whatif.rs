@@ -1,0 +1,326 @@
+//! Causal what-if profiling: exact replay of recorded device schedules
+//! under hypothetical component speedups.
+//!
+//! The device session records every timeline operation it performs — host
+//! work, kernel launches, synchronizations — as a [`SchedOp`] stream on the
+//! active trace (see [`crate::sched_host`] and friends). [`replay`] re-runs
+//! that stream through arithmetic identical to the device timeline's, with
+//! each component's cost divided by a virtual speedup factor. Because the
+//! real cost model applies an overlaid speedup as the *same final division*
+//! (`gnn_device::CostModel::with_speedups`), the replayed horizon is
+//! bit-identical to what a real re-run with that overlay would measure —
+//! the profiler's predictions are exact, not approximate, and the
+//! conformance suite holds it to that.
+
+/// One recorded device-timeline operation.
+///
+/// Values are the *applied* seconds, exactly as the timeline consumed them;
+/// on a capture run with the identity overlay these are the unscaled base
+/// costs that replay divides by hypothetical factors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedOp {
+    /// Pure host work advancing the host clock.
+    Host {
+        /// Seconds of host work applied to the timeline.
+        seconds: f64,
+    },
+    /// A kernel launch: the host pays `launch`, the device queues `duration`.
+    Launch {
+        /// Priced-kind index of the kernel (order of
+        /// `gnn_device::PRICED_KINDS`).
+        kind: u8,
+        /// Host launch overhead in seconds.
+        launch: f64,
+        /// Device execution time in seconds.
+        duration: f64,
+    },
+    /// A host-device synchronization: the host clock jumps to the device
+    /// frontier.
+    Sync,
+}
+
+/// One captured schedule entry: the op plus the session generation it
+/// belongs to (each generation restarts simulated time at zero).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedEntry {
+    /// Session generation (see [`crate::session_started`]).
+    pub generation: u32,
+    /// The recorded operation.
+    pub op: SchedOp,
+}
+
+/// Number of what-if components: the 11 priced kernel kinds plus the launch
+/// overhead plus pure host work.
+pub const WHATIF_COMPONENTS: usize = 13;
+
+/// Component index of the launch-overhead lever.
+pub const COMPONENT_LAUNCH: usize = 11;
+
+/// Component index of the host-work (idle-gap) lever.
+pub const COMPONENT_HOST: usize = 12;
+
+/// Virtual speedup factors for every priced component of the simulation.
+///
+/// A factor of `1.0` leaves the component untouched; `2.0` halves its cost;
+/// `f64::INFINITY` removes it entirely. Both the replay here and the real
+/// cost-model overlay compute `base_cost / factor`, which is what makes
+/// predictions bit-exact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Speedups {
+    /// Speedup per kernel kind, indexed like `gnn_device::PRICED_KINDS`.
+    pub kinds: [f64; 11],
+    /// Speedup applied to the host-side kernel launch overhead.
+    pub launch: f64,
+    /// Speedup applied to pure host work.
+    pub host: f64,
+}
+
+impl Default for Speedups {
+    fn default() -> Self {
+        Speedups::identity()
+    }
+}
+
+impl Speedups {
+    /// The identity overlay: every factor `1.0`, costs unchanged.
+    pub fn identity() -> Self {
+        Speedups {
+            kinds: [1.0; 11],
+            launch: 1.0,
+            host: 1.0,
+        }
+    }
+
+    /// An overlay speeding up a single component by `k`: indexes `0..11`
+    /// address the priced kernel kinds, [`COMPONENT_LAUNCH`] the launch
+    /// overhead, [`COMPONENT_HOST`] pure host work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `component >= WHATIF_COMPONENTS` or `k` is not positive
+    /// (`f64::INFINITY` is allowed).
+    pub fn component(component: usize, k: f64) -> Self {
+        assert!(
+            component < WHATIF_COMPONENTS,
+            "component index {component} out of range"
+        );
+        assert!(k > 0.0, "speedup factor must be positive, got {k}");
+        let mut s = Speedups::identity();
+        match component {
+            COMPONENT_LAUNCH => s.launch = k,
+            COMPONENT_HOST => s.host = k,
+            i => s.kinds[i] = k,
+        }
+        s
+    }
+
+    /// True when every factor is exactly `1.0`.
+    pub fn is_identity(&self) -> bool {
+        self.kinds.iter().all(|&k| k == 1.0) && self.launch == 1.0 && self.host == 1.0
+    }
+}
+
+/// Result of replaying a schedule under a [`Speedups`] overlay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Replayed {
+    /// Predicted end-to-end simulated time (the timeline horizon).
+    pub total: f64,
+    /// Predicted accumulated device busy time.
+    pub busy: f64,
+    /// Kernel launches replayed.
+    pub launches: u64,
+}
+
+/// Replays one session's op stream under `speedups`, mirroring the device
+/// timeline's arithmetic operation for operation.
+///
+/// With the identity overlay this reproduces the captured session's horizon
+/// exactly; with a component sped up it reproduces — bit for bit — the
+/// horizon a real re-run would measure with the same factor overlaid on the
+/// cost model.
+pub fn replay(ops: impl IntoIterator<Item = SchedOp>, speedups: &Speedups) -> Replayed {
+    // Mirrors gnn_device::Timeline: `now` is the host clock, `device_free`
+    // the device frontier; launches queue after both, syncs join them.
+    let mut now = 0.0f64;
+    let mut device_free = 0.0f64;
+    let mut busy = 0.0f64;
+    let mut launches = 0u64;
+    for op in ops {
+        match op {
+            SchedOp::Host { seconds } => now += seconds / speedups.host,
+            SchedOp::Launch {
+                kind,
+                launch,
+                duration,
+            } => {
+                now += launch / speedups.launch;
+                let d = duration / speedups.kinds[kind as usize];
+                let start = device_free.max(now);
+                device_free = start + d;
+                busy += d;
+                launches += 1;
+            }
+            SchedOp::Sync => now = now.max(device_free),
+        }
+    }
+    Replayed {
+        total: now.max(device_free),
+        busy,
+        launches,
+    }
+}
+
+/// Replays a multi-session schedule: each generation restarts the simulated
+/// clock at zero, so per-generation horizons are replayed independently and
+/// summed (matching the sum of the sessions' device reports).
+pub fn replay_schedule(schedule: &[SchedEntry], speedups: &Speedups) -> Replayed {
+    let mut total = 0.0f64;
+    let mut busy = 0.0f64;
+    let mut launches = 0u64;
+    let mut start = 0usize;
+    while start < schedule.len() {
+        let generation = schedule[start].generation;
+        let mut end = start;
+        while end < schedule.len() && schedule[end].generation == generation {
+            end += 1;
+        }
+        let r = replay(schedule[start..end].iter().map(|e| e.op), speedups);
+        total += r.total;
+        busy += r.busy;
+        launches += r.launches;
+        start = end;
+    }
+    Replayed {
+        total,
+        busy,
+        launches,
+    }
+}
+
+/// Total recorded base cost per what-if component, in seconds: device time
+/// per kernel kind, summed launch overhead, summed host work. An upper
+/// bound on what any speedup of that component can save end-to-end — the
+/// `gnn-lint` what-if audit checks predictions against these budgets.
+pub fn component_budgets(schedule: &[SchedEntry]) -> [f64; WHATIF_COMPONENTS] {
+    let mut budget = [0.0f64; WHATIF_COMPONENTS];
+    for entry in schedule {
+        match entry.op {
+            SchedOp::Host { seconds } => budget[COMPONENT_HOST] += seconds,
+            SchedOp::Launch {
+                kind,
+                launch,
+                duration,
+            } => {
+                budget[COMPONENT_LAUNCH] += launch;
+                budget[kind as usize] += duration;
+            }
+            SchedOp::Sync => {}
+        }
+    }
+    budget
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ops() -> Vec<SchedOp> {
+        vec![
+            SchedOp::Host { seconds: 1e-4 },
+            SchedOp::Launch {
+                kind: 0,
+                launch: 6e-6,
+                duration: 5e-5,
+            },
+            SchedOp::Launch {
+                kind: 3,
+                launch: 6e-6,
+                duration: 2e-5,
+            },
+            SchedOp::Sync,
+            SchedOp::Host { seconds: 3e-5 },
+            SchedOp::Launch {
+                kind: 0,
+                launch: 6e-6,
+                duration: 4e-5,
+            },
+            SchedOp::Sync,
+        ]
+    }
+
+    #[test]
+    fn identity_replay_matches_manual_timeline() {
+        let r = replay(sample_ops(), &Speedups::identity());
+        // Hand-simulated: host 1e-4, launch pushes now to 1.06e-4, device
+        // runs 5e-5 then 2e-5 back to back, sync, more host work, third
+        // kernel, sync.
+        let mut now: f64 = 1e-4 + 6e-6;
+        let mut free: f64 = now + 5e-5;
+        now += 6e-6;
+        free += 2e-5;
+        now = now.max(free);
+        now += 3e-5 + 6e-6;
+        free = free.max(now) + 4e-5;
+        now = now.max(free);
+        assert_eq!(r.total, now);
+        assert_eq!(r.busy, 5e-5 + 2e-5 + 4e-5);
+        assert_eq!(r.launches, 3);
+    }
+
+    #[test]
+    fn speedups_are_monotone_and_bounded_by_budget() {
+        let ops = sample_ops();
+        let schedule: Vec<SchedEntry> = ops
+            .iter()
+            .map(|&op| SchedEntry { generation: 1, op })
+            .collect();
+        let base = replay(ops.clone(), &Speedups::identity());
+        let budgets = component_budgets(&schedule);
+        for (component, &budget) in budgets.iter().enumerate() {
+            let mut prev = base.total;
+            for k in [1.1, 1.25, 1.5, 2.0, f64::INFINITY] {
+                let r = replay(ops.clone(), &Speedups::component(component, k));
+                assert!(r.total <= prev + 1e-15, "speedup must not slow the run");
+                assert!(
+                    base.total - r.total <= budget + 1e-15,
+                    "saving cannot exceed the component's recorded budget"
+                );
+                prev = r.total;
+            }
+        }
+    }
+
+    #[test]
+    fn infinite_speedup_removes_component_entirely() {
+        let ops = sample_ops();
+        let r = replay(ops.clone(), &Speedups::component(0, f64::INFINITY));
+        // Gemm kernels vanish; only the gather kernel contributes busy time.
+        assert_eq!(r.busy, 2e-5);
+        let no_host = replay(ops, &Speedups::component(COMPONENT_HOST, f64::INFINITY));
+        assert!(no_host.total < 2e-4);
+        assert!(no_host.total.is_finite() && no_host.total > 0.0);
+    }
+
+    #[test]
+    fn generations_replay_independently() {
+        let mut schedule = Vec::new();
+        for generation in 1..=2 {
+            for op in sample_ops() {
+                schedule.push(SchedEntry { generation, op });
+            }
+        }
+        let one = replay(sample_ops(), &Speedups::identity());
+        let both = replay_schedule(&schedule, &Speedups::identity());
+        assert_eq!(both.total, one.total * 2.0);
+        assert_eq!(both.launches, one.launches * 2);
+    }
+
+    #[test]
+    fn component_constructor_validates() {
+        assert!(std::panic::catch_unwind(|| Speedups::component(13, 2.0)).is_err());
+        assert!(std::panic::catch_unwind(|| Speedups::component(0, 0.0)).is_err());
+        assert!(std::panic::catch_unwind(|| Speedups::component(0, -1.0)).is_err());
+        assert!(Speedups::identity().is_identity());
+        assert!(!Speedups::component(0, 2.0).is_identity());
+    }
+}

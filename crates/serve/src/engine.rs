@@ -32,7 +32,7 @@ use gnn_device::{CostModel, Session};
 use gnn_faults::Fault;
 use gnn_obs::{self as obs, tracks, Value};
 
-use crate::batcher::{BatchPolicy, EndpointQueue, Pending};
+use crate::batcher::{BatchPolicy, EndpointQueue};
 use crate::cell::{default_endpoints, CellId};
 use crate::metrics::{BatchRecord, Outcome, QueueStats, RequestRecord, ServeReport};
 use crate::registry::{argmax, Endpoint, ModelRegistry};
@@ -64,6 +64,11 @@ pub struct ServeConfig {
     pub scale: f64,
     /// Directory of `gnn-ckpt v1` checkpoints to restore weights from.
     pub ckpt_dir: Option<PathBuf>,
+    /// Cost model pricing every replica session. The default is the paper's
+    /// RTX 2080Ti; the causal profiler's conformance pass overlays what-if
+    /// speedups here (`CostModel::with_speedups`) to re-run a policy under
+    /// a hypothetically faster component.
+    pub cost: CostModel,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +86,7 @@ impl Default for ServeConfig {
             replicas: 2,
             scale: 0.05,
             ckpt_dir: None,
+            cost: CostModel::rtx2080ti(),
         }
     }
 }
@@ -163,6 +169,26 @@ pub fn run(
     cfg: &ServeConfig,
     registry: &ModelRegistry,
     requests: Vec<crate::Request>,
+) -> ServeReport {
+    run_with(cfg, registry, requests, &mut |endpoint, targets, notes| {
+        exec_targets(endpoint, targets, notes, &cfg.cost)
+    })
+}
+
+/// A pluggable batch executor for [`run_with`]: endpoint + batched targets
+/// (+ a notes sink) → the batch's [`Execution`].
+pub(crate) type BatchExecutor<'a> =
+    dyn FnMut(&Endpoint, &[u32], &mut Vec<String>) -> Execution + 'a;
+
+/// The engine loop with a pluggable batch executor: the real path runs the
+/// endpoint's forward in a device session; the causal profiler substitutes
+/// replayed-from-capture service times so policy what-ifs re-simulate the
+/// *queue dynamics* on the serve clock instead of scaling latencies naively.
+pub(crate) fn run_with(
+    cfg: &ServeConfig,
+    registry: &ModelRegistry,
+    requests: Vec<crate::Request>,
+    exec_batch: &mut BatchExecutor<'_>,
 ) -> ServeReport {
     let mut queues: Vec<EndpointQueue> = (0..registry.len())
         .map(|_| EndpointQueue::new(cfg.queue_cap))
@@ -289,11 +315,11 @@ pub fn run(
             let batch = queues[disp_ep].take_batch(&cfg.policy);
             let bid = batches.len() as u64;
             gnn_faults::set_cell(&endpoint.cell.path());
-            let exec = execute(endpoint, &batch, &mut notes);
+            let targets: Vec<u32> = batch.iter().map(|p| p.req.target).collect();
+            let exec = exec_batch(endpoint, &targets, &mut notes);
             let reply = start + exec.duration;
             replicas[replica].free_at = reply;
-            let model = CostModel::rtx2080ti();
-            let roofline = exec.roofline(model.peak_flops, model.peak_bw);
+            let roofline = exec.roofline(cfg.cost.peak_flops, cfg.cost.peak_bw);
             obs::complete(
                 tracks::SERVE,
                 "batch",
@@ -414,17 +440,17 @@ pub fn run(
 }
 
 /// Result of executing one dispatched batch, including every retry.
-struct Execution {
-    outputs: Vec<Vec<f32>>,
-    duration: f64,
-    oom_splits: usize,
-    kernel_retries: usize,
+pub(crate) struct Execution {
+    pub(crate) outputs: Vec<Vec<f32>>,
+    pub(crate) duration: f64,
+    pub(crate) oom_splits: usize,
+    pub(crate) kernel_retries: usize,
     /// Hardware counters summed over every attempt's session report.
-    flops: u64,
-    bytes: u64,
-    busy: f64,
+    pub(crate) flops: u64,
+    pub(crate) bytes: u64,
+    pub(crate) busy: f64,
     /// Largest session peak memory across every attempt (bytes).
-    peak_memory: u64,
+    pub(crate) peak_memory: u64,
 }
 
 impl Execution {
@@ -448,16 +474,17 @@ impl Execution {
     }
 }
 
-/// Executes `batch` on the endpoint, surviving injected faults:
+/// Executes a batch of `targets` on the endpoint, surviving injected faults:
 /// OOM → split-and-retry halves (recursively, down to single requests),
 /// kernel fault → in-place retry with a cap. Each attempt runs in its own
-/// device session; the batch's service time is the sum over all attempts.
-fn execute(endpoint: &Endpoint, batch: &[Pending], notes: &mut Vec<String>) -> Execution {
-    let targets: Vec<u32> = batch.iter().map(|p| p.req.target).collect();
-    exec_targets(endpoint, &targets, notes)
-}
-
-fn exec_targets(endpoint: &Endpoint, targets: &[u32], notes: &mut Vec<String>) -> Execution {
+/// device session priced by `cost`; the batch's service time is the sum
+/// over all attempts.
+fn exec_targets(
+    endpoint: &Endpoint,
+    targets: &[u32],
+    notes: &mut Vec<String>,
+    cost: &CostModel,
+) -> Execution {
     let mut duration = 0.0f64;
     let mut kernel_retries = 0usize;
     let mut flops = 0u64;
@@ -465,7 +492,7 @@ fn exec_targets(endpoint: &Endpoint, targets: &[u32], notes: &mut Vec<String>) -
     let mut busy = 0.0f64;
     let mut peak_memory = 0u64;
     loop {
-        let handle = gnn_device::session::install(Session::new(CostModel::rtx2080ti()));
+        let handle = gnn_device::session::install(Session::new(cost.clone()));
         let outputs = endpoint.serve_batch(targets);
         let report = gnn_device::session::finish(handle);
         duration += report.total_time;
@@ -492,8 +519,8 @@ fn exec_targets(endpoint: &Endpoint, targets: &[u32], notes: &mut Vec<String>) -
                     // half. Outputs are batch-composition independent in
                     // eval mode, so replies stay bit-identical.
                     let mid = targets.len() / 2;
-                    let left = exec_targets(endpoint, &targets[..mid], notes);
-                    let right = exec_targets(endpoint, &targets[mid..], notes);
+                    let left = exec_targets(endpoint, &targets[..mid], notes, cost);
+                    let right = exec_targets(endpoint, &targets[mid..], notes, cost);
                     let mut outputs = left.outputs;
                     outputs.extend(right.outputs);
                     return Execution {
@@ -569,6 +596,7 @@ mod tests {
             replicas: 2,
             scale: 0.05,
             ckpt_dir: None,
+            cost: gnn_device::CostModel::rtx2080ti(),
         }
     }
 

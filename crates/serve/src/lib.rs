@@ -28,14 +28,16 @@ pub mod cell;
 pub mod engine;
 pub mod metrics;
 pub mod registry;
+pub mod whatif;
 pub mod workload;
 
 pub use batcher::{BatchPolicy, EndpointQueue, Pending, ServeError};
 pub use cell::{default_endpoints, CellId, TaskKind, GRAPH_DATASETS, NODE_DATASETS};
 pub use engine::{serve, ServeConfig, MAX_KERNEL_RETRIES};
 pub use metrics::{
-    percentile, write_serve_metrics, BatchRecord, Outcome, QueueStats, RequestRecord, ServeReport,
-    CSV_HEADER,
+    check_serve_metrics_schema, percentile, write_serve_metrics, BatchRecord, Outcome, QueueStats,
+    RequestRecord, ServeReport, CSV_HEADER, SERVE_METRICS_SCHEMA,
 };
 pub use registry::{argmax, Endpoint, ModelRegistry};
+pub use whatif::predict;
 pub use workload::{Request, WorkloadSpec};

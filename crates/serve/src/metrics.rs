@@ -350,19 +350,54 @@ pub const CSV_HEADER: &str = "policy,max_batch,max_delay_s,endpoint,requests,ans
 dropped,p50_s,p95_s,p99_s,throughput_rps,mean_batch,occupancy,max_queue_depth,mean_queue_depth,\
 peak_mem_bytes";
 
-/// Writes `serve_metrics.csv` into `dir` (created if missing): one
-/// aggregate row plus one per-endpoint row for every policy's report.
+/// Schema tag stamped into `serve_metrics.csv` as a leading `# schema:`
+/// comment line; bumped on any column change so downstream consumers fail
+/// loudly on drift instead of misreading shifted columns.
+pub const SERVE_METRICS_SCHEMA: &str = "gnn-serve-metrics/v1";
+
+/// Verifies that serve-metrics CSV `text` starts with the expected
+/// `# schema:` comment line followed by [`CSV_HEADER`].
+///
+/// # Errors
+///
+/// Returns a diagnostic naming what was expected and what was found.
+pub fn check_serve_metrics_schema(text: &str) -> Result<(), String> {
+    let expected = format!("# schema: {SERVE_METRICS_SCHEMA}");
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(first) if first == expected => {}
+        Some(first) => {
+            return Err(format!(
+                "serve-metrics schema mismatch: expected `{expected}`, found `{first}`"
+            ))
+        }
+        None => return Err(format!("empty serve metrics, expected `{expected}`")),
+    }
+    match lines.next() {
+        Some(header) if header == CSV_HEADER => Ok(()),
+        Some(header) => Err(format!(
+            "serve-metrics header drifted: expected `{CSV_HEADER}`, found `{header}`"
+        )),
+        None => Err("serve metrics ends after the schema line".into()),
+    }
+}
+
+/// Writes `serve_metrics.csv` into `dir` (created if missing): a
+/// `# schema:` comment line ([`SERVE_METRICS_SCHEMA`]), the header, then
+/// one aggregate row plus one per-endpoint row for every policy's report.
+/// The written text is verified with [`check_serve_metrics_schema`]
+/// before it lands on disk.
 ///
 /// # Errors
 ///
 /// Returns the underlying IO error.
 pub fn write_serve_metrics(dir: &Path, reports: &[ServeReport]) -> io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
-    let mut csv = String::from(CSV_HEADER);
-    csv.push('\n');
+    let mut csv = format!("# schema: {SERVE_METRICS_SCHEMA}\n{CSV_HEADER}\n");
     for report in reports {
         csv.push_str(&report.csv_rows());
     }
+    check_serve_metrics_schema(&csv).expect("writer stamped a malformed schema header");
     let path = dir.join("serve_metrics.csv");
     std::fs::write(&path, csv)?;
     Ok(path)
@@ -449,11 +484,19 @@ mod tests {
         let path = write_serve_metrics(&dir, &[r]).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines[0], CSV_HEADER);
-        assert_eq!(lines.len(), 3, "header + all + one endpoint");
-        assert!(lines[1].starts_with("b4/d1000us,4,0.001,all,3,2,1,0,"));
-        assert!(lines[1].ends_with(",4096"), "{}", lines[1]);
-        assert!(lines[2].contains("table4/Cora/GCN/PyG"));
+        assert_eq!(lines[0], format!("# schema: {SERVE_METRICS_SCHEMA}"));
+        assert_eq!(lines[1], CSV_HEADER);
+        assert_eq!(lines.len(), 4, "schema + header + all + one endpoint");
+        assert!(lines[2].starts_with("b4/d1000us,4,0.001,all,3,2,1,0,"));
+        assert!(lines[2].ends_with(",4096"), "{}", lines[2]);
+        assert!(lines[3].contains("table4/Cora/GCN/PyG"));
+        // Parse-back guard: consumers fail loudly on drift.
+        assert!(check_serve_metrics_schema(&text).is_ok());
+        assert!(check_serve_metrics_schema("").is_err());
+        assert!(check_serve_metrics_schema(&text.replacen("/v1", "/v0", 1)).is_err());
+        let headerless = format!("# schema: {SERVE_METRICS_SCHEMA}\npolicy,oops\n");
+        let err = check_serve_metrics_schema(&headerless).unwrap_err();
+        assert!(err.contains("header drifted"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -148,6 +148,7 @@ fn fault_cfg() -> ServeConfig {
         replicas: 2,
         scale: 0.05,
         ckpt_dir: None,
+        ..ServeConfig::default()
     }
 }
 

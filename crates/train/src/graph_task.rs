@@ -1,7 +1,7 @@
 //! Mini-batch graph classification (the paper's Section IV-B protocol).
 
 use gnn_datasets::Fold;
-use gnn_device::{CostModel, DeviceReport, Phase, Session};
+use gnn_device::{DeviceReport, Phase, Session};
 use gnn_models::{GnnStack, GraphHParams, Loader, ModelBatch};
 use gnn_tensor::{accuracy, cross_entropy};
 use rand::rngs::StdRng;
@@ -81,7 +81,7 @@ pub fn run_graph_fold<L: Loader>(
     assert!(!fold.train.is_empty(), "empty training fold");
     assert!(cfg.batch_size > 0, "batch size must be positive");
 
-    let handle = gnn_device::session::install(Session::new(CostModel::rtx2080ti()));
+    let handle = gnn_device::session::install(Session::new(gnn_device::default_cost_model()));
     gnn_device::with(|s| s.alloc_persistent(2 * model.param_bytes()));
     let mut opt = Adam::new(model.params(), cfg.init_lr);
     let mut sched = ReduceLrOnPlateau::new(cfg.decay_factor, cfg.patience, cfg.min_lr);

@@ -8,7 +8,7 @@
 //! transfer model of [`gnn_device::multi`].
 
 use gnn_device::multi::{DataParallel, StepCost};
-use gnn_device::{CostModel, Session};
+use gnn_device::Session;
 use gnn_models::{GnnStack, Loader, ModelBatch};
 use gnn_tensor::cross_entropy;
 
@@ -59,7 +59,7 @@ pub fn data_parallel_epoch_time<L: Loader>(
 /// DataParallel never parallelizes loading — the paper's scaling ceiling).
 fn measure_host_load<L: Loader>(loader: &L, batch_size: usize) -> (f64, u64) {
     let full_idx: Vec<u32> = (0..batch_size as u32).collect();
-    let handle = gnn_device::session::install(Session::new(CostModel::rtx2080ti()));
+    let handle = gnn_device::session::install(Session::new(gnn_device::default_cost_model()));
     let full_batch = loader.load(&full_idx);
     let load_report = gnn_device::session::finish(handle);
     let input_bytes = full_batch.feature_bytes() + 8 * full_batch.num_edges() as u64;
@@ -77,7 +77,7 @@ fn measure_shard_compute<L: Loader>(
     let shard = (batch_size / n_gpus).max(1);
     let shard_idx: Vec<u32> = (0..shard as u32).collect();
     let shard_batch = loader.load(&shard_idx);
-    let handle = gnn_device::session::install(Session::new(CostModel::rtx2080ti()));
+    let handle = gnn_device::session::install(Session::new(gnn_device::default_cost_model()));
     let logits = model.forward(&shard_batch, true);
     let loss = cross_entropy(&logits, shard_batch.labels());
     loss.backward();

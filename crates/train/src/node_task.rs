@@ -1,7 +1,7 @@
 //! Full-batch node classification (the paper's Section IV-A protocol).
 
 use gnn_datasets::NodeDataset;
-use gnn_device::{CostModel, DeviceReport, Phase, Session};
+use gnn_device::{DeviceReport, Phase, Session};
 use gnn_models::{GnnStack, ModelBatch};
 use gnn_tensor::{accuracy, cross_entropy};
 use std::rc::Rc;
@@ -69,7 +69,7 @@ pub fn run_node_task<B: ModelBatch>(
         "batch/dataset mismatch"
     );
 
-    let handle = gnn_device::session::install(Session::new(CostModel::rtx2080ti()));
+    let handle = gnn_device::session::install(Session::new(gnn_device::default_cost_model()));
     // Parameters + gradients + dataset resident on device for the whole run.
     gnn_device::with(|s| {
         s.alloc_persistent(2 * model.param_bytes() + batch.feature_bytes());

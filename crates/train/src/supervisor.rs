@@ -26,7 +26,7 @@
 use std::path::PathBuf;
 
 use gnn_datasets::{Fold, NodeDataset};
-use gnn_device::{CostModel, Phase, Session, SessionError};
+use gnn_device::{Phase, Session, SessionError};
 use gnn_faults::Fault;
 use gnn_models::{GnnStack, Loader, ModelBatch};
 use gnn_tensor::nn::BatchNorm1d;
@@ -302,7 +302,7 @@ pub fn run_node_task_supervised<B: ModelBatch>(
         "batch/dataset mismatch"
     );
 
-    let handle = gnn_device::session::install(Session::new(CostModel::rtx2080ti()));
+    let handle = gnn_device::session::install(Session::new(gnn_device::default_cost_model()));
     let result = node_body(model, batch, ds, cfg, sup);
     match result {
         Ok(body) => {
@@ -538,7 +538,7 @@ pub fn run_graph_fold_supervised<L: Loader>(
     assert!(!fold.train.is_empty(), "empty training fold");
     assert!(cfg.batch_size > 0, "batch size must be positive");
 
-    let handle = gnn_device::session::install(Session::new(CostModel::rtx2080ti()));
+    let handle = gnn_device::session::install(Session::new(gnn_device::default_cost_model()));
     let result = graph_body(model, loader, fold, cfg, sup);
     match result {
         Ok(body) => {

@@ -235,6 +235,7 @@ fn chrome_round_trip_preserves_counter_args() {
     let round = obs::Trace {
         events: parsed,
         epochs: vec![],
+        schedule: vec![],
     };
     for track in [obs::tracks::KERNELS, "rustyg", obs::tracks::SERVE] {
         let before = slices(&trace, track);
