@@ -34,6 +34,13 @@
 //!   targets, queues too small to fill a batch), endpoints naming unknown
 //!   cells, and policies whose `max_batch` cannot fit one replica
 //!   session's certified inference footprint.
+//! - **Fleet-config audit** ([`fleet_check`]): sharded serving runs are
+//!   checked for unroutable fleets (zero shards, unknown endpoint cells),
+//!   retry budgets above 1 that let recovery traffic amplify a brownout,
+//!   health thresholds whose ejection horizon exceeds the workload's
+//!   simulated length (failover becomes dead code under test), degenerate
+//!   autoscaler watermarks, and fleet fault specs (`blackout`, `netslow`)
+//!   naming shards the fleet does not have or windows that can never fire.
 //! - **What-if audit** ([`whatif_check`]): causal-profiler predictions
 //!   (`gnn-bench whatif`) are checked for internal consistency before
 //!   publication — a virtual *speedup* may never predict a slowdown,
@@ -56,6 +63,7 @@
 
 pub mod counter_check;
 pub mod fault_plan;
+pub mod fleet_check;
 pub mod index_check;
 pub mod ir;
 pub mod liveness;
@@ -70,6 +78,7 @@ pub mod whatif_check;
 
 pub use counter_check::check_counter_coverage;
 pub use fault_plan::{check_fault_plan, check_memory_ceilings};
+pub use fleet_check::{check_fleet_config, check_fleet_fault_plan};
 pub use ir::{DType, GraphBuilder, OpGraph, Rows, SymShape};
 pub use lower::{lower_stack, LayerPlan, StackPlan, Task};
 pub use memory::{

@@ -36,6 +36,11 @@ pub enum FindingKind {
     /// A serving configuration is degenerate: a batching policy that can
     /// never fire, or endpoints naming unknown cells.
     InvalidServeConfig,
+    /// A fleet configuration is degenerate or self-defeating: no routable
+    /// shards, a retry budget that can amplify a brownout, health
+    /// thresholds that can never eject within the run's horizon, or a
+    /// fault plan naming shards the fleet does not have.
+    InvalidFleetConfig,
     /// A kernel kind is priced by the device cost model but has no
     /// FLOPs/bytes counter formula (or a degenerate one), so roofline
     /// attribution would silently report zero work for it.
@@ -72,6 +77,7 @@ impl FindingKind {
             FindingKind::InvalidConfig => "invalid-config",
             FindingKind::InvalidFaultPlan => "invalid-fault-plan",
             FindingKind::InvalidServeConfig => "serve-config",
+            FindingKind::InvalidFleetConfig => "fleet-config",
             FindingKind::CounterCoverage => "counter-coverage",
             FindingKind::PeakExceedsDeviceMemory => "peak-exceeds-device-memory",
             FindingKind::CeilingUnsatisfiable => "ceiling-unsatisfiable",

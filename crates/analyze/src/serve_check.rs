@@ -19,7 +19,7 @@
 use gnn_datasets::{CitationSpec, SuperpixelSpec, TudSpec};
 use gnn_device::CostModel;
 use gnn_serve::registry::target_count;
-use gnn_serve::{CellId, ServeConfig, TaskKind};
+use gnn_serve::{CellId, ServeConfig, TaskKind, WorkloadKind, WorkloadSpec};
 
 use crate::lower::StackPlan;
 use crate::memory::footprint;
@@ -46,7 +46,7 @@ pub fn check_serve_config(endpoints: &[String], cfg: &ServeConfig, findings: &mu
             Err(e) => findings.push(Finding::new(
                 FindingKind::InvalidServeConfig,
                 format!("serve/endpoints/{i}"),
-                e,
+                e.to_string(),
             )),
         }
     }
@@ -99,23 +99,18 @@ pub fn check_serve_config(endpoints: &[String], cfg: &ServeConfig, findings: &mu
             Err(e) => findings.push(Finding::new(
                 FindingKind::InvalidServeConfig,
                 format!("serve/{}", cell.path()),
-                e,
+                e.to_string(),
             )),
         }
     }
 
-    if cfg.requests == 0 {
+    // Workload degeneracy rides the typed constructor: the lint finding's
+    // message is exactly the `WorkloadError` the engine would refuse with.
+    for err in workload_errors(cfg.requests, cfg.rate) {
         findings.push(Finding::new(
             FindingKind::InvalidServeConfig,
             "serve/workload",
-            "requests=0: the workload generates nothing",
-        ));
-    }
-    if !(cfg.rate.is_finite() && cfg.rate > 0.0) {
-        findings.push(Finding::new(
-            FindingKind::InvalidServeConfig,
-            "serve/workload",
-            format!("rate={} must be positive and finite", cfg.rate),
+            err,
         ));
     }
     if cfg.replicas == 0 {
@@ -127,6 +122,21 @@ pub fn check_serve_config(endpoints: &[String], cfg: &ServeConfig, findings: &mu
     }
 
     check_replica_memory(&cells, cfg, CostModel::rtx2080ti().device_memory, findings);
+}
+
+/// Probes each workload knob independently through the typed
+/// [`WorkloadSpec::new`] constructor (one finding per degenerate knob, even
+/// when several are degenerate at once — the constructor itself stops at
+/// the first).
+fn workload_errors(requests: usize, rate: f64) -> Vec<String> {
+    let mut out = Vec::new();
+    if let Err(e) = WorkloadSpec::new(0, requests, 1.0, WorkloadKind::OpenLoop) {
+        out.push(e.to_string());
+    }
+    if let Err(e) = WorkloadSpec::new(0, 1, rate, WorkloadKind::OpenLoop) {
+        out.push(e.to_string());
+    }
+    out
 }
 
 /// Audits each endpoint's certified inference footprint against one

@@ -2,13 +2,16 @@
 //! diffs it against the previous checked-in baseline.
 //!
 //! Trains the six representative sweep cells at a fixed small scale,
-//! sweeps the serve batching policies over the same endpoints, and writes
-//! a schema-versioned `BENCH_<n>.json` (default `BENCH_6.json`) whose
-//! every number is simulated — a rerun with the same flags reproduces the
-//! file byte-for-byte, which CI enforces with `cmp`. When a baseline
-//! exists (`--baseline <path>`, or the highest-numbered other
-//! `BENCH_*.json` next to the output), the two documents are diffed
-//! metric by metric and the process exits nonzero on any regression past
+//! sweeps the serve batching policies over the same endpoints, sweeps the
+//! fleet routing policies under the canonical fleet chaos plan, and
+//! writes a schema-versioned `BENCH_<n>.json` (default `BENCH_9.json`)
+//! whose every number is simulated — a rerun with the same flags
+//! reproduces the file byte-for-byte, which CI enforces with `cmp`. When
+//! a baseline exists (`--baseline <path>`, the highest-numbered other
+//! `BENCH_*.json` next to the output, or the output itself before it is
+//! overwritten; unreadable candidates — e.g. an older schema version —
+//! fall through to the next), the two documents are diffed metric by
+//! metric and the process exits nonzero on any regression past
 //! `--threshold` (default 5%).
 //!
 //! Flags: `--out <path>`, `--baseline <path>`, `--threshold <frac>`,
@@ -30,7 +33,7 @@ struct Options {
 fn parse(args: &[String]) -> Result<Options, String> {
     let mut o = Options {
         cfg: ReportConfig::default(),
-        out: PathBuf::from("BENCH_6.json"),
+        out: PathBuf::from("BENCH_9.json"),
         baseline: None,
         threshold: 0.05,
         diff: true,
@@ -142,22 +145,23 @@ fn main() {
     );
 
     // The previous document must be read before the new one overwrites it
-    // in place (the usual CI flow regenerates BENCH_6.json on top of the
-    // checked-in baseline).
-    let baseline_path = opts
+    // in place (the usual CI flow regenerates BENCH_9.json on top of the
+    // checked-in baseline). Candidates that fail to read or parse —
+    // typically an older schema version still checked in for history —
+    // fall through to the next one.
+    let candidates: Vec<PathBuf> = opts
         .baseline
         .clone()
-        .or_else(|| discover_baseline(&opts.out))
-        .or_else(|| opts.out.exists().then(|| opts.out.clone()));
-    let baseline = baseline_path.as_ref().and_then(|p| {
-        match std::fs::read_to_string(p).map_err(|e| e.to_string()) {
-            Ok(text) => match parse_bench_report(&text) {
-                Ok(r) => Some((p.clone(), r)),
-                Err(e) => {
-                    eprintln!("warning: baseline {} unreadable: {e}", p.display());
-                    None
-                }
-            },
+        .into_iter()
+        .chain(discover_baseline(&opts.out))
+        .chain(opts.out.exists().then(|| opts.out.clone()))
+        .collect();
+    let baseline = candidates.iter().find_map(|p| {
+        match std::fs::read_to_string(p)
+            .map_err(|e| e.to_string())
+            .and_then(|text| parse_bench_report(&text))
+        {
+            Ok(r) => Some((p.clone(), r)),
             Err(e) => {
                 eprintln!("warning: baseline {} unreadable: {e}", p.display());
                 None

@@ -15,6 +15,7 @@
 //! | `fig6`    | Fig. 6 — multi-GPU scaling of GCN/GAT on MNIST |
 //! | `sweep`   | Fault-isolated sweep over all 60 cells |
 //! | `serve`   | Inference serving: batching-policy sweep over trained cells |
+//! | `fleet`   | Fleet serving: routing-policy sweep over sharded endpoints under chaos |
 //! | `report`  | Regression observatory: canonical cells + serve policies → `BENCH_<n>.json`, diffed against the previous report |
 //! | `whatif`  | Causal profiler: virtual-speedup experiments over the recorded timeline → ranked opportunities in `whatif.json` (`--conformance` re-runs the top predictions for real) |
 //!
@@ -29,7 +30,9 @@
 //! Robustness flags (see the `gnn-faults` crate and the `sweep` binary):
 //! `--faults <plan>` arms a deterministic fault-injection plan around the
 //! run, where `<plan>` is `canonical` (the fixed chaos-suite plan),
-//! `seeded:<n>` (a plan derived from seed `n`), or a path to a plan file;
+//! `canonical-fleet` (the chaos suite plus a shard blackout and a network
+//! straggler for fleet runs), `seeded:<n>` (a plan derived from seed `n`),
+//! or a path to a plan file;
 //! `--ckpt <dir>` writes per-cell training checkpoints into `<dir>`; and
 //! `--resume` restores cells from those checkpoints, so a killed run
 //! continues where it stopped with bit-identical metrics (`--resume`
@@ -46,10 +49,12 @@ pub mod whatif;
 use gnn_core::RunConfig;
 use gnn_faults::FaultPlan;
 
-/// Parses a `--faults` operand: `canonical`, `seeded:<n>`, or a plan file.
+/// Parses a `--faults` operand: `canonical`, `canonical-fleet`,
+/// `seeded:<n>`, or a plan file.
 fn parse_fault_plan(spec: &str) -> Result<FaultPlan, String> {
     match spec {
         "canonical" => Ok(FaultPlan::canonical()),
+        "canonical-fleet" => Ok(FaultPlan::canonical_fleet()),
         s => {
             if let Some(seed) = s.strip_prefix("seeded:") {
                 seed.parse::<u64>()
@@ -313,6 +318,220 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeCliOptions, String> {
     Ok(ServeCliOptions {
         serve,
         policies,
+        endpoints_raw,
+        lint,
+        faults,
+        trace,
+    })
+}
+
+/// Parsed command-line options of the `fleet` binary.
+#[derive(Debug, Clone)]
+pub struct FleetCliOptions {
+    /// Base fleet config; `routing` holds the first entry of `routings`.
+    pub fleet: gnn_serve::FleetConfig,
+    /// Routing policies to sweep, in declaration order.
+    pub routings: Vec<gnn_serve::RoutingPolicy>,
+    /// Raw endpoint paths as given (pre-parse, for the fleet-config lint).
+    pub endpoints_raw: Vec<String>,
+    /// Run the `fleet-config` lint first and refuse to serve on findings.
+    pub lint: bool,
+    /// Fault plan to arm around each routing-policy run.
+    pub faults: Option<FaultPlan>,
+    /// Directory for trace artifacts and `serve_metrics.csv`.
+    pub trace: Option<std::path::PathBuf>,
+}
+
+/// Parses a `--workload` operand into a fleet arrival process:
+/// `open`, `diurnal[:<period_ms>@<amplitude>]`,
+/// `flash[:<at_ms>@<width_ms>@<factor>]`, or
+/// `closed:<clients>@<think_us>`.
+fn parse_fleet_workload(spec: &str) -> Result<gnn_serve::FleetWorkload, String> {
+    use gnn_serve::{FleetWorkload, WorkloadKind};
+    let bad = |what: &str| format!("--workload `{spec}`: {what}");
+    match spec {
+        "open" => return Ok(FleetWorkload::Open(WorkloadKind::OpenLoop)),
+        "diurnal" => {
+            return Ok(FleetWorkload::Open(WorkloadKind::Diurnal {
+                period: 0.05,
+                amplitude: 0.5,
+            }))
+        }
+        "flash" => {
+            return Ok(FleetWorkload::Open(WorkloadKind::FlashCrowd {
+                at: 0.02,
+                width: 0.02,
+                factor: 4.0,
+            }))
+        }
+        _ => {}
+    }
+    let (kind, params) = spec
+        .split_once(':')
+        .ok_or_else(|| bad("unknown workload (open|diurnal|flash|closed:<c>@<us>)"))?;
+    let parts: Vec<&str> = params.split('@').collect();
+    let num = |s: &str| -> Result<f64, String> { s.parse().map_err(|e| bad(&format!("{e}"))) };
+    match (kind, parts.as_slice()) {
+        ("diurnal", [period_ms, amplitude]) => Ok(FleetWorkload::Open(WorkloadKind::Diurnal {
+            period: num(period_ms)? * 1e-3,
+            amplitude: num(amplitude)?,
+        })),
+        ("flash", [at_ms, width_ms, factor]) => Ok(FleetWorkload::Open(WorkloadKind::FlashCrowd {
+            at: num(at_ms)? * 1e-3,
+            width: num(width_ms)? * 1e-3,
+            factor: num(factor)?,
+        })),
+        ("closed", [clients, think_us]) => Ok(FleetWorkload::Closed {
+            clients: clients.parse().map_err(|e| bad(&format!("clients: {e}")))?,
+            think_time: num(think_us)? * 1e-6,
+        }),
+        _ => Err(bad(
+            "expected diurnal:<period_ms>@<amplitude>, flash:<at_ms>@<width_ms>@<factor>, \
+             or closed:<clients>@<think_us>",
+        )),
+    }
+}
+
+/// Parses the `fleet` binary's arguments (without the program name).
+///
+/// Flags: `--endpoints <cell,cell,...>` (default: the representative
+/// six-cell set), `--all-endpoints`, `--shards <n>`, `--replicas <n>`
+/// (per shard), `--routing <policy,policy,...>` (default: both
+/// `consistent-hash` and `least-loaded`), `--policy <b@us>`,
+/// `--requests <n>`, `--rate <req/s>`, `--seed <n>`, `--scale <f>`,
+/// `--queue-cap <n>`, `--admission-cap <n>`, `--retry-budget <frac>`,
+/// `--hedge-after <us|off>`, `--no-autoscale`, `--slo-ms <ms>`,
+/// `--workload open|diurnal|flash|closed:<c>@<us>` (see
+/// [`gnn_serve::FleetWorkload`]), `--ckpt <dir>`, `--trace <dir>`,
+/// `--lint`, `--faults canonical|canonical-fleet|seeded:<n>|<path>`.
+///
+/// # Errors
+///
+/// Returns a human-readable message on unknown flags or unparsable values.
+pub fn parse_fleet_args(args: &[String]) -> Result<FleetCliOptions, String> {
+    let mut fleet = gnn_serve::FleetConfig::default();
+    let mut routings = vec![
+        gnn_serve::RoutingPolicy::ConsistentHash,
+        gnn_serve::RoutingPolicy::LeastLoaded,
+    ];
+    let mut endpoints_raw: Vec<String> = fleet.endpoints.iter().map(|c| c.path()).collect();
+    let mut lint = false;
+    let mut faults = None;
+    let mut trace = None;
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let mut value_of = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--endpoints" => {
+                endpoints_raw = value_of("--endpoints")?
+                    .split(',')
+                    .map(str::to_owned)
+                    .collect();
+            }
+            "--all-endpoints" => {
+                endpoints_raw = gnn_serve::CellId::all().iter().map(|c| c.path()).collect();
+            }
+            "--shards" => {
+                fleet.shards = value_of("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+            }
+            "--replicas" => {
+                fleet.replicas_per_shard = value_of("--replicas")?
+                    .parse()
+                    .map_err(|e| format!("--replicas: {e}"))?;
+            }
+            "--routing" => {
+                routings = value_of("--routing")?
+                    .split(',')
+                    .map(|s| {
+                        gnn_serve::RoutingPolicy::parse(s).ok_or_else(|| {
+                            format!("--routing `{s}` (consistent-hash|least-loaded)")
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                if routings.is_empty() {
+                    return Err("--routing needs at least one policy".into());
+                }
+            }
+            "--policy" => fleet.policy = parse_policy(&value_of("--policy")?)?,
+            "--requests" => {
+                fleet.requests = value_of("--requests")?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?;
+            }
+            "--rate" => {
+                fleet.rate = value_of("--rate")?
+                    .parse()
+                    .map_err(|e| format!("--rate: {e}"))?;
+            }
+            "--seed" => {
+                fleet.seed = value_of("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--scale" => {
+                let v: f64 = value_of("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?;
+                if !(v > 0.0 && v <= 1.0) {
+                    return Err(format!("--scale {v} out of (0, 1]"));
+                }
+                fleet.scale = v;
+            }
+            "--queue-cap" => {
+                fleet.queue_cap = value_of("--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("--queue-cap: {e}"))?;
+            }
+            "--admission-cap" => {
+                fleet.admission_cap = value_of("--admission-cap")?
+                    .parse()
+                    .map_err(|e| format!("--admission-cap: {e}"))?;
+            }
+            "--retry-budget" => {
+                fleet.retry_budget = value_of("--retry-budget")?
+                    .parse()
+                    .map_err(|e| format!("--retry-budget: {e}"))?;
+            }
+            "--hedge-after" => {
+                let v = value_of("--hedge-after")?;
+                fleet.hedge_after = if v == "off" {
+                    None
+                } else {
+                    let us: f64 = v.parse().map_err(|e| format!("--hedge-after: {e}"))?;
+                    Some(us * 1e-6)
+                };
+            }
+            "--no-autoscale" => fleet.autoscale = None,
+            "--slo-ms" => {
+                let ms: f64 = value_of("--slo-ms")?
+                    .parse()
+                    .map_err(|e| format!("--slo-ms: {e}"))?;
+                fleet.slo_target = ms * 1e-3;
+            }
+            "--workload" => fleet.workload = parse_fleet_workload(&value_of("--workload")?)?,
+            "--ckpt" => fleet.ckpt_dir = Some(artifact_dir("--ckpt", &mut value_of)?),
+            "--trace" => trace = Some(artifact_dir("--trace", &mut value_of)?),
+            "--lint" => lint = true,
+            "--faults" => faults = Some(parse_fault_plan(&value_of("--faults")?)?),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    // Endpoint parse errors surface through the lint (when enabled) or the
+    // registry build; keep whatever parses so the config stays usable.
+    fleet.endpoints = endpoints_raw
+        .iter()
+        .filter_map(|p| gnn_serve::CellId::parse(p).ok())
+        .collect();
+    fleet.routing = routings[0];
+    Ok(FleetCliOptions {
+        fleet,
+        routings,
         endpoints_raw,
         lint,
         faults,
@@ -586,6 +805,131 @@ mod tests {
         assert!(parse_serve_args(&s(&["--rate"])).is_err());
         assert!(parse_serve_args(&s(&["--scale", "2.0"])).is_err());
         assert!(parse_serve_args(&s(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn fleet_args_defaults_and_overrides() {
+        let o = parse_fleet_args(&[]).unwrap();
+        assert_eq!(o.fleet.endpoints.len(), 6);
+        assert_eq!(
+            o.routings,
+            vec![
+                gnn_serve::RoutingPolicy::ConsistentHash,
+                gnn_serve::RoutingPolicy::LeastLoaded
+            ]
+        );
+        assert_eq!(o.fleet.routing, o.routings[0]);
+        assert!(o.fleet.autoscale.is_some());
+        assert!(!o.lint);
+        assert!(o.faults.is_none());
+
+        let o = parse_fleet_args(&s(&[
+            "--endpoints",
+            "table4/Cora/GCN/PyG,table5/DD/MoNet/DGL",
+            "--shards",
+            "4",
+            "--replicas",
+            "3",
+            "--routing",
+            "least-loaded",
+            "--policy",
+            "16@4000",
+            "--requests",
+            "250",
+            "--rate",
+            "1500",
+            "--seed",
+            "9",
+            "--queue-cap",
+            "64",
+            "--admission-cap",
+            "96",
+            "--retry-budget",
+            "0.25",
+            "--hedge-after",
+            "8000",
+            "--no-autoscale",
+            "--slo-ms",
+            "10",
+            "--workload",
+            "closed:12@500",
+            "--lint",
+            "--faults",
+            "canonical-fleet",
+            "--trace",
+            "out/fleet",
+        ]))
+        .unwrap();
+        assert_eq!(o.fleet.endpoints.len(), 2);
+        assert_eq!(o.fleet.shards, 4);
+        assert_eq!(o.fleet.replicas_per_shard, 3);
+        assert_eq!(o.routings, vec![gnn_serve::RoutingPolicy::LeastLoaded]);
+        assert_eq!(o.fleet.policy.max_batch, 16);
+        assert_eq!(o.fleet.requests, 250);
+        assert_eq!(o.fleet.rate, 1500.0);
+        assert_eq!(o.fleet.seed, 9);
+        assert_eq!(o.fleet.queue_cap, 64);
+        assert_eq!(o.fleet.admission_cap, 96);
+        assert!((o.fleet.retry_budget - 0.25).abs() < 1e-12);
+        assert!((o.fleet.hedge_after.unwrap() - 0.008).abs() < 1e-12);
+        assert!(o.fleet.autoscale.is_none());
+        assert!((o.fleet.slo_target - 0.010).abs() < 1e-12);
+        assert!(matches!(
+            o.fleet.workload,
+            gnn_serve::FleetWorkload::Closed { clients: 12, .. }
+        ));
+        assert!(o.lint);
+        assert_eq!(o.faults, Some(FaultPlan::canonical_fleet()));
+        assert_eq!(o.trace.as_deref(), Some(std::path::Path::new("out/fleet")));
+
+        let o = parse_fleet_args(&s(&["--hedge-after", "off"])).unwrap();
+        assert!(o.fleet.hedge_after.is_none());
+    }
+
+    #[test]
+    fn fleet_workloads_parse_all_forms() {
+        use gnn_serve::{FleetWorkload, WorkloadKind};
+        assert_eq!(
+            parse_fleet_workload("open").unwrap(),
+            FleetWorkload::Open(WorkloadKind::OpenLoop)
+        );
+        let FleetWorkload::Open(WorkloadKind::Diurnal { period, amplitude }) =
+            parse_fleet_workload("diurnal:40@0.8").unwrap()
+        else {
+            panic!("expected diurnal")
+        };
+        assert!((period - 0.04).abs() < 1e-12);
+        assert!((amplitude - 0.8).abs() < 1e-12);
+        let FleetWorkload::Open(WorkloadKind::FlashCrowd { at, width, factor }) =
+            parse_fleet_workload("flash:10@5@6").unwrap()
+        else {
+            panic!("expected flash crowd")
+        };
+        assert!((at - 0.01).abs() < 1e-12);
+        assert!((width - 0.005).abs() < 1e-12);
+        assert!((factor - 6.0).abs() < 1e-12);
+        assert!(matches!(
+            parse_fleet_workload("diurnal").unwrap(),
+            FleetWorkload::Open(WorkloadKind::Diurnal { .. })
+        ));
+        assert!(matches!(
+            parse_fleet_workload("flash").unwrap(),
+            FleetWorkload::Open(WorkloadKind::FlashCrowd { .. })
+        ));
+        assert!(parse_fleet_workload("bogus").is_err());
+        assert!(parse_fleet_workload("closed:x@500").is_err());
+        assert!(parse_fleet_workload("flash:1@2").is_err());
+    }
+
+    #[test]
+    fn fleet_faults_flag_accepts_the_fleet_plan() {
+        let o = parse_fleet_args(&s(&["--faults", "canonical-fleet"])).unwrap();
+        assert_eq!(o.faults, Some(FaultPlan::canonical_fleet()));
+        let o = parse_args(&s(&["--faults", "canonical-fleet"])).unwrap();
+        assert_eq!(o.config.faults, Some(FaultPlan::canonical_fleet()));
+        assert!(parse_fleet_args(&s(&["--routing", "random"])).is_err());
+        assert!(parse_fleet_args(&s(&["--routing", ""])).is_err());
+        assert!(parse_fleet_args(&s(&["--retry-budget"])).is_err());
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! The performance-report harness behind `gnn-bench report`.
 //!
 //! Runs a canonical slice of the study — the six representative sweep
-//! cells plus the serve policy sweep — and distills each run into the
+//! cells plus the serve policy sweep and the fleet routing-policy sweep
+//! under the canonical fleet chaos plan — and distills each run into the
 //! numbers the regression observatory tracks: per-cell epoch time with its
-//! kernel/transfer/idle split and roofline utilization, and per-policy
-//! serve latency percentiles with SLO attainment. The result serializes to
+//! kernel/transfer/idle split and roofline utilization, per-policy serve
+//! latency percentiles with SLO attainment, and per-routing-policy fleet
+//! resilience counters (sheds, retries, hedges, failover latency). The
+//! result serializes to
 //! a schema-versioned JSON document (`BENCH_<n>.json` at the repo root)
 //! whose every number is *simulated* — no wall-clock anywhere — so a rerun
 //! with the same config reproduces the file byte-for-byte. CI runs the
@@ -16,16 +19,20 @@
 //! they shrink past `previous * (1 - threshold)`.
 
 use gnn_datasets::{stratified_kfold, CitationSpec, SuperpixelSpec, TudSpec};
+use gnn_faults::FaultPlan;
 use gnn_models::adapt::{RglLoader, RustygLoader};
 use gnn_models::{build, graph_hparams, node_hparams, FrameworkKind};
 use gnn_obs::{json, Value};
-use gnn_serve::{default_endpoints, BatchPolicy, CellId, ServeConfig, TaskKind};
+use gnn_serve::{
+    default_endpoints, BatchPolicy, CellId, FleetConfig, RoutingPolicy, ServeConfig, TaskKind,
+};
 use gnn_train::{run_graph_fold, run_node_task, GraphTaskConfig, NodeTaskConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Schema tag every report document carries; bumped on breaking change.
-pub const REPORT_SCHEMA: &str = "gnn-bench-report/v1";
+/// `v2` added the `fleet` section (per-routing-policy resilience rows).
+pub const REPORT_SCHEMA: &str = "gnn-bench-report/v2";
 
 /// What one report run covers.
 #[derive(Debug, Clone)]
@@ -124,6 +131,36 @@ pub struct ServePolicyReport {
     pub rejected: usize,
 }
 
+/// One fleet routing policy's distilled resilience numbers, measured
+/// under the canonical fleet chaos plan (shard blackout + network
+/// straggler + the chaos suite).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetPolicyReport {
+    /// Routing label, `consistent-hash` or `least-loaded`.
+    pub routing: String,
+    /// Median enqueue-to-reply latency, simulated seconds.
+    pub p50: f64,
+    /// 95th-percentile latency.
+    pub p95: f64,
+    /// 99th-percentile latency.
+    pub p99: f64,
+    /// Served requests per simulated second.
+    pub throughput: f64,
+    /// Fraction of submitted requests answered within the SLO target.
+    pub slo_attainment: f64,
+    /// Requests answered.
+    pub answered: usize,
+    /// Requests shed by admission control or ejection drains.
+    pub shed: usize,
+    /// Failover retries spent from the token bucket.
+    pub retries: usize,
+    /// Hedge twins dispatched.
+    pub hedges: usize,
+    /// 99th-percentile failover latency (seconds), 0 when nothing failed
+    /// over.
+    pub failover_p99: f64,
+}
+
 /// The full report document.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
@@ -135,6 +172,9 @@ pub struct BenchReport {
     pub cells: Vec<CellReport>,
     /// One entry per serve policy, in config order.
     pub serve: Vec<ServePolicyReport>,
+    /// One entry per fleet routing policy, under the canonical fleet
+    /// chaos plan.
+    pub fleet: Vec<FleetPolicyReport>,
 }
 
 /// Trains one cell and returns `(epoch_time, total_time, device_report)`.
@@ -262,6 +302,42 @@ pub fn run_report(cfg: &ReportConfig) -> BenchReport {
             rejected: report.rejected(),
         });
     }
+    let mut fleet = Vec::with_capacity(2);
+    for routing in [RoutingPolicy::ConsistentHash, RoutingPolicy::LeastLoaded] {
+        let fcfg = FleetConfig {
+            endpoints: cfg.cells.clone(),
+            routing,
+            requests: cfg.requests,
+            rate: cfg.rate,
+            seed: cfg.seed,
+            scale: cfg.scale,
+            slo_target: cfg.slo_target,
+            ..FleetConfig::default()
+        };
+        // Each routing policy runs under its own arming of the canonical
+        // fleet plan, so dp-step-indexed faults hit both policies alike.
+        let handle =
+            (!gnn_faults::is_active()).then(|| gnn_faults::install(FaultPlan::canonical_fleet()));
+        let report = gnn_serve::serve_fleet(&fcfg).expect("fleet run failed");
+        if let Some(h) = handle {
+            gnn_faults::finish(h);
+        }
+        let (p50, p95, p99) = report.latency_percentiles();
+        let stats = report.fleet.as_ref().expect("fleet stats present");
+        fleet.push(FleetPolicyReport {
+            routing: routing.label().to_owned(),
+            p50,
+            p95,
+            p99,
+            throughput: report.throughput(),
+            slo_attainment: report.slo_attainment(cfg.slo_target),
+            answered: report.answered(),
+            shed: report.shed(),
+            retries: stats.retries,
+            hedges: stats.hedges,
+            failover_p99: stats.failover_p99(),
+        });
+    }
     BenchReport {
         schema: REPORT_SCHEMA.to_owned(),
         config: vec![
@@ -274,6 +350,7 @@ pub fn run_report(cfg: &ReportConfig) -> BenchReport {
         ],
         cells,
         serve,
+        fleet,
     }
 }
 
@@ -340,6 +417,29 @@ impl BenchReport {
                         .collect(),
                 ),
             ),
+            (
+                "fleet".into(),
+                Value::Arr(
+                    self.fleet
+                        .iter()
+                        .map(|f| {
+                            Value::Obj(vec![
+                                ("routing".into(), Value::from(f.routing.as_str())),
+                                ("p50".into(), Value::Num(f.p50)),
+                                ("p95".into(), Value::Num(f.p95)),
+                                ("p99".into(), Value::Num(f.p99)),
+                                ("throughput".into(), Value::Num(f.throughput)),
+                                ("slo_attainment".into(), Value::Num(f.slo_attainment)),
+                                ("answered".into(), Value::from(f.answered)),
+                                ("shed".into(), Value::from(f.shed)),
+                                ("retries".into(), Value::from(f.retries)),
+                                ("hedges".into(), Value::from(f.hedges)),
+                                ("failover_p99".into(), Value::Num(f.failover_p99)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -389,6 +489,27 @@ impl BenchReport {
                 p.throughput,
                 p.slo_attainment * 100.0,
             );
+        }
+        if !self.fleet.is_empty() {
+            let _ = writeln!(
+                s,
+                "{:<16} {:>9} {:>9} {:>7} {:>6} {:>7} {:>7} {:>10}",
+                "fleet routing", "p50 ms", "p99 ms", "SLO", "shed", "retry", "hedge", "failover"
+            );
+            for f in &self.fleet {
+                let _ = writeln!(
+                    s,
+                    "{:<16} {:>9.3} {:>9.3} {:>6.1}% {:>6} {:>7} {:>7} {:>7.3}ms",
+                    f.routing,
+                    f.p50 * 1e3,
+                    f.p99 * 1e3,
+                    f.slo_attainment * 100.0,
+                    f.shed,
+                    f.retries,
+                    f.hedges,
+                    f.failover_p99 * 1e3,
+                );
+            }
         }
         s
     }
@@ -472,11 +593,33 @@ pub fn parse_bench_report(text: &str) -> Result<BenchReport, String> {
             })
         })
         .collect::<Result<Vec<_>, String>>()?;
+    let fleet = doc
+        .get("fleet")
+        .and_then(|f| f.as_arr())
+        .ok_or("missing fleet array")?
+        .iter()
+        .map(|f| {
+            Ok(FleetPolicyReport {
+                routing: text_field(f, "routing")?,
+                p50: num(f, "p50")?,
+                p95: num(f, "p95")?,
+                p99: num(f, "p99")?,
+                throughput: num(f, "throughput")?,
+                slo_attainment: num(f, "slo_attainment")?,
+                answered: num(f, "answered")? as usize,
+                shed: num(f, "shed")? as usize,
+                retries: num(f, "retries")? as usize,
+                hedges: num(f, "hedges")? as usize,
+                failover_p99: num(f, "failover_p99")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
     Ok(BenchReport {
         schema: schema.to_owned(),
         config,
         cells,
         serve,
+        fleet,
     })
 }
 
@@ -587,6 +730,35 @@ pub fn diff_reports(
             &mut out,
         );
     }
+    for cur in &current.fleet {
+        let Some(prev) = previous.fleet.iter().find(|f| f.routing == cur.routing) else {
+            continue;
+        };
+        compare(
+            format!("fleet {} p99", cur.routing),
+            prev.p99,
+            cur.p99,
+            threshold,
+            true,
+            &mut out,
+        );
+        compare(
+            format!("fleet {} slo_attainment", cur.routing),
+            prev.slo_attainment,
+            cur.slo_attainment,
+            threshold,
+            false,
+            &mut out,
+        );
+        compare(
+            format!("fleet {} failover_p99", cur.routing),
+            prev.failover_p99,
+            cur.failover_p99,
+            threshold,
+            true,
+            &mut out,
+        );
+    }
     out
 }
 
@@ -662,6 +834,19 @@ mod tests {
                 served: 118,
                 rejected: 2,
             }],
+            fleet: vec![FleetPolicyReport {
+                routing: "consistent-hash".into(),
+                p50: 0.0012,
+                p95: 0.0025,
+                p99: 0.004,
+                throughput: 750.0,
+                slo_attainment: 0.9,
+                answered: 110,
+                shed: 10,
+                retries: 6,
+                hedges: 3,
+                failover_p99: 0.008,
+            }],
         }
     }
 
@@ -688,11 +873,13 @@ mod tests {
         let mut cur = sample();
         cur.cells[0].epoch_time *= 1.20; // +20% over a 5% threshold
         cur.serve[0].slo_attainment = 0.80; // attainment drop
+        cur.fleet[0].failover_p99 *= 2.0; // failover latency growth
         let lines = diff_reports(&prev, &cur, 0.05);
         let regressions: Vec<&DiffLine> = lines.iter().filter(|l| l.regression).collect();
-        assert_eq!(regressions.len(), 2, "{}", render_diff(&lines));
+        assert_eq!(regressions.len(), 3, "{}", render_diff(&lines));
         assert!(regressions[0].metric.contains("epoch_time"));
         assert!(regressions[1].metric.contains("slo_attainment"));
+        assert!(regressions[2].metric.contains("failover_p99"));
         // Identical reports never regress.
         assert!(diff_reports(&prev, &prev, 0.05)
             .iter()
@@ -704,6 +891,11 @@ mod tests {
         let prev = sample();
         let mut cur = sample();
         cur.cells[0].cell = "table4/PubMed/GCN/PyG".into();
+        let lines = diff_reports(&prev, &cur, 0.05);
+        assert!(lines
+            .iter()
+            .all(|l| l.metric.starts_with("serve ") || l.metric.starts_with("fleet ")));
+        cur.fleet[0].routing = "least-loaded".into();
         let lines = diff_reports(&prev, &cur, 0.05);
         assert!(lines.iter().all(|l| l.metric.starts_with("serve ")));
     }
@@ -728,5 +920,16 @@ mod tests {
         assert!((0.0..=1.0).contains(&c.roofline_utilization));
         assert!(a.serve[0].p50 > 0.0);
         assert!((0.0..=1.0).contains(&a.serve[0].slo_attainment));
+        // Both routing policies ran under the canonical fleet chaos plan
+        // and every request reached a terminal outcome.
+        assert_eq!(a.fleet.len(), 2);
+        assert_eq!(a.fleet[0].routing, "consistent-hash");
+        assert_eq!(a.fleet[1].routing, "least-loaded");
+        for f in &a.fleet {
+            assert!(f.p50 > 0.0 && f.p50 <= f.p99);
+            assert!((0.0..=1.0).contains(&f.slo_attainment));
+            assert!(f.answered + f.shed <= cfg.requests);
+            assert!(f.answered > 0, "the fleet must answer under chaos");
+        }
     }
 }

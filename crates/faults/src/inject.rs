@@ -54,7 +54,7 @@ impl fmt::Display for Fault {
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultEvent {
     /// Stable kind label (`oom`, `memlimit`, `kernel`, `pcie`, `replica`,
-    /// `nan`).
+    /// `nan`, `blackout`, `netslow`).
     pub kind: &'static str,
     /// Human-readable description of what fired.
     pub detail: String,
@@ -305,6 +305,76 @@ pub fn on_dp_step(n_gpus: usize, sim: f64) -> Option<usize> {
     .flatten()
 }
 
+/// Fleet shard-blackout hook: returns `Some(until)` if shard `shard` is
+/// blacked out at simulated time `sim` (i.e. some `blackout` spec's window
+/// `[from, until)` contains `sim`), giving the router the earliest time the
+/// shard can come back. Fires the trace/log event once per spec, on the
+/// first observation inside its window. `None` when healthy or when no
+/// injector is armed.
+///
+/// Unlike the counter-triggered hooks this is a pure *query* of simulated
+/// time — the serve clock is deterministic, so so is the trigger.
+pub fn shard_down(shard: usize, sim: f64) -> Option<f64> {
+    with(|inj| {
+        let mut down_until = None;
+        for i in 0..inj.plan.specs.len() {
+            if let FaultKind::ShardBlackout {
+                shard: s,
+                from,
+                until,
+            } = inj.plan.specs[i].kind
+            {
+                if s == shard && from <= sim && sim < until {
+                    if !inj.fired[i] {
+                        inj.fired[i] = true;
+                        inj.fire(
+                            "blackout",
+                            format!("shard {s} dark over [{from}, {until}) s"),
+                            sim,
+                        );
+                    }
+                    down_until = Some(down_until.map_or(until, |u: f64| u.max(until)));
+                }
+            }
+        }
+        down_until
+    })
+    .flatten()
+}
+
+/// Fleet network-straggler hook: returns the router↔shard slowdown
+/// multiplier for traffic to `shard` at simulated time `sim` (1.0 when no
+/// `netslow` window is active or no injector is armed). Fires the trace/log
+/// event once per spec, on the first observation inside its window.
+pub fn shard_net_factor(shard: usize, sim: f64) -> f64 {
+    with(|inj| {
+        let mut factor = 1.0;
+        for i in 0..inj.plan.specs.len() {
+            if let FaultKind::NetStraggler {
+                shard: s,
+                from,
+                until,
+                factor: f,
+            } = inj.plan.specs[i].kind
+            {
+                if s == shard && from <= sim && sim < until {
+                    if !inj.fired[i] {
+                        inj.fired[i] = true;
+                        inj.fire(
+                            "netslow",
+                            format!("shard {s} link ×{f} over [{from}, {until}) s"),
+                            sim,
+                        );
+                    }
+                    factor *= f;
+                }
+            }
+        }
+        factor
+    })
+    .unwrap_or(1.0)
+}
+
 /// Loss-poisoning hook: returns `loss`, or NaN if a `nan epoch=N` spec
 /// fires for the current epoch (one-shot).
 pub fn poison_loss(loss: f32, sim: f64) -> f32 {
@@ -438,6 +508,52 @@ mod tests {
         let log = finish(h);
         assert_eq!(log.events[0].cell, "cell-a");
         assert_eq!(log.summary().matches(';').count(), 1);
+    }
+
+    #[test]
+    fn blackout_windows_answer_by_simulated_time() {
+        let h = install(plan(&[FaultKind::ShardBlackout {
+            shard: 1,
+            from: 0.5,
+            until: 1.5,
+        }]));
+        assert_eq!(shard_down(1, 0.0), None, "before the window");
+        assert_eq!(shard_down(0, 1.0), None, "other shards unaffected");
+        assert_eq!(shard_down(1, 0.5), Some(1.5), "window start is inclusive");
+        assert_eq!(
+            shard_down(1, 1.0),
+            Some(1.5),
+            "repeat queries keep answering"
+        );
+        assert_eq!(shard_down(1, 1.5), None, "window end is exclusive");
+        let log = finish(h);
+        assert_eq!(log.len(), 1, "event fires once per spec: {log:?}");
+        assert_eq!(log.events[0].kind, "blackout");
+    }
+
+    #[test]
+    fn net_straggler_scales_only_inside_its_window() {
+        let h = install(plan(&[FaultKind::NetStraggler {
+            shard: 0,
+            from: 1.0,
+            until: 2.0,
+            factor: 4.0,
+        }]));
+        assert_eq!(shard_net_factor(0, 0.5), 1.0);
+        assert_eq!(shard_net_factor(1, 1.5), 1.0, "other shards unaffected");
+        assert_eq!(shard_net_factor(0, 1.0), 4.0);
+        assert_eq!(shard_net_factor(0, 1.9), 4.0, "still active, logged once");
+        assert_eq!(shard_net_factor(0, 2.0), 1.0, "window end is exclusive");
+        let log = finish(h);
+        assert_eq!(log.len(), 1, "{log:?}");
+        assert_eq!(log.events[0].kind, "netslow");
+    }
+
+    #[test]
+    fn fleet_hooks_are_noops_without_install() {
+        assert!(!is_active());
+        assert_eq!(shard_down(0, 1.0), None);
+        assert_eq!(shard_net_factor(0, 1.0), 1.0);
     }
 
     #[test]

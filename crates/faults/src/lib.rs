@@ -8,9 +8,13 @@
 //! - A [`FaultPlan`] is a **seeded, deterministic schedule** of faults —
 //!   "the 120th device allocation fails", "kernel launch 300 is corrupt",
 //!   "PCIe transfer 10 runs 4× slow", "replica 2 dies at data-parallel step
-//!   3", "the training loss at epoch 2 is poisoned to NaN". No wall-clock
+//!   3", "the training loss at epoch 2 is poisoned to NaN", "serving shard
+//!   1 is blacked out over simulated seconds [0.03, 0.09)". No wall-clock
 //!   randomness anywhere: the same plan and workload always produce the
-//!   same faults at the same simulated instants.
+//!   same faults at the same simulated instants. Fleet-level kinds
+//!   ([`FaultKind::ShardBlackout`], [`FaultKind::NetStraggler`]) trigger on
+//!   simulated-time windows instead of counters — the serve clock is
+//!   deterministic, so the triggers still are.
 //! - A thread-local [`Injector`] (install pattern identical to
 //!   `gnn_device::session` / `gnn_obs`) is consulted by hooks inside the
 //!   *real* code paths: `gnn_device::Session::{alloc, record}`,
@@ -36,7 +40,7 @@ pub mod plan;
 
 pub use inject::{
     events_since, finish, install, is_active, on_alloc, on_dp_step, on_kernel, poison_loss,
-    set_cell, set_epoch, take_pending, transfer_factor, Fault, FaultEvent, FaultLog, Injector,
-    InjectorHandle,
+    set_cell, set_epoch, shard_down, shard_net_factor, take_pending, transfer_factor, Fault,
+    FaultEvent, FaultLog, Injector, InjectorHandle,
 };
 pub use plan::{FaultKind, FaultPlan, FaultSpec, PlanParseError};

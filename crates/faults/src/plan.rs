@@ -60,6 +60,33 @@ pub enum FaultKind {
         /// 0-based epoch index.
         epoch: u64,
     },
+    /// Fleet-level shard blackout: endpoint shard `shard` is unreachable
+    /// for the simulated-time window `[from, until)` on the serve clock.
+    /// Queued work drains through the router's retry budget; new arrivals
+    /// route around the dark shard. Unlike the counter-triggered kinds,
+    /// the window is expressed in simulated seconds — the serve clock is
+    /// itself deterministic, so the trigger still is.
+    ShardBlackout {
+        /// 0-based shard index.
+        shard: usize,
+        /// Window start (simulated seconds, inclusive).
+        from: f64,
+        /// Window end (simulated seconds, exclusive).
+        until: f64,
+    },
+    /// Fleet-level network straggler: router↔shard traffic to `shard` runs
+    /// `factor`× slower over the simulated-time window `[from, until)`.
+    /// Not an error — just lost time on every reply crossing the link.
+    NetStraggler {
+        /// 0-based shard index.
+        shard: usize,
+        /// Window start (simulated seconds, inclusive).
+        from: f64,
+        /// Window end (simulated seconds, exclusive).
+        until: f64,
+        /// Slowdown multiplier (> 1).
+        factor: f64,
+    },
 }
 
 impl FaultKind {
@@ -72,6 +99,8 @@ impl FaultKind {
             FaultKind::PcieStraggler { .. } => "pcie",
             FaultKind::ReplicaFailure { .. } => "replica",
             FaultKind::NanLoss { .. } => "nan",
+            FaultKind::ShardBlackout { .. } => "blackout",
+            FaultKind::NetStraggler { .. } => "netslow",
         }
     }
 }
@@ -92,6 +121,20 @@ impl fmt::Display for FaultSpec {
             FaultKind::PcieStraggler { at, factor } => write!(f, "pcie at={at} factor={factor}"),
             FaultKind::ReplicaFailure { gpu, at } => write!(f, "replica gpu={gpu} at={at}"),
             FaultKind::NanLoss { epoch } => write!(f, "nan epoch={epoch}"),
+            FaultKind::ShardBlackout { shard, from, until } => {
+                write!(f, "blackout shard={shard} from={from} until={until}")
+            }
+            FaultKind::NetStraggler {
+                shard,
+                from,
+                until,
+                factor,
+            } => {
+                write!(
+                    f,
+                    "netslow shard={shard} from={from} until={until} factor={factor}"
+                )
+            }
         }
     }
 }
@@ -186,6 +229,32 @@ impl FaultPlan {
         plan
     }
 
+    /// The canonical *fleet* chaos-campaign plan: the single-engine
+    /// [`FaultPlan::canonical`] kinds plus the fleet-level failure modes — a
+    /// shard blackout and a router↔shard network straggler, with windows
+    /// sized to the default fleet horizon (400 requests at 2000 req/s ≈
+    /// 0.2 s). Used by the CI `fleet-chaos` job and accepted by the bench
+    /// binaries as `--faults canonical-fleet`.
+    pub fn canonical_fleet() -> Self {
+        let mut plan = FaultPlan::canonical();
+        plan.specs.push(FaultSpec {
+            kind: FaultKind::ShardBlackout {
+                shard: 1,
+                from: 0.03,
+                until: 0.09,
+            },
+        });
+        plan.specs.push(FaultSpec {
+            kind: FaultKind::NetStraggler {
+                shard: 0,
+                from: 0.10,
+                until: 0.16,
+                factor: 4.0,
+            },
+        });
+        plan
+    }
+
     /// Whether the plan schedules nothing.
     pub fn is_empty(&self) -> bool {
         self.specs.is_empty()
@@ -213,6 +282,8 @@ impl FaultPlan {
     /// pcie at=10 factor=4.0
     /// replica gpu=2 at=3
     /// nan epoch=2
+    /// blackout shard=1 from=0.03 until=0.09
+    /// netslow shard=0 from=0.1 until=0.16 factor=4.0
     /// ```
     ///
     /// # Errors
@@ -247,6 +318,10 @@ impl FaultPlan {
             let parse_u64 = |name: &str, v: &str| -> Result<u64, PlanParseError> {
                 v.parse()
                     .map_err(|e| err(format!("{name}={v} is not an integer: {e}")))
+            };
+            let parse_f64 = |name: &str, v: &str| -> Result<f64, PlanParseError> {
+                v.parse()
+                    .map_err(|e| err(format!("{name}={v} is not a number: {e}")))
             };
             match head {
                 "seed" => {
@@ -294,6 +369,28 @@ impl FaultPlan {
                     let epoch = parse_u64("epoch", field("epoch")?)?;
                     plan.specs.push(FaultSpec {
                         kind: FaultKind::NanLoss { epoch },
+                    });
+                }
+                "blackout" => {
+                    let shard = parse_u64("shard", field("shard")?)? as usize;
+                    let from = parse_f64("from", field("from")?)?;
+                    let until = parse_f64("until", field("until")?)?;
+                    plan.specs.push(FaultSpec {
+                        kind: FaultKind::ShardBlackout { shard, from, until },
+                    });
+                }
+                "netslow" => {
+                    let shard = parse_u64("shard", field("shard")?)? as usize;
+                    let from = parse_f64("from", field("from")?)?;
+                    let until = parse_f64("until", field("until")?)?;
+                    let factor = parse_f64("factor", field("factor")?)?;
+                    plan.specs.push(FaultSpec {
+                        kind: FaultKind::NetStraggler {
+                            shard,
+                            from,
+                            until,
+                            factor,
+                        },
                     });
                 }
                 other => return Err(err(format!("unknown directive `{other}`"))),
@@ -354,6 +451,27 @@ mod tests {
         let plan = FaultPlan::canonical().with(FaultKind::MemLimit { bytes: 1 << 30 });
         let parsed = FaultPlan::parse(&plan.to_text()).unwrap();
         assert_eq!(parsed, plan);
+    }
+
+    #[test]
+    fn canonical_fleet_adds_fleet_kinds_and_round_trips() {
+        let plan = FaultPlan::canonical_fleet();
+        let labels: Vec<&str> = plan.specs.iter().map(|s| s.kind.label()).collect();
+        for needed in [
+            "oom", "kernel", "pcie", "nan", "replica", "blackout", "netslow",
+        ] {
+            assert!(labels.contains(&needed), "fleet plan missing {needed}");
+        }
+        let parsed = FaultPlan::parse(&plan.to_text()).unwrap();
+        assert_eq!(parsed, plan);
+    }
+
+    #[test]
+    fn fleet_directives_require_their_fields() {
+        let err = FaultPlan::parse("blackout shard=1 from=0.1\n").unwrap_err();
+        assert!(err.message.contains("until=<value>"));
+        let err = FaultPlan::parse("netslow shard=0 from=0 until=soon factor=2\n").unwrap_err();
+        assert!(err.message.contains("until=soon is not a number"));
     }
 
     #[test]

@@ -119,4 +119,8 @@ pub mod tracks {
     /// Inference-serving spans and counters (`gnn-serve`: per-request
     /// enqueue→reply spans, per-batch forward slices, queue-depth counters).
     pub const SERVE: &str = "serve";
+    /// Fleet-serving markers (`gnn-serve` fleet engine: routing decisions,
+    /// sheds, retries, hedges, health ejections/re-admissions, autoscale
+    /// events).
+    pub const FLEET: &str = "fleet";
 }

@@ -1,0 +1,133 @@
+//! Queue-depth-driven replica autoscaling with cooldown, evaluated on the
+//! serve clock.
+//!
+//! The fleet engine evaluates each shard's autoscaler at health-probe
+//! ticks: outstanding work above `queue_high` adds a replica (up to
+//! `max_replicas`), below `queue_low` removes one (down to
+//! `min_replicas`). A per-shard `cooldown` of simulated seconds separates
+//! consecutive actions so a transient spike cannot thrash the replica
+//! count. All inputs are deterministic, so scaling decisions replay
+//! bit-identically.
+
+/// Autoscaling knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoscalePolicy {
+    /// Outstanding-request watermark that triggers a scale-up.
+    pub queue_high: usize,
+    /// Outstanding-request watermark that triggers a scale-down.
+    pub queue_low: usize,
+    /// Replica floor.
+    pub min_replicas: usize,
+    /// Replica ceiling.
+    pub max_replicas: usize,
+    /// Minimum simulated seconds between consecutive actions on one shard.
+    pub cooldown: f64,
+}
+
+impl Default for AutoscalePolicy {
+    fn default() -> Self {
+        AutoscalePolicy {
+            queue_high: 24,
+            queue_low: 2,
+            min_replicas: 1,
+            max_replicas: 4,
+            cooldown: 0.02,
+        }
+    }
+}
+
+/// A decision returned by [`Autoscaler::decide`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleAction {
+    /// Add one replica.
+    Up,
+    /// Remove one (idle-most) replica.
+    Down,
+}
+
+/// One shard's autoscaler state: just the last action timestamp.
+#[derive(Debug, Clone, Default)]
+pub struct Autoscaler {
+    last_action: Option<f64>,
+}
+
+impl Autoscaler {
+    /// Evaluates the policy at simulated time `now` against the shard's
+    /// outstanding-request count and current alive-replica count.
+    pub fn decide(
+        &mut self,
+        now: f64,
+        outstanding: usize,
+        alive: usize,
+        policy: &AutoscalePolicy,
+    ) -> Option<ScaleAction> {
+        if let Some(last) = self.last_action {
+            if now - last < policy.cooldown {
+                return None;
+            }
+        }
+        let action = if outstanding > policy.queue_high && alive < policy.max_replicas {
+            ScaleAction::Up
+        } else if outstanding < policy.queue_low && alive > policy.min_replicas {
+            ScaleAction::Down
+        } else {
+            return None;
+        };
+        self.last_action = Some(now);
+        Some(action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> AutoscalePolicy {
+        AutoscalePolicy {
+            queue_high: 10,
+            queue_low: 2,
+            min_replicas: 1,
+            max_replicas: 3,
+            cooldown: 0.05,
+        }
+    }
+
+    #[test]
+    fn scales_up_above_high_watermark_and_respects_ceiling() {
+        let p = policy();
+        let mut a = Autoscaler::default();
+        assert_eq!(a.decide(0.0, 11, 2, &p), Some(ScaleAction::Up));
+        let mut at_ceiling = Autoscaler::default();
+        assert_eq!(at_ceiling.decide(0.0, 50, 3, &p), None, "ceiling holds");
+    }
+
+    #[test]
+    fn scales_down_below_low_watermark_and_respects_floor() {
+        let p = policy();
+        let mut a = Autoscaler::default();
+        assert_eq!(a.decide(0.0, 1, 2, &p), Some(ScaleAction::Down));
+        let mut at_floor = Autoscaler::default();
+        assert_eq!(at_floor.decide(0.0, 0, 1, &p), None, "floor holds");
+    }
+
+    #[test]
+    fn cooldown_separates_consecutive_actions() {
+        let p = policy();
+        let mut a = Autoscaler::default();
+        assert_eq!(a.decide(0.0, 11, 1, &p), Some(ScaleAction::Up));
+        assert_eq!(a.decide(0.01, 11, 2, &p), None, "inside cooldown");
+        assert_eq!(a.decide(0.05, 11, 2, &p), Some(ScaleAction::Up));
+        // A denied decision does not reset the cooldown clock.
+        assert_eq!(a.decide(0.09, 5, 3, &p), None);
+        assert_eq!(a.decide(0.10, 1, 3, &p), Some(ScaleAction::Down));
+    }
+
+    #[test]
+    fn mid_band_depth_takes_no_action() {
+        let p = policy();
+        let mut a = Autoscaler::default();
+        for t in 0..20 {
+            assert_eq!(a.decide(t as f64, 5, 2, &p), None);
+        }
+    }
+}

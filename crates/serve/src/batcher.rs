@@ -51,6 +51,18 @@ pub enum ServeError {
     },
     /// The request named a cell the registry does not hold.
     UnknownEndpoint(String),
+    /// The shard's admission controller refused the request: outstanding
+    /// work already at the admission cap, or an ejected shard drained its
+    /// queue with no retry token left. Load was *shed* deliberately,
+    /// before queuing — distinct from [`ServeError::Overloaded`], which is
+    /// a full queue.
+    Shed {
+        /// Outstanding requests observed at shed time.
+        queue_depth: usize,
+    },
+    /// Every shard that could serve the request was ejected (or the fleet
+    /// has none): the router had nowhere to send it.
+    Unroutable,
 }
 
 impl fmt::Display for ServeError {
@@ -60,6 +72,10 @@ impl fmt::Display for ServeError {
                 write!(f, "overloaded: queue full at depth {queue_depth}")
             }
             ServeError::UnknownEndpoint(cell) => write!(f, "unknown endpoint `{cell}`"),
+            ServeError::Shed { queue_depth } => {
+                write!(f, "shed: admission control at depth {queue_depth}")
+            }
+            ServeError::Unroutable => write!(f, "unroutable: every shard is ejected"),
         }
     }
 }
@@ -149,6 +165,25 @@ impl EndpointQueue {
         self.items.drain(..n).collect()
     }
 
+    /// Queued requests in FIFO order (the fleet router scans these for
+    /// hedge deadlines).
+    pub fn iter(&self) -> impl Iterator<Item = &Pending> {
+        self.items.iter()
+    }
+
+    /// Removes the queued copy of request `id`, if present, returning it.
+    /// The fleet router uses this to cancel a hedge twin the moment its
+    /// sibling dispatches, and to drain an ejected shard's queue.
+    pub fn remove(&mut self, id: u64) -> Option<Pending> {
+        let pos = self.items.iter().position(|p| p.req.id == id)?;
+        self.items.remove(pos)
+    }
+
+    /// Removes and returns everything queued (ejection drain), FIFO order.
+    pub fn drain_all(&mut self) -> Vec<Pending> {
+        self.items.drain(..).collect()
+    }
+
     /// Mean depth observed at admission times.
     pub fn mean_depth(&self) -> f64 {
         if self.admitted == 0 {
@@ -219,6 +254,36 @@ mod tests {
         q.admit(req(2, 0.0), 0.0).unwrap();
         assert_eq!(q.max_depth, 3);
         assert!((q.mean_depth() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remove_cancels_a_queued_twin_and_drain_empties() {
+        let mut q = EndpointQueue::new(8);
+        q.admit(req(0, 0.0), 0.0).unwrap();
+        q.admit(req(1, 0.0), 0.0).unwrap();
+        q.admit(req(2, 0.0), 0.0).unwrap();
+        let gone = q.remove(1).unwrap();
+        assert_eq!(gone.req.id, 1);
+        assert!(q.remove(1).is_none(), "already removed");
+        let rest = q.drain_all();
+        assert_eq!(
+            rest.iter().map(|p| p.req.id).collect::<Vec<_>>(),
+            vec![0, 2],
+            "drain preserves FIFO order"
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn shed_and_unroutable_render_typed_diagnostics() {
+        assert_eq!(
+            ServeError::Shed { queue_depth: 64 }.to_string(),
+            "shed: admission control at depth 64"
+        );
+        assert_eq!(
+            ServeError::Unroutable.to_string(),
+            "unroutable: every shard is ejected"
+        );
     }
 
     #[test]

@@ -11,6 +11,8 @@ use std::fmt;
 use gnn_models::config::{ALL_FRAMEWORKS, ALL_MODELS};
 use gnn_models::{FrameworkKind, ModelKind};
 
+use crate::error::ServeConfigError;
+
 /// Which task family an endpoint serves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TaskKind {
@@ -74,35 +76,49 @@ impl CellId {
     ///
     /// # Errors
     ///
-    /// Returns a diagnostic naming the unknown component.
-    pub fn parse(path: &str) -> Result<CellId, String> {
+    /// Returns the [`ServeConfigError`] variant naming the unknown
+    /// component (its `Display` is the same diagnostic earlier releases
+    /// returned as a bare string).
+    pub fn parse(path: &str) -> Result<CellId, ServeConfigError> {
         let parts: Vec<&str> = path.split('/').collect();
         if parts.len() != 4 {
-            return Err(format!(
-                "cell path `{path}` must be experiment/dataset/model/framework"
-            ));
+            return Err(ServeConfigError::MalformedCellPath(path.to_owned()));
         }
         let task = match parts[0] {
             "table4" => TaskKind::Node,
             "table5" => TaskKind::Graph,
-            other => return Err(format!("unknown experiment `{other}` in `{path}`")),
+            other => {
+                return Err(ServeConfigError::UnknownExperiment {
+                    experiment: other.to_owned(),
+                    path: path.to_owned(),
+                })
+            }
         };
         let known: &[&str] = match task {
             TaskKind::Node => &NODE_DATASETS,
             TaskKind::Graph => &GRAPH_DATASETS,
         };
-        let dataset = known
-            .iter()
-            .find(|d| **d == parts[1])
-            .ok_or_else(|| format!("unknown {} dataset `{}` in `{path}`", parts[0], parts[1]))?;
+        let dataset = known.iter().find(|d| **d == parts[1]).ok_or_else(|| {
+            ServeConfigError::UnknownDataset {
+                experiment: parts[0].to_owned(),
+                dataset: parts[1].to_owned(),
+                path: path.to_owned(),
+            }
+        })?;
         let model = ALL_MODELS
             .into_iter()
             .find(|m| m.label() == parts[2])
-            .ok_or_else(|| format!("unknown model `{}` in `{path}`", parts[2]))?;
+            .ok_or_else(|| ServeConfigError::UnknownModel {
+                model: parts[2].to_owned(),
+                path: path.to_owned(),
+            })?;
         let framework = ALL_FRAMEWORKS
             .into_iter()
             .find(|f| f.label() == parts[3])
-            .ok_or_else(|| format!("unknown framework `{}` in `{path}`", parts[3]))?;
+            .ok_or_else(|| ServeConfigError::UnknownFramework {
+                framework: parts[3].to_owned(),
+                path: path.to_owned(),
+            })?;
         Ok(CellId {
             task,
             dataset: (*dataset).to_owned(),
@@ -194,12 +210,15 @@ mod tests {
         assert!(CellId::parse("table6/Cora/GCN/PyG").is_err());
         assert!(CellId::parse("table4/ENZYMES/GCN/PyG")
             .unwrap_err()
+            .to_string()
             .contains("dataset"));
         assert!(CellId::parse("table4/Cora/VGG/PyG")
             .unwrap_err()
+            .to_string()
             .contains("model"));
         assert!(CellId::parse("table4/Cora/GCN/TF")
             .unwrap_err()
+            .to_string()
             .contains("framework"));
     }
 

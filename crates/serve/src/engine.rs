@@ -34,9 +34,10 @@ use gnn_obs::{self as obs, tracks, Value};
 
 use crate::batcher::{BatchPolicy, EndpointQueue};
 use crate::cell::{default_endpoints, CellId};
+use crate::error::ServeConfigError;
 use crate::metrics::{BatchRecord, Outcome, QueueStats, RequestRecord, ServeReport};
 use crate::registry::{argmax, Endpoint, ModelRegistry};
-use crate::workload::{self, WorkloadSpec};
+use crate::workload::{self, WorkloadKind, WorkloadSpec};
 
 /// Whole-batch retries after a kernel fault before accepting with a note.
 pub const MAX_KERNEL_RETRIES: usize = 3;
@@ -69,6 +70,8 @@ pub struct ServeConfig {
     /// speedups here (`CostModel::with_speedups`) to re-run a policy under
     /// a hypothetically faster component.
     pub cost: CostModel,
+    /// SLO latency target (seconds) reports grade attainment against.
+    pub slo_target: f64,
 }
 
 impl Default for ServeConfig {
@@ -87,6 +90,7 @@ impl Default for ServeConfig {
             scale: 0.05,
             ckpt_dir: None,
             cost: CostModel::rtx2080ti(),
+            slo_target: 0.005,
         }
     }
 }
@@ -97,34 +101,36 @@ impl ServeConfig {
     ///
     /// # Errors
     ///
-    /// Returns a diagnostic for an impossible configuration.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the typed [`ServeConfigError`] naming what is impossible
+    /// (its `Display` matches the stringly diagnostics of earlier
+    /// releases).
+    pub fn validate(&self) -> Result<(), ServeConfigError> {
         if self.endpoints.is_empty() {
-            return Err("serve config has no endpoints".into());
+            return Err(ServeConfigError::NoEndpoints);
         }
         if self.requests == 0 {
-            return Err("serve config generates no requests".into());
+            return Err(ServeConfigError::NoRequests);
         }
         if !(self.rate.is_finite() && self.rate > 0.0) {
-            return Err(format!("arrival rate {} must be positive", self.rate));
+            return Err(ServeConfigError::BadRate(self.rate));
         }
         if self.policy.max_batch == 0 {
-            return Err("max_batch must be at least 1".into());
+            return Err(ServeConfigError::ZeroMaxBatch);
         }
         if !(self.policy.max_delay.is_finite() && self.policy.max_delay >= 0.0) {
-            return Err(format!(
-                "max_delay {} must be finite and non-negative",
-                self.policy.max_delay
-            ));
+            return Err(ServeConfigError::BadMaxDelay(self.policy.max_delay));
         }
         if self.queue_cap < self.policy.max_batch {
-            return Err(format!(
-                "queue_cap {} below max_batch {}: a full batch could never accumulate",
-                self.queue_cap, self.policy.max_batch
-            ));
+            return Err(ServeConfigError::QueueBelowBatch {
+                queue_cap: self.queue_cap,
+                max_batch: self.policy.max_batch,
+            });
         }
         if self.replicas == 0 {
-            return Err("need at least one replica".into());
+            return Err(ServeConfigError::NoReplicas);
+        }
+        if !(self.slo_target.is_finite() && self.slo_target > 0.0) {
+            return Err(ServeConfigError::BadSloTarget(self.slo_target));
         }
         Ok(())
     }
@@ -147,9 +153,9 @@ struct Replica {
 ///
 /// # Errors
 ///
-/// Returns a diagnostic for an invalid config or a registry that fails to
-/// build (unknown cell, unreadable checkpoint).
-pub fn serve(cfg: &ServeConfig) -> Result<ServeReport, String> {
+/// Returns a typed [`ServeConfigError`] for an invalid config or a
+/// registry that fails to build (unknown cell, unreadable checkpoint).
+pub fn serve(cfg: &ServeConfig) -> Result<ServeReport, ServeConfigError> {
     cfg.validate()?;
     let registry =
         ModelRegistry::build(&cfg.endpoints, cfg.scale, cfg.seed, cfg.ckpt_dir.as_deref())?;
@@ -157,8 +163,9 @@ pub fn serve(cfg: &ServeConfig) -> Result<ServeReport, String> {
         seed: cfg.seed,
         requests: cfg.requests,
         rate: cfg.rate,
+        kind: WorkloadKind::OpenLoop,
     };
-    let requests = workload::generate(&spec, &registry.target_space());
+    let requests = workload::generate(&spec, &registry.target_space())?;
     Ok(run(cfg, &registry, requests))
 }
 
@@ -404,6 +411,7 @@ pub(crate) fn run_with(
             batches.push(BatchRecord {
                 id: bid,
                 endpoint: endpoint.cell.path(),
+                shard: 0,
                 replica,
                 start,
                 duration: exec.duration,
@@ -428,6 +436,9 @@ pub(crate) fn run_with(
         .collect();
     ServeReport {
         policy: cfg.policy,
+        routing: "single".to_owned(),
+        slo_target: cfg.slo_target,
+        fleet: None,
         requests: records,
         batches,
         queues: queues_stats,
@@ -478,8 +489,9 @@ impl Execution {
 /// OOM → split-and-retry halves (recursively, down to single requests),
 /// kernel fault → in-place retry with a cap. Each attempt runs in its own
 /// device session priced by `cost`; the batch's service time is the sum
-/// over all attempts.
-fn exec_targets(
+/// over all attempts. Shared with the fleet engine, whose shards execute
+/// batches through exactly this path.
+pub(crate) fn exec_targets(
     endpoint: &Endpoint,
     targets: &[u32],
     notes: &mut Vec<String>,
@@ -597,6 +609,7 @@ mod tests {
             scale: 0.05,
             ckpt_dir: None,
             cost: gnn_device::CostModel::rtx2080ti(),
+            slo_target: 0.005,
         }
     }
 
@@ -604,13 +617,25 @@ mod tests {
     fn config_validation_rejects_impossible_setups() {
         let mut cfg = small_cfg();
         cfg.replicas = 0;
-        assert!(cfg.validate().is_err());
+        assert_eq!(cfg.validate().unwrap_err(), ServeConfigError::NoReplicas);
         let mut cfg = small_cfg();
         cfg.queue_cap = 2; // below max_batch 4
-        assert!(cfg.validate().is_err());
+        assert_eq!(
+            cfg.validate().unwrap_err(),
+            ServeConfigError::QueueBelowBatch {
+                queue_cap: 2,
+                max_batch: 4
+            }
+        );
         let mut cfg = small_cfg();
         cfg.rate = 0.0;
-        assert!(cfg.validate().is_err());
+        assert_eq!(cfg.validate().unwrap_err(), ServeConfigError::BadRate(0.0));
+        let mut cfg = small_cfg();
+        cfg.slo_target = 0.0;
+        assert_eq!(
+            cfg.validate().unwrap_err(),
+            ServeConfigError::BadSloTarget(0.0)
+        );
         assert!(small_cfg().validate().is_ok());
     }
 

@@ -1,0 +1,132 @@
+//! Health checking on the serve clock: probe intervals, consecutive-failure
+//! ejection, consecutive-success re-admission.
+//!
+//! The fleet engine probes every shard at global ticks `k × probe_interval`
+//! of simulated time (deterministic — the serve clock is). A probe succeeds
+//! when the shard is not blacked out and has at least one alive replica.
+//! [`HealthState::observe`] folds each probe into per-shard consecutive
+//! counters and reports the edge transitions: `fail_threshold` consecutive
+//! failures eject the shard (the router stops considering it and its queues
+//! drain), `readmit_threshold` consecutive successes re-admit it.
+
+/// Health-checking knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthPolicy {
+    /// Simulated seconds between probes of every shard.
+    pub probe_interval: f64,
+    /// Consecutive failed probes before ejection.
+    pub fail_threshold: usize,
+    /// Consecutive successful probes before an ejected shard is re-admitted.
+    pub readmit_threshold: usize,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            probe_interval: 0.005,
+            fail_threshold: 2,
+            readmit_threshold: 2,
+        }
+    }
+}
+
+/// An edge transition reported by [`HealthState::observe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthTransition {
+    /// The shard crossed `fail_threshold` consecutive failures.
+    Ejected,
+    /// An ejected shard crossed `readmit_threshold` consecutive successes.
+    Readmitted,
+}
+
+/// One shard's health-checker state.
+#[derive(Debug, Clone, Default)]
+pub struct HealthState {
+    consecutive_fails: usize,
+    consecutive_oks: usize,
+    ejected: bool,
+}
+
+impl HealthState {
+    /// Whether the health checker currently routes around this shard.
+    pub fn is_ejected(&self) -> bool {
+        self.ejected
+    }
+
+    /// Folds one probe result in; returns the transition it caused, if any.
+    pub fn observe(&mut self, ok: bool, policy: &HealthPolicy) -> Option<HealthTransition> {
+        if ok {
+            self.consecutive_fails = 0;
+            self.consecutive_oks += 1;
+            if self.ejected && self.consecutive_oks >= policy.readmit_threshold {
+                self.ejected = false;
+                self.consecutive_oks = 0;
+                return Some(HealthTransition::Readmitted);
+            }
+        } else {
+            self.consecutive_oks = 0;
+            self.consecutive_fails += 1;
+            if !self.ejected && self.consecutive_fails >= policy.fail_threshold {
+                self.ejected = true;
+                self.consecutive_fails = 0;
+                return Some(HealthTransition::Ejected);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ejection_needs_consecutive_failures() {
+        let policy = HealthPolicy {
+            probe_interval: 0.01,
+            fail_threshold: 3,
+            readmit_threshold: 2,
+        };
+        let mut s = HealthState::default();
+        assert_eq!(s.observe(false, &policy), None);
+        assert_eq!(s.observe(false, &policy), None);
+        // A success in between resets the streak.
+        assert_eq!(s.observe(true, &policy), None);
+        assert_eq!(s.observe(false, &policy), None);
+        assert_eq!(s.observe(false, &policy), None);
+        assert_eq!(s.observe(false, &policy), Some(HealthTransition::Ejected));
+        assert!(s.is_ejected());
+        // Further failures while ejected report nothing new.
+        assert_eq!(s.observe(false, &policy), None);
+    }
+
+    #[test]
+    fn readmission_needs_consecutive_successes() {
+        let policy = HealthPolicy {
+            probe_interval: 0.01,
+            fail_threshold: 1,
+            readmit_threshold: 2,
+        };
+        let mut s = HealthState::default();
+        assert_eq!(s.observe(false, &policy), Some(HealthTransition::Ejected));
+        assert_eq!(s.observe(true, &policy), None);
+        // A failure resets the recovery streak (and reports nothing: the
+        // shard is already ejected).
+        assert_eq!(s.observe(false, &policy), None);
+        assert_eq!(s.observe(true, &policy), None);
+        assert_eq!(s.observe(true, &policy), Some(HealthTransition::Readmitted));
+        assert!(!s.is_ejected());
+        // And the cycle can repeat.
+        assert_eq!(s.observe(false, &policy), Some(HealthTransition::Ejected));
+    }
+
+    #[test]
+    fn healthy_shard_never_transitions_on_successes() {
+        let policy = HealthPolicy::default();
+        let mut s = HealthState::default();
+        for _ in 0..100 {
+            assert_eq!(s.observe(true, &policy), None);
+        }
+        assert!(!s.is_ejected());
+    }
+}

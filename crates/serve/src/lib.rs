@@ -20,24 +20,45 @@
 //! answers every request. See [`engine::serve`] for the entry point and
 //! [`ServeReport`] for what a run yields; the `gnn-bench serve` binary
 //! sweeps batching policies across endpoints from the command line.
+//!
+//! The **fleet** layer ([`fleet::serve_fleet`]) scales the same engine out
+//! to a simulated fleet of endpoint shards: a deterministic router
+//! ([`Router`]: consistent hashing or least-loaded), health checking with
+//! ejection and re-admission ([`HealthPolicy`]), per-shard admission
+//! control with typed [`ServeError::Shed`], token-bucket retry budgets and
+//! hedged requests (extra work provably ≤ `(1 + budget) × submitted`), and
+//! queue-depth-driven replica autoscaling ([`AutoscalePolicy`]) — all on
+//! the same serve clock, all bit-reproducible, all surviving `gnn-faults`
+//! shard blackouts and network stragglers. Configuration errors are typed
+//! ([`ServeConfigError`], [`WorkloadError`]) at construction time.
 
 #![warn(missing_docs)]
 
+pub mod autoscale;
 pub mod batcher;
 pub mod cell;
 pub mod engine;
+pub mod error;
+pub mod fleet;
+pub mod health;
 pub mod metrics;
 pub mod registry;
+pub mod router;
 pub mod whatif;
 pub mod workload;
 
+pub use autoscale::{AutoscalePolicy, Autoscaler, ScaleAction};
 pub use batcher::{BatchPolicy, EndpointQueue, Pending, ServeError};
 pub use cell::{default_endpoints, CellId, TaskKind, GRAPH_DATASETS, NODE_DATASETS};
 pub use engine::{serve, ServeConfig, MAX_KERNEL_RETRIES};
+pub use error::ServeConfigError;
+pub use fleet::{serve_fleet, FleetConfig, FleetWorkload};
+pub use health::{HealthPolicy, HealthState, HealthTransition};
 pub use metrics::{
-    check_serve_metrics_schema, percentile, write_serve_metrics, BatchRecord, Outcome, QueueStats,
-    RequestRecord, ServeReport, CSV_HEADER, SERVE_METRICS_SCHEMA,
+    check_serve_metrics_schema, percentile, write_serve_metrics, BatchRecord, FleetStats, Outcome,
+    QueueStats, RequestRecord, ServeReport, CSV_HEADER, SERVE_METRICS_SCHEMA,
 };
 pub use registry::{argmax, Endpoint, ModelRegistry};
+pub use router::{Router, RoutingPolicy};
 pub use whatif::predict;
-pub use workload::{Request, WorkloadSpec};
+pub use workload::{ClosedLoop, Request, WorkloadError, WorkloadKind, WorkloadSpec};

@@ -21,6 +21,9 @@ pub enum Outcome {
     Ok,
     /// Refused with a typed error (counted separately, never dropped).
     Rejected(ServeError),
+    /// Shed by admission control or an ejection drain with no retry token
+    /// — also a terminal typed reply, never a drop.
+    Shed(ServeError),
 }
 
 /// The full service record of one request.
@@ -70,6 +73,8 @@ pub struct BatchRecord {
     pub id: u64,
     /// Cell path of the endpoint.
     pub endpoint: String,
+    /// Shard that dispatched it (0 in the single-engine path).
+    pub shard: usize,
     /// Replica that executed it.
     pub replica: usize,
     /// Simulated dispatch time.
@@ -99,11 +104,59 @@ pub struct QueueStats {
     pub mean_depth: f64,
 }
 
+/// Fleet-level counters a fleet run adds on top of per-request records.
+#[derive(Debug, Clone, Default)]
+pub struct FleetStats {
+    /// Shards configured at start.
+    pub shards: usize,
+    /// Requests submitted to the router.
+    pub submitted: usize,
+    /// Queue admissions the fleet performed: primary admissions plus
+    /// every retry re-admission and hedge twin. Bounded at runtime by
+    /// `(1 + retry_budget) × submitted`.
+    pub dispatched: usize,
+    /// Re-admissions spent from the retry token bucket (ejection drains).
+    pub retries: usize,
+    /// Hedge twins enqueued on a second shard.
+    pub hedges: usize,
+    /// Requests shed (admission control, unroutable, or drained without a
+    /// token).
+    pub sheds: usize,
+    /// Health-checker shard ejections.
+    pub ejections: usize,
+    /// Health-checker shard re-admissions.
+    pub readmissions: usize,
+    /// Autoscaler replica additions.
+    pub scale_ups: usize,
+    /// Autoscaler replica removals.
+    pub scale_downs: usize,
+    /// Enqueue-to-reply latencies of requests that were answered only
+    /// after a failover re-route or by a hedge twin.
+    pub failover_latencies: Vec<f64>,
+    /// The configured retry budget (tokens earned per primary admission).
+    pub retry_budget: f64,
+}
+
+impl FleetStats {
+    /// p99 latency of failover-served requests (0 when none failed over).
+    pub fn failover_p99(&self) -> f64 {
+        let mut hist = Histogram::from_values(self.failover_latencies.iter().copied());
+        hist.quantile(99.0)
+    }
+}
+
 /// Everything one serving run produced.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
     /// The batching policy that ran.
     pub policy: BatchPolicy,
+    /// Routing-policy label: `single` for the one-engine path,
+    /// `consistent-hash` / `least-loaded` for fleet runs.
+    pub routing: String,
+    /// SLO latency target (seconds) the run was graded against.
+    pub slo_target: f64,
+    /// Fleet counters (`None` for the single-engine path).
+    pub fleet: Option<FleetStats>,
     /// One record per submitted request, in id order. Nothing is ever
     /// dropped: every submitted request has exactly one record.
     pub requests: Vec<RequestRecord>,
@@ -130,9 +183,21 @@ impl ServeReport {
         self.requests.iter().filter(|r| r.served()).count()
     }
 
-    /// Requests refused with [`ServeError::Overloaded`].
+    /// Requests refused with [`Outcome::Rejected`] (full queue).
     pub fn rejected(&self) -> usize {
-        self.requests.len() - self.answered()
+        self.requests
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Rejected(_)))
+            .count()
+    }
+
+    /// Requests shed with [`Outcome::Shed`] (admission control,
+    /// unroutable, or ejection drain).
+    pub fn shed(&self) -> usize {
+        self.requests
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Shed(_)))
+            .count()
     }
 
     /// Requests that vanished without any reply — always 0 by
@@ -164,8 +229,8 @@ impl ServeReport {
     }
 
     /// Fraction of **submitted** requests answered within `target`
-    /// seconds. Rejections count against attainment (they were submitted
-    /// and not served in time); an empty run attains trivially.
+    /// seconds. Rejections and sheds count against attainment (they were
+    /// submitted and not served in time); an empty run attains trivially.
     pub fn slo_attainment(&self, target: f64) -> f64 {
         if self.requests.is_empty() {
             return 1.0;
@@ -221,10 +286,12 @@ impl ServeReport {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "policy {}: {} served, {} rejected, 0 dropped over {:.4}s",
+            "policy {} [{}]: {} served, {} rejected, {} shed, 0 dropped over {:.4}s",
             self.policy.label(),
+            self.routing,
             self.answered(),
             self.rejected(),
+            self.shed(),
             self.makespan
         );
         let _ = writeln!(
@@ -243,6 +310,21 @@ impl ServeReport {
             self.replicas,
             self.replicas_lost
         );
+        if let Some(fleet) = &self.fleet {
+            let _ = writeln!(
+                s,
+                "  fleet: {} shard(s)  {} retries  {} hedges  {} ejection(s)/{} readmission(s)  \
+                 scale +{}/-{}  failover p99 {:.3}ms",
+                fleet.shards,
+                fleet.retries,
+                fleet.hedges,
+                fleet.ejections,
+                fleet.readmissions,
+                fleet.scale_ups,
+                fleet.scale_downs,
+                fleet.failover_p99() * 1e3
+            );
+        }
         if self.oom_splits() + self.kernel_retries() > 0 {
             let _ = writeln!(
                 s,
@@ -258,7 +340,7 @@ impl ServeReport {
     }
 
     /// Per-endpoint CSV rows (see [`write_serve_metrics`] for the header).
-    fn csv_rows(&self) -> String {
+    pub fn csv_rows(&self) -> String {
         let mut out = String::new();
         let mut endpoints: Vec<&str> = self.queues.iter().map(|q| q.endpoint.as_str()).collect();
         endpoints.sort_unstable();
@@ -273,7 +355,20 @@ impl ServeReport {
     fn csv_row(&self, out: &mut String, scope: &str, keep: impl Fn(&RequestRecord) -> bool) {
         let reqs: Vec<&RequestRecord> = self.requests.iter().filter(|r| keep(r)).collect();
         let served: Vec<&&RequestRecord> = reqs.iter().filter(|r| r.served()).collect();
+        let rejected = reqs
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Rejected(_)))
+            .count();
+        let shed = reqs
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Shed(_)))
+            .count();
         let mut lats = Histogram::from_values(served.iter().map(|r| r.latency()));
+        let attainment = if reqs.is_empty() {
+            1.0
+        } else {
+            lats.fraction_le(self.slo_target) * served.len() as f64 / reqs.len() as f64
+        };
         let batches: Vec<&BatchRecord> = self
             .batches
             .iter()
@@ -297,16 +392,25 @@ impl ServeReport {
                 .unwrap_or((0, 0.0))
         };
         let peak_mem = batches.iter().map(|b| b.peak_memory).max().unwrap_or(0);
+        // Router-level counters (retries, hedges, failover) have no
+        // per-endpoint decomposition: the aggregate row carries them and
+        // endpoint rows read 0.
+        let (retries, hedges, failover_p99) = match (&self.fleet, scope) {
+            (Some(fleet), "all") => (fleet.retries, fleet.hedges, fleet.failover_p99()),
+            _ => (0, 0, 0.0),
+        };
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.policy.label(),
+            self.routing,
             self.policy.max_batch,
             self.policy.max_delay,
             scope,
             reqs.len(),
             served.len(),
-            reqs.len() - served.len(),
+            rejected,
+            shed,
             0, // dropped: structurally impossible, asserted in CI
             lats.quantile(50.0),
             lats.quantile(95.0),
@@ -317,6 +421,10 @@ impl ServeReport {
             max_q,
             mean_q,
             peak_mem,
+            attainment,
+            retries,
+            hedges,
+            failover_p99,
         );
     }
 }
@@ -346,14 +454,16 @@ pub fn percentile(sorted: &[f64], p: f64) -> f64 {
 }
 
 /// Header line of `serve_metrics.csv`.
-pub const CSV_HEADER: &str = "policy,max_batch,max_delay_s,endpoint,requests,answered,rejected,\
-dropped,p50_s,p95_s,p99_s,throughput_rps,mean_batch,occupancy,max_queue_depth,mean_queue_depth,\
-peak_mem_bytes";
+pub const CSV_HEADER: &str = "policy,routing,max_batch,max_delay_s,endpoint,requests,answered,\
+rejected,shed,dropped,p50_s,p95_s,p99_s,throughput_rps,mean_batch,occupancy,max_queue_depth,\
+mean_queue_depth,peak_mem_bytes,slo_attainment,retries,hedges,failover_p99_s";
 
 /// Schema tag stamped into `serve_metrics.csv` as a leading `# schema:`
 /// comment line; bumped on any column change so downstream consumers fail
-/// loudly on drift instead of misreading shifted columns.
-pub const SERVE_METRICS_SCHEMA: &str = "gnn-serve-metrics/v1";
+/// loudly on drift instead of misreading shifted columns. v2 added the
+/// fleet columns (`routing`, `shed`, `slo_attainment`, `retries`,
+/// `hedges`, `failover_p99_s`).
+pub const SERVE_METRICS_SCHEMA: &str = "gnn-serve-metrics/v2";
 
 /// Verifies that serve-metrics CSV `text` starts with the expected
 /// `# schema:` comment line followed by [`CSV_HEADER`].
@@ -442,6 +552,9 @@ mod tests {
         };
         ServeReport {
             policy,
+            routing: "single".into(),
+            slo_target: 0.005,
+            fleet: None,
             requests: vec![
                 mk(0, 0.0, 0.010, true),
                 mk(1, 0.001, 0.010, true),
@@ -450,6 +563,7 @@ mod tests {
             batches: vec![BatchRecord {
                 id: 0,
                 endpoint: "table4/Cora/GCN/PyG".into(),
+                shard: 0,
                 replica: 0,
                 start: 0.002,
                 duration: 0.008,
@@ -487,13 +601,22 @@ mod tests {
         assert_eq!(lines[0], format!("# schema: {SERVE_METRICS_SCHEMA}"));
         assert_eq!(lines[1], CSV_HEADER);
         assert_eq!(lines.len(), 4, "schema + header + all + one endpoint");
-        assert!(lines[2].starts_with("b4/d1000us,4,0.001,all,3,2,1,0,"));
-        assert!(lines[2].ends_with(",4096"), "{}", lines[2]);
+        assert!(
+            lines[2].starts_with("b4/d1000us,single,4,0.001,all,3,2,1,0,0,"),
+            "{}",
+            lines[2]
+        );
+        assert!(lines[2].contains(",4096,"), "{}", lines[2]);
+        assert!(
+            lines[2].ends_with(",0,0,0"),
+            "single-engine rows carry zero retries/hedges/failover: {}",
+            lines[2]
+        );
         assert!(lines[3].contains("table4/Cora/GCN/PyG"));
         // Parse-back guard: consumers fail loudly on drift.
         assert!(check_serve_metrics_schema(&text).is_ok());
         assert!(check_serve_metrics_schema("").is_err());
-        assert!(check_serve_metrics_schema(&text.replacen("/v1", "/v0", 1)).is_err());
+        assert!(check_serve_metrics_schema(&text.replacen("/v2", "/v0", 1)).is_err());
         let headerless = format!("# schema: {SERVE_METRICS_SCHEMA}\npolicy,oops\n");
         let err = check_serve_metrics_schema(&headerless).unwrap_err();
         assert!(err.contains("header drifted"), "{err}");
@@ -541,5 +664,71 @@ mod tests {
         assert!(s.contains("p99"));
         assert!(s.contains("throughput"));
         assert!(s.contains("0 dropped"));
+    }
+
+    #[test]
+    fn shed_outcomes_count_separately_from_rejections() {
+        let mut r = sample_report();
+        r.requests[2].outcome = Outcome::Shed(ServeError::Shed { queue_depth: 64 });
+        assert_eq!(r.answered(), 2);
+        assert_eq!(r.rejected(), 0);
+        assert_eq!(r.shed(), 1);
+        // Sheds still count against SLO attainment.
+        assert!((r.slo_attainment(0.010) - 2.0 / 3.0).abs() < 1e-12);
+        let s = r.summary();
+        assert!(s.contains("1 shed"), "{s}");
+    }
+
+    #[test]
+    fn fleet_rows_carry_router_counters_on_the_aggregate_row() {
+        let mut r = sample_report();
+        r.routing = "least-loaded".into();
+        r.fleet = Some(FleetStats {
+            shards: 3,
+            submitted: 3,
+            dispatched: 4,
+            retries: 1,
+            hedges: 2,
+            sheds: 0,
+            ejections: 1,
+            readmissions: 1,
+            scale_ups: 0,
+            scale_downs: 0,
+            failover_latencies: vec![0.004, 0.009],
+            retry_budget: 0.5,
+        });
+        assert_eq!(r.fleet.as_ref().unwrap().failover_p99(), 0.009);
+        let dir = std::env::temp_dir().join("gnn-serve-metrics-fleet-test");
+        let path = write_serve_metrics(&dir, &[r]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(
+            lines[2].starts_with("b4/d1000us,least-loaded,"),
+            "{}",
+            lines[2]
+        );
+        assert!(
+            lines[2].ends_with(",1,2,0.009"),
+            "aggregate row carries retries/hedges/failover: {}",
+            lines[2]
+        );
+        assert!(
+            lines[3].ends_with(",0,0,0"),
+            "endpoint rows read 0 for router-level counters: {}",
+            lines[3]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fleet_summary_line_names_the_counters() {
+        let mut r = sample_report();
+        r.fleet = Some(FleetStats {
+            shards: 2,
+            ..FleetStats::default()
+        });
+        let s = r.summary();
+        assert!(s.contains("fleet: 2 shard(s)"), "{s}");
+        assert!(s.contains("failover p99"), "{s}");
     }
 }

@@ -20,6 +20,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::cell::{CellId, TaskKind};
+use crate::error::ServeConfigError;
 
 /// The model of one endpoint, typed by framework batch.
 enum EndpointModel {
@@ -174,15 +175,16 @@ impl ModelRegistry {
     ///
     /// # Errors
     ///
-    /// Returns a diagnostic for an unknown cell path or an unreadable /
-    /// mismatched checkpoint. A *missing* checkpoint file is not an error —
-    /// the endpoint serves its initialization weights (`restored = false`).
+    /// Returns a typed [`ServeConfigError`] for an unknown cell path or an
+    /// unreadable / mismatched checkpoint. A *missing* checkpoint file is
+    /// not an error — the endpoint serves its initialization weights
+    /// (`restored = false`).
     pub fn build(
         cells: &[CellId],
         scale: f64,
         seed: u64,
         ckpt_dir: Option<&Path>,
-    ) -> Result<ModelRegistry, String> {
+    ) -> Result<ModelRegistry, ServeConfigError> {
         let mut endpoints = Vec::with_capacity(cells.len());
         for cell in cells {
             let data = generate_data(cell, scale, seed)?;
@@ -223,7 +225,10 @@ impl ModelRegistry {
                 let path = dir.join(cell.ckpt_file(0));
                 if path.exists() {
                     let ckpt =
-                        Checkpoint::load(&path).map_err(|e| format!("endpoint {cell}: {e}"))?;
+                        Checkpoint::load(&path).map_err(|e| ServeConfigError::Checkpoint {
+                            cell: cell.to_string(),
+                            message: e.to_string(),
+                        })?;
                     let (params, norms) = match &endpoint.model {
                         EndpointModel::Rustyg(s) => (s.params(), s.norm_layers()),
                         EndpointModel::Rgl(s) => (s.params(), s.norm_layers()),
@@ -273,21 +278,21 @@ impl ModelRegistry {
 ///
 /// # Errors
 ///
-/// Returns a diagnostic for an unknown dataset name.
-pub fn target_count(cell: &CellId, scale: f64, seed: u64) -> Result<u32, String> {
+/// Returns a typed [`ServeConfigError`] for an unknown dataset name.
+pub fn target_count(cell: &CellId, scale: f64, seed: u64) -> Result<u32, ServeConfigError> {
     Ok(match generate_data(cell, scale, seed)? {
         EndpointData::Node(ds) => ds.graph.num_nodes() as u32,
         EndpointData::Graph(ds) => ds.samples.len() as u32,
     })
 }
 
-fn generate_data(cell: &CellId, scale: f64, seed: u64) -> Result<EndpointData, String> {
+fn generate_data(cell: &CellId, scale: f64, seed: u64) -> Result<EndpointData, ServeConfigError> {
     match cell.task {
         TaskKind::Node => {
             let spec = match cell.dataset.as_str() {
                 "Cora" => CitationSpec::cora(),
                 "PubMed" => CitationSpec::pubmed(),
-                other => return Err(format!("unknown node dataset `{other}`")),
+                other => return Err(ServeConfigError::UnknownNodeDataset(other.to_owned())),
             };
             Ok(EndpointData::Node(spec.scaled(scale).generate(seed)))
         }
@@ -299,7 +304,7 @@ fn generate_data(cell: &CellId, scale: f64, seed: u64) -> Result<EndpointData, S
                 "MNIST" => SuperpixelSpec::mnist()
                     .scaled((scale * 0.1).min(1.0))
                     .generate(seed),
-                other => return Err(format!("unknown graph dataset `{other}`")),
+                other => return Err(ServeConfigError::UnknownGraphDataset(other.to_owned())),
             };
             Ok(EndpointData::Graph(ds))
         }

@@ -1,0 +1,230 @@
+//! The fleet router: picks the shard a request is dispatched to.
+//!
+//! Two policies, both fully deterministic:
+//!
+//! - **Consistent hashing** — each shard owns a set of virtual nodes on a
+//!   hash ring keyed by a splitmix64-style mixer; a request hashes its
+//!   `(endpoint, target)` key onto the ring and walks clockwise to the
+//!   first virtual node whose shard is healthy. Affinity: the same key
+//!   always lands on the same shard while that shard is healthy, and
+//!   spills to a stable successor when it is ejected.
+//! - **Least-loaded** — the healthy shard with the fewest outstanding
+//!   requests, lowest index breaking ties. No affinity, best balancing.
+//!
+//! The router never sees the serve clock: health is an input (`healthy`
+//! mask from the health checker), load is an input (outstanding counts
+//! from the fleet engine), so routing is a pure function of its arguments
+//! — the property the router-determinism test leans on.
+
+use std::fmt;
+
+/// Virtual nodes per shard on the consistent-hash ring. Enough to spread
+/// six endpoints over a handful of shards without visible banding.
+const VNODES_PER_SHARD: usize = 16;
+
+/// Which routing policy the fleet runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingPolicy {
+    /// Consistent hashing over `(endpoint, target)` keys with virtual
+    /// nodes; sticky while shards stay healthy.
+    ConsistentHash,
+    /// Fewest outstanding requests wins; lowest index breaks ties.
+    LeastLoaded,
+}
+
+impl RoutingPolicy {
+    /// Stable label used in reports and `serve_metrics.csv`.
+    pub fn label(self) -> &'static str {
+        match self {
+            RoutingPolicy::ConsistentHash => "consistent-hash",
+            RoutingPolicy::LeastLoaded => "least-loaded",
+        }
+    }
+
+    /// Parses a CLI label.
+    pub fn parse(s: &str) -> Option<RoutingPolicy> {
+        match s {
+            "consistent-hash" => Some(RoutingPolicy::ConsistentHash),
+            "least-loaded" => Some(RoutingPolicy::LeastLoaded),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RoutingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// splitmix64: a fast, well-mixed 64-bit finalizer. Deterministic across
+/// platforms (no `DefaultHasher`, whose seeds vary per process).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// The router. Built once per fleet run; the ring never changes (health
+/// masking happens at lookup time, so a recovered shard gets its old keys
+/// back — classic consistent-hash behavior).
+#[derive(Debug)]
+pub struct Router {
+    policy: RoutingPolicy,
+    /// `(ring position, shard)`, sorted by position.
+    ring: Vec<(u64, usize)>,
+}
+
+impl Router {
+    /// Builds the router for `shards` shards.
+    pub fn new(policy: RoutingPolicy, shards: usize) -> Self {
+        let mut ring = Vec::with_capacity(shards * VNODES_PER_SHARD);
+        for shard in 0..shards {
+            for vnode in 0..VNODES_PER_SHARD {
+                let pos = mix((shard as u64) << 32 | vnode as u64);
+                ring.push((pos, shard));
+            }
+        }
+        ring.sort_unstable();
+        Router { policy, ring }
+    }
+
+    /// The policy this router runs.
+    pub fn policy(&self) -> RoutingPolicy {
+        self.policy
+    }
+
+    /// Picks the shard for a request keyed by `(endpoint, target)`.
+    /// `healthy[s]` must be false for ejected shards; `load[s]` is the
+    /// shard's outstanding-request count. Returns `None` when no shard is
+    /// healthy — the caller sheds with a typed `Unroutable`.
+    pub fn route(
+        &self,
+        endpoint: usize,
+        target: u32,
+        healthy: &[bool],
+        load: &[usize],
+    ) -> Option<usize> {
+        if !healthy.iter().any(|&h| h) {
+            return None;
+        }
+        match self.policy {
+            RoutingPolicy::ConsistentHash => {
+                let key = mix((endpoint as u64) << 33 ^ target as u64 ^ 0x5bd1e995);
+                let start = self.ring.partition_point(|&(pos, _)| pos < key);
+                // Walk clockwise (wrapping) past virtual nodes of unhealthy
+                // shards; the healthy check above bounds the walk.
+                for i in 0..self.ring.len() {
+                    let (_, shard) = self.ring[(start + i) % self.ring.len()];
+                    if healthy[shard] {
+                        return Some(shard);
+                    }
+                }
+                None
+            }
+            RoutingPolicy::LeastLoaded => (0..healthy.len())
+                .filter(|&s| healthy[s])
+                .min_by_key(|&s| load[s]),
+        }
+    }
+
+    /// Picks a healthy shard other than `not`, for hedge twins and
+    /// failover re-routes. Consistent hashing keeps walking its ring past
+    /// `not`; least-loaded takes the argmin over the remaining shards.
+    pub fn route_avoiding(
+        &self,
+        endpoint: usize,
+        target: u32,
+        not: usize,
+        healthy: &[bool],
+        load: &[usize],
+    ) -> Option<usize> {
+        let mut masked = healthy.to_vec();
+        if not < masked.len() {
+            masked[not] = false;
+        }
+        self.route(endpoint, target, &masked, load)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for p in [RoutingPolicy::ConsistentHash, RoutingPolicy::LeastLoaded] {
+            assert_eq!(RoutingPolicy::parse(p.label()), Some(p));
+        }
+        assert_eq!(RoutingPolicy::parse("random"), None);
+    }
+
+    #[test]
+    fn consistent_hash_is_sticky_and_spills_on_ejection() {
+        let r = Router::new(RoutingPolicy::ConsistentHash, 3);
+        let healthy = [true, true, true];
+        let load = [0, 0, 0];
+        let home = r.route(1, 42, &healthy, &load).unwrap();
+        for _ in 0..5 {
+            assert_eq!(r.route(1, 42, &healthy, &load), Some(home), "sticky");
+        }
+        // Eject the home shard: the key spills to a stable successor...
+        let mut degraded = healthy;
+        degraded[home] = false;
+        let spill = r.route(1, 42, &degraded, &load).unwrap();
+        assert_ne!(spill, home);
+        assert_eq!(
+            r.route(1, 42, &degraded, &load),
+            Some(spill),
+            "stable spill"
+        );
+        // ...and returns home on recovery.
+        assert_eq!(r.route(1, 42, &healthy, &load), Some(home));
+    }
+
+    #[test]
+    fn consistent_hash_spreads_keys_over_shards() {
+        let r = Router::new(RoutingPolicy::ConsistentHash, 4);
+        let healthy = [true; 4];
+        let load = [0; 4];
+        let mut counts = [0usize; 4];
+        for endpoint in 0..6 {
+            for target in 0..200 {
+                counts[r.route(endpoint, target, &healthy, &load).unwrap()] += 1;
+            }
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(c > 0, "shard {s} never routed to: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn least_loaded_takes_argmin_with_lowest_index_ties() {
+        let r = Router::new(RoutingPolicy::LeastLoaded, 3);
+        let healthy = [true, true, true];
+        assert_eq!(r.route(0, 0, &healthy, &[5, 2, 2]), Some(1), "tie: lowest");
+        assert_eq!(r.route(0, 0, &healthy, &[0, 2, 2]), Some(0));
+        assert_eq!(r.route(0, 0, &[false, true, true], &[0, 2, 1]), Some(2));
+    }
+
+    #[test]
+    fn no_healthy_shard_routes_nowhere() {
+        for policy in [RoutingPolicy::ConsistentHash, RoutingPolicy::LeastLoaded] {
+            let r = Router::new(policy, 2);
+            assert_eq!(r.route(0, 0, &[false, false], &[0, 0]), None);
+        }
+    }
+
+    #[test]
+    fn route_avoiding_skips_the_named_shard() {
+        let r = Router::new(RoutingPolicy::LeastLoaded, 2);
+        let healthy = [true, true];
+        assert_eq!(r.route_avoiding(0, 0, 0, &healthy, &[0, 9]), Some(1));
+        assert_eq!(
+            r.route_avoiding(0, 0, 0, &[true, false], &[0, 0]),
+            None,
+            "the only other shard is unhealthy"
+        );
+    }
+}

@@ -24,9 +24,10 @@ use gnn_obs::whatif::{replay_schedule, SchedEntry, Speedups};
 use gnn_obs::{self as obs};
 
 use crate::engine::{run_with, Execution, ServeConfig};
+use crate::error::ServeConfigError;
 use crate::metrics::ServeReport;
 use crate::registry::{Endpoint, ModelRegistry};
-use crate::workload::{self, WorkloadSpec};
+use crate::workload::{self, WorkloadKind, WorkloadSpec};
 
 /// One memoized base-model capture of an endpoint forward for a specific
 /// batch composition.
@@ -65,9 +66,9 @@ fn capture_batch(endpoint: &Endpoint, targets: &[u32], cfg: &ServeConfig) -> Cap
 ///
 /// # Errors
 ///
-/// Returns a diagnostic for an invalid config or a registry that fails to
-/// build, like [`crate::serve`].
-pub fn predict(cfg: &ServeConfig, speedups: &Speedups) -> Result<ServeReport, String> {
+/// Returns a typed [`ServeConfigError`] for an invalid config or a
+/// registry that fails to build, like [`crate::serve`].
+pub fn predict(cfg: &ServeConfig, speedups: &Speedups) -> Result<ServeReport, ServeConfigError> {
     cfg.validate()?;
     let registry =
         ModelRegistry::build(&cfg.endpoints, cfg.scale, cfg.seed, cfg.ckpt_dir.as_deref())?;
@@ -75,8 +76,9 @@ pub fn predict(cfg: &ServeConfig, speedups: &Speedups) -> Result<ServeReport, St
         seed: cfg.seed,
         requests: cfg.requests,
         rate: cfg.rate,
+        kind: WorkloadKind::OpenLoop,
     };
-    let requests = workload::generate(&spec, &registry.target_space());
+    let requests = workload::generate(&spec, &registry.target_space())?;
     let mut cache: HashMap<(String, Vec<u32>), CapturedBatch> = HashMap::new();
     Ok(run_with(
         cfg,
