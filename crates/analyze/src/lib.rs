@@ -34,6 +34,13 @@
 //!   targets, queues too small to fill a batch), endpoints naming unknown
 //!   cells, and policies whose `max_batch` cannot fit one replica
 //!   session's certified inference footprint.
+//! - **Sample-config audit** ([`sample_check`]): giant-graph sampling
+//!   specs are audited field-by-field before any RMAT graph is generated
+//!   — degenerate RMAT parameters, dead fan-out schedules, seed batches
+//!   beyond the closed-form node range, feature caches larger than the
+//!   feature matrix, and broken partition placements — reporting every
+//!   defect of a spec at once; sampled cells are then lowered through the
+//!   same IR and memory-certified at their fan-out union bounds.
 //! - **Fleet-config audit** ([`fleet_check`]): sharded serving runs are
 //!   checked for unroutable fleets (zero shards, unknown endpoint cells),
 //!   retry budgets above 1 that let recovery traffic amplify a brownout,
@@ -71,6 +78,7 @@ pub mod lower;
 pub mod memory;
 pub mod report;
 pub mod run;
+pub mod sample_check;
 pub mod schedule;
 pub mod serve_check;
 pub mod tape;
@@ -82,11 +90,12 @@ pub use fleet_check::{check_fleet_config, check_fleet_fault_plan};
 pub use ir::{DType, GraphBuilder, OpGraph, Rows, SymShape};
 pub use lower::{lower_stack, LayerPlan, StackPlan, Task};
 pub use memory::{
-    certify_graph_cell, certify_node_cell, footprint, CellCert, CellFootprint, MemExpr, MemVerdict,
-    MemoryReport,
+    certify_graph_cell, certify_node_cell, certify_sample_cell, footprint, CellCert, CellFootprint,
+    MemExpr, MemVerdict, MemoryReport,
 };
 pub use report::{Finding, FindingKind, LintReport};
 pub use run::{certify_run, lint_and_export, lint_run, lint_run_with_memory};
+pub use sample_check::{check_sample_config, check_sample_spec};
 pub use schedule::{data_parallel_schedule, Lane, Schedule, Slice};
 pub use serve_check::{check_replica_memory, check_serve_config};
 pub use tape::audit_tape;

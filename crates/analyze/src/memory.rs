@@ -536,6 +536,73 @@ pub fn certify_graph_cell(
     }
 }
 
+/// Certifies one neighbor-sampled training cell against its spec — without
+/// generating the (possibly million-node) RMAT graph. The fan-out schedule
+/// bounds every union block in closed form ([`SampleSpec::max_batch_nodes`]
+/// / [`SampleSpec::max_batch_edges`]), and those bounds hold for both
+/// sampler kinds, so one certificate per (spec, kind, framework) prices
+/// the worst block any chunk can assemble.
+///
+/// The sampled runner pins `2P` of parameter copies plus the resident
+/// feature cache persistently and Adam pins another `2P`. The supervised
+/// runner ends an allocator step after every train chunk (load + forward +
+/// seed-logits gather + loss + backward), while the per-epoch val eval
+/// and best-so-far test eval (no-grad forward + accuracy gather each)
+/// share one step — so the peak interval is the larger of one train chunk
+/// and two eval chunks, each bounded at the worst union block. The fatal
+/// floor is the smallest mandatory attempt after batch halving bottoms
+/// out: one single-seed train chunk at its own (much smaller) union
+/// bound.
+pub fn certify_sample_cell(
+    fw: FrameworkKind,
+    spec: &gnn_sample::SampleSpec,
+    kind: gnn_sample::SamplerKind,
+) -> CellCert {
+    let model = ModelKind::Sage;
+    let plan = StackPlan::node(model, fw, spec.rmat.feature_dim, spec.rmat.num_classes);
+    let g = lower_stack(&plan, "");
+    let fp = footprint_of(&g, &plan);
+    let b = spec.batch_seeds as u64;
+    let c = spec.rmat.num_classes as u64;
+    let (n, e) = (spec.max_batch_nodes(), spec.max_batch_edges());
+    let cache_bytes = spec.cache_rows as u64 * spec.row_bytes();
+    let persistent = 4 * fp.param_bytes + cache_bytes;
+    // One full train chunk: block load, forward, the [B, C] seed-logits
+    // gather, its gradient, and every activation/parameter gradient.
+    let train_chunk =
+        fp.load.eval(n, e, 1) + fp.forward.eval(n, e, 1) + fp.backward.eval(n, e, 1) + 8 * b * c;
+    // One eval chunk: block load plus a no-grad forward (no loss scalar)
+    // and the [B, C] accuracy gather.
+    let eval_chunk = fp.load.eval(n, e, 1) + fp.forward.minus_const(4).eval(n, e, 1) + 4 * b * c;
+    let step = train_chunk.max(2 * eval_chunk);
+    // Smallest mandatory attempt: one seed's union block, trained.
+    let (n1, e1) = (
+        gnn_sample::max_union_nodes(1, &spec.fanouts),
+        gnn_sample::max_union_edges(1, &spec.fanouts),
+    );
+    let floor =
+        fp.load.eval(n1, e1, 1) + fp.forward.eval(n1, e1, 1) + fp.backward.eval(n1, e1, 1) + 8 * c;
+    let ideal_peak = persistent + fp.load.eval(n, e, 1) + liveness::ideal_step_peak(&g, n, e, 1);
+    CellCert {
+        experiment: "sample",
+        dataset: format!("{}-{}", spec.name, kind.label()),
+        model,
+        framework: fw,
+        nodes: n,
+        edges: e,
+        graphs: 1,
+        batch: b,
+        param_bytes: fp.param_bytes,
+        persistent,
+        peak_upper: persistent + step,
+        floor_fatal: persistent + floor,
+        ideal_peak,
+        forward: fp.forward,
+        backward: fp.backward,
+        load: fp.load,
+    }
+}
+
 /// Emits `peak-exceeds-device-memory` when a cell provably cannot run on a
 /// device: its fatal floor (no batch size admissible) exceeds the
 /// capacity. Configured-batch headroom is reported informationally in
@@ -794,6 +861,42 @@ mod tests {
                 b8.ceiling_verdict((b8.floor_fatal + b8.peak_upper) / 2),
                 MemVerdict::Unknown
             );
+        }
+    }
+
+    #[test]
+    fn sample_cert_prices_the_union_not_the_graph() {
+        use gnn_sample::{SampleSpec, SamplerKind};
+        let spec = SampleSpec::get("rmat-1m").unwrap();
+        for fw in ALL_FRAMEWORKS {
+            let cert = certify_sample_cell(fw, &spec, SamplerKind::Neighbor);
+            assert_eq!(cert.experiment, "sample");
+            assert_eq!(cert.dataset, "rmat-1m-neighbor");
+            assert_eq!(
+                cert.path(),
+                format!("sample/rmat-1m-neighbor/SAGE/{}", fw.label())
+            );
+            // The bound is the fan-out union of one seed batch, orders of
+            // magnitude below the million-node graph.
+            assert_eq!(cert.nodes, spec.max_batch_nodes());
+            assert!(cert.nodes < (spec.rmat.num_nodes() as u64) / 10);
+            // Persistent = 4P + the resident feature cache.
+            assert_eq!(
+                cert.persistent,
+                4 * cert.param_bytes + spec.cache_rows as u64 * spec.row_bytes()
+            );
+            assert!(cert.persistent < cert.floor_fatal, "{}", cert.path());
+            assert!(cert.floor_fatal <= cert.peak_upper, "{}", cert.path());
+            // The headline cell must fit the paper's 11 GB card.
+            let mut findings = Vec::new();
+            check_device_fit(&cert, &mut findings);
+            assert!(findings.is_empty(), "{findings:?}");
+            // Both sampler kinds share the same closed-form bounds; only
+            // the dataset label differs.
+            let lw = certify_sample_cell(fw, &spec, SamplerKind::LayerWise);
+            assert_eq!(lw.dataset, "rmat-1m-layerwise");
+            assert_eq!(lw.peak_upper, cert.peak_upper);
+            assert_eq!(lw.floor_fatal, cert.floor_fatal);
         }
     }
 

@@ -36,6 +36,11 @@ pub enum FindingKind {
     /// A serving configuration is degenerate: a batching policy that can
     /// never fire, or endpoints naming unknown cells.
     InvalidServeConfig,
+    /// A giant-graph sampling configuration is degenerate: zero fan-outs,
+    /// seed batches larger than the node range, a feature cache bigger
+    /// than the features it caches, or RMAT parameters that cannot
+    /// generate a graph.
+    InvalidSampleConfig,
     /// A fleet configuration is degenerate or self-defeating: no routable
     /// shards, a retry budget that can amplify a brownout, health
     /// thresholds that can never eject within the run's horizon, or a
@@ -77,6 +82,7 @@ impl FindingKind {
             FindingKind::InvalidConfig => "invalid-config",
             FindingKind::InvalidFaultPlan => "invalid-fault-plan",
             FindingKind::InvalidServeConfig => "serve-config",
+            FindingKind::InvalidSampleConfig => "sample-config",
             FindingKind::InvalidFleetConfig => "fleet-config",
             FindingKind::CounterCoverage => "counter-coverage",
             FindingKind::PeakExceedsDeviceMemory => "peak-exceeds-device-memory",

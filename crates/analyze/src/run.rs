@@ -14,7 +14,10 @@
 //!    ([`crate::schedule`]),
 //! 5. fault-plan auditing when the config arms one — specs that can never
 //!    fire or never be survived under this run ([`crate::fault_plan`]),
-//! 6. memory certification of every cell at the generated datasets'
+//! 6. sample-config auditing and closed-form certification of any
+//!    configured giant-graph sampling cells, without generating their RMAT
+//!    graphs ([`crate::sample_check`]),
+//! 7. memory certification of every cell at the generated datasets'
 //!    concrete sizes ([`crate::memory`]), including device-capacity checks
 //!    and — for armed plans — memory ceilings that admit no batch size.
 //!
@@ -26,13 +29,17 @@ use gnn_core::RunConfig;
 use gnn_datasets::{stratified_kfold, CitationSpec, SuperpixelSpec, TudSpec};
 use gnn_device::{DataParallel, StepCost};
 use gnn_models::config::{graph_hparams, FrameworkKind, ModelKind, ALL_FRAMEWORKS, ALL_MODELS};
+use gnn_sample::SamplerKind;
 
 use crate::counter_check::check_counter_coverage;
 use crate::fault_plan::{check_fault_plan, check_memory_ceilings};
 use crate::index_check::{check_graph_dataset, check_node_dataset};
 use crate::lower::{lower_stack, StackPlan};
-use crate::memory::{certify_graph_cell, certify_node_cell, check_device_fit, MemoryReport};
+use crate::memory::{
+    certify_graph_cell, certify_node_cell, certify_sample_cell, check_device_fit, MemoryReport,
+};
 use crate::report::{Finding, FindingKind, LintReport};
+use crate::sample_check::check_sample_config;
 use crate::schedule::data_parallel_schedule;
 use crate::tape::audit_tape;
 
@@ -138,6 +145,35 @@ pub fn lint_run_with_memory(cfg: &RunConfig) -> (LintReport, MemoryReport) {
                     .batch_size
                     .min((folds[0].train.len() / 3).max(8));
                 let cert = certify_graph_cell(model, fw, &ds, run_batch);
+                check_device_fit(&cert, &mut memory.findings);
+                memory.cells.push(cert);
+            }
+        }
+    }
+
+    // Sampled cells: audited and certified entirely in closed form — no
+    // RMAT graph is generated, so linting the million-node spec costs the
+    // same as the 4k one. Each configured spec expands into the sweep's
+    // sampler × framework cells with the fixed SAGE architecture.
+    for spec in check_sample_config(&cfg.sample_specs, &mut report.findings) {
+        report.datasets_checked += 1;
+        for kind in SamplerKind::all() {
+            for fw in ALL_FRAMEWORKS {
+                let plan = StackPlan::node(
+                    ModelKind::Sage,
+                    fw,
+                    spec.rmat.feature_dim,
+                    spec.rmat.num_classes,
+                );
+                let path = format!(
+                    "sample/{}-{}/{}/{}",
+                    spec.name,
+                    kind.label(),
+                    ModelKind::Sage.label(),
+                    fw_dir(fw)
+                );
+                lint_cell(&plan, &path, &mut report);
+                let cert = certify_sample_cell(fw, &spec, kind);
                 check_device_fit(&cert, &mut memory.findings);
                 memory.cells.push(cert);
             }
@@ -278,6 +314,40 @@ mod tests {
         // Byte-identical export across reruns: the CI job diffs two runs.
         let again = certify_run(&cfg);
         assert_eq!(memory.to_value().to_json(), again.to_value().to_json());
+    }
+
+    #[test]
+    fn sampled_cells_are_linted_and_certified_without_graph_generation() {
+        // rmat-1m is the million-node headline spec; linting it must stay
+        // closed-form (this test would time out if a graph were built).
+        let cfg = RunConfig::smoke().with_samples(["rmat-1m", "rmat-4k"]);
+        let (report, memory) = lint_run_with_memory(&cfg);
+        assert!(report.is_clean(), "{report}");
+        // 60 classic cells + 2 specs × 2 sampler kinds × 2 frameworks.
+        assert_eq!(report.cells_checked, 68);
+        assert_eq!(report.datasets_checked, 7);
+        assert_eq!(memory.cells.len(), 68);
+        let cert = memory
+            .cell("sample/rmat-1m-neighbor/SAGE/PyG")
+            .expect("sampled cert at its sweep path");
+        assert_eq!(cert.experiment, "sample");
+        // Bounds hold at the fan-out union, not the full graph: the
+        // rmat-1m union of 512 seeds with fanouts [10, 5] is 31,232 nodes.
+        assert_eq!(cert.nodes, 31_232);
+        assert!(cert.persistent < cert.floor_fatal && cert.floor_fatal <= cert.peak_upper);
+        assert!(memory.cell("sample/rmat-4k-layerwise/SAGE/DGL").is_some());
+        // Deterministic export, like the classic cells.
+        let again = certify_run(&cfg);
+        assert_eq!(memory.to_value().to_json(), again.to_value().to_json());
+    }
+
+    #[test]
+    fn broken_sample_spec_fails_the_lint() {
+        let cfg = RunConfig::smoke().with_samples(["rmat-9z"]);
+        let report = lint_run(&cfg);
+        assert!(!report.is_clean());
+        assert_eq!(report.of_kind(FindingKind::InvalidSampleConfig).len(), 1);
+        assert!(report.to_string().contains("sample/rmat-9z"), "{report}");
     }
 
     #[test]

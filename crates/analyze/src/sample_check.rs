@@ -1,0 +1,198 @@
+//! Sample-config auditing: proving a giant-graph sampling cell can
+//! actually run before the (possibly million-node) graph is generated.
+//!
+//! A [`gnn_sample::SampleSpec`] is plain data; its own `validate()` stops
+//! at the *first* degenerate field, and the sweep/serve/bench layers call
+//! it only when a cell is about to run. This pass audits every field of a
+//! spec up front and reports **all** defects at once under
+//! [`FindingKind::InvalidSampleConfig`] (`sample-config` in `lint.json`),
+//! so a fanout/cache sweep with several broken points fails with the full
+//! list, not one error per rerun. The diagnostics reuse the
+//! [`gnn_sample::SampleConfigError`] `Display` strings byte-for-byte.
+//!
+//! Checked per spec, at `sample/<name>/<field>` paths:
+//!
+//! - degenerate RMAT parameters (scale, edge factor, quadrant weights,
+//!   feature dim, classes) — the generator could not build a graph;
+//! - an empty fan-out list or a zero fan-out hop — the frontier dies;
+//! - seed batches out of the node range — `batch_seeds` beyond the
+//!   graph's node count cannot name distinct seed nodes;
+//! - a feature cache larger than the feature matrix — every row is
+//!   resident, the miss path is dead code, the sweep point meaningless;
+//! - a placement with zero partitions or a home partition out of range.
+
+use gnn_sample::{validate_fanouts, SampleConfigError, SampleSpec};
+
+use crate::report::{Finding, FindingKind};
+
+fn flag(path: String, err: &SampleConfigError, findings: &mut Vec<Finding>) {
+    findings.push(Finding::new(
+        FindingKind::InvalidSampleConfig,
+        path,
+        err.to_string(),
+    ));
+}
+
+/// Audits every field of one sampled-cell spec, appending one
+/// `sample-config` finding per defect. Returns the number of findings
+/// added. `spec.name` roots the finding paths (`sample/<name>/...`).
+pub fn check_sample_spec(spec: &SampleSpec, findings: &mut Vec<Finding>) -> usize {
+    let before = findings.len();
+    let root = format!("sample/{}", spec.name);
+
+    if let Err(e) = spec.rmat.validate() {
+        flag(format!("{root}/rmat"), &e, findings);
+    }
+    if let Err(e) = validate_fanouts(&spec.fanouts) {
+        flag(format!("{root}/fanouts"), &e, findings);
+    }
+    if spec.batch_seeds == 0 {
+        flag(
+            format!("{root}/batch_seeds"),
+            &SampleConfigError::ZeroBatchSeeds,
+            findings,
+        );
+    }
+    // The RMAT node count is closed-form (2^scale), so the seed-range and
+    // cache checks hold without generating anything. Skip them when the
+    // RMAT params are themselves broken — num_nodes() would be garbage.
+    if spec.rmat.validate().is_ok() {
+        let n = spec.rmat.num_nodes();
+        if spec.batch_seeds > n {
+            flag(
+                format!("{root}/batch_seeds"),
+                &SampleConfigError::SeedOutOfRange {
+                    seed: (spec.batch_seeds - 1) as u32,
+                    num_nodes: n,
+                },
+                findings,
+            );
+        }
+        if spec.cache_rows > n {
+            flag(
+                format!("{root}/cache_rows"),
+                &SampleConfigError::CacheExceedsFeatures {
+                    cache_rows: spec.cache_rows,
+                    num_nodes: n,
+                },
+                findings,
+            );
+        }
+    }
+    if spec.partitions == 0 {
+        flag(
+            format!("{root}/partitions"),
+            &SampleConfigError::ZeroPartitions,
+            findings,
+        );
+    } else if spec.home_partition >= spec.partitions {
+        flag(
+            format!("{root}/home_partition"),
+            &SampleConfigError::HomePartitionOutOfRange {
+                home: spec.home_partition,
+                partitions: spec.partitions,
+            },
+            findings,
+        );
+    }
+    findings.len() - before
+}
+
+/// Resolves and audits a list of spec *names* (the `RunConfig::sample_specs`
+/// form): unknown names get a finding at `sample/<name>`, known ones run
+/// through [`check_sample_spec`]. Returns the resolved specs, so callers
+/// lint and certify the same objects the sweep will run.
+pub fn check_sample_config(names: &[String], findings: &mut Vec<Finding>) -> Vec<SampleSpec> {
+    let mut specs = Vec::with_capacity(names.len());
+    for name in names {
+        match SampleSpec::get(name) {
+            Ok(spec) => {
+                check_sample_spec(&spec, findings);
+                specs.push(spec);
+            }
+            Err(e) => flag(format!("sample/{name}"), &e, findings),
+        }
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn_sample::RmatConfig;
+
+    fn broken_spec() -> SampleSpec {
+        SampleSpec {
+            name: "rmat-4k",
+            rmat: RmatConfig::graph500(12, 4, 0x6e3),
+            fanouts: vec![4, 0],
+            batch_seeds: 1 << 13, // beyond the 2^12 node range
+            cache_rows: 1 << 13,  // bigger than the feature matrix
+            partitions: 2,
+            home_partition: 5,
+        }
+    }
+
+    #[test]
+    fn catalog_specs_lint_clean() {
+        let mut findings = Vec::new();
+        let specs = check_sample_config(
+            &SampleSpec::names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
+            &mut findings,
+        );
+        assert_eq!(specs.len(), 3);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn every_defect_is_reported_at_its_field() {
+        let mut findings = Vec::new();
+        let n = check_sample_spec(&broken_spec(), &mut findings);
+        assert_eq!(n, 4, "{findings:?}");
+        let paths: Vec<&str> = findings.iter().map(|f| f.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            [
+                "sample/rmat-4k/fanouts",
+                "sample/rmat-4k/batch_seeds",
+                "sample/rmat-4k/cache_rows",
+                "sample/rmat-4k/home_partition",
+            ]
+        );
+        assert!(findings
+            .iter()
+            .all(|f| f.kind == FindingKind::InvalidSampleConfig));
+        assert!(findings[0].message.contains("fan-out at hop 1"));
+        assert!(findings[2].message.contains("exceeds the 4096-row"));
+    }
+
+    #[test]
+    fn broken_rmat_params_suppress_range_checks() {
+        let mut spec = broken_spec();
+        spec.rmat.scale = 0;
+        let mut findings = Vec::new();
+        check_sample_spec(&spec, &mut findings);
+        let paths: Vec<&str> = findings.iter().map(|f| f.path.as_str()).collect();
+        assert!(paths.contains(&"sample/rmat-4k/rmat"), "{paths:?}");
+        assert!(
+            !paths.iter().any(|p| p.ends_with("cache_rows")),
+            "range checks against a garbage node count are suppressed: {paths:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_names_get_one_finding_each() {
+        let mut findings = Vec::new();
+        let specs = check_sample_config(
+            &["rmat-4k".to_string(), "rmat-9z".to_string()],
+            &mut findings,
+        );
+        assert_eq!(specs.len(), 1);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].path, "sample/rmat-9z");
+        assert!(findings[0].message.contains("unknown sample spec"));
+    }
+}

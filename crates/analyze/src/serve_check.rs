@@ -240,6 +240,30 @@ fn replica_footprint(cell: &CellId, cfg: &ServeConfig) -> Option<(u64, String)> 
                 format!("worst max_batch={b} composition: {n_top} nodes / {e_top} edges"),
             ))
         }
+        TaskKind::Sample => {
+            // A sampled dispatch forwards the union block of at most
+            // `max_batch` seed nodes; the fan-out schedule bounds that
+            // union without generating the (possibly million-node) graph.
+            let (spec, _) = gnn_serve::sample_dataset(&cell.dataset)?;
+            let seeds = cfg.policy.max_batch;
+            if seeds == 0 {
+                return None; // degenerate policy carries its own finding
+            }
+            let n = gnn_sample::max_union_nodes(seeds, &spec.fanouts);
+            let e = gnn_sample::max_union_edges(seeds, &spec.fanouts);
+            let plan = StackPlan::node(
+                cell.model,
+                cell.framework,
+                spec.rmat.feature_dim,
+                spec.rmat.num_classes,
+            );
+            let fp = footprint(&plan);
+            let need = fp.load.eval(n, e, 1) + fp.forward.minus_const(4).eval(n, e, 1);
+            Some((
+                need,
+                format!("worst max_batch={seeds}-seed union block: {n} nodes / {e} edges"),
+            ))
+        }
     }
 }
 

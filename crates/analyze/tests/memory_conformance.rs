@@ -88,6 +88,68 @@ fn certified_bounds_hold_under_the_canonical_chaos_plan() {
     assert_certs_dominate(&tiny_cfg().with_faults(FaultPlan::canonical()));
 }
 
+/// Sampled cells certify in closed form (fan-out union bounds, no graph in
+/// hand); the bound must still dominate what the supervised sampled runner
+/// actually allocates, and stay within a 4x factor — looser than the
+/// classic cells' 2x because the union bound assumes no frontier
+/// deduplication, which real blocks always have.
+#[test]
+fn sampled_certs_dominate_the_runtime_allocator() {
+    use gnn_sample::{RmatGraph, SampleSpec, SamplerKind};
+    use gnn_train::{run_sampled_task_supervised, SampledTaskConfig};
+    use std::rc::Rc;
+
+    let spec = SampleSpec::get("rmat-4k").unwrap();
+    let graph = Rc::new(RmatGraph::generate(spec.rmat).unwrap());
+    let task = SampledTaskConfig {
+        max_epochs: 2,
+        lr: node_hparams(ModelKind::Sage).lr,
+        batch_seeds: spec.batch_seeds,
+        train_seeds: spec.batch_seeds * 4,
+        eval_seeds: spec.batch_seeds,
+        seed: 9,
+    };
+    let (f, c) = (spec.rmat.feature_dim, spec.rmat.num_classes);
+    let sup = Supervisor::default();
+    for kind in SamplerKind::all() {
+        for fw in ALL_FRAMEWORKS {
+            let cert = gnn_lint::certify_sample_cell(fw, &spec, kind);
+            let mut rng = StdRng::seed_from_u64(9);
+            let run = match fw {
+                FrameworkKind::RustyG => {
+                    let stack = build::node_model_rustyg(ModelKind::Sage, f, c, &mut rng);
+                    let loader =
+                        rustyg::sampled::SampledLoader::new(graph.clone(), &spec, kind).unwrap();
+                    run_sampled_task_supervised(&stack, &loader, &task, &sup)
+                }
+                FrameworkKind::Rgl => {
+                    let stack = build::node_model_rgl(ModelKind::Sage, f, c, &mut rng);
+                    let loader =
+                        rgl::sampled::SampledLoader::new(graph.clone(), &spec, kind).unwrap();
+                    run_sampled_task_supervised(&stack, &loader, &task, &sup)
+                }
+            }
+            .unwrap_or_else(|e| panic!("{}: clean run died: {e}", cert.path()));
+            let observed = run.outcome.report.peak_memory;
+            assert!(observed > 0, "{}: no peak recorded", cert.path());
+            assert!(
+                cert.peak_upper >= observed,
+                "{}: certified peak {} B does not dominate observed {} B",
+                cert.path(),
+                cert.peak_upper,
+                observed
+            );
+            assert!(
+                cert.peak_upper <= 4 * observed,
+                "{}: certified peak {} B is more than 4x the observed {} B",
+                cert.path(),
+                cert.peak_upper,
+                observed
+            );
+        }
+    }
+}
+
 /// Maps `frac` in [0, 100] onto a ceiling spanning from well below the
 /// cell's fatal floor to comfortably above its certified peak, so the
 /// strategy exercises all three verdict bands.

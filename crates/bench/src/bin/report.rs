@@ -1,10 +1,12 @@
 //! The regression observatory: runs the canonical performance report and
 //! diffs it against the previous checked-in baseline.
 //!
-//! Trains the six representative sweep cells at a fixed small scale,
-//! sweeps the serve batching policies over the same endpoints, sweeps the
-//! fleet routing policies under the canonical fleet chaos plan, and
-//! writes a schema-versioned `BENCH_<n>.json` (default `BENCH_9.json`)
+//! Trains the six representative sweep cells at a fixed small scale plus
+//! the default sampled cells (RMAT neighbor/layer-wise under both
+//! frameworks), sweeps the serve batching policies over the same
+//! endpoints (sampled ones included), sweeps the fleet routing policies
+//! under the canonical fleet chaos plan, and
+//! writes a schema-versioned `BENCH_<n>.json` (default `BENCH_10.json`)
 //! whose every number is simulated — a rerun with the same flags
 //! reproduces the file byte-for-byte, which CI enforces with `cmp`. When
 //! a baseline exists (`--baseline <path>`, the highest-numbered other
@@ -20,7 +22,7 @@
 
 use std::path::{Path, PathBuf};
 
-use gnn_bench::report::{diff_reports, parse_bench_report, render_diff, run_report, ReportConfig};
+use gnn_bench::report::{diff_reports, render_diff, resolve_baseline, run_report, ReportConfig};
 
 struct Options {
     cfg: ReportConfig,
@@ -33,7 +35,7 @@ struct Options {
 fn parse(args: &[String]) -> Result<Options, String> {
     let mut o = Options {
         cfg: ReportConfig::default(),
-        out: PathBuf::from("BENCH_9.json"),
+        out: PathBuf::from("BENCH_10.json"),
         baseline: None,
         threshold: 0.05,
         diff: true,
@@ -101,18 +103,24 @@ fn parse(args: &[String]) -> Result<Options, String> {
 /// The highest-numbered `BENCH_<n>.json` in `dir` other than `out` —
 /// the natural baseline for a report trajectory.
 fn discover_baseline(out: &Path) -> Option<PathBuf> {
-    let dir = out.parent().filter(|p| !p.as_os_str().is_empty())?;
+    // A bare `BENCH_10.json` has an empty parent: scan the current dir.
+    let dir = out
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or(Path::new("."));
     let mut best: Option<(u64, PathBuf)> = None;
     for entry in std::fs::read_dir(dir).ok()? {
-        let path = entry.ok()?.path();
-        if path == out {
+        let Ok(entry) = entry else { continue };
+        let path = entry.path();
+        if path.file_name() == out.file_name() {
             continue;
         }
-        let name = path.file_name()?.to_str()?;
-        let n: u64 = name
-            .strip_prefix("BENCH_")?
-            .strip_suffix(".json")
-            .and_then(|s| s.parse().ok())?;
+        let n = path
+            .file_name()
+            .and_then(|s| s.to_str())
+            .and_then(|name| name.strip_prefix("BENCH_")?.strip_suffix(".json"))
+            .and_then(|s| s.parse::<u64>().ok());
+        let Some(n) = n else { continue };
         if best.as_ref().is_none_or(|(b, _)| n > *b) {
             best = Some((n, path));
         }
@@ -145,10 +153,11 @@ fn main() {
     );
 
     // The previous document must be read before the new one overwrites it
-    // in place (the usual CI flow regenerates BENCH_9.json on top of the
+    // in place (the usual CI flow regenerates BENCH_10.json on top of the
     // checked-in baseline). Candidates that fail to read or parse —
-    // typically an older schema version still checked in for history —
-    // fall through to the next one.
+    // typically an older schema version (a `v2` report without the
+    // sampled rows) still checked in for history — fall through to the
+    // next one.
     let candidates: Vec<PathBuf> = opts
         .baseline
         .clone()
@@ -156,18 +165,10 @@ fn main() {
         .chain(discover_baseline(&opts.out))
         .chain(opts.out.exists().then(|| opts.out.clone()))
         .collect();
-    let baseline = candidates.iter().find_map(|p| {
-        match std::fs::read_to_string(p)
-            .map_err(|e| e.to_string())
-            .and_then(|text| parse_bench_report(&text))
-        {
-            Ok(r) => Some((p.clone(), r)),
-            Err(e) => {
-                eprintln!("warning: baseline {} unreadable: {e}", p.display());
-                None
-            }
-        }
-    });
+    let (baseline, warnings) = resolve_baseline(&candidates);
+    for w in &warnings {
+        eprintln!("warning: {w}");
+    }
 
     let report = run_report(&opts.cfg);
     print!("{}", report.summary());

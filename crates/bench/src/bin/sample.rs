@@ -1,0 +1,192 @@
+//! Giant-graph sampled training: sweeps fan-out schedules and feature-cache
+//! sizes over seeded RMAT graphs, in both frameworks under both sampler
+//! kinds.
+//!
+//! Each catalog spec (`--specs`, default the million-node `rmat-1m`) is
+//! generated once; every (fanouts, cache_rows) variant then trains a
+//! GraphSAGE cell per sampler kind per framework with the fault-tolerant
+//! supervised runner — `--faults canonical` exercises the same OOM
+//! split/retry/poison machinery as the main sweep. Results land in a
+//! schema-stamped `sample_metrics.csv` (`--out`); a rerun with the same
+//! flags reproduces the file byte-for-byte, which CI enforces with `cmp`.
+//!
+//! `--lint` audits every variant first (the `sample-config` pass plus IR
+//! lowering, tape audit, and closed-form memory certification at the
+//! fan-out union bounds) and refuses to run on any finding.
+//!
+//! Exits nonzero on lint findings, dead cells, or a malformed CSV.
+
+use gnn_bench::sample::{
+    check_sample_metrics_schema, expand_variants, run_sample_sweep, write_sample_metrics,
+    SampleVariant,
+};
+use gnn_lint::{audit_tape, certify_sample_cell, check_sample_spec, lower_stack, StackPlan};
+use gnn_models::config::{ModelKind, ALL_FRAMEWORKS};
+use gnn_sample::{SampleSpec, SamplerKind};
+
+/// Audits every variant: all `sample-config` defects at once, the SAGE
+/// lowering's shape/tape findings, and the closed-form memory certificates
+/// against both device capacities. Returns the lint report.
+fn lint_variants(variants: &[SampleVariant]) -> gnn_lint::LintReport {
+    let mut report = gnn_lint::LintReport::default();
+    for variant in variants {
+        let spec = &variant.spec;
+        check_sample_spec(spec, &mut report.findings);
+        report.datasets_checked += 1;
+        let clean = spec.validate().is_ok();
+        for kind in SamplerKind::all() {
+            for fw in ALL_FRAMEWORKS {
+                let plan = StackPlan::node(
+                    ModelKind::Sage,
+                    fw,
+                    spec.rmat.feature_dim,
+                    spec.rmat.num_classes,
+                );
+                let path = format!(
+                    "sample/{}-{}/{}/{}",
+                    spec.name,
+                    kind.label(),
+                    ModelKind::Sage.label(),
+                    fw.label()
+                );
+                let g = lower_stack(&plan, &path);
+                report.findings.extend(g.findings.iter().cloned());
+                audit_tape(&g, &mut report.findings);
+                report.ops_checked += g.nodes.len();
+                report.cells_checked += 1;
+                // Certify only specs whose parameters make sense — the
+                // union bounds of a broken fan-out schedule are garbage.
+                if clean {
+                    let cert = certify_sample_cell(fw, spec, kind);
+                    gnn_lint::memory::check_device_fit(&cert, &mut report.findings);
+                }
+            }
+        }
+    }
+    report
+}
+
+fn resolve_specs(names: &[String]) -> Result<Vec<SampleSpec>, String> {
+    names
+        .iter()
+        .map(|n| SampleSpec::get(n).map_err(|e| e.to_string()))
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match gnn_bench::parse_sample_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: sample [--specs name,name,...] [--fanouts AxB,AxB,...] \
+                 [--cache-rows n,n,...] [--epochs n] [--seed n] [--out path] \
+                 [--lint] [--faults canonical|seeded:n|path]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let specs = match resolve_specs(&opts.specs) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e} (catalog: {})", SampleSpec::names().join(", "));
+            std::process::exit(2);
+        }
+    };
+    let variants = expand_variants(&specs, &opts.fanouts, &opts.cache_rows);
+
+    if opts.lint {
+        let report = lint_variants(&variants);
+        print!("{report}");
+        if !report.is_clean() {
+            eprintln!("error: gnn-lint found sample-config problems; refusing to run");
+            std::process::exit(1);
+        }
+    }
+
+    println!(
+        "Sampled training: {} spec(s), {} variant(s), {} epoch(s), seed {}, faults {}\n",
+        specs.len(),
+        variants.len(),
+        opts.epochs,
+        opts.seed,
+        if opts.faults.is_some() {
+            "armed"
+        } else {
+            "off"
+        },
+    );
+
+    let fault_handle = match &opts.faults {
+        Some(plan) if !gnn_faults::is_active() => Some(gnn_faults::install(plan.clone())),
+        _ => None,
+    };
+
+    let (rows, errors) = run_sample_sweep(&variants, opts.epochs, opts.seed);
+
+    println!(
+        "{:<9} {:>7} {:>7} {:>10} {:>5} {:>10} {:>8} {:>7} {:>7}",
+        "spec", "fanouts", "cache", "sampler", "fw", "epoch ms", "xfer ms", "cache%", "test%"
+    );
+    for row in &rows {
+        println!(
+            "{:<9} {:>7} {:>7} {:>10} {:>5} {:>10.2} {:>8.2} {:>7.1} {:>7.1}",
+            row.spec,
+            row.fanouts,
+            row.cache_rows,
+            row.sampler,
+            row.framework,
+            row.epoch_time * 1e3,
+            row.transfer_time * 1e3,
+            row.cache_hit_rate * 100.0,
+            row.test_acc,
+        );
+    }
+
+    if let Some(h) = fault_handle {
+        let log = gnn_faults::finish(h);
+        if !log.is_empty() {
+            println!("\nfaults fired ({}):", log.len());
+            for line in log.summary().lines() {
+                println!("  {line}");
+            }
+        }
+    }
+
+    let mut failed = false;
+    for e in &errors {
+        eprintln!("error: {e}");
+        failed = true;
+    }
+
+    // Self-check the artifact before declaring success: a column drift
+    // fails here rather than in a consumer.
+    match write_sample_metrics(&opts.out, &rows) {
+        Ok(path) => match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| check_sample_metrics_schema(&text))
+        {
+            Ok(()) => println!("\nmetrics: {}", path.display()),
+            Err(e) => {
+                eprintln!("error: {}: {e}", path.display());
+                failed = true;
+            }
+        },
+        Err(e) => {
+            eprintln!("error: writing {}: {e}", opts.out.display());
+            failed = true;
+        }
+    }
+
+    let expected = variants.len() * SamplerKind::all().len() * ALL_FRAMEWORKS.len();
+    if rows.len() != expected {
+        eprintln!("error: {} of {expected} cell(s) produced rows", rows.len());
+        failed = true;
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -15,6 +15,7 @@
 //! | `fig6`    | Fig. 6 — multi-GPU scaling of GCN/GAT on MNIST |
 //! | `sweep`   | Fault-isolated sweep over all 60 cells |
 //! | `serve`   | Inference serving: batching-policy sweep over trained cells |
+//! | `sample`  | Giant-graph sampled training: fan-out/cache sweep over seeded RMAT graphs → `sample_metrics.csv` |
 //! | `fleet`   | Fleet serving: routing-policy sweep over sharded endpoints under chaos |
 //! | `report`  | Regression observatory: canonical cells + serve policies → `BENCH_<n>.json`, diffed against the previous report |
 //! | `whatif`  | Causal profiler: virtual-speedup experiments over the recorded timeline → ranked opportunities in `whatif.json` (`--conformance` re-runs the top predictions for real) |
@@ -44,6 +45,7 @@
 //! device.
 
 pub mod report;
+pub mod sample;
 pub mod whatif;
 
 use gnn_core::RunConfig;
@@ -539,6 +541,110 @@ pub fn parse_fleet_args(args: &[String]) -> Result<FleetCliOptions, String> {
     })
 }
 
+/// Parsed command-line options of the `sample` binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleCliOptions {
+    /// Catalog spec names to sweep (default: the million-node headline).
+    pub specs: Vec<String>,
+    /// Fan-out schedule overrides (`--fanouts 10x5,5x3`); empty = each
+    /// spec's own schedule.
+    pub fanouts: Vec<Vec<usize>>,
+    /// Feature-cache size overrides in rows; empty = each spec's own.
+    pub cache_rows: Vec<usize>,
+    /// Training epochs per cell.
+    pub epochs: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Destination of `sample_metrics.csv`.
+    pub out: std::path::PathBuf,
+    /// Run the `sample-config` lint + memory certification first and
+    /// refuse to run on findings.
+    pub lint: bool,
+    /// Fault plan to arm around the run.
+    pub faults: Option<FaultPlan>,
+}
+
+/// Parses a `--fanouts` entry: hop counts joined by `x`, e.g. `10x5`.
+fn parse_fanout(spec: &str) -> Result<Vec<usize>, String> {
+    spec.split('x')
+        .map(|h| {
+            h.parse::<usize>()
+                .map_err(|e| format!("fan-out `{spec}`: {e}"))
+        })
+        .collect()
+}
+
+/// Parses the `sample` binary's arguments (without the program name).
+///
+/// Flags: `--specs <name,name,...>` (default `rmat-1m`),
+/// `--fanouts <AxB,AxB,...>` (fan-out variants; default: each spec's own
+/// schedule), `--cache-rows <n,n,...>` (cache variants; default: each
+/// spec's own), `--epochs <n>` (default 2), `--seed <n>`,
+/// `--out <path>` (default `sample_metrics.csv`), `--lint`,
+/// `--faults canonical|seeded:<n>|<path>`.
+///
+/// # Errors
+///
+/// Returns a human-readable message on unknown flags or unparsable values.
+pub fn parse_sample_args(args: &[String]) -> Result<SampleCliOptions, String> {
+    let mut o = SampleCliOptions {
+        specs: vec!["rmat-1m".to_owned()],
+        fanouts: Vec::new(),
+        cache_rows: Vec::new(),
+        epochs: 2,
+        seed: 0,
+        out: std::path::PathBuf::from("sample_metrics.csv"),
+        lint: false,
+        faults: None,
+    };
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let mut value_of = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--specs" => {
+                o.specs = value_of("--specs")?.split(',').map(str::to_owned).collect();
+                if o.specs.iter().any(String::is_empty) {
+                    return Err("--specs entries must be non-empty".into());
+                }
+            }
+            "--fanouts" => {
+                o.fanouts = value_of("--fanouts")?
+                    .split(',')
+                    .map(parse_fanout)
+                    .collect::<Result<_, _>>()?;
+            }
+            "--cache-rows" => {
+                o.cache_rows = value_of("--cache-rows")?
+                    .split(',')
+                    .map(|n| n.parse().map_err(|e| format!("--cache-rows: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--epochs" => {
+                o.epochs = value_of("--epochs")?
+                    .parse()
+                    .map_err(|e| format!("--epochs: {e}"))?;
+                if o.epochs == 0 {
+                    return Err("--epochs must be positive".into());
+                }
+            }
+            "--seed" => {
+                o.seed = value_of("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--out" => o.out = value_of("--out")?.into(),
+            "--lint" => o.lint = true,
+            "--faults" => o.faults = Some(parse_fault_plan(&value_of("--faults")?)?),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(o)
+}
+
 /// When the config asks for it (`--lint`), statically verifies the whole
 /// configured sweep with `gnn-lint` before anything executes and refuses to
 /// run on any finding. With `--trace <dir>` the findings are also written to
@@ -930,6 +1036,54 @@ mod tests {
         assert!(parse_fleet_args(&s(&["--routing", "random"])).is_err());
         assert!(parse_fleet_args(&s(&["--routing", ""])).is_err());
         assert!(parse_fleet_args(&s(&["--retry-budget"])).is_err());
+    }
+
+    #[test]
+    fn sample_args_defaults_and_overrides() {
+        let o = parse_sample_args(&[]).unwrap();
+        assert_eq!(o.specs, vec!["rmat-1m".to_owned()]);
+        assert!(o.fanouts.is_empty());
+        assert!(o.cache_rows.is_empty());
+        assert_eq!(o.epochs, 2);
+        assert_eq!(o.out, std::path::PathBuf::from("sample_metrics.csv"));
+        assert!(!o.lint);
+        assert!(o.faults.is_none());
+
+        let o = parse_sample_args(&s(&[
+            "--specs",
+            "rmat-4k,rmat-64k",
+            "--fanouts",
+            "10x5,4x2",
+            "--cache-rows",
+            "512,64",
+            "--epochs",
+            "3",
+            "--seed",
+            "7",
+            "--out",
+            "out/sample/sample_metrics.csv",
+            "--lint",
+            "--faults",
+            "canonical",
+        ]))
+        .unwrap();
+        assert_eq!(o.specs.len(), 2);
+        assert_eq!(o.fanouts, vec![vec![10, 5], vec![4, 2]]);
+        assert_eq!(o.cache_rows, vec![512, 64]);
+        assert_eq!(o.epochs, 3);
+        assert_eq!(o.seed, 7);
+        assert!(o.lint);
+        assert_eq!(o.faults, Some(FaultPlan::canonical()));
+    }
+
+    #[test]
+    fn sample_args_reject_malformed_values() {
+        assert!(parse_sample_args(&s(&["--fanouts", "10@5"])).is_err());
+        assert!(parse_sample_args(&s(&["--fanouts", "axb"])).is_err());
+        assert!(parse_sample_args(&s(&["--cache-rows", "x"])).is_err());
+        assert!(parse_sample_args(&s(&["--epochs", "0"])).is_err());
+        assert!(parse_sample_args(&s(&["--specs", ""])).is_err());
+        assert!(parse_sample_args(&s(&["--bogus"])).is_err());
     }
 
     #[test]

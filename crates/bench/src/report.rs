@@ -18,27 +18,41 @@
 //! grow past `previous * (1 + threshold)`, attainment-like metrics when
 //! they shrink past `previous * (1 - threshold)`.
 
+use std::path::PathBuf;
+use std::rc::Rc;
+
 use gnn_datasets::{stratified_kfold, CitationSpec, SuperpixelSpec, TudSpec};
 use gnn_faults::FaultPlan;
 use gnn_models::adapt::{RglLoader, RustygLoader};
 use gnn_models::{build, graph_hparams, node_hparams, FrameworkKind};
 use gnn_obs::{json, Value};
+use gnn_sample::RmatGraph;
 use gnn_serve::{
-    default_endpoints, BatchPolicy, CellId, FleetConfig, RoutingPolicy, ServeConfig, TaskKind,
+    default_endpoints, sample_dataset, BatchPolicy, CellId, FleetConfig, RoutingPolicy,
+    ServeConfig, TaskKind,
 };
-use gnn_train::{run_graph_fold, run_node_task, GraphTaskConfig, NodeTaskConfig};
+use gnn_train::{
+    run_graph_fold, run_node_task, run_sampled_task, GraphTaskConfig, NodeOutcome, NodeTaskConfig,
+    SampledTaskConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Schema tag every report document carries; bumped on breaking change.
-/// `v2` added the `fleet` section (per-routing-policy resilience rows).
-pub const REPORT_SCHEMA: &str = "gnn-bench-report/v2";
+/// `v2` added the `fleet` section (per-routing-policy resilience rows);
+/// `v3` added the `sample` section (per-sampled-cell training rows with
+/// feature-cache hit rates).
+pub const REPORT_SCHEMA: &str = "gnn-bench-report/v3";
 
 /// What one report run covers.
 #[derive(Debug, Clone)]
 pub struct ReportConfig {
     /// Cells to train (the representative six by default).
     pub cells: Vec<CellId>,
+    /// Sampled cells to train (`sample/<spec>-<sampler>/...`); reported
+    /// in the `sample` section and served alongside `cells` in the serve
+    /// policy sweep.
+    pub sample_cells: Vec<CellId>,
     /// Dataset scale factor.
     pub scale: f64,
     /// Training epochs per cell.
@@ -59,6 +73,7 @@ impl Default for ReportConfig {
     fn default() -> Self {
         ReportConfig {
             cells: default_endpoints(),
+            sample_cells: default_sample_cells(),
             scale: 0.05,
             epochs: 2,
             seed: 0,
@@ -81,6 +96,21 @@ impl Default for ReportConfig {
             slo_target: 0.005,
         }
     }
+}
+
+/// The sampled cells the report trains by default: the CI-speed RMAT
+/// spec under both sampler kinds and both frameworks, so the report
+/// tracks each framework's sampling/gather tax separately.
+pub fn default_sample_cells() -> Vec<CellId> {
+    [
+        "sample/rmat-4k-neighbor/SAGE/PyG",
+        "sample/rmat-4k-layerwise/SAGE/PyG",
+        "sample/rmat-4k-neighbor/SAGE/DGL",
+        "sample/rmat-4k-layerwise/SAGE/DGL",
+    ]
+    .iter()
+    .map(|p| CellId::parse(p).expect("default sample cells are valid"))
+    .collect()
 }
 
 /// One trained cell's distilled performance numbers.
@@ -161,6 +191,27 @@ pub struct FleetPolicyReport {
     pub failover_p99: f64,
 }
 
+/// One sampled cell's distilled training numbers (`v3`'s `sample`
+/// section): besides the time split, the feature-cache hit rate — the
+/// number that decides whether giant-graph training is gather-bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleCellReport {
+    /// Cell path, e.g. `sample/rmat-4k-neighbor/SAGE/PyG`.
+    pub cell: String,
+    /// Mean simulated seconds per epoch.
+    pub epoch_time: f64,
+    /// Total simulated training seconds.
+    pub total_time: f64,
+    /// Device time in non-transfer kernels.
+    pub kernel_time: f64,
+    /// Device time in transfer kernels (the gather/upload tax).
+    pub transfer_time: f64,
+    /// End-of-run feature-cache hit rate in `[0, 1]`.
+    pub cache_hit_rate: f64,
+    /// Test accuracy at the best-validation epoch, in percent.
+    pub test_acc: f64,
+}
+
 /// The full report document.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
@@ -170,6 +221,8 @@ pub struct BenchReport {
     pub config: Vec<(String, f64)>,
     /// One entry per trained cell, in config order.
     pub cells: Vec<CellReport>,
+    /// One entry per sampled cell, in config order (`v3`).
+    pub sample: Vec<SampleCellReport>,
     /// One entry per serve policy, in config order.
     pub serve: Vec<ServePolicyReport>,
     /// One entry per fleet routing policy, under the canonical fleet
@@ -247,6 +300,61 @@ pub(crate) fn train_cell(
             };
             (out.epoch_time, out.total_time, out.report)
         }
+        TaskKind::Sample => {
+            let (out, _) = train_sample_cell(cell, epochs, seed);
+            (out.epoch_time, out.total_time, out.report)
+        }
+    }
+}
+
+/// Trains one sampled cell with the sweep's conventions (pool salts,
+/// arch seed `seed + 1`, pools sized in batches) and returns the outcome
+/// plus the loader's end-of-run feature-cache hit rate.
+pub(crate) fn train_sample_cell(cell: &CellId, epochs: usize, seed: u64) -> (NodeOutcome, f64) {
+    let (spec, kind) = sample_dataset(&cell.dataset)
+        .unwrap_or_else(|| panic!("unknown sample dataset {}", cell.dataset));
+    let graph = Rc::new(RmatGraph::generate(spec.rmat).expect("catalog specs generate cleanly"));
+    let task = SampledTaskConfig {
+        max_epochs: epochs,
+        lr: node_hparams(cell.model).lr,
+        batch_seeds: spec.batch_seeds,
+        train_seeds: spec.batch_seeds * 4,
+        eval_seeds: spec.batch_seeds,
+        seed,
+    };
+    let f = spec.rmat.feature_dim;
+    let c = spec.rmat.num_classes;
+    let mut rng = StdRng::seed_from_u64(seed + 1);
+    match cell.framework {
+        FrameworkKind::RustyG => {
+            let stack = build::node_model_rustyg(cell.model, f, c, &mut rng);
+            let loader = rustyg::sampled::SampledLoader::new(graph, &spec, kind)
+                .expect("catalog specs validate");
+            let out = run_sampled_task(&stack, &loader, &task);
+            let hit = loader.cache_hit_rate();
+            (out, hit)
+        }
+        FrameworkKind::Rgl => {
+            let stack = build::node_model_rgl(cell.model, f, c, &mut rng);
+            let loader = rgl::sampled::SampledLoader::new(graph, &spec, kind)
+                .expect("catalog specs validate");
+            let out = run_sampled_task(&stack, &loader, &task);
+            let hit = loader.cache_hit_rate();
+            (out, hit)
+        }
+    }
+}
+
+fn run_sample_cell(cell: &CellId, cfg: &ReportConfig) -> SampleCellReport {
+    let (out, cache_hit_rate) = train_sample_cell(cell, cfg.epochs, cfg.seed);
+    SampleCellReport {
+        cell: cell.path(),
+        epoch_time: out.epoch_time,
+        total_time: out.total_time,
+        kernel_time: out.report.kernel_exec_time(),
+        transfer_time: out.report.transfer_time(),
+        cache_hit_rate,
+        test_acc: out.test_acc,
     }
 }
 
@@ -278,10 +386,18 @@ fn run_cell(cell: &CellId, cfg: &ReportConfig) -> CellReport {
 /// (both indicate a broken config, not a run-time condition).
 pub fn run_report(cfg: &ReportConfig) -> BenchReport {
     let cells: Vec<CellReport> = cfg.cells.iter().map(|c| run_cell(c, cfg)).collect();
+    let sample: Vec<SampleCellReport> = cfg
+        .sample_cells
+        .iter()
+        .map(|c| run_sample_cell(c, cfg))
+        .collect();
+    // Sampled endpoints ride the same serve policy sweep as the classic
+    // cells: each dispatch samples the union block of its seed batch.
+    let endpoints: Vec<CellId> = cfg.cells.iter().chain(&cfg.sample_cells).cloned().collect();
     let mut serve = Vec::with_capacity(cfg.policies.len());
     for policy in &cfg.policies {
         let scfg = ServeConfig {
-            endpoints: cfg.cells.clone(),
+            endpoints: endpoints.clone(),
             requests: cfg.requests,
             rate: cfg.rate,
             seed: cfg.seed,
@@ -349,6 +465,7 @@ pub fn run_report(cfg: &ReportConfig) -> BenchReport {
             ("slo_target".to_owned(), cfg.slo_target),
         ],
         cells,
+        sample,
         serve,
         fleet,
     }
@@ -392,6 +509,25 @@ impl BenchReport {
                                     Value::Num(c.roofline_utilization),
                                 ),
                                 ("utilization".into(), Value::Num(c.utilization)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "sample".into(),
+                Value::Arr(
+                    self.sample
+                        .iter()
+                        .map(|c| {
+                            Value::Obj(vec![
+                                ("cell".into(), Value::from(c.cell.as_str())),
+                                ("epoch_time".into(), Value::Num(c.epoch_time)),
+                                ("total_time".into(), Value::Num(c.total_time)),
+                                ("kernel_time".into(), Value::Num(c.kernel_time)),
+                                ("transfer_time".into(), Value::Num(c.transfer_time)),
+                                ("cache_hit_rate".into(), Value::Num(c.cache_hit_rate)),
+                                ("test_acc".into(), Value::Num(c.test_acc)),
                             ])
                         })
                         .collect(),
@@ -472,6 +608,24 @@ impl BenchReport {
                 pct(c.idle_time),
                 c.roofline_utilization * 100.0,
             );
+        }
+        if !self.sample.is_empty() {
+            let _ = writeln!(
+                s,
+                "{:<34} {:>10} {:>9} {:>8} {:>8}",
+                "sampled cell", "epoch ms", "xfer ms", "cache%", "test%"
+            );
+            for c in &self.sample {
+                let _ = writeln!(
+                    s,
+                    "{:<34} {:>10.3} {:>9.3} {:>7.1}% {:>7.1}%",
+                    c.cell,
+                    c.epoch_time * 1e3,
+                    c.transfer_time * 1e3,
+                    c.cache_hit_rate * 100.0,
+                    c.test_acc,
+                );
+            }
         }
         let _ = writeln!(
             s,
@@ -575,6 +729,23 @@ pub fn parse_bench_report(text: &str) -> Result<BenchReport, String> {
             })
         })
         .collect::<Result<Vec<_>, String>>()?;
+    let sample = doc
+        .get("sample")
+        .and_then(|s| s.as_arr())
+        .ok_or("missing sample array")?
+        .iter()
+        .map(|c| {
+            Ok(SampleCellReport {
+                cell: text_field(c, "cell")?,
+                epoch_time: num(c, "epoch_time")?,
+                total_time: num(c, "total_time")?,
+                kernel_time: num(c, "kernel_time")?,
+                transfer_time: num(c, "transfer_time")?,
+                cache_hit_rate: num(c, "cache_hit_rate")?,
+                test_acc: num(c, "test_acc")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
     let serve = doc
         .get("serve")
         .and_then(|s| s.as_arr())
@@ -618,6 +789,7 @@ pub fn parse_bench_report(text: &str) -> Result<BenchReport, String> {
         schema: schema.to_owned(),
         config,
         cells,
+        sample,
         serve,
         fleet,
     })
@@ -696,6 +868,27 @@ pub fn diff_reports(
             format!("{} roofline_utilization", cur.cell),
             prev.roofline_utilization,
             cur.roofline_utilization,
+            threshold,
+            false,
+            &mut out,
+        );
+    }
+    for cur in &current.sample {
+        let Some(prev) = previous.sample.iter().find(|c| c.cell == cur.cell) else {
+            continue;
+        };
+        compare(
+            format!("{} epoch_time", cur.cell),
+            prev.epoch_time,
+            cur.epoch_time,
+            threshold,
+            true,
+            &mut out,
+        );
+        compare(
+            format!("{} cache_hit_rate", cur.cell),
+            prev.cache_hit_rate,
+            cur.cache_hit_rate,
             threshold,
             false,
             &mut out,
@@ -784,6 +977,28 @@ pub fn render_diff(lines: &[DiffLine]) -> String {
     s
 }
 
+/// Resolves the first readable baseline among `candidates`, in order,
+/// returning it alongside one warning line per candidate skipped. A
+/// candidate fails (and falls through to the next) when the file is
+/// unreadable or the document does not parse — most commonly an older
+/// schema version still checked in for history, e.g. a `v2` report from
+/// before the `sample` section existed. Falling through instead of
+/// erroring lets a report trajectory cross schema bumps without manual
+/// baseline surgery.
+pub fn resolve_baseline(candidates: &[PathBuf]) -> (Option<(PathBuf, BenchReport)>, Vec<String>) {
+    let mut warnings = Vec::new();
+    for p in candidates {
+        match std::fs::read_to_string(p)
+            .map_err(|e| e.to_string())
+            .and_then(|text| parse_bench_report(&text))
+        {
+            Ok(r) => return (Some((p.clone(), r)), warnings),
+            Err(e) => warnings.push(format!("baseline {} unreadable: {e}", p.display())),
+        }
+    }
+    (None, warnings)
+}
+
 /// A single-cell, single-policy config for tests and smoke runs.
 pub fn tiny_report_config() -> ReportConfig {
     ReportConfig {
@@ -793,6 +1008,9 @@ pub fn tiny_report_config() -> ReportConfig {
             model: gnn_models::ModelKind::Gcn,
             framework: FrameworkKind::RustyG,
         }],
+        sample_cells: vec![
+            CellId::parse("sample/rmat-4k-neighbor/SAGE/PyG").expect("tiny sample cell is valid")
+        ],
         epochs: 1,
         policies: vec![BatchPolicy {
             max_batch: 4,
@@ -823,6 +1041,15 @@ mod tests {
                 arithmetic_intensity: 0.25,
                 roofline_utilization: 0.42,
                 utilization: 0.75,
+            }],
+            sample: vec![SampleCellReport {
+                cell: "sample/rmat-4k-neighbor/SAGE/PyG".into(),
+                epoch_time: 0.030,
+                total_time: 0.060,
+                kernel_time: 0.020,
+                transfer_time: 0.015,
+                cache_hit_rate: 0.65,
+                test_acc: 40.0,
             }],
             serve: vec![ServePolicyReport {
                 policy: "b4/d1000us".into(),
@@ -892,12 +1119,59 @@ mod tests {
         let mut cur = sample();
         cur.cells[0].cell = "table4/PubMed/GCN/PyG".into();
         let lines = diff_reports(&prev, &cur, 0.05);
-        assert!(lines
-            .iter()
-            .all(|l| l.metric.starts_with("serve ") || l.metric.starts_with("fleet ")));
+        assert!(lines.iter().all(|l| {
+            l.metric.starts_with("sample/")
+                || l.metric.starts_with("serve ")
+                || l.metric.starts_with("fleet ")
+        }));
+        cur.sample[0].cell = "sample/rmat-64k-neighbor/SAGE/PyG".into();
         cur.fleet[0].routing = "least-loaded".into();
         let lines = diff_reports(&prev, &cur, 0.05);
         assert!(lines.iter().all(|l| l.metric.starts_with("serve ")));
+    }
+
+    #[test]
+    fn diff_flags_sampled_cache_and_time_drift() {
+        let prev = sample();
+        let mut cur = sample();
+        cur.sample[0].epoch_time *= 1.20;
+        cur.sample[0].cache_hit_rate = 0.40; // hit-rate collapse
+        let lines = diff_reports(&prev, &cur, 0.05);
+        let regressions: Vec<&DiffLine> = lines.iter().filter(|l| l.regression).collect();
+        assert_eq!(regressions.len(), 2, "{}", render_diff(&lines));
+        assert!(regressions[0].metric.contains("epoch_time"));
+        assert!(regressions[1].metric.contains("cache_hit_rate"));
+    }
+
+    #[test]
+    fn baseline_resolution_falls_through_old_schemas() {
+        let dir = std::env::temp_dir().join("gnn_bench_baseline_fallthrough");
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = dir.join("BENCH_9.json");
+        let new = dir.join("BENCH_10.json");
+        // A v2-era document: no `sample` section, old schema tag.
+        let v2 = sample()
+            .to_json()
+            .replace(REPORT_SCHEMA, "gnn-bench-report/v2");
+        std::fs::write(&old, v2).unwrap();
+        std::fs::write(&new, sample().to_json()).unwrap();
+        let missing = dir.join("nope.json");
+        let (found, warnings) = resolve_baseline(&[missing.clone(), old.clone(), new.clone()]);
+        let (path, report) = found.expect("v3 candidate resolves");
+        assert_eq!(path, new);
+        assert_eq!(report, sample());
+        assert_eq!(warnings.len(), 2, "{warnings:?}");
+        assert!(warnings[0].contains("nope.json"), "{}", warnings[0]);
+        assert!(
+            warnings[1].contains("schema mismatch"),
+            "old-schema candidates fall through with a warning: {}",
+            warnings[1]
+        );
+        // Nothing readable: no baseline, all candidates warned about.
+        let (none, warnings) = resolve_baseline(&[missing, old]);
+        assert!(none.is_none());
+        assert_eq!(warnings.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -907,7 +1181,14 @@ mod tests {
         let b = run_report(&cfg);
         assert_eq!(a.to_json(), b.to_json(), "report must be bit-identical");
         assert_eq!(a.cells.len(), 1);
+        assert_eq!(a.sample.len(), 1);
         assert_eq!(a.serve.len(), 1);
+        let sc = &a.sample[0];
+        assert_eq!(sc.cell, "sample/rmat-4k-neighbor/SAGE/PyG");
+        assert!(sc.epoch_time > 0.0 && sc.total_time > 0.0);
+        assert!(sc.transfer_time > 0.0, "sampled gather always uploads");
+        assert!((0.0..=1.0).contains(&sc.cache_hit_rate));
+        assert!((0.0..=100.0).contains(&sc.test_acc));
         let c = &a.cells[0];
         assert!(c.epoch_time > 0.0);
         assert!(c.flops > 0 && c.bytes > 0);

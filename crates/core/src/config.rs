@@ -217,6 +217,14 @@ pub struct RunConfig {
     /// Resume cells from checkpoints found in `ckpt_dir` (the `--resume`
     /// flag): a killed sweep continues where it stopped, bit-identically.
     pub resume: bool,
+    /// Sampled-training specs (`gnn_sample::SampleSpec` names) appended to
+    /// the sweep as `sample/…` cells. Empty in every preset: the classic
+    /// 60-cell grid is unchanged unless a caller opts in (the
+    /// `gnn-bench sample` binary, or [`RunConfig::with_samples`]).
+    pub sample_specs: Vec<String>,
+    /// Epochs per sampled-training cell (each epoch is one pass over the
+    /// seed pool in mini-batches, so this is deliberately small).
+    pub sample_epochs: usize,
 }
 
 impl RunConfig {
@@ -236,6 +244,8 @@ impl RunConfig {
             faults: None,
             ckpt_dir: None,
             resume: false,
+            sample_specs: Vec::new(),
+            sample_epochs: 4,
         }
     }
 
@@ -256,6 +266,8 @@ impl RunConfig {
             faults: None,
             ckpt_dir: None,
             resume: false,
+            sample_specs: Vec::new(),
+            sample_epochs: 3,
         }
     }
 
@@ -274,6 +286,8 @@ impl RunConfig {
             faults: None,
             ckpt_dir: None,
             resume: false,
+            sample_specs: Vec::new(),
+            sample_epochs: 2,
         }
     }
 
@@ -321,6 +335,17 @@ impl RunConfig {
     /// Enables resume-from-checkpoint (requires a checkpoint directory).
     pub fn with_resume(mut self) -> Self {
         self.resume = true;
+        self
+    }
+
+    /// Appends sampled-training cells for the named
+    /// `gnn_sample::SampleSpec`s to the sweep.
+    pub fn with_samples<I, S>(mut self, specs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.sample_specs = specs.into_iter().map(Into::into).collect();
         self
     }
 }

@@ -42,4 +42,4 @@ pub use config::{
     ArtifactPathError, RunConfig, TraceConfig,
 };
 pub use report::render_table;
-pub use sweep::{sweep, CellOutcome, CellStatus, SweepOutcome};
+pub use sweep::{sweep, CellOutcome, CellStatus, SampleRow, SweepOutcome};

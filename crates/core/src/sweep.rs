@@ -20,6 +20,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::rc::Rc;
 
 use gnn_datasets::{stratified_kfold, CitationSpec, GraphDataset, NodeDataset};
 use gnn_faults::FaultLog;
@@ -28,10 +29,14 @@ use gnn_models::{
     build, config::ALL_FRAMEWORKS, config::ALL_MODELS, graph_hparams, node_hparams, FrameworkKind,
     ModelKind,
 };
+use gnn_sample::{RmatGraph, SampleConfigError, SampleSpec, SamplerKind};
 use gnn_train::supervisor::{
-    run_graph_fold_supervised, run_node_task_supervised, Supervised, Supervisor, TrainError,
+    run_graph_fold_supervised, run_node_task_supervised, run_sampled_task_supervised, Supervised,
+    Supervisor, TrainError,
 };
-use gnn_train::{mean_std, FoldOutcome, GraphTaskConfig, NodeOutcome, NodeTaskConfig};
+use gnn_train::{
+    mean_std, FoldOutcome, GraphTaskConfig, NodeOutcome, NodeTaskConfig, SampledTaskConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -92,6 +97,28 @@ pub struct CellOutcome {
     pub peak_memory: u64,
 }
 
+/// One completed sampled-training cell (giant-graph subsystem): SAGE
+/// trained by neighbor-sampled mini-batches over a synthetic RMAT graph.
+#[derive(Debug, Clone)]
+pub struct SampleRow {
+    /// `gnn_sample::SampleSpec` name (e.g. `rmat-1m`).
+    pub spec: String,
+    /// Sampler kind the loader used.
+    pub sampler: SamplerKind,
+    /// Model (the sweep trains SAGE — the GraphSAGE recipe).
+    pub model: ModelKind,
+    /// Framework.
+    pub framework: FrameworkKind,
+    /// Simulated seconds per epoch.
+    pub epoch_time: f64,
+    /// Simulated total training seconds.
+    pub total_time: f64,
+    /// Seed-node test accuracy over seeds, percent.
+    pub acc: gnn_train::Summary,
+    /// Lifetime feature-cache hit rate of the last run's loader.
+    pub cache_hit_rate: f64,
+}
+
 /// Result of the fault-isolated sweep.
 #[derive(Debug, Clone, Default)]
 pub struct SweepOutcome {
@@ -100,6 +127,9 @@ pub struct SweepOutcome {
     /// Table V-style rows for every graph cell that completed (ENZYMES, DD,
     /// and MNIST).
     pub table5: Vec<Table5Row>,
+    /// Sampled-training rows for every `sample/…` cell that completed
+    /// (empty unless the config names sample specs).
+    pub sample: Vec<SampleRow>,
     /// One record per cell, in execution order — including failed cells.
     pub cells: Vec<CellOutcome>,
     /// The full fault log, when this sweep armed the config's plan itself
@@ -253,6 +283,10 @@ pub fn sweep(cfg: &RunConfig) -> SweepOutcome {
             }
         }
     }
+    // Sampled cells (giant-graph subsystem), opt-in via `sample_specs`.
+    for name in &cfg.sample_specs {
+        sample_spec_cells(cfg, name, &mut out);
+    }
 
     out.fault_log = own_handle.map(gnn_faults::finish);
     out
@@ -394,6 +428,171 @@ fn graph_cell(
     });
 }
 
+/// Runs one supervised sampled-training run, returning the outcome and the
+/// loader's lifetime feature-cache hit rate.
+fn run_sample_supervised(
+    framework: FrameworkKind,
+    spec: &SampleSpec,
+    graph: &Rc<RmatGraph>,
+    kind: SamplerKind,
+    task: &SampledTaskConfig,
+    seed: u64,
+    sup: &Supervisor,
+) -> Result<(Supervised<NodeOutcome>, f64), TrainError> {
+    let f = spec.rmat.feature_dim;
+    let c = spec.rmat.num_classes;
+    let mut rng = StdRng::seed_from_u64(seed);
+    match framework {
+        FrameworkKind::RustyG => {
+            let stack = build::node_model_rustyg(ModelKind::Sage, f, c, &mut rng);
+            let loader = rustyg::sampled::SampledLoader::new(graph.clone(), spec, kind)
+                .expect("catalog specs validate before cells run");
+            let run = run_sampled_task_supervised(&stack, &loader, task, sup)?;
+            Ok((run, loader.cache_hit_rate()))
+        }
+        FrameworkKind::Rgl => {
+            let stack = build::node_model_rgl(ModelKind::Sage, f, c, &mut rng);
+            let loader = rgl::sampled::SampledLoader::new(graph.clone(), spec, kind)
+                .expect("catalog specs validate before cells run");
+            let run = run_sampled_task_supervised(&stack, &loader, task, sup)?;
+            Ok((run, loader.cache_hit_rate()))
+        }
+    }
+}
+
+/// Records a sampled cell that could not even be constructed (unknown spec
+/// name or degenerate config) as one failed cell, without running anything.
+fn sample_failed(name: &str, err: &SampleConfigError, out: &mut SweepOutcome) {
+    out.cells.push(CellOutcome {
+        experiment: "sample".into(),
+        dataset: name.to_owned(),
+        model: ModelKind::Sage,
+        framework: FrameworkKind::RustyG,
+        status: CellStatus::Failed,
+        detail: err.to_string(),
+        faults: Vec::new(),
+        retries: 0,
+        peak_memory: 0,
+    });
+}
+
+/// Expands one configured spec name into its sampler × framework cells.
+/// The RMAT graph is generated once per spec and shared (read-only) by
+/// every cell, so the million-node headline spec pays generation once.
+fn sample_spec_cells(cfg: &RunConfig, name: &str, out: &mut SweepOutcome) {
+    let spec = match SampleSpec::get(name) {
+        Ok(spec) => spec,
+        Err(e) => return sample_failed(name, &e, out),
+    };
+    if let Err(e) = spec.validate() {
+        return sample_failed(name, &e, out);
+    }
+    let graph = match RmatGraph::generate(spec.rmat) {
+        Ok(g) => Rc::new(g),
+        Err(e) => return sample_failed(name, &e, out),
+    };
+    for kind in SamplerKind::all() {
+        for framework in ALL_FRAMEWORKS {
+            sample_cell(cfg, &spec, &graph, kind, framework, out);
+        }
+    }
+}
+
+fn sample_cell(
+    cfg: &RunConfig,
+    spec: &SampleSpec,
+    graph: &Rc<RmatGraph>,
+    kind: SamplerKind,
+    framework: FrameworkKind,
+    out: &mut SweepOutcome,
+) {
+    let model = ModelKind::Sage;
+    // The sampler kind rides in the dataset component so the cell path
+    // keeps the 4-segment `experiment/dataset/model/framework` shape.
+    let dataset = format!("{}-{}", spec.name, kind.label());
+    let cell = format!("sample/{dataset}/{}/{}", model.label(), framework.label());
+    gnn_faults::set_cell(&cell);
+    mark_cell("sample", &dataset, model, framework);
+    let events_before = gnn_faults::events_since(0).len();
+
+    let task = SampledTaskConfig {
+        max_epochs: cfg.sample_epochs,
+        lr: node_hparams(model).lr,
+        batch_seeds: spec.batch_seeds,
+        train_seeds: spec.batch_seeds * 4,
+        eval_seeds: spec.batch_seeds,
+        seed: cfg.seed,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        (0..cfg.seeds)
+            .map(|s| {
+                let sup = supervisor_for(cfg, &cell, s);
+                run_sample_supervised(
+                    framework,
+                    spec,
+                    graph,
+                    kind,
+                    &task,
+                    cfg.seed + 1 + s as u64,
+                    &sup,
+                )
+            })
+            .collect::<Result<Vec<_>, TrainError>>()
+    }))
+    .map_err(panic_message)
+    .and_then(|r| r.map_err(|e| e.to_string()));
+
+    let (status, detail, retries) = match &result {
+        Ok(runs) => {
+            let sups: Vec<&Supervised<NodeOutcome>> = runs.iter().map(|(r, _)| r).collect();
+            let degraded = sups.iter().any(|r| r.degraded);
+            let retries: usize = sups.iter().map(|r| r.retries).sum();
+            let notes: Vec<&str> = sups
+                .iter()
+                .flat_map(|r| r.notes.iter().map(String::as_str))
+                .collect();
+            let status = if degraded {
+                CellStatus::Degraded
+            } else {
+                CellStatus::Ok
+            };
+            (status, notes.join("; "), retries)
+        }
+        Err(msg) => (CellStatus::Failed, msg.clone(), 0),
+    };
+    let mut peak_memory = 0;
+    if let Ok(runs) = result {
+        let accs: Vec<f64> = runs.iter().map(|(r, _)| r.outcome.test_acc).collect();
+        peak_memory = runs
+            .iter()
+            .map(|(r, _)| r.outcome.report.peak_memory)
+            .max()
+            .unwrap_or(0);
+        let (last, hit_rate) = runs.last().expect("seeds >= 1");
+        out.sample.push(SampleRow {
+            spec: spec.name.to_owned(),
+            sampler: kind,
+            model,
+            framework,
+            epoch_time: last.outcome.epoch_time,
+            total_time: last.outcome.total_time,
+            acc: mean_std(&accs),
+            cache_hit_rate: *hit_rate,
+        });
+    }
+    out.cells.push(CellOutcome {
+        experiment: "sample".into(),
+        dataset,
+        model,
+        framework,
+        status,
+        detail,
+        faults: fired_since(events_before),
+        retries,
+        peak_memory,
+    });
+}
+
 fn fired_since(n: usize) -> Vec<String> {
     gnn_faults::events_since(n)
         .into_iter()
@@ -447,6 +646,49 @@ mod tests {
         // chaos campaigns are visible in the Chrome trace.
         let traced = trace.events.iter().filter(|e| e.track == "faults").count();
         assert_eq!(traced, log.len());
+    }
+
+    #[test]
+    fn sampled_cells_are_opt_in_and_survive_canonical_chaos() {
+        // Default sweeps never grow sampled cells...
+        assert!(tiny_cfg().sample_specs.is_empty());
+        // ...but a config naming a spec appends sampler × framework cells
+        // after the classic 60, and the canonical plan must not fail them.
+        let mut cfg = tiny_cfg().with_samples(["rmat-4k"]);
+        cfg.sample_epochs = 1;
+        cfg.seeds = 1;
+        let out = sweep(&cfg.with_faults(FaultPlan::canonical()));
+        assert_eq!(out.cells.len(), 64, "60 classic + 2 kinds x 2 frameworks");
+        assert_eq!(out.sample.len(), 4);
+        assert!(out.all_survived());
+        for row in &out.sample {
+            assert_eq!(row.spec, "rmat-4k");
+            assert!(row.total_time > 0.0);
+            assert!((0.0..=1.0).contains(&row.cache_hit_rate));
+        }
+        let sampled: Vec<&CellOutcome> = out
+            .cells
+            .iter()
+            .filter(|c| c.experiment == "sample")
+            .collect();
+        assert_eq!(sampled.len(), 4);
+        assert!(sampled.iter().all(|c| c.peak_memory > 0));
+        assert!(sampled
+            .iter()
+            .any(|c| c.dataset == "rmat-4k-neighbor" || c.dataset == "rmat-4k-layerwise"));
+    }
+
+    #[test]
+    fn unknown_sample_spec_is_one_failed_cell() {
+        let mut cfg = tiny_cfg().with_samples(["no-such-spec"]);
+        cfg.sample_epochs = 1;
+        let out = sweep(&cfg);
+        assert_eq!(out.cells.len(), 61);
+        let bad = out.cells.last().unwrap();
+        assert_eq!(bad.status, CellStatus::Failed);
+        assert_eq!(bad.experiment, "sample");
+        assert!(bad.detail.contains("no-such-spec"), "{}", bad.detail);
+        assert!(out.sample.is_empty());
     }
 
     #[test]

@@ -46,6 +46,7 @@
 
 pub mod cost;
 pub mod counters;
+pub mod feature_cache;
 pub mod kernel;
 pub mod memory;
 pub mod multi;
@@ -58,6 +59,7 @@ pub use cost::{
     WHATIF_COMPONENTS,
 };
 pub use counters::{Bound, CounterFormula, KernelCounters};
+pub use feature_cache::{FeatureCache, FetchStats};
 pub use kernel::{Kernel, KernelKind};
 pub use memory::MemoryTracker;
 pub use multi::{DataParallel, MultiGpuError, PcieModel, StepCost};

@@ -123,4 +123,8 @@ pub mod tracks {
     /// sheds, retries, hedges, health ejections/re-admissions, autoscale
     /// events).
     pub const FLEET: &str = "fleet";
+    /// Giant-graph sampling markers (`gnn-sample` + sampled loaders:
+    /// per-block fan-out instants, feature-cache hit/miss counters,
+    /// partition-remote traffic).
+    pub const SAMPLE: &str = "sample";
 }

@@ -46,6 +46,7 @@ pub mod costs;
 pub mod kernels;
 pub mod loader;
 pub mod pool;
+pub mod sampled;
 
 pub use batch::HeteroBatch;
 pub use conv::{GatConv, GatedGcnConv, GinConv, GraphConv, MoNetConv, SageConv};

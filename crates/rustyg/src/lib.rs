@@ -39,6 +39,7 @@ pub mod conv;
 pub mod costs;
 pub mod loader;
 pub mod pool;
+pub mod sampled;
 
 pub use batch::Batch;
 pub use cached::CachedLoader;

@@ -1,0 +1,33 @@
+//! Giant-graph sampling for the GNN framework performance study.
+//!
+//! The paper's five datasets are all full-batch-sized; production GNNs
+//! (recommendation, fraud) train and serve by *neighbor sampling* over
+//! graphs too large for device memory. This crate supplies that workload
+//! class end to end:
+//!
+//! - [`rmat`] — seeded power-law RMAT generation to CSR, scaling to
+//!   millions of nodes, with on-demand (hash-derived) features and labels
+//!   so the dense feature matrix is never materialized.
+//! - [`sampler`] — GraphSAGE-style per-node fan-out sampling and
+//!   FastGCN-flavored layer-wise budgeted sampling, both pure functions of
+//!   the seed so blocks replay bit-identically.
+//! - [`spec`] — the named catalog of sampled cells (`rmat-1m`, ...) the
+//!   sweep, the serving registry, and `gnn-bench sample` share.
+//! - [`error`] — typed [`SampleConfigError`] construction errors.
+//!
+//! The framework-specific collate/transfer tax lives with each framework
+//! (`rustyg::sampled`, `rgl::sampled`), the cache/placement pricing in
+//! `gnn_device::feature_cache`, training in `gnn_train::sampled`, and
+//! serving in `gnn_serve` — this crate owns only the graph and the math.
+
+pub mod error;
+pub mod rmat;
+pub mod sampler;
+pub mod spec;
+
+pub use error::SampleConfigError;
+pub use rmat::{RmatConfig, RmatGraph};
+pub use sampler::{
+    max_union_edges, max_union_nodes, sample_block, validate_fanouts, SampledBlock, SamplerKind,
+};
+pub use spec::SampleSpec;

@@ -1,0 +1,343 @@
+//! GraphSAGE-style neighbor sampling and layer-wise (budgeted) sampling.
+//!
+//! Both samplers expand a set of seed nodes hop by hop and return one
+//! [`SampledBlock`]: the union subgraph with **seeds first** in the node
+//! list (so a model head can read logits for rows `0..num_seeds` directly)
+//! and edges in local indices oriented source→seedward, matching the
+//! message direction the frameworks aggregate.
+//!
+//! - [`SamplerKind::Neighbor`] — per-node fan-outs: every frontier node
+//!   draws up to `fanouts[h]` of its in-neighbors (with replacement,
+//!   deduplicated), the GraphSAGE recipe. Union size is bounded by
+//!   [`max_union_nodes`].
+//! - [`SamplerKind::LayerWise`] — a FastGCN-flavored shared budget: hop
+//!   `h` admits at most `frontier_len × fanouts[h]` *draws total*, spread
+//!   over the frontier, which caps the union far below per-node fan-outs
+//!   on hub-heavy power-law graphs.
+//!
+//! Sampling is a pure function of `(graph seed, salt, seeds, fanouts)`:
+//! the RNG is derived per call, so a retried training step replays the
+//! identical block and two runs of the same sweep are bit-identical.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+use crate::error::SampleConfigError;
+use crate::rmat::RmatGraph;
+
+/// Which expansion strategy a sampled loader uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SamplerKind {
+    /// Per-node fan-out sampling (GraphSAGE).
+    Neighbor,
+    /// Per-layer shared-budget sampling (FastGCN-flavored).
+    LayerWise,
+}
+
+impl SamplerKind {
+    /// Stable label used in cell paths, CSVs, and traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            SamplerKind::Neighbor => "neighbor",
+            SamplerKind::LayerWise => "layerwise",
+        }
+    }
+
+    /// Both kinds, in sweep order.
+    pub fn all() -> [SamplerKind; 2] {
+        [SamplerKind::Neighbor, SamplerKind::LayerWise]
+    }
+
+    /// Parses a label back into a kind (`None` for unknown labels).
+    pub fn parse(label: &str) -> Option<SamplerKind> {
+        match label {
+            "neighbor" => Some(SamplerKind::Neighbor),
+            "layerwise" => Some(SamplerKind::LayerWise),
+            _ => None,
+        }
+    }
+}
+
+/// One sampled union subgraph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampledBlock {
+    /// Global node ids of the union, seeds first (in seed order).
+    pub nodes: Vec<u32>,
+    /// How many leading entries of `nodes` are seeds.
+    pub num_seeds: usize,
+    /// Edge sources as local indices into `nodes`.
+    pub src: Vec<u32>,
+    /// Edge destinations as local indices into `nodes`.
+    pub dst: Vec<u32>,
+    /// Nodes newly discovered at each hop (diagnostics / fan-out curves).
+    pub hop_new_nodes: Vec<usize>,
+}
+
+impl SampledBlock {
+    /// Union node count.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Sampled edge count.
+    pub fn num_edges(&self) -> usize {
+        self.src.len()
+    }
+}
+
+/// Closed-form upper bound on the union node count: seeds plus the
+/// geometric frontier growth `S·f1 + S·f1·f2 + ...`. Holds for both
+/// sampler kinds (layer-wise admits strictly fewer draws). Saturates
+/// instead of overflowing.
+pub fn max_union_nodes(num_seeds: usize, fanouts: &[usize]) -> u64 {
+    let mut total = num_seeds as u64;
+    let mut frontier = num_seeds as u64;
+    for &f in fanouts {
+        frontier = frontier.saturating_mul(f as u64);
+        total = total.saturating_add(frontier);
+    }
+    total
+}
+
+/// Closed-form upper bound on sampled edges: one edge per draw,
+/// `S·f1 + S·f1·f2 + ...`.
+pub fn max_union_edges(num_seeds: usize, fanouts: &[usize]) -> u64 {
+    max_union_nodes(num_seeds, fanouts) - num_seeds as u64
+}
+
+/// Validates a fan-out list.
+///
+/// # Errors
+///
+/// [`SampleConfigError::NoFanouts`] for an empty list,
+/// [`SampleConfigError::ZeroFanout`] naming the first zero hop.
+pub fn validate_fanouts(fanouts: &[usize]) -> Result<(), SampleConfigError> {
+    if fanouts.is_empty() {
+        return Err(SampleConfigError::NoFanouts);
+    }
+    for (hop, &f) in fanouts.iter().enumerate() {
+        if f == 0 {
+            return Err(SampleConfigError::ZeroFanout { hop });
+        }
+    }
+    Ok(())
+}
+
+/// SplitMix64 mix for the per-call RNG derivation.
+fn mix(mut x: u64, y: u64) -> u64 {
+    x ^= y.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^ (x >> 27)
+}
+
+/// Samples the union block for `seeds` under `fanouts`.
+///
+/// `salt` distinguishes call sites (epoch number for training, request
+/// hash for serving); the block is a pure function of
+/// `(graph.seed, salt, seeds, fanouts, kind)`.
+///
+/// # Errors
+///
+/// Returns a typed error for empty/zero fan-outs, an empty seed list, or
+/// a seed outside the graph's node range.
+pub fn sample_block(
+    graph: &RmatGraph,
+    seeds: &[u32],
+    fanouts: &[usize],
+    kind: SamplerKind,
+    salt: u64,
+) -> Result<SampledBlock, SampleConfigError> {
+    validate_fanouts(fanouts)?;
+    if seeds.is_empty() {
+        return Err(SampleConfigError::ZeroBatchSeeds);
+    }
+    let n = graph.num_nodes();
+    for &s in seeds {
+        if s as usize >= n {
+            return Err(SampleConfigError::SeedOutOfRange {
+                seed: s,
+                num_nodes: n,
+            });
+        }
+    }
+
+    let mut key = mix(graph.config().seed, salt ^ 0x5A17);
+    for &s in seeds {
+        key = mix(key, u64::from(s));
+    }
+    let mut rng = StdRng::seed_from_u64(key);
+
+    let mut nodes: Vec<u32> = Vec::with_capacity(seeds.len() * 4);
+    let mut local: HashMap<u32, u32> = HashMap::with_capacity(seeds.len() * 4);
+    for &s in seeds {
+        if local.insert(s, nodes.len() as u32).is_none() {
+            nodes.push(s);
+        }
+    }
+    let num_seeds = nodes.len();
+
+    let mut src = Vec::new();
+    let mut dst = Vec::new();
+    let mut hop_new_nodes = Vec::with_capacity(fanouts.len());
+    // Frontier in local indices: the nodes expanded at the next hop.
+    let mut frontier: Vec<u32> = (0..num_seeds as u32).collect();
+
+    for &fanout in fanouts {
+        let before = nodes.len();
+        let mut next: Vec<u32> = Vec::new();
+        match kind {
+            SamplerKind::Neighbor => {
+                for &lv in &frontier {
+                    let v = nodes[lv as usize];
+                    let deg = graph.degree(v);
+                    if deg == 0 {
+                        continue;
+                    }
+                    let draws = deg.min(fanout);
+                    let nbrs = graph.neighbors(v);
+                    for _ in 0..draws {
+                        let u = nbrs[rng.gen_range(0..deg)];
+                        let lu = *local.entry(u).or_insert_with(|| {
+                            nodes.push(u);
+                            next.push((nodes.len() - 1) as u32);
+                            (nodes.len() - 1) as u32
+                        });
+                        src.push(lu);
+                        dst.push(lv);
+                    }
+                }
+            }
+            SamplerKind::LayerWise => {
+                // Shared budget: frontier_len × fanout draws across the
+                // whole layer, round-robin over the frontier.
+                let budget = frontier.len() * fanout;
+                for i in 0..budget {
+                    let lv = frontier[i % frontier.len()];
+                    let v = nodes[lv as usize];
+                    let deg = graph.degree(v);
+                    if deg == 0 {
+                        continue;
+                    }
+                    let u = graph.neighbors(v)[rng.gen_range(0..deg)];
+                    let lu = *local.entry(u).or_insert_with(|| {
+                        nodes.push(u);
+                        next.push((nodes.len() - 1) as u32);
+                        (nodes.len() - 1) as u32
+                    });
+                    src.push(lu);
+                    dst.push(lv);
+                }
+            }
+        }
+        hop_new_nodes.push(nodes.len() - before);
+        if next.is_empty() {
+            // Every draw landed on an already-known node: the next hop has
+            // no new frontier to expand, so deeper hops sample nothing.
+            break;
+        }
+        frontier = next;
+    }
+
+    Ok(SampledBlock {
+        nodes,
+        num_seeds,
+        src,
+        dst,
+        hop_new_nodes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rmat::RmatConfig;
+
+    fn graph() -> RmatGraph {
+        RmatGraph::generate(RmatConfig::graph500(10, 8, 11)).unwrap()
+    }
+
+    #[test]
+    fn seeds_come_first_and_block_is_consistent() {
+        let g = graph();
+        let seeds = [5u32, 9, 700];
+        let block = sample_block(&g, &seeds, &[4, 2], SamplerKind::Neighbor, 0).unwrap();
+        assert_eq!(block.num_seeds, 3);
+        assert_eq!(&block.nodes[..3], &seeds);
+        assert_eq!(block.src.len(), block.dst.len());
+        for (&s, &d) in block.src.iter().zip(&block.dst) {
+            assert!((s as usize) < block.num_nodes());
+            assert!((d as usize) < block.num_nodes());
+        }
+        let bound = max_union_nodes(3, &[4, 2]);
+        assert!(block.num_nodes() as u64 <= bound);
+        assert!(block.num_edges() as u64 <= max_union_edges(3, &[4, 2]));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_salt() {
+        let g = graph();
+        let seeds = [1u32, 2, 3, 4];
+        let a = sample_block(&g, &seeds, &[3, 3], SamplerKind::Neighbor, 7).unwrap();
+        let b = sample_block(&g, &seeds, &[3, 3], SamplerKind::Neighbor, 7).unwrap();
+        assert_eq!(a, b);
+        let c = sample_block(&g, &seeds, &[3, 3], SamplerKind::Neighbor, 8).unwrap();
+        assert_ne!(a, c, "different salts sample different blocks");
+    }
+
+    #[test]
+    fn layerwise_respects_the_shared_budget() {
+        let g = graph();
+        let seeds: Vec<u32> = (0..32).collect();
+        let lw = sample_block(&g, &seeds, &[8, 8], SamplerKind::LayerWise, 1).unwrap();
+        // Each hop admits at most frontier_len × fanout draws, and each
+        // draw adds one edge and at most one new node.
+        assert!(lw.num_edges() as u64 <= max_union_edges(32, &[8, 8]));
+        assert!(lw.num_nodes() as u64 <= max_union_nodes(32, &[8, 8]));
+        assert_ne!(
+            lw,
+            sample_block(&g, &seeds, &[8, 8], SamplerKind::Neighbor, 1).unwrap(),
+            "the two sampler kinds draw different blocks"
+        );
+    }
+
+    #[test]
+    fn duplicate_seeds_are_deduplicated() {
+        let g = graph();
+        let block = sample_block(&g, &[5, 5, 5], &[2], SamplerKind::Neighbor, 0).unwrap();
+        assert_eq!(block.num_seeds, 1);
+    }
+
+    #[test]
+    fn typed_errors_for_degenerate_requests() {
+        let g = graph();
+        assert_eq!(
+            sample_block(&g, &[1], &[], SamplerKind::Neighbor, 0),
+            Err(SampleConfigError::NoFanouts)
+        );
+        assert_eq!(
+            sample_block(&g, &[1], &[2, 0], SamplerKind::Neighbor, 0),
+            Err(SampleConfigError::ZeroFanout { hop: 1 })
+        );
+        assert_eq!(
+            sample_block(&g, &[], &[2], SamplerKind::Neighbor, 0),
+            Err(SampleConfigError::ZeroBatchSeeds)
+        );
+        assert_eq!(
+            sample_block(&g, &[5000], &[2], SamplerKind::Neighbor, 0),
+            Err(SampleConfigError::SeedOutOfRange {
+                seed: 5000,
+                num_nodes: 1024
+            })
+        );
+    }
+
+    #[test]
+    fn union_bound_saturates() {
+        assert_eq!(max_union_nodes(1, &[2]), 3);
+        assert_eq!(max_union_nodes(2, &[3, 2]), 2 + 6 + 12);
+        // usize::MAX-ish fanouts saturate rather than overflow.
+        let huge = max_union_nodes(usize::MAX, &[usize::MAX, usize::MAX]);
+        assert_eq!(huge, u64::MAX);
+    }
+}

@@ -1,0 +1,184 @@
+//! The named catalog of giant-graph sampling cells.
+//!
+//! A [`SampleSpec`] bundles everything one sampled cell needs — the RMAT
+//! graph, the fan-out schedule, the per-batch seed count, and the
+//! feature-cache/partition placement policy — under a stable name that
+//! appears in cell paths (`sample/rmat-1m/SAGE/PyG`), CSV rows, and lint
+//! findings. The catalog is closed so a path component always resolves
+//! to the same graph on every machine.
+
+use crate::error::SampleConfigError;
+use crate::rmat::RmatConfig;
+use crate::sampler::{max_union_edges, max_union_nodes, validate_fanouts};
+
+/// One named sampled-workload configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleSpec {
+    /// Catalog name (the cell path's dataset component).
+    pub name: &'static str,
+    /// The synthetic graph.
+    pub rmat: RmatConfig,
+    /// Per-hop fan-outs, seed-outward.
+    pub fanouts: Vec<usize>,
+    /// Seed nodes per training mini-batch.
+    pub batch_seeds: usize,
+    /// Device feature-cache capacity in rows (0 = no cache).
+    pub cache_rows: usize,
+    /// Host partitions the features are placed across.
+    pub partitions: usize,
+    /// The partition the device is attached to.
+    pub home_partition: usize,
+}
+
+impl SampleSpec {
+    /// The full catalog, in sweep order.
+    ///
+    /// - `rmat-1m` — the million-node headline cell (scale 20, edge
+    ///   factor 8): features never fit on-device, the cache earns its keep.
+    /// - `rmat-64k` — a mid-size cell for CI-speed sweeps.
+    /// - `rmat-4k` — a tiny cell for unit tests and the training sweep.
+    pub fn catalog() -> Vec<SampleSpec> {
+        vec![
+            SampleSpec {
+                name: "rmat-1m",
+                rmat: RmatConfig::graph500(20, 8, 0x6e1),
+                fanouts: vec![10, 5],
+                batch_seeds: 512,
+                cache_rows: 65_536,
+                partitions: 4,
+                home_partition: 0,
+            },
+            SampleSpec {
+                name: "rmat-64k",
+                rmat: RmatConfig::graph500(16, 8, 0x6e2),
+                fanouts: vec![8, 4],
+                batch_seeds: 256,
+                cache_rows: 8_192,
+                partitions: 2,
+                home_partition: 0,
+            },
+            SampleSpec {
+                name: "rmat-4k",
+                rmat: RmatConfig::graph500(12, 4, 0x6e3),
+                fanouts: vec![4, 2],
+                batch_seeds: 64,
+                cache_rows: 512,
+                partitions: 2,
+                home_partition: 0,
+            },
+        ]
+    }
+
+    /// Catalog names, in sweep order.
+    pub fn names() -> Vec<&'static str> {
+        Self::catalog().into_iter().map(|s| s.name).collect()
+    }
+
+    /// Looks a spec up by name.
+    ///
+    /// # Errors
+    ///
+    /// [`SampleConfigError::UnknownSpec`] when the name is not cataloged.
+    pub fn get(name: &str) -> Result<SampleSpec, SampleConfigError> {
+        Self::catalog()
+            .into_iter()
+            .find(|s| s.name == name)
+            .ok_or_else(|| SampleConfigError::UnknownSpec(name.to_owned()))
+    }
+
+    /// Validates the whole spec (RMAT weights, fan-outs, batch, cache,
+    /// placement).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing field's [`SampleConfigError`].
+    pub fn validate(&self) -> Result<(), SampleConfigError> {
+        self.rmat.validate()?;
+        validate_fanouts(&self.fanouts)?;
+        if self.batch_seeds == 0 {
+            return Err(SampleConfigError::ZeroBatchSeeds);
+        }
+        if self.cache_rows > self.rmat.num_nodes() {
+            return Err(SampleConfigError::CacheExceedsFeatures {
+                cache_rows: self.cache_rows,
+                num_nodes: self.rmat.num_nodes(),
+            });
+        }
+        if self.partitions == 0 {
+            return Err(SampleConfigError::ZeroPartitions);
+        }
+        if self.home_partition >= self.partitions {
+            return Err(SampleConfigError::HomePartitionOutOfRange {
+                home: self.home_partition,
+                partitions: self.partitions,
+            });
+        }
+        Ok(())
+    }
+
+    /// Upper bound on a training batch's union node count.
+    pub fn max_batch_nodes(&self) -> u64 {
+        max_union_nodes(self.batch_seeds, &self.fanouts)
+    }
+
+    /// Upper bound on a training batch's sampled edge count.
+    pub fn max_batch_edges(&self) -> u64 {
+        max_union_edges(self.batch_seeds, &self.fanouts)
+    }
+
+    /// Feature-row bytes (one cache row).
+    pub fn row_bytes(&self) -> u64 {
+        self.rmat.feature_dim as u64 * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_specs_all_validate() {
+        let specs = SampleSpec::catalog();
+        assert_eq!(specs.len(), 3);
+        for spec in &specs {
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        }
+    }
+
+    #[test]
+    fn headline_cell_is_a_million_nodes() {
+        let spec = SampleSpec::get("rmat-1m").unwrap();
+        assert_eq!(spec.rmat.num_nodes(), 1 << 20);
+        assert!(spec.rmat.num_edges() >= 8 << 20);
+        // The cache holds a fraction of the features, not all of them.
+        assert!(spec.cache_rows < spec.rmat.num_nodes());
+    }
+
+    #[test]
+    fn unknown_names_are_typed_errors() {
+        assert_eq!(
+            SampleSpec::get("rmat-9000"),
+            Err(SampleConfigError::UnknownSpec("rmat-9000".into()))
+        );
+    }
+
+    #[test]
+    fn validate_catches_cache_and_placement_degeneracy() {
+        let mut spec = SampleSpec::get("rmat-4k").unwrap();
+        spec.cache_rows = spec.rmat.num_nodes() + 1;
+        assert!(matches!(
+            spec.validate(),
+            Err(SampleConfigError::CacheExceedsFeatures { .. })
+        ));
+        let mut spec = SampleSpec::get("rmat-4k").unwrap();
+        spec.partitions = 0;
+        assert_eq!(spec.validate(), Err(SampleConfigError::ZeroPartitions));
+        let mut spec = SampleSpec::get("rmat-4k").unwrap();
+        spec.home_partition = 5;
+        assert!(matches!(
+            spec.validate(),
+            Err(SampleConfigError::HomePartitionOutOfRange { .. })
+        ));
+    }
+}

@@ -22,6 +22,11 @@ pub enum TaskKind {
     /// Graph classification (`table5` cells): a request names a graph, a
     /// batch goes through the framework's concat/hetero collation path.
     Graph,
+    /// Seed-node classification over a giant RMAT graph (`sample` cells):
+    /// a request names a seed node, a batch is answered by sampling the
+    /// union block and forwarding it — the graph never fits on device, so
+    /// there is no full-graph path to fall back on.
+    Sample,
 }
 
 impl TaskKind {
@@ -30,6 +35,7 @@ impl TaskKind {
         match self {
             TaskKind::Node => "table4",
             TaskKind::Graph => "table5",
+            TaskKind::Sample => "sample",
         }
     }
 }
@@ -38,6 +44,21 @@ impl TaskKind {
 pub const NODE_DATASETS: [&str; 2] = ["Cora", "PubMed"];
 /// The graph datasets of Table V (plus MNIST), in paper order.
 pub const GRAPH_DATASETS: [&str; 3] = ["ENZYMES", "DD", "MNIST"];
+
+/// Splits a sampled endpoint's dataset component — `<spec>-<sampler>`,
+/// e.g. `rmat-1m-neighbor` — into its catalog spec and sampler kind.
+/// `None` when either half is unknown.
+pub fn sample_dataset(dataset: &str) -> Option<(gnn_sample::SampleSpec, gnn_sample::SamplerKind)> {
+    for kind in gnn_sample::SamplerKind::all() {
+        if let Some(prefix) = dataset.strip_suffix(kind.label()) {
+            let name = prefix.strip_suffix('-')?;
+            if let Ok(spec) = gnn_sample::SampleSpec::get(name) {
+                return Some((spec, kind));
+            }
+        }
+    }
+    None
+}
 
 /// One addressable endpoint: a sweep cell.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -87,6 +108,7 @@ impl CellId {
         let task = match parts[0] {
             "table4" => TaskKind::Node,
             "table5" => TaskKind::Graph,
+            "sample" => TaskKind::Sample,
             other => {
                 return Err(ServeConfigError::UnknownExperiment {
                     experiment: other.to_owned(),
@@ -94,17 +116,19 @@ impl CellId {
                 })
             }
         };
-        let known: &[&str] = match task {
-            TaskKind::Node => &NODE_DATASETS,
-            TaskKind::Graph => &GRAPH_DATASETS,
+        let dataset_known = match task {
+            TaskKind::Node => NODE_DATASETS.contains(&parts[1]),
+            TaskKind::Graph => GRAPH_DATASETS.contains(&parts[1]),
+            TaskKind::Sample => sample_dataset(parts[1]).is_some(),
         };
-        let dataset = known.iter().find(|d| **d == parts[1]).ok_or_else(|| {
-            ServeConfigError::UnknownDataset {
+        if !dataset_known {
+            return Err(ServeConfigError::UnknownDataset {
                 experiment: parts[0].to_owned(),
                 dataset: parts[1].to_owned(),
                 path: path.to_owned(),
-            }
-        })?;
+            });
+        }
+        let dataset = parts[1];
         let model = ALL_MODELS
             .into_iter()
             .find(|m| m.label() == parts[2])
@@ -121,14 +145,16 @@ impl CellId {
             })?;
         Ok(CellId {
             task,
-            dataset: (*dataset).to_owned(),
+            dataset: dataset.to_owned(),
             model,
             framework,
         })
     }
 
-    /// Every servable cell: the full 60-cell sweep grid (24 node + 36
-    /// graph), in sweep execution order.
+    /// Every servable cell of the *classic* grid: the full 60-cell sweep
+    /// (24 node + 36 graph), in sweep execution order. Sampled endpoints
+    /// are addressable (`sample/<spec>-<sampler>/<model>/<framework>`) but
+    /// opt-in, so they are deliberately not part of this grid.
     pub fn all() -> Vec<CellId> {
         let mut cells = Vec::with_capacity(60);
         for ds in NODE_DATASETS {
@@ -220,6 +246,25 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("framework"));
+    }
+
+    #[test]
+    fn sample_cells_parse_but_stay_out_of_the_classic_grid() {
+        let cell = CellId::parse("sample/rmat-1m-neighbor/SAGE/PyG").unwrap();
+        assert_eq!(cell.task, TaskKind::Sample);
+        assert_eq!(cell.dataset, "rmat-1m-neighbor");
+        assert_eq!(cell.path(), "sample/rmat-1m-neighbor/SAGE/PyG");
+        assert_eq!(cell.ckpt_file(0), "sample_rmat-1m-neighbor_SAGE_PyG_0.ckpt");
+        let (spec, kind) = sample_dataset("rmat-1m-neighbor").unwrap();
+        assert_eq!(spec.name, "rmat-1m");
+        assert_eq!(kind.label(), "neighbor");
+        assert!(sample_dataset("rmat-1m").is_none(), "sampler kind required");
+        assert!(sample_dataset("rmat-9z-layerwise").is_none());
+        assert!(CellId::parse("sample/rmat-1m/SAGE/PyG")
+            .unwrap_err()
+            .to_string()
+            .contains("dataset"));
+        assert!(!CellId::all().iter().any(|c| c.task == TaskKind::Sample));
     }
 
     #[test]

@@ -677,6 +677,30 @@ mod tests {
     }
 
     #[test]
+    fn sampled_endpoints_answer_every_request_under_canonical_faults() {
+        let mut cfg = small_cfg();
+        cfg.endpoints = vec![
+            CellId::parse("sample/rmat-4k-neighbor/SAGE/PyG").unwrap(),
+            CellId::parse("sample/rmat-4k-layerwise/SAGE/DGL").unwrap(),
+        ];
+        cfg.requests = 40;
+        let handle = gnn_faults::install(gnn_faults::FaultPlan::canonical());
+        let report = serve(&cfg);
+        drop(handle);
+        let report = report.unwrap();
+        assert_eq!(report.requests.len(), cfg.requests, "conservation");
+        assert_eq!(
+            report.answered() + report.rejected(),
+            cfg.requests,
+            "every request gets a reply even while the fault plan fires"
+        );
+        assert!(report.answered() > 0);
+        for r in report.requests.iter().filter(|r| r.served()) {
+            assert_eq!(r.output.len(), 8, "8 RMAT classes per sampled answer");
+        }
+    }
+
+    #[test]
     fn overload_rejects_instead_of_growing_queues() {
         let mut cfg = small_cfg();
         // One slow endpoint, tiny queue, arrivals far faster than service.

@@ -74,6 +74,10 @@ pub enum ServeConfigError {
     /// A [`crate::CellId`] carried a graph dataset the generators do not
     /// know (only reachable by constructing the id directly).
     UnknownGraphDataset(String),
+    /// A [`crate::CellId`] carried a sample dataset that is not a cataloged
+    /// `<spec>-<sampler>` pair (only reachable by constructing the id
+    /// directly).
+    UnknownSampleDataset(String),
     /// A checkpoint existed for the endpoint but failed to load.
     Checkpoint {
         /// The endpoint's cell path.
@@ -167,6 +171,12 @@ impl fmt::Display for ServeConfigError {
             }
             ServeConfigError::UnknownGraphDataset(name) => {
                 write!(f, "unknown graph dataset `{name}`")
+            }
+            ServeConfigError::UnknownSampleDataset(name) => {
+                write!(
+                    f,
+                    "unknown sample dataset `{name}` (want `<spec>-<neighbor|layerwise>`)"
+                )
             }
             ServeConfigError::Checkpoint { cell, message } => {
                 write!(f, "endpoint {cell}: {message}")

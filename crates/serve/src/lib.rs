@@ -49,7 +49,9 @@ pub mod workload;
 
 pub use autoscale::{AutoscalePolicy, Autoscaler, ScaleAction};
 pub use batcher::{BatchPolicy, EndpointQueue, Pending, ServeError};
-pub use cell::{default_endpoints, CellId, TaskKind, GRAPH_DATASETS, NODE_DATASETS};
+pub use cell::{
+    default_endpoints, sample_dataset, CellId, TaskKind, GRAPH_DATASETS, NODE_DATASETS,
+};
 pub use engine::{serve, ServeConfig, MAX_KERNEL_RETRIES};
 pub use error::ServeConfigError;
 pub use fleet::{serve_fleet, FleetConfig, FleetWorkload};
@@ -58,7 +60,7 @@ pub use metrics::{
     check_serve_metrics_schema, percentile, write_serve_metrics, BatchRecord, FleetStats, Outcome,
     QueueStats, RequestRecord, ServeReport, CSV_HEADER, SERVE_METRICS_SCHEMA,
 };
-pub use registry::{argmax, Endpoint, ModelRegistry};
+pub use registry::{argmax, Endpoint, ModelRegistry, SERVE_SAMPLE_SALT};
 pub use router::{Router, RoutingPolicy};
 pub use whatif::predict;
 pub use workload::{ClosedLoop, Request, WorkloadError, WorkloadKind, WorkloadSpec};

@@ -10,17 +10,24 @@
 //! records which happened, and the serving report surfaces it.
 
 use std::path::Path;
+use std::rc::Rc;
 
 use gnn_datasets::{CitationSpec, GraphDataset, NodeDataset, SuperpixelSpec, TudSpec};
 use gnn_models::adapt::{Loader, RglLoader, RustygLoader};
 use gnn_models::{build, FrameworkKind, GnnStack};
+use gnn_sample::RmatGraph;
 use gnn_tensor::Tensor;
 use gnn_train::Checkpoint;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::cell::{CellId, TaskKind};
+use crate::cell::{sample_dataset, CellId, TaskKind};
 use crate::error::ServeConfigError;
+
+/// The fixed sampling salt of the serving path. Serving is a pure function
+/// of (endpoint, targets): the same seed nodes are answered from the same
+/// sampled blocks on every rerun, which keeps replies bit-reproducible.
+pub const SERVE_SAMPLE_SALT: u64 = 0x5EED;
 
 /// The model of one endpoint, typed by framework batch.
 enum EndpointModel {
@@ -28,10 +35,14 @@ enum EndpointModel {
     Rgl(GnnStack<rgl::HeteroBatch>),
 }
 
-/// The dataset behind one endpoint.
+/// The dataset behind one endpoint. Sampled endpoints hold the framework's
+/// sampled loader (RMAT graph + feature cache) because, unlike the classic
+/// datasets, their data path is framework-specific.
 enum EndpointData {
     Node(NodeDataset),
     Graph(GraphDataset),
+    SampleRustyg(rustyg::sampled::SampledLoader),
+    SampleRgl(rgl::sampled::SampledLoader),
 }
 
 /// One loaded, servable endpoint: an immutable (dataset, model) pair.
@@ -52,6 +63,8 @@ impl Endpoint {
         match &self.data {
             EndpointData::Node(ds) => ds.graph.num_nodes() as u32,
             EndpointData::Graph(ds) => ds.samples.len() as u32,
+            EndpointData::SampleRustyg(l) => l.graph().num_nodes() as u32,
+            EndpointData::SampleRgl(l) => l.graph().num_nodes() as u32,
         }
     }
 
@@ -84,6 +97,22 @@ impl Endpoint {
                 let batch = RglLoader::new(ds).load(targets);
                 all_rows(&stack.forward(&batch, false))
             }
+            // Sampled endpoints: the targets are the seed nodes of one
+            // sampled block — seeds come first in the union's node order,
+            // so the answer rows are the first `targets.len()` rows.
+            (EndpointModel::Rustyg(stack), EndpointData::SampleRustyg(loader)) => {
+                let batch = loader
+                    .try_load_block(targets, SERVE_SAMPLE_SALT)
+                    .expect("serve targets are in-range seed nodes");
+                first_rows(&stack.forward(&batch, false), targets.len())
+            }
+            (EndpointModel::Rgl(stack), EndpointData::SampleRgl(loader)) => {
+                let batch = loader
+                    .try_load_block(targets, SERVE_SAMPLE_SALT)
+                    .expect("serve targets are in-range seed nodes");
+                first_rows(&stack.forward(&batch, false), targets.len())
+            }
+            _ => unreachable!("endpoint model/data framework mismatch"),
         })
     }
 
@@ -95,6 +124,8 @@ impl Endpoint {
                 .iter()
                 .map(|&t| ds.samples[t as usize].label)
                 .collect(),
+            EndpointData::SampleRustyg(l) => targets.iter().map(|&t| l.graph().label(t)).collect(),
+            EndpointData::SampleRgl(l) => targets.iter().map(|&t| l.graph().label(t)).collect(),
         }
     }
 
@@ -122,10 +153,18 @@ impl Endpoint {
     }
 
     /// The node indices of the dataset's test split (node endpoints only).
+    /// Sampled endpoints answer from the training sweep's deterministic
+    /// test seed pool.
     pub fn test_targets(&self) -> Vec<u32> {
         match &self.data {
             EndpointData::Node(ds) => ds.test_idx.clone(),
             EndpointData::Graph(ds) => (0..ds.samples.len() as u32).collect(),
+            EndpointData::SampleRustyg(l) => l
+                .graph()
+                .seed_pool(l.spec().batch_seeds, gnn_train::TEST_POOL_SALT),
+            EndpointData::SampleRgl(l) => l
+                .graph()
+                .seed_pool(l.spec().batch_seeds, gnn_train::TEST_POOL_SALT),
         }
     }
 }
@@ -161,6 +200,14 @@ fn all_rows(logits: &Tensor) -> Vec<Vec<f32>> {
         .collect()
 }
 
+fn first_rows(logits: &Tensor, n: usize) -> Vec<Vec<f32>> {
+    let data = logits.data();
+    let (_, cols) = data.shape();
+    (0..n)
+        .map(|r| data.data()[r * cols..(r + 1) * cols].to_vec())
+        .collect()
+}
+
 /// The immutable registry of loaded endpoints a serving run answers from.
 pub struct ModelRegistry {
     endpoints: Vec<Endpoint>,
@@ -189,26 +236,36 @@ impl ModelRegistry {
         for cell in cells {
             let data = generate_data(cell, scale, seed)?;
             // Architecture seeding matches `gnn_core::sweep` run 0: node
-            // cells draw from seed + 1 (+ seed index), graph cells from
-            // seed + 10 (+ fold index). A checkpoint from that run restores
-            // into a bit-identical architecture.
+            // and sampled cells draw from seed + 1 (+ seed index), graph
+            // cells from seed + 10 (+ fold index). A checkpoint from that
+            // run restores into a bit-identical architecture.
             let arch_seed = match cell.task {
-                TaskKind::Node => seed + 1,
+                TaskKind::Node | TaskKind::Sample => seed + 1,
                 TaskKind::Graph => seed + 10,
             };
             let mut rng = StdRng::seed_from_u64(arch_seed);
             let (feat, classes) = match &data {
                 EndpointData::Node(ds) => (ds.features.cols(), ds.num_classes),
                 EndpointData::Graph(ds) => (ds.feature_dim, ds.num_classes),
+                EndpointData::SampleRustyg(l) => (
+                    l.graph().config().feature_dim,
+                    l.graph().config().num_classes,
+                ),
+                EndpointData::SampleRgl(l) => (
+                    l.graph().config().feature_dim,
+                    l.graph().config().num_classes,
+                ),
             };
             let model = match (cell.framework, cell.task) {
-                (FrameworkKind::RustyG, TaskKind::Node) => EndpointModel::Rustyg(
-                    build::node_model_rustyg(cell.model, feat, classes, &mut rng),
-                ),
+                (FrameworkKind::RustyG, TaskKind::Node | TaskKind::Sample) => {
+                    EndpointModel::Rustyg(build::node_model_rustyg(
+                        cell.model, feat, classes, &mut rng,
+                    ))
+                }
                 (FrameworkKind::RustyG, TaskKind::Graph) => EndpointModel::Rustyg(
                     build::graph_model_rustyg(cell.model, feat, classes, &mut rng),
                 ),
-                (FrameworkKind::Rgl, TaskKind::Node) => {
+                (FrameworkKind::Rgl, TaskKind::Node | TaskKind::Sample) => {
                     EndpointModel::Rgl(build::node_model_rgl(cell.model, feat, classes, &mut rng))
                 }
                 (FrameworkKind::Rgl, TaskKind::Graph) => {
@@ -280,14 +337,44 @@ impl ModelRegistry {
 ///
 /// Returns a typed [`ServeConfigError`] for an unknown dataset name.
 pub fn target_count(cell: &CellId, scale: f64, seed: u64) -> Result<u32, ServeConfigError> {
+    // Sampled endpoints have a closed-form target space (every node of the
+    // RMAT graph) — no generation needed even for the million-node spec.
+    if cell.task == TaskKind::Sample {
+        let (spec, _) = sample_dataset(&cell.dataset)
+            .ok_or_else(|| ServeConfigError::UnknownSampleDataset(cell.dataset.clone()))?;
+        return Ok(spec.rmat.num_nodes() as u32);
+    }
     Ok(match generate_data(cell, scale, seed)? {
         EndpointData::Node(ds) => ds.graph.num_nodes() as u32,
         EndpointData::Graph(ds) => ds.samples.len() as u32,
+        EndpointData::SampleRustyg(_) | EndpointData::SampleRgl(_) => {
+            unreachable!("sample endpoints take the closed-form path above")
+        }
     })
 }
 
 fn generate_data(cell: &CellId, scale: f64, seed: u64) -> Result<EndpointData, ServeConfigError> {
     match cell.task {
+        TaskKind::Sample => {
+            let (spec, kind) = sample_dataset(&cell.dataset)
+                .ok_or_else(|| ServeConfigError::UnknownSampleDataset(cell.dataset.clone()))?;
+            // RMAT specs fix their own size and seed; the serve-level
+            // scale/seed intentionally do not perturb them, so sampled
+            // endpoints answer from the same graph the sweep trained on.
+            let _ = (scale, seed);
+            let graph =
+                Rc::new(RmatGraph::generate(spec.rmat).expect("catalog specs generate cleanly"));
+            Ok(match cell.framework {
+                FrameworkKind::RustyG => EndpointData::SampleRustyg(
+                    rustyg::sampled::SampledLoader::new(graph, &spec, kind)
+                        .expect("catalog specs validate"),
+                ),
+                FrameworkKind::Rgl => EndpointData::SampleRgl(
+                    rgl::sampled::SampledLoader::new(graph, &spec, kind)
+                        .expect("catalog specs validate"),
+                ),
+            })
+        }
         TaskKind::Node => {
             let spec = match cell.dataset.as_str() {
                 "Cora" => CitationSpec::cora(),
@@ -359,6 +446,45 @@ mod tests {
         let space = reg.target_space();
         assert_eq!(space[0].0, "table4/PubMed/SAGE/PyG");
         assert!(space[0].1 > 0);
+    }
+
+    #[test]
+    fn sampled_endpoints_serve_seed_rows() {
+        let cells = [
+            CellId::parse("sample/rmat-4k-neighbor/SAGE/PyG").unwrap(),
+            CellId::parse("sample/rmat-4k-layerwise/SAGE/DGL").unwrap(),
+        ];
+        let reg = ModelRegistry::build(&cells, 0.05, 0, None).unwrap();
+        assert_eq!(reg.len(), 2);
+        for i in 0..2 {
+            let ep = reg.get(i);
+            assert_eq!(ep.num_targets(), 1 << 12, "rmat-4k has 2^12 nodes");
+            let rows = ep.serve_batch(&[5, 9, 11]);
+            assert_eq!(rows.len(), 3, "one answer row per seed");
+            assert!(rows.iter().all(|r| r.len() == 8), "8 RMAT classes");
+            assert_eq!(ep.labels(&[5, 9]).len(), 2);
+            assert!(!ep.test_targets().is_empty());
+        }
+        // Same seeds, same salt: replies are bit-identical across calls.
+        let ep = reg.get(0);
+        assert_eq!(ep.serve_batch(&[5, 9, 11]), ep.serve_batch(&[5, 9, 11]));
+    }
+
+    #[test]
+    fn sample_target_count_is_closed_form() {
+        let cell = CellId::parse("sample/rmat-1m-neighbor/SAGE/PyG").unwrap();
+        // Cheap: answers without generating the million-node graph.
+        assert_eq!(target_count(&cell, 0.05, 0).unwrap(), 1 << 20);
+        let bogus = CellId {
+            task: TaskKind::Sample,
+            dataset: "rmat-1m".into(),
+            model: cell.model,
+            framework: cell.framework,
+        };
+        assert_eq!(
+            target_count(&bogus, 0.05, 0).unwrap_err(),
+            ServeConfigError::UnknownSampleDataset("rmat-1m".into())
+        );
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod metrics;
 pub mod multi_gpu;
 pub mod node_task;
 pub mod optim;
+pub mod sampled_task;
 pub mod scheduler;
 pub mod supervisor;
 
@@ -35,7 +36,12 @@ pub use multi_gpu::{
 };
 pub use node_task::{run_node_task, NodeOutcome, NodeTaskConfig};
 pub use optim::Adam;
+pub use sampled_task::{
+    run_sampled_task, SampledLoader, SampledTaskConfig, EVAL_SALT, TEST_POOL_SALT, TRAIN_POOL_SALT,
+    VAL_POOL_SALT,
+};
 pub use scheduler::ReduceLrOnPlateau;
 pub use supervisor::{
-    run_graph_fold_supervised, run_node_task_supervised, Supervised, Supervisor, TrainError,
+    run_graph_fold_supervised, run_node_task_supervised, run_sampled_task_supervised, Supervised,
+    Supervisor, TrainError,
 };

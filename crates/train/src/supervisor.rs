@@ -765,6 +765,260 @@ fn graph_body<L: Loader>(
     Ok(body)
 }
 
+/// Supervised neighbor-sampled node classification: the giant-graph loop
+/// with typed errors, retry, seed-minibatch halving on persistent OOM,
+/// NaN rollback, and checkpoint/resume.
+///
+/// The computation matches [`crate::run_sampled_task`] exactly on a
+/// healthy device; sampling is a pure function of `(seeds, epoch)` so a
+/// retried or resumed step replays the identical block.
+///
+/// # Errors
+///
+/// Returns a [`TrainError`] on faults that survive retry and degradation,
+/// diverged losses, or checkpoint IO failures.
+///
+/// # Panics
+///
+/// Panics on caller bugs (zero batch or pool sizes), exactly like
+/// [`crate::run_sampled_task`].
+pub fn run_sampled_task_supervised<L: crate::sampled_task::SampledLoader>(
+    model: &GnnStack<L::Batch>,
+    loader: &L,
+    cfg: &crate::sampled_task::SampledTaskConfig,
+    sup: &Supervisor,
+) -> Result<Supervised<NodeOutcome>, TrainError> {
+    assert!(cfg.batch_seeds > 0, "batch seeds must be positive");
+    assert!(cfg.train_seeds > 0, "train pool must be non-empty");
+
+    let handle = gnn_device::session::install(Session::new(gnn_device::default_cost_model()));
+    let result = sampled_body(model, loader, cfg, sup);
+    match result {
+        Ok(body) => {
+            let report = gnn_device::session::try_finish(handle)?;
+            let epochs = body.losses.len();
+            let measured = accumulated(body.prior_time, &body.epoch_times);
+            Ok(Supervised {
+                outcome: NodeOutcome {
+                    test_acc: body.test_at_best,
+                    best_val_acc: body.best_val,
+                    epochs,
+                    epoch_time: measured / epochs.max(1) as f64,
+                    total_time: measured,
+                    report,
+                },
+                degraded: body.degraded,
+                retries: body.retries,
+                notes: body.notes,
+                losses: body.losses,
+            })
+        }
+        Err(e) => {
+            let _ = gnn_device::session::try_finish(handle);
+            Err(e)
+        }
+    }
+}
+
+struct SampledBody {
+    best_val: f64,
+    test_at_best: f64,
+    losses: Vec<f64>,
+    epoch_times: Vec<f64>,
+    prior_time: f64,
+    degraded: bool,
+    retries: usize,
+    notes: Vec<String>,
+}
+
+fn sampled_body<L: crate::sampled_task::SampledLoader>(
+    model: &GnnStack<L::Batch>,
+    loader: &L,
+    cfg: &crate::sampled_task::SampledTaskConfig,
+    sup: &Supervisor,
+) -> Result<SampledBody, TrainError> {
+    use crate::sampled_task::{
+        eval_sampled, EVAL_SALT, TEST_POOL_SALT, TRAIN_POOL_SALT, VAL_POOL_SALT,
+    };
+
+    gnn_device::with(|s| {
+        s.alloc_persistent(2 * model.param_bytes() + loader.resident_bytes());
+    });
+    let mut opt = Adam::new(model.params(), cfg.lr);
+    let params = model.params();
+    let norms = model.norm_layers();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut order = loader.seed_pool(cfg.train_seeds, TRAIN_POOL_SALT);
+    let val_pool = loader.seed_pool(cfg.eval_seeds, VAL_POOL_SALT);
+    let test_pool = loader.seed_pool(cfg.eval_seeds, TEST_POOL_SALT);
+
+    let mut body = SampledBody {
+        best_val: 0.0,
+        test_at_best: 0.0,
+        losses: Vec::new(),
+        epoch_times: Vec::new(),
+        prior_time: 0.0,
+        degraded: false,
+        retries: 0,
+        notes: Vec::new(),
+    };
+    let mut epoch: u64 = 0;
+    let mut eff_batch = cfg.batch_seeds;
+
+    if sup.resume {
+        if let Some(path) = sup.checkpoint_path.as_deref().filter(|p| p.exists()) {
+            let ckpt = Checkpoint::load(path).map_err(TrainError::Checkpoint)?;
+            if let Some(restored) = ckpt.restore(&params, &norms, &mut opt, None) {
+                rng = restored;
+            }
+            epoch = ckpt.epoch;
+            body.best_val = ckpt.best_val;
+            body.test_at_best = ckpt.test_at_best;
+            body.losses = ckpt.losses.clone();
+            body.prior_time = ckpt.total_time;
+            restore_clock(ckpt.clock);
+            // Shuffle order is training state: replay the completed epochs'
+            // shuffles so the resumed epoch sees the same mini-batches.
+            let mut replay = StdRng::seed_from_u64(cfg.seed);
+            for _ in 0..epoch {
+                order.shuffle(&mut replay);
+            }
+            body.notes
+                .push(format!("resumed from checkpoint at epoch {epoch}"));
+        }
+    }
+
+    let capture = |opt: &Adam, rng: &StdRng, body: &SampledBody, epoch: u64| -> Checkpoint {
+        let mut ckpt = Checkpoint::capture(&params, &norms, opt, None, Some(rng), epoch);
+        ckpt.best_val = body.best_val;
+        ckpt.test_at_best = body.test_at_best;
+        ckpt.losses = body.losses.clone();
+        ckpt.total_time = accumulated(body.prior_time, &body.epoch_times);
+        gnn_device::with(|s| ckpt.clock = s.now());
+        ckpt
+    };
+    let mut rollback = (capture(&opt, &rng, &body, epoch), order.clone());
+    let mut last_rollback_epoch: Option<u64> = None;
+
+    let mut last_mark = 0.0f64;
+    gnn_device::with(|s| last_mark = s.now());
+    let mut tracker = EpochTracker::new(format!("sample/{}/{}", model.name(), loader.label()));
+
+    'epochs: while epoch < cfg.max_epochs as u64 {
+        gnn_faults::set_epoch(epoch);
+        order.shuffle(&mut rng);
+
+        let mut pos = 0usize;
+        let mut last_loss = 0.0f32;
+        while pos < order.len() {
+            let end = (pos + eff_batch).min(order.len());
+            let chunk = &order[pos..end];
+            let step = supervised_step(
+                || {
+                    gnn_device::set_phase(Phase::DataLoad);
+                    let batch = loader.load(chunk, epoch);
+                    gnn_device::set_phase(Phase::Forward);
+                    let logits = model.forward(&batch, true);
+                    let ids: gnn_tensor::Ids = Rc::new((0..chunk.len() as u32).collect());
+                    let labels: Vec<u32> = batch.labels()[..chunk.len()].to_vec();
+                    let loss = cross_entropy(&logits.gather_rows(&ids), &labels);
+                    gnn_device::set_phase(Phase::Backward);
+                    loss.backward();
+                    loss
+                },
+                &norms,
+                &mut opt,
+                sup,
+                &mut body.retries,
+                &mut body.notes,
+                epoch,
+            );
+            match step {
+                StepResult::Ok(v) => {
+                    last_loss = v;
+                    pos = end;
+                }
+                StepResult::OomPersistent { attempts } => {
+                    if eff_batch == 1 {
+                        return Err(TrainError::RetriesExhausted {
+                            attempts,
+                            cause: "device OOM persists even at 1 seed per batch".into(),
+                        });
+                    }
+                    eff_batch = (eff_batch / 2).max(1);
+                    body.degraded = true;
+                    body.notes.push(format!(
+                        "epoch {epoch}: halving seed batch to {eff_batch} after persistent OOM"
+                    ));
+                    // pos unchanged: replay the failed chunk at the smaller
+                    // fan-out frontier.
+                }
+                StepResult::Poisoned => {
+                    if last_rollback_epoch == Some(epoch) {
+                        return Err(TrainError::NanLoss { epoch });
+                    }
+                    last_rollback_epoch = Some(epoch);
+                    let (ckpt, saved_order) = &rollback;
+                    body.notes.push(format!(
+                        "epoch {epoch}: NaN loss — rolled back to checkpoint at epoch {} and replaying",
+                        ckpt.epoch
+                    ));
+                    if let Some(restored) = ckpt.restore(&params, &norms, &mut opt, None) {
+                        rng = restored;
+                    }
+                    body.best_val = ckpt.best_val;
+                    body.test_at_best = ckpt.test_at_best;
+                    body.losses = ckpt.losses.clone();
+                    order = saved_order.clone();
+                    epoch = ckpt.epoch;
+                    continue 'epochs;
+                }
+                StepResult::Fatal(e) => return Err(e),
+            }
+        }
+
+        gnn_device::set_phase(Phase::Other);
+        let val_acc = supervised_eval(
+            || eval_sampled(model, loader, &val_pool, eff_batch, EVAL_SALT + epoch) * 100.0,
+            sup,
+            &mut body.retries,
+            &mut body.notes,
+            epoch,
+        )?;
+        if val_acc > body.best_val {
+            body.best_val = val_acc;
+            body.test_at_best = supervised_eval(
+                || eval_sampled(model, loader, &test_pool, eff_batch, EVAL_SALT + epoch) * 100.0,
+                sup,
+                &mut body.retries,
+                &mut body.notes,
+                epoch,
+            )?;
+        }
+        gnn_device::with(|s| s.end_step());
+
+        let mut now = 0.0;
+        gnn_device::with(|s| now = s.now());
+        body.epoch_times.push(now - last_mark);
+        last_mark = now;
+        tracker.emit(
+            f64::from(last_loss),
+            Some(val_acc / 100.0),
+            f64::from(cfg.lr),
+        );
+        body.losses.push(f64::from(last_loss));
+        epoch += 1;
+
+        rollback = (capture(&opt, &rng, &body, epoch), order.clone());
+        if let Some(path) = &sup.checkpoint_path {
+            if epoch.is_multiple_of(sup.checkpoint_every) {
+                rollback.0.save(path).map_err(TrainError::Checkpoint)?;
+            }
+        }
+    }
+    Ok(body)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
